@@ -1,0 +1,456 @@
+//! Chain-of-thought augmentation with execution-based self-check
+//! (paper §6.1.1, Figure 4, Table 3).
+//!
+//! For each training pair the pipeline (1) executes the gold SQL and
+//! skips empty results, (2) asks an "LLM" to produce reasoning content
+//! plus a reconstructed SQL, and (3) keeps the pair only when the
+//! reconstruction's execution matches the gold execution. The reasoning
+//! writer is a deterministic AST-walker; the LLM's fallibility is a
+//! seeded reconstruction-error model whose rate depends on whether the
+//! golden SQL was included in the prompt (the paper's with/without
+//! self-check prompt designs).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlengine::{results_match, run_sql, Database};
+use sqlkit::ast::*;
+use sqlkit::{parse_statement, to_sql};
+
+/// Outcome categories of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CotOutcome {
+    /// Reasoning generated and execution-verified.
+    Success,
+    /// Generated SQL disagreed with the gold execution (discarded).
+    Failure,
+    /// Gold SQL returned an empty result (skipped up front).
+    EmptyExecution,
+}
+
+/// Aggregate counts over a dataset.
+#[derive(Debug, Clone, Default)]
+pub struct CotReport {
+    pub success: usize,
+    pub failure: usize,
+    pub empty: usize,
+    /// The accepted (question, reasoning, sql) triples.
+    pub accepted: Vec<CotExample>,
+}
+
+impl CotReport {
+    /// Success rate over all attempted examples.
+    pub fn success_rate(&self) -> f64 {
+        let total = self.success + self.failure + self.empty;
+        if total == 0 {
+            0.0
+        } else {
+            self.success as f64 / total as f64
+        }
+    }
+
+    /// Failure and empty-execution rates (Table 3 columns).
+    pub fn rates(&self) -> (f64, f64, f64) {
+        let total = (self.success + self.failure + self.empty).max(1) as f64;
+        (
+            self.success as f64 / total,
+            self.failure as f64 / total,
+            self.empty as f64 / total,
+        )
+    }
+}
+
+/// An accepted CoT triple.
+#[derive(Debug, Clone)]
+pub struct CotExample {
+    pub question: String,
+    pub reasoning: String,
+    pub sql: String,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CotSettings {
+    /// Whether the prompt includes the golden SQL (the paper's
+    /// "w self-check" template of Figure 5). Without it the LLM must
+    /// derive the SQL itself and errs far more often.
+    pub golden_sql_in_prompt: bool,
+    /// Reconstruction error rate with the golden SQL present.
+    pub err_with_golden: f64,
+    /// Reconstruction error rate without it.
+    pub err_without_golden: f64,
+    pub seed: u64,
+}
+
+impl Default for CotSettings {
+    fn default() -> Self {
+        CotSettings {
+            golden_sql_in_prompt: true,
+            err_with_golden: 0.24,
+            err_without_golden: 0.72,
+            seed: 99,
+        }
+    }
+}
+
+/// Runs the CoT pipeline over `(question, sql)` pairs against their
+/// database.
+pub fn generate_cot(
+    db: &Database,
+    pairs: &[(String, String)],
+    settings: CotSettings,
+) -> CotReport {
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+    let mut report = CotReport::default();
+    let err_rate = if settings.golden_sql_in_prompt {
+        settings.err_with_golden
+    } else {
+        settings.err_without_golden
+    };
+    for (question, sql) in pairs {
+        // Step 1: execution filter.
+        let gold_result = match run_sql(db, sql) {
+            Ok(r) if !r.is_empty() => r,
+            _ => {
+                report.empty += 1;
+                continue;
+            }
+        };
+        // Step 2: "LLM" generates reasoning + SQL.
+        let reconstructed = reconstruct_sql(sql, err_rate, &mut rng);
+        // Step 3: self-check by execution agreement.
+        let agree = match run_sql(db, &reconstructed) {
+            Ok(r) => {
+                let ordered = has_order_by(sql);
+                results_match(&r, &gold_result, ordered)
+            }
+            Err(_) => false,
+        };
+        if agree {
+            report.success += 1;
+            report.accepted.push(CotExample {
+                question: question.clone(),
+                reasoning: write_reasoning(sql, false),
+                sql: reconstructed,
+            });
+        } else {
+            report.failure += 1;
+        }
+    }
+    report
+}
+
+fn has_order_by(sql: &str) -> bool {
+    matches!(parse_statement(sql), Ok(Statement::Select(q)) if !q.order_by.is_empty())
+}
+
+/// The simulated LLM reconstruction: with probability `err_rate` it
+/// produces a semantically drifted SQL (changed predicate value, dropped
+/// predicate, or swapped aggregate) — the kinds of mistakes GPT makes
+/// when asked to restate a query.
+fn reconstruct_sql(sql: &str, err_rate: f64, rng: &mut StdRng) -> String {
+    let Ok(Statement::Select(q)) = parse_statement(sql) else {
+        return sql.to_string();
+    };
+    let canonical = to_sql(&Statement::Select(q.clone()));
+    if !rng.gen_bool(err_rate) {
+        return canonical;
+    }
+    // Introduce a semantic drift; try the drift kinds in a rotated order
+    // until one actually changes the query (a "drift" that rewrites the
+    // SQL to itself is not an error).
+    let start = rng.gen_range(0..3);
+    for off in 0..3u32 {
+        let mut qq = q.clone();
+        match (start + off) % 3 {
+            0 => drift_literal(&mut qq, rng),
+            1 => drop_predicate(&mut qq),
+            _ => swap_aggregate(&mut qq),
+        }
+        let out = to_sql(&Statement::Select(qq));
+        if out != canonical {
+            return out;
+        }
+    }
+    // Last resort: truncate the result set.
+    let mut qq = q;
+    qq.limit = Some(sqlkit::ast::Limit { count: 1, offset: 0 });
+    to_sql(&Statement::Select(qq))
+}
+
+fn drift_literal(q: &mut SelectStmt, rng: &mut StdRng) {
+    sqlkit::repair::visit_selects_mut(&mut q.body, &mut |s| {
+        if let Some(w) = &mut s.selection {
+            drift_expr(w, rng);
+        }
+    });
+}
+
+fn drift_expr(e: &mut Expr, rng: &mut StdRng) {
+    match e {
+        Expr::Literal(Literal::Str(s)) => {
+            s.push_str(" x");
+        }
+        Expr::Literal(Literal::Int(v)) => {
+            *v += 1;
+        }
+        Expr::Literal(Literal::Float(v)) => {
+            *v *= 1.5;
+        }
+        Expr::Binary { left, right, .. } => {
+            // Drift one side only, favouring literals on the right.
+            if matches!(right.as_ref(), Expr::Literal(_)) || rng.gen_bool(0.5) {
+                drift_expr(right, rng);
+            } else {
+                drift_expr(left, rng);
+            }
+        }
+        Expr::InList { list, .. } => {
+            if let Some(first) = list.first_mut() {
+                drift_expr(first, rng);
+            }
+        }
+        Expr::Between { low, .. } => drift_expr(low, rng),
+        Expr::Like { pattern, .. } => drift_expr(pattern, rng),
+        _ => {}
+    }
+}
+
+fn drop_predicate(q: &mut SelectStmt) {
+    sqlkit::repair::visit_selects_mut(&mut q.body, &mut |s| {
+        if let Some(w) = &s.selection {
+            if let Expr::Binary { op: BinaryOp::And, left, .. } = w {
+                let keep = left.as_ref().clone();
+                s.selection = Some(keep);
+            } else {
+                s.selection = None;
+            }
+        }
+    });
+}
+
+fn swap_aggregate(q: &mut SelectStmt) {
+    sqlkit::repair::visit_selects_mut(&mut q.body, &mut |s| {
+        for item in &mut s.items {
+            if let SelectItem::Expr { expr: Expr::Function { name, .. }, .. } = item {
+                let swapped = match name.as_str() {
+                    "AVG" => "SUM",
+                    "SUM" => "AVG",
+                    "MIN" => "MAX",
+                    "MAX" => "MIN",
+                    other => other,
+                };
+                *name = swapped.to_string();
+            }
+        }
+    });
+}
+
+/// Deterministic reasoning writer: walks the AST and narrates the plan,
+/// in the style the paper's Figure 5 prompt elicits.
+pub fn write_reasoning(sql: &str, cn: bool) -> String {
+    let Ok(Statement::Select(q)) = parse_statement(sql) else {
+        return String::new();
+    };
+    let SetExpr::Select(s) = &q.body else {
+        return "The query combines two sub-queries with a set operation.".to_string();
+    };
+    let mut steps: Vec<String> = Vec::new();
+    if let Some(from) = &s.from {
+        if from.joins.is_empty() {
+            steps.push(if cn {
+                format!("首先，在表{}中定位数据。", from.base.name)
+            } else {
+                format!("First, locate the data in table {}.", from.base.name)
+            });
+        } else {
+            let mut tables = vec![from.base.name.clone()];
+            tables.extend(from.joins.iter().map(|j| j.table.name.clone()));
+            steps.push(if cn {
+                format!("首先，按声明的键连接表{}。", tables.join("、"))
+            } else {
+                format!("First, join tables {} on their declared key columns.", tables.join(", "))
+            });
+        }
+    }
+    if let Some(w) = &s.selection {
+        steps.push(if cn {
+            format!("然后，仅保留满足{}的行。", describe_predicate(w))
+        } else {
+            format!("Then, keep only the rows satisfying {}.", describe_predicate(w))
+        });
+    }
+    if !s.group_by.is_empty() {
+        steps.push(
+            if cn { "接着，按所需的键对剩余行分组。" } else { "Next, group the remaining rows by the requested key." }
+                .to_string(),
+        );
+    }
+    if s.having.is_some() {
+        steps.push(
+            if cn { "仅保留通过HAVING条件的分组。" } else { "Keep only the groups passing the HAVING condition." }
+                .to_string(),
+        );
+    }
+    if !q.order_by.is_empty() {
+        steps.push(
+            if cn { "然后，按所需指标对行排序。" } else { "Then, sort the rows by the requested measure." }
+                .to_string(),
+        );
+    }
+    if q.limit.is_some() {
+        steps.push(
+            if cn { "最后，仅返回所需数量的行。" } else { "Finally, return only the requested number of rows." }
+                .to_string(),
+        );
+    }
+    steps.push(
+        if cn { "最后，投影所需的列。" } else { "Finally, project the requested columns." }.to_string(),
+    );
+    steps.join(" ")
+}
+
+fn describe_predicate(e: &Expr) -> String {
+    let parts = sqlkit::components::conjuncts(e);
+    let descs: Vec<String> = parts
+        .iter()
+        .map(|p| match p {
+            Expr::Binary { op, left, right } => {
+                format!("{} {} {}", expr_text(left), op.sql(), expr_text(right))
+            }
+            Expr::Like { expr, pattern, .. } => {
+                format!("{} matching {}", expr_text(expr), expr_text(pattern))
+            }
+            Expr::Between { expr, low, high, .. } => format!(
+                "{} between {} and {}",
+                expr_text(expr),
+                expr_text(low),
+                expr_text(high)
+            ),
+            Expr::InSubquery { expr, .. } => {
+                format!("{} appearing in the sub-query result", expr_text(expr))
+            }
+            _ => "the stated condition".to_string(),
+        })
+        .collect();
+    descs.join(" and ")
+}
+
+fn expr_text(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => c.column.clone(),
+        Expr::Literal(Literal::Str(s)) => format!("'{s}'"),
+        Expr::Literal(Literal::Int(v)) => v.to_string(),
+        Expr::Literal(Literal::Float(v)) => v.to_string(),
+        Expr::Subquery(_) => "a computed value".to_string(),
+        _ => "an expression".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::Value;
+    use sqlkit::catalog::{CatalogColumn, CatalogSchema, CatalogTable, ColType};
+
+    fn db() -> Database {
+        let schema = CatalogSchema {
+            db_id: "c".into(),
+            tables: vec![CatalogTable {
+                name: "t".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![
+                    CatalogColumn::new("a", ColType::Text, "", ""),
+                    CatalogColumn::new("m", ColType::Float, "", ""),
+                ],
+            }],
+            foreign_keys: vec![],
+        };
+        let mut db = Database::new(schema);
+        for (a, m) in [("x", 1.0), ("x", 2.0), ("y", 3.0)] {
+            db.insert("t", vec![Value::from(a), Value::Float(m)]).unwrap();
+        }
+        db
+    }
+
+    fn pairs(n: usize) -> Vec<(String, String)> {
+        (0..n)
+            .map(|i| {
+                let v = if i % 8 == 7 { "ghost" } else { "x" }; // ~12% empty
+                (format!("question {i}"), format!("SELECT m FROM t WHERE a = '{v}'"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_executions_are_skipped() {
+        let db = db();
+        let report = generate_cot(&db, &pairs(80), CotSettings::default());
+        assert_eq!(report.empty, 10);
+        assert_eq!(report.success + report.failure, 70);
+    }
+
+    #[test]
+    fn self_check_prompt_beats_unchecked() {
+        // The Table 3 shape: golden-SQL prompting succeeds far more often.
+        let db = db();
+        let with = generate_cot(
+            &db,
+            &pairs(300),
+            CotSettings { golden_sql_in_prompt: true, ..Default::default() },
+        );
+        let without = generate_cot(
+            &db,
+            &pairs(300),
+            CotSettings { golden_sql_in_prompt: false, ..Default::default() },
+        );
+        assert!(
+            with.success_rate() > without.success_rate() + 0.2,
+            "with {} vs without {}",
+            with.success_rate(),
+            without.success_rate()
+        );
+        assert_eq!(with.empty, without.empty, "empty rate is prompt-independent");
+    }
+
+    #[test]
+    fn accepted_sql_matches_gold_execution() {
+        let db = db();
+        let report = generate_cot(&db, &pairs(100), CotSettings::default());
+        for ex in &report.accepted {
+            let got = run_sql(&db, &ex.sql).unwrap();
+            assert!(!got.is_empty());
+            assert!(!ex.reasoning.is_empty());
+        }
+    }
+
+    #[test]
+    fn reasoning_narrates_plan_steps() {
+        let r = write_reasoning(
+            "SELECT a FROM t JOIN u ON t.k = u.k WHERE m > 5 GROUP BY a ORDER BY a DESC LIMIT 3",
+            false,
+        );
+        for needle in ["join", "rows satisfying", "group", "sort", "number of rows", "project"] {
+            assert!(r.contains(needle), "missing {needle:?} in {r}");
+        }
+    }
+
+    #[test]
+    fn cn_reasoning_is_translated() {
+        let r = write_reasoning("SELECT a FROM t WHERE m > 5", true);
+        assert!(r.chars().any(|c| c as u32 >= 0x4E00), "expected CJK in {r}");
+    }
+
+    #[test]
+    fn drift_changes_execution() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sql = "SELECT COUNT(*) FROM t WHERE a = 'x'";
+        // With error rate 1.0 every reconstruction drifts.
+        let drifted = reconstruct_sql(sql, 1.0, &mut rng);
+        assert_ne!(drifted, sql);
+        let gold = run_sql(&db, sql).unwrap();
+        let got = run_sql(&db, &drifted).unwrap();
+        assert!(!results_match(&gold, &got, false), "drift must change results: {drifted}");
+    }
+}

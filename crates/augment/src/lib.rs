@@ -1,0 +1,14 @@
+//! Hybrid data augmentation (paper §6.1): chain-of-thought generation
+//! with execution-based self-check, synonymous-question generation, and
+//! rule-based skeleton augmentation, plus the uniform mixer that builds
+//! the multi-task fine-tuning dataset.
+
+pub mod cot;
+pub mod mix;
+pub mod skeleton_aug;
+pub mod synonym;
+
+pub use cot::{generate_cot, CotOutcome, CotReport, CotSettings};
+pub use mix::{build_training_mix, AugmentationFlags};
+pub use skeleton_aug::skeleton_examples;
+pub use synonym::{paraphrase, synonym_examples};

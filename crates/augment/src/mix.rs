@@ -1,0 +1,132 @@
+//! The hybrid training mix (paper §7.1): original pairs plus the three
+//! augmentation streams, uniformly combined into the multi-task
+//! fine-tuning dataset.
+
+use crate::cot::{generate_cot, CotSettings};
+use crate::skeleton_aug::skeleton_examples;
+use crate::synonym::synonym_examples;
+use bull::Lang;
+use simllm::{ExampleKind, TrainExample};
+use sqlengine::Database;
+
+/// Which augmentation streams to include — the knobs of the paper's
+/// Table 8 ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct AugmentationFlags {
+    pub cot: bool,
+    pub synonyms: bool,
+    pub skeleton: bool,
+    /// Paraphrases per question for the synonym stream.
+    pub synonyms_per_question: usize,
+    pub seed: u64,
+}
+
+impl Default for AugmentationFlags {
+    fn default() -> Self {
+        AugmentationFlags { cot: true, synonyms: true, skeleton: true, synonyms_per_question: 3, seed: 7 }
+    }
+}
+
+impl AugmentationFlags {
+    /// No augmentation at all (the Table 8 "w/o Augmented Data" row).
+    pub fn none() -> Self {
+        AugmentationFlags { cot: false, synonyms: false, skeleton: false, ..Default::default() }
+    }
+}
+
+/// Builds the training mix for one database's training pairs.
+pub fn build_training_mix(
+    db: &Database,
+    pairs: &[(String, String)],
+    lang: Lang,
+    flags: AugmentationFlags,
+) -> Vec<TrainExample> {
+    let mut out: Vec<TrainExample> = pairs
+        .iter()
+        .map(|(q, sql)| TrainExample {
+            question: q.clone(),
+            sql: sql.clone(),
+            kind: ExampleKind::Original,
+        })
+        .collect();
+    if flags.cot {
+        let report = generate_cot(db, pairs, CotSettings { seed: flags.seed, ..Default::default() });
+        out.extend(report.accepted.into_iter().map(|c| TrainExample {
+            // CoT examples train on reasoning + question jointly.
+            question: c.question,
+            sql: c.sql,
+            kind: ExampleKind::Cot,
+        }));
+    }
+    if flags.synonyms {
+        out.extend(synonym_examples(pairs, lang, flags.synonyms_per_question).into_iter().map(
+            |(q, sql)| TrainExample { question: q, sql, kind: ExampleKind::Synonym },
+        ));
+    }
+    if flags.skeleton {
+        out.extend(skeleton_examples(pairs).into_iter().map(|s| TrainExample {
+            question: s.question,
+            sql: s.sql,
+            kind: ExampleKind::Skeleton,
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::Value;
+    use sqlkit::catalog::{CatalogColumn, CatalogSchema, CatalogTable, ColType};
+
+    fn db() -> Database {
+        let schema = CatalogSchema {
+            db_id: "m".into(),
+            tables: vec![CatalogTable {
+                name: "t".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![CatalogColumn::new("a", ColType::Text, "", "")],
+            }],
+            foreign_keys: vec![],
+        };
+        let mut db = Database::new(schema);
+        db.insert("t", vec![Value::from("x")]).unwrap();
+        db
+    }
+
+    fn pairs() -> Vec<(String, String)> {
+        vec![(
+            "Show the records whose a is x.".to_string(),
+            "SELECT a FROM t WHERE a = 'x'".to_string(),
+        )]
+    }
+
+    #[test]
+    fn full_mix_contains_all_kinds() {
+        let mix = build_training_mix(&db(), &pairs(), Lang::En, AugmentationFlags::default());
+        let kinds: std::collections::HashSet<_> = mix.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&ExampleKind::Original));
+        assert!(kinds.contains(&ExampleKind::Synonym));
+        assert!(kinds.contains(&ExampleKind::Skeleton));
+        assert!(mix.len() > pairs().len());
+    }
+
+    #[test]
+    fn disabled_streams_are_absent() {
+        let mix = build_training_mix(&db(), &pairs(), Lang::En, AugmentationFlags::none());
+        assert!(mix.iter().all(|e| e.kind == ExampleKind::Original));
+        assert_eq!(mix.len(), 1);
+    }
+
+    #[test]
+    fn mix_is_deterministic() {
+        let a = build_training_mix(&db(), &pairs(), Lang::En, AugmentationFlags::default());
+        let b = build_training_mix(&db(), &pairs(), Lang::En, AugmentationFlags::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.question, y.question);
+            assert_eq!(x.sql, y.sql);
+        }
+    }
+}

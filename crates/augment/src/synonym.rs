@@ -1,0 +1,175 @@
+//! Synonymous-question augmentation (paper §6.1.2, Figure 6).
+//!
+//! The paper prompts ChatGPT with few-shot paraphrase examples; we apply
+//! the equivalent rewrite knowledge as deterministic rules spanning the
+//! surface-style space of financial questions. Each rule is a phrase
+//! substitution; a paraphrase applies one leading-style rule plus any
+//! matching inner rules.
+
+use bull::Lang;
+
+/// English rewrite rules: `(from, to)` applied case-insensitively on the
+/// first occurrence.
+const EN_RULES: &[(&str, &str)] = &[
+    ("what is the", "i want to know the"),
+    ("what is the", "give me the"),
+    ("what is the", "please list the"),
+    ("what is the", "tell me the"),
+    ("show the", "please list the"),
+    ("show the", "give me the"),
+    ("show me the", "return the"),
+    ("find the", "i want the"),
+    ("find the", "please give the"),
+    ("list the", "return the"),
+    ("count the", "how many are the"),
+    ("how many", "what is the number of"),
+    ("compute the", "please report the"),
+    ("whose", "where the"),
+    ("with the", "having the"),
+    ("records", "entries"),
+    ("i want to know", "give me"),
+    ("please", "kindly"),
+];
+
+/// Chinese-register rewrite rules.
+const CN_RULES: &[(&str, &str)] = &[
+    ("是什么？", "是多少？"),
+    ("查询", "请列出"),
+    ("查询", "想知道"),
+    ("展示", "请给出"),
+    ("展示", "返回"),
+    ("列出", "展示"),
+    ("统计", "计算"),
+    ("找出", "查找"),
+    ("请列出", "告诉我"),
+    ("多少条", "几条"),
+    ("哪些", "什么"),
+];
+
+/// Produces up to `k` distinct paraphrases of a question. The original is
+/// never included; fewer than `k` may be returned when the rules do not
+/// fire.
+pub fn paraphrase(question: &str, lang: Lang, k: usize) -> Vec<String> {
+    let rules = match lang {
+        Lang::En => EN_RULES,
+        Lang::Cn => CN_RULES,
+    };
+    let mut out: Vec<String> = Vec::new();
+    for (from, to) in rules {
+        if out.len() >= k {
+            break;
+        }
+        if let Some(rewritten) = apply_rule(question, from, to) {
+            if rewritten != question && !out.contains(&rewritten) {
+                out.push(rewritten);
+            }
+        }
+    }
+    // Second round: compose two rules for more variety.
+    if out.len() < k {
+        let firsts: Vec<String> = out.clone();
+        for base in &firsts {
+            for (from, to) in rules {
+                if out.len() >= k {
+                    break;
+                }
+                if let Some(rewritten) = apply_rule(base, from, to) {
+                    if rewritten != *question && !out.contains(&rewritten) {
+                        out.push(rewritten);
+                    }
+                }
+            }
+        }
+    }
+    out.truncate(k);
+    out
+}
+
+/// Case-insensitive first-occurrence replacement preserving the rest of
+/// the string. Returns `None` when the pattern does not occur.
+fn apply_rule(text: &str, from: &str, to: &str) -> Option<String> {
+    let lower = text.to_lowercase();
+    let idx = lower.find(&from.to_lowercase())?;
+    let mut out = String::with_capacity(text.len());
+    out.push_str(&text[..idx]);
+    out.push_str(to);
+    out.push_str(&text[idx + from.len()..]);
+    // Re-capitalise the sentence head.
+    let mut chars = out.chars();
+    chars.next().map(|c| c.to_uppercase().collect::<String>() + chars.as_str())
+}
+
+/// Expands `(question, sql)` pairs into synonym-augmented pairs: each
+/// question yields up to `per_question` paraphrases carrying the same
+/// SQL.
+pub fn synonym_examples(
+    pairs: &[(String, String)],
+    lang: Lang,
+    per_question: usize,
+) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (q, sql) in pairs {
+        for p in paraphrase(q, lang, per_question) {
+            out.push((p, sql.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paraphrases_differ_from_original() {
+        let q = "What is the unit net value of the fund whose fund name is Alpha?";
+        let ps = paraphrase(q, Lang::En, 3);
+        assert!(!ps.is_empty());
+        for p in &ps {
+            assert_ne!(p, q);
+            assert!(p.contains("Alpha"), "entity must survive: {p}");
+        }
+    }
+
+    #[test]
+    fn paraphrases_are_distinct() {
+        let q = "Show the closing price of the stock daily quote.";
+        let ps = paraphrase(q, Lang::En, 4);
+        let set: std::collections::HashSet<&String> = ps.iter().collect();
+        assert_eq!(set.len(), ps.len());
+    }
+
+    #[test]
+    fn cn_rules_fire_on_cn_questions() {
+        let q = "查询基金类型为bond fund的基金的单位净值。";
+        let ps = paraphrase(q, Lang::Cn, 2);
+        assert!(!ps.is_empty());
+        assert!(ps[0].contains("bond fund"));
+    }
+
+    #[test]
+    fn paraphrase_styles_approach_unseen_phrasings() {
+        // Training phrasings say "What is the …"; dev phrasing 4 says
+        // "I want to know the …". The rule bank must bridge them.
+        let q = "What is the issue scale amount of the fund master file whose fund type is bond fund?";
+        let ps = paraphrase(q, Lang::En, 6);
+        assert!(
+            ps.iter().any(|p| p.to_lowercase().starts_with("i want to know the")),
+            "{ps:?}"
+        );
+        assert!(ps.iter().any(|p| p.to_lowercase().starts_with("give me the")));
+    }
+
+    #[test]
+    fn unmatched_questions_yield_nothing() {
+        assert!(paraphrase("zzz qqq", Lang::En, 3).is_empty());
+    }
+
+    #[test]
+    fn synonym_examples_carry_sql() {
+        let pairs = vec![("Show the nav.".to_string(), "SELECT nav FROM t".to_string())];
+        let ex = synonym_examples(&pairs, Lang::En, 2);
+        assert!(!ex.is_empty());
+        assert!(ex.iter().all(|(_, s)| s == "SELECT nav FROM t"));
+    }
+}

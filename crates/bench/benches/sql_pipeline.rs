@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the SQL substrate: parsing, execution, skeleton
+//! extraction and output calibration throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const JOIN_SQL: &str = "SELECT t1.chiname, AVG(t2.closeprice) FROM lc_stockarchives AS t1 JOIN qt_dailyquote AS t2 ON t1.compcode = t2.compcode WHERE t1.listexchange = 'Shanghai Stock Exchange' GROUP BY t1.chiname ORDER BY AVG(t2.closeprice) DESC LIMIT 5";
+
+fn bench_parser(c: &mut Criterion) {
+    c.bench_function("parse_join_query", |b| {
+        b.iter(|| sqlkit::parse_statement(std::hint::black_box(JOIN_SQL)).unwrap())
+    });
+    c.bench_function("skeleton_extraction", |b| {
+        b.iter(|| sqlkit::skeleton_of(std::hint::black_box(JOIN_SQL)).unwrap())
+    });
+    c.bench_function("component_extraction", |b| {
+        b.iter(|| sqlkit::components::extract_components(std::hint::black_box(JOIN_SQL)).unwrap())
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let gdb = bull::datagen::populate(bull::DbId::Stock, 7);
+    c.bench_function("execute_join_aggregate", |b| {
+        b.iter(|| sqlengine::run_sql(&gdb.db, JOIN_SQL).unwrap())
+    });
+    c.bench_function("execute_point_filter", |b| {
+        b.iter(|| {
+            sqlengine::run_sql(
+                &gdb.db,
+                "SELECT chiname FROM lc_stockarchives WHERE listexchange = 'Shanghai Stock Exchange'",
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let schema = bull::DbId::Stock.schema();
+    let profile = &simllm::profiles::LLAMA2_13B;
+    // Realistic candidate set: one clean + corrupted variants.
+    let mut rng = StdRng::seed_from_u64(5);
+    let candidates: Vec<String> = (0..5)
+        .map(|_| simllm::noise::corrupt(JOIN_SQL, &profile.noise, 1.5, &mut rng))
+        .collect();
+    let cfg = finsql_core::CalibrationConfig::default();
+    c.bench_function("output_calibration_n5", |b| {
+        b.iter(|| finsql_core::calibrate(std::hint::black_box(&candidates), &schema, &cfg))
+    });
+}
+
+criterion_group!(benches, bench_parser, bench_engine, bench_calibration);
+criterion_main!(benches);

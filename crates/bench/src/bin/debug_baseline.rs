@@ -1,0 +1,32 @@
+//! Failure attribution for the fine-tuned baselines and DAIL ICL.
+
+use bench::{dataset, t5_profile};
+use bull::{DbId, Lang, Split};
+use finsql_core::baselines::FtBaseline;
+use std::collections::HashMap;
+
+fn main() {
+    let ds = dataset();
+    let tokenprep = FtBaseline::token_preprocessing(&ds, t5_profile(Lang::En), Lang::En);
+    let mut by_phrasing: HashMap<bool, (usize, usize)> = HashMap::new();
+    let mut by_arch: HashMap<&str, (usize, usize)> = HashMap::new();
+    for e in ds.examples_for(DbId::Fund, Split::Dev) {
+        let q = e.question(Lang::En);
+        let mut rng = tokenprep.question_rng(q);
+        let sql = tokenprep.answer(DbId::Fund, q, &mut rng);
+        let ok = sqlengine::execution_accuracy(ds.db(DbId::Fund), &sql, &e.sql);
+        let unseen = e.phrasing >= bull::dataset::TRAIN_PHRASINGS;
+        let ent = by_phrasing.entry(unseen).or_insert((0, 0));
+        ent.1 += 1; if ok { ent.0 += 1; }
+        let ent = by_arch.entry(e.archetype).or_insert((0, 0));
+        ent.1 += 1; if ok { ent.0 += 1; }
+    }
+    for (unseen, (c, t)) in &by_phrasing {
+        println!("unseen_phrasing={unseen}: {c}/{t} = {:.1}%", 100.0 * *c as f64 / *t as f64);
+    }
+    let mut archs: Vec<_> = by_arch.into_iter().collect();
+    archs.sort();
+    for (a, (c, t)) in archs {
+        println!("  {a:24} {c:3}/{t:3} = {:.0}%", 100.0 * c as f64 / t as f64);
+    }
+}

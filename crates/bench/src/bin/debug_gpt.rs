@@ -1,0 +1,10 @@
+use bench::{dataset, gpt_ex, SEED};
+use bull::Lang;
+use finsql_core::baselines::{GptMethod, GptModel};
+fn main() {
+    let ds = dataset();
+    for (label, model, shots) in [("GPT-4", GptModel::Gpt4, 12usize), ("ChatGPT", GptModel::ChatGpt, 8)] {
+        let (out, cost, _) = gpt_ex(&ds, Lang::En, GptMethod::DailSql { shots }, model, 40, SEED);
+        println!("DAIL {label}: EX {:.1} cost {:.4}", out.ex_pct(), cost);
+    }
+}

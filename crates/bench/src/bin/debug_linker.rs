@@ -1,0 +1,29 @@
+use bench::dataset;
+use bull::{DbId, Lang, Split};
+use crossenc::metrics::evaluate;
+use crossenc::model::SchemaViews;
+use crossenc::{LinkExample, TrainConfig};
+use finsql_core::pipeline::train_linker;
+
+fn main() {
+    let ds = dataset();
+    let linker = train_linker(&ds, Lang::En, &DbId::ALL, 0xF1A5);
+    let schemas: Vec<_> = DbId::ALL.iter().map(|&db| ds.db(db).catalog()).collect();
+    let views: Vec<_> = schemas.iter().map(|s| SchemaViews::build(s, Lang::En)).collect();
+    let mut examples = Vec::new();
+    for (si, &db) in DbId::ALL.iter().enumerate() {
+        for e in ds.examples_for(db, Split::Dev) {
+            examples.push(LinkExample {
+                question: e.question(Lang::En).to_string(),
+                gold_tables: e.gold_tables.clone(),
+                gold_columns: e.gold_columns.clone(),
+                schema_idx: si,
+            });
+        }
+    }
+    let _ = TrainConfig::default();
+    let eval = evaluate(&linker, &schemas, &views, &examples, &[3, 4, 5, 10], &[5, 7, 8, 10]);
+    println!("table AUC {:.4}  column AUC {:.4}", eval.table_auc, eval.column_auc);
+    for (k, r) in &eval.table_recall { println!("table R@{k} = {:.1}%", r * 100.0); }
+    for (k, r) in &eval.column_recall { println!("col   R@{k} = {:.1}%", r * 100.0); }
+}

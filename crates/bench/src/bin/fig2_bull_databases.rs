@@ -1,0 +1,24 @@
+//! Regenerates the paper's Figure 2: per-database BULL details.
+
+use bench::dataset;
+use bull::stats::db_details;
+
+fn main() {
+    let ds = dataset();
+    println!("Figure 2: BULL databases");
+    println!(
+        "{:<8} {:>8} {:>9} {:>9} {:>7} {:>6}",
+        "DB", "#Tab Num", "#Avg Col", "#Max Col", "train", "dev"
+    );
+    for d in db_details(&ds) {
+        println!(
+            "{:<8} {:>8} {:>9.1} {:>9} {:>7} {:>6}",
+            d.db.as_str(),
+            d.tables,
+            d.avg_cols,
+            d.max_cols,
+            d.train,
+            d.dev
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates the paper's Table 2: GPT API prices, plus the prompt-size
+//! context they imply for BULL.
+
+use bench::dataset;
+use bull::{DbId, Lang};
+use finsql_core::render_prompt;
+use textenc::{approx_token_count, GPT_35_TURBO, GPT_4_32K, GPT_4_8K};
+
+fn main() {
+    println!("Table 2: API Price of GPT Models");
+    println!("{:<20} {:>18} {:>18}", "Model", "Input", "Output");
+    for p in [GPT_4_8K, GPT_4_32K, GPT_35_TURBO] {
+        println!(
+            "{:<20} {:>13} / 1K {:>13} / 1K",
+            p.model,
+            format!("${}", p.input_per_1k),
+            format!("${}", p.output_per_1k),
+        );
+    }
+    // Context pressure: full-schema prompt sizes per database.
+    let ds = dataset();
+    println!("\nFull-schema prompt sizes (tokens):");
+    for db in DbId::ALL {
+        let t = approx_token_count(&render_prompt("q", ds.db(db).catalog(), Lang::En));
+        println!("  {db}: {t} (GPT-4-8k limit: {})", GPT_4_8K.context_limit);
+    }
+}

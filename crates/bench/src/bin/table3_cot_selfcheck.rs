@@ -1,0 +1,35 @@
+//! Regenerates the paper's Table 3: CoT generation success with vs
+//! without the self-check prompt design, on the Chinese training data.
+
+use augment::{generate_cot, CotSettings};
+use bench::{dataset, SEED};
+use bull::{DbId, Lang};
+use finsql_core::peft::training_pairs;
+
+fn main() {
+    let ds = dataset();
+    println!("Table 3: Success rate of generating CoT (Chinese training data)");
+    println!("{:<16} {:>9} {:>9} {:>17}", "Method", "Success", "Failure", "Empty Execution");
+    for (label, golden) in [("w self-check", true), ("w/o self-check", false)] {
+        let mut totals = (0usize, 0usize, 0usize);
+        for db in DbId::ALL {
+            let pairs = training_pairs(&ds, db, Lang::Cn);
+            let report = generate_cot(
+                ds.db(db),
+                &pairs,
+                CotSettings { golden_sql_in_prompt: golden, seed: SEED, ..Default::default() },
+            );
+            totals.0 += report.success;
+            totals.1 += report.failure;
+            totals.2 += report.empty;
+        }
+        let total = (totals.0 + totals.1 + totals.2) as f64;
+        println!(
+            "{:<16} {:>8.2}% {:>8.2}% {:>16.2}%",
+            label,
+            100.0 * totals.0 as f64 / total,
+            100.0 * totals.1 as f64 / total,
+            100.0 * totals.2 as f64 / total
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 4: overall EX and cost per SQL on
+//! BULL-en.
+
+fn main() {
+    bench::run_overall_table(bull::Lang::En);
+}

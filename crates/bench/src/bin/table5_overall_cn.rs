@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 5: overall EX and cost per SQL on
+//! BULL-cn.
+
+fn main() {
+    bench::run_overall_table(bull::Lang::Cn);
+}

@@ -1,0 +1,40 @@
+//! Regenerates the paper's Table 6: schema-linking AUC for tables and
+//! columns in both registers.
+
+use bench::{dataset, SEED};
+use bull::{DbId, Lang, Split};
+use crossenc::metrics::evaluate;
+use crossenc::model::SchemaViews;
+use crossenc::LinkExample;
+use finsql_core::pipeline::train_linker;
+
+fn main() {
+    let ds = dataset();
+    println!("Table 6: Performance of Schema Linking (AUC)");
+    println!("{:<16} {:>8} {:>8}", "Schema Item", "Table", "Column");
+    for lang in [Lang::En, Lang::Cn] {
+        let linker = train_linker(&ds, lang, &DbId::ALL, SEED);
+        let schemas: Vec<_> = DbId::ALL.iter().map(|&db| ds.db(db).catalog()).collect();
+        let views: Vec<_> = schemas.iter().map(|s| SchemaViews::build(s, lang)).collect();
+        let examples: Vec<LinkExample> = DbId::ALL
+            .iter()
+            .enumerate()
+            .flat_map(|(si, &db)| {
+                ds.examples_for(db, Split::Dev).into_iter().map(move |e| (si, e))
+            })
+            .map(|(si, e)| LinkExample {
+                question: e.question(lang).to_string(),
+                gold_tables: e.gold_tables.clone(),
+                gold_columns: e.gold_columns.clone(),
+                schema_idx: si,
+            })
+            .collect();
+        let eval = evaluate(&linker, &schemas, &views, &examples, &[], &[]);
+        println!(
+            "AUC (BULL-{}) {:>10.4} {:>8.4}",
+            lang.suffix(),
+            eval.table_auc,
+            eval.column_auc
+        );
+    }
+}

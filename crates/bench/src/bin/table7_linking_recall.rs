@@ -1,0 +1,46 @@
+//! Regenerates the paper's Table 7: recall@k of the parallel
+//! Cross-Encoder for tables (R@3/5/10) and columns (R@5/7/10).
+
+use bench::{dataset, SEED};
+use bull::{DbId, Lang, Split};
+use crossenc::metrics::evaluate;
+use crossenc::model::SchemaViews;
+use crossenc::LinkExample;
+use finsql_core::pipeline::train_linker;
+
+fn main() {
+    let ds = dataset();
+    println!("Table 7: recall@k of the Parallel Cross-Encoder");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6}   {:>6} {:>6} {:>6}",
+        "Dataset", "T R@3", "T R@5", "T R@10", "C R@5", "C R@7", "C R@10"
+    );
+    for lang in [Lang::En, Lang::Cn] {
+        let linker = train_linker(&ds, lang, &DbId::ALL, SEED);
+        let schemas: Vec<_> = DbId::ALL.iter().map(|&db| ds.db(db).catalog()).collect();
+        let views: Vec<_> = schemas.iter().map(|s| SchemaViews::build(s, lang)).collect();
+        let examples: Vec<LinkExample> = DbId::ALL
+            .iter()
+            .enumerate()
+            .flat_map(|(si, &db)| {
+                ds.examples_for(db, Split::Dev).into_iter().map(move |e| (si, e))
+            })
+            .map(|(si, e)| LinkExample {
+                question: e.question(lang).to_string(),
+                gold_tables: e.gold_tables.clone(),
+                gold_columns: e.gold_columns.clone(),
+                schema_idx: si,
+            })
+            .collect();
+        let eval = evaluate(&linker, &schemas, &views, &examples, &[3, 5, 10], &[5, 7, 10]);
+        print!("BULL-{:<5}", lang.suffix());
+        for (_, r) in &eval.table_recall {
+            print!(" {:>6.1}", r * 100.0);
+        }
+        print!("  ");
+        for (_, r) in &eval.column_recall {
+            print!(" {:>6.1}", r * 100.0);
+        }
+        println!();
+    }
+}

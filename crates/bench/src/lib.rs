@@ -1,0 +1,177 @@
+//! Shared harness for the benchmark binaries that regenerate every table
+//! and figure of the paper.
+
+use bull::{BullDataset, DbId, Lang};
+use finsql_core::baselines::{FtBaseline, GptBaseline, GptMethod, GptModel};
+use finsql_core::eval::{evaluate_ex, EvalOutcome};
+use finsql_core::pipeline::{FinSql, FinSqlConfig};
+use simllm::BaseModelProfile;
+
+/// The seed every experiment uses (recorded in EXPERIMENTS.md).
+pub const SEED: u64 = bull::DEFAULT_SEED;
+
+/// Builds (or reuses) the benchmark dataset.
+pub fn dataset() -> BullDataset {
+    bull::build(SEED)
+}
+
+/// The base-model profile the paper pairs with each register.
+pub fn headline_profile(lang: Lang) -> &'static BaseModelProfile {
+    match lang {
+        Lang::En => &simllm::profiles::LLAMA2_13B,
+        Lang::Cn => &simllm::profiles::BAICHUAN2_13B,
+    }
+}
+
+/// The T5-family profile per register.
+pub fn t5_profile(lang: Lang) -> &'static BaseModelProfile {
+    match lang {
+        Lang::En => &simllm::profiles::T5_LARGE,
+        Lang::Cn => &simllm::profiles::MT5_LARGE,
+    }
+}
+
+/// Evaluates a built FinSQL system over all three dev sets, pooled.
+pub fn finsql_ex(system: &FinSql, ds: &BullDataset) -> EvalOutcome {
+    let mut outcome = EvalOutcome::default();
+    for db in DbId::ALL {
+        let per = evaluate_ex(ds, db, system.config.lang, |q| {
+            let mut rng = system.question_rng(q);
+            system.answer(db, q, &mut rng)
+        });
+        outcome.absorb(&per);
+    }
+    outcome
+}
+
+/// Evaluates a fine-tuning baseline over all dev sets.
+pub fn ft_ex(baseline: &FtBaseline, ds: &BullDataset, lang: Lang) -> EvalOutcome {
+    let mut outcome = EvalOutcome::default();
+    for db in DbId::ALL {
+        let per = evaluate_ex(ds, db, lang, |q| {
+            let mut rng = baseline.question_rng(q);
+            baseline.answer(db, q, &mut rng)
+        });
+        outcome.absorb(&per);
+    }
+    outcome
+}
+
+/// Evaluates a GPT baseline over a sampled subset of the dev sets (the
+/// paper used 20 entries for GPT-4 and 100 for ChatGPT due to cost);
+/// returns the outcome plus the measured cost per SQL and whether the
+/// method overflowed its context window.
+pub fn gpt_ex(
+    ds: &BullDataset,
+    lang: Lang,
+    method: GptMethod,
+    model: GptModel,
+    sample_per_db: usize,
+    seed: u64,
+) -> (EvalOutcome, f64, bool) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let base = simllm::EmbeddingModel::pretrained(seed);
+    let mut outcome = EvalOutcome::default();
+    let mut total_cost = 0.0;
+    let mut queries = 0usize;
+    let mut infeasible = false;
+    for db in DbId::ALL {
+        let schema = ds.db(db).catalog().clone();
+        let values = simllm::ValueIndex::build(ds.db(db));
+        let train_pairs = finsql_core::peft::training_pairs(ds, db, lang);
+        let mut baseline =
+            GptBaseline::new(method, model, lang, &base, &schema, &values, &train_pairs);
+        infeasible |= baseline.infeasible();
+        let dev = ds.examples_for(db, bull::Split::Dev);
+        let mut rng = StdRng::seed_from_u64(seed ^ db as u64);
+        for e in dev.iter().take(sample_per_db) {
+            let q = e.question(lang);
+            let sql = baseline.answer(q, &mut rng);
+            if !infeasible && sqlengine::execution_accuracy(ds.db(db), &sql, &e.sql) {
+                outcome.correct += 1;
+            }
+            outcome.total += 1;
+        }
+        total_cost +=
+            baseline.meter.cost_per_query(&baseline.price()) * baseline.meter.queries as f64;
+        queries += baseline.meter.queries;
+    }
+    (outcome, total_cost / queries.max(1) as f64, infeasible)
+}
+
+/// Builds the headline FinSQL system for a register.
+pub fn build_finsql(ds: &BullDataset, lang: Lang, profile: &'static BaseModelProfile) -> FinSql {
+    FinSql::build(ds, profile, FinSqlConfig::standard(lang))
+}
+
+/// Formats a fraction as a percentage with one decimal, paper style.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Regenerates Table 4 (en) / Table 5 (cn): overall EX and cost per SQL.
+pub fn run_overall_table(lang: Lang) {
+    let ds = dataset();
+    let table_no = if lang == Lang::En { 4 } else { 5 };
+    println!("Table {table_no}: Overall results on BULL-{}", lang.suffix());
+    println!("{:<36} {:>6} {:>18}", "Model", "EX", "Cost Per SQL($)");
+
+    // GPT-based methods (paper: 20 entries for GPT-4, 100 for ChatGPT,
+    // spread over the three databases).
+    let gpt_rows: [(&str, GptMethod, GptModel, usize); 4] = [
+        ("DIN-SQL + GPT-4", GptMethod::DinSql, GptModel::Gpt4, 7),
+        ("DAIL-SQL + GPT-4", GptMethod::DailSql { shots: 12 }, GptModel::Gpt4, 20),
+        ("DAIL-SQL + ChatGPT", GptMethod::DailSql { shots: 8 }, GptModel::ChatGpt, 40),
+        ("C3 + ChatGPT", GptMethod::C3, GptModel::ChatGpt, 40),
+    ];
+    for (name, method, model, sample) in gpt_rows {
+        let (out, cost, infeasible) = gpt_ex(&ds, lang, method, model, sample, SEED);
+        if infeasible {
+            println!("{:<36} {:>6} {:>18.4}", name, "-", cost);
+        } else {
+            println!("{:<36} {:>6.1} {:>18.4}", name, out.ex_pct(), cost);
+        }
+    }
+
+    // Fine-tuning baselines (all with the parallel Cross-Encoder, `*`).
+    let t5 = t5_profile(lang);
+    let resdsql = FtBaseline::resdsql(&ds, t5, lang);
+    println!(
+        "{:<36} {:>6.1} {:>18}",
+        format!("RESDSQL* + {}", t5.name),
+        ft_ex(&resdsql, &ds, lang).ex_pct(),
+        "-"
+    );
+    let tokenprep = FtBaseline::token_preprocessing(&ds, t5, lang);
+    println!(
+        "{:<36} {:>6.1} {:>18}",
+        format!("Token Preprocessing* + {}", t5.name),
+        ft_ex(&tokenprep, &ds, lang).ex_pct(),
+        "-"
+    );
+    let picard = FtBaseline::picard(&ds, t5, lang);
+    println!(
+        "{:<36} {:>6.1} {:>18}",
+        format!("Picard* + {}", t5.name),
+        ft_ex(&picard, &ds, lang).ex_pct(),
+        "-"
+    );
+
+    // FinSQL with the headline LLM and the T5-family model.
+    let head = headline_profile(lang);
+    let finsql_llm = FinSql::build(&ds, head, FinSqlConfig::standard(lang));
+    println!(
+        "{:<36} {:>6.1} {:>18}",
+        format!("FinSQL + {}", head.name),
+        finsql_ex(&finsql_llm, &ds).ex_pct(),
+        "-"
+    );
+    let finsql_t5 = FinSql::build(&ds, t5, FinSqlConfig::standard(lang));
+    println!(
+        "{:<36} {:>6.1} {:>18}",
+        format!("FinSQL + {}", t5.name),
+        finsql_ex(&finsql_t5, &ds).ex_pct(),
+        "-"
+    );
+}

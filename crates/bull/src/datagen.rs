@@ -1,0 +1,406 @@
+//! Deterministic population of the three BULL databases.
+//!
+//! Master tables (foreign-key targets) are generated first so that fact
+//! tables can draw key values from their pools; every value is produced
+//! from a seeded RNG, so the same seed always yields the same database.
+
+use crate::profile::{profile_of, NameKind, Profile};
+use crate::schema::DbId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlengine::{Database, Value};
+use sqlkit::catalog::CatalogSchema;
+use std::collections::HashMap;
+
+/// Rows generated for fact tables.
+const FACT_ROWS: usize = 240;
+/// Entities in each master table, by key column.
+fn master_rows(table: &str) -> usize {
+    match table {
+        "mf_fundarchives" => 120,
+        "mf_managerinfo" => 40,
+        "mf_fundcompany" => 24,
+        "mf_custodian" => 12,
+        "mf_fundtypeinfo" => 6,
+        "lc_stockarchives" => 140,
+        "lc_indexbasicinfo" => 10,
+        "ed_income" => 40, // 8 regions × 5 years
+        _ => FACT_ROWS,
+    }
+}
+
+/// The benchmark's date pool: trading days and report dates up to the
+/// paper's April 2022 cutoff.
+pub const TRADING_DAYS: &[&str] = &[
+    "2022-01-04", "2022-01-05", "2022-01-06", "2022-02-07", "2022-02-08", "2022-03-01",
+    "2022-03-02", "2022-04-01", "2022-04-06", "2022-04-29",
+];
+
+/// Quarterly report end dates.
+pub const REPORT_DATES: &[&str] =
+    &["2021-03-31", "2021-06-30", "2021-09-30", "2021-12-31", "2022-03-31"];
+
+/// Name-pool fragments.
+const FUND_BRANDS: &[&str] = &[
+    "Harvest", "Fullgoal", "Bosera", "Invesco", "Penghua", "Southern", "Huaxia", "Wells",
+    "Guotai", "Dacheng", "Orient", "Castor",
+];
+const FUND_THEMES: &[&str] = &[
+    "Growth", "Value", "Dividend", "Technology", "Consumption", "Healthcare", "Balanced",
+    "Prosperity", "Momentum", "Quality",
+];
+const COMPANY_WORDS: &[&str] = &[
+    "Huarun", "Jinlong", "Tianhe", "Baosteel", "Yangtze", "Northern", "Sunshine", "Evergreen",
+    "Pacific", "Golden", "Silverlake", "Redwood", "Bluechip", "Summit",
+];
+const COMPANY_SUFFIX: &[&str] = &["Industry", "Technology", "Pharma", "Energy", "Foods", "Materials", "Electronics"];
+const SURNAMES: &[&str] = &[
+    "Li", "Wang", "Zhang", "Liu", "Chen", "Yang", "Zhao", "Huang", "Zhou", "Wu", "Xu", "Sun",
+];
+const GIVEN: &[&str] = &[
+    "Wei", "Fang", "Min", "Jing", "Lei", "Qiang", "Yan", "Jun", "Ying", "Hua", "Bo", "Ning",
+];
+const INDEX_NAMES: &[&str] = &[
+    "CSI 300 Index", "SSE 50 Index", "ChiNext Index", "CSI 500 Index", "SSE Composite Index",
+    "SZSE Component Index", "CSI Dividend Index", "STAR 50 Index", "CSI 1000 Index",
+    "CSI Consumer Index",
+];
+const BANKS: &[&str] = &[
+    "ICBC", "China Construction Bank", "Bank of China", "Agricultural Bank", "Bank of Communications",
+    "Merchants Bank", "Industrial Bank", "CITIC Bank", "Minsheng Bank", "Everbright Bank",
+    "Ping An Bank", "Postal Savings Bank",
+];
+
+/// A populated database plus the key pools used while generating it.
+pub struct GeneratedDb {
+    pub db: Database,
+    /// Key pools per (table, column): the values fact tables draw from.
+    pub pools: HashMap<(String, String), Vec<Value>>,
+}
+
+/// Populates one database deterministically.
+pub fn populate(db_id: DbId, seed: u64) -> GeneratedDb {
+    let schema = db_id.schema();
+    let mut rng = StdRng::seed_from_u64(seed ^ (db_id as u64).wrapping_mul(0x9E37_79B9));
+    let mut db = Database::new(schema.clone());
+    let mut pools: HashMap<(String, String), Vec<Value>> = HashMap::new();
+
+    // Topological order: every table after the tables its foreign keys
+    // reference (self-references ignored).
+    let order = topo_order(&schema);
+
+    for idx in order {
+        let table = schema.tables[idx].clone();
+        let n = master_rows(&table.name);
+        let mut name_counters: HashMap<&str, usize> = HashMap::new();
+        for row_i in 0..n {
+            let mut row = Vec::with_capacity(table.columns.len());
+            for col in &table.columns {
+                let p = profile_of(db_id, &table.name, col, &schema);
+                let v = gen_value(
+                    &mut rng,
+                    db_id,
+                    &table.name,
+                    &col.name,
+                    p,
+                    row_i,
+                    &schema,
+                    &pools,
+                    &mut name_counters,
+                );
+                row.push(v);
+            }
+            db.insert(&table.name, row).expect("generated row must be valid");
+        }
+        // Register pools for every column of this table that is an FK
+        // target, from the data just written.
+        for fk in &schema.foreign_keys {
+            if fk.to_table == table.name {
+                let t = db.table(&table.name).unwrap();
+                let ci = t.def.column_index(&fk.to_column).unwrap();
+                let vals: Vec<Value> = t.rows.iter().map(|r| r[ci].clone()).collect();
+                pools.insert((fk.to_table.clone(), fk.to_column.clone()), vals);
+            }
+        }
+    }
+    GeneratedDb { db, pools }
+}
+
+/// Kahn's-algorithm ordering of tables so FK targets precede sources.
+fn topo_order(schema: &CatalogSchema) -> Vec<usize> {
+    let n = schema.tables.len();
+    let index_of = |name: &str| schema.table_index(name).expect("FK references a schema table");
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n]; // deps[i] = tables i needs
+    for fkdef in &schema.foreign_keys {
+        let from = index_of(&fkdef.from_table);
+        let to = index_of(&fkdef.to_table);
+        if from != to {
+            deps[from].push(to);
+        }
+    }
+    let mut done = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let before = order.len();
+        for i in 0..n {
+            if !done[i] && deps[i].iter().all(|&d| done[d]) {
+                done[i] = true;
+                order.push(i);
+            }
+        }
+        assert!(order.len() > before, "cyclic foreign keys in schema {}", schema.db_id);
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_value(
+    rng: &mut StdRng,
+    db_id: DbId,
+    table: &str,
+    col: &str,
+    profile: Profile,
+    row_i: usize,
+    schema: &CatalogSchema,
+    pools: &HashMap<(String, String), Vec<Value>>,
+    name_counters: &mut HashMap<&str, usize>,
+) -> Value {
+    match profile {
+        Profile::PrimaryKey => Value::Int(key_base(table) + row_i as i64),
+        Profile::ForeignKey => {
+            let fkdef = schema
+                .foreign_keys
+                .iter()
+                .find(|fk| fk.from_table == table && fk.from_column == col)
+                .expect("profile said FK");
+            let pool = pools
+                .get(&(fkdef.to_table.clone(), fkdef.to_column.clone()))
+                .expect("FK target generated before source");
+            pool[rng.gen_range(0..pool.len())].clone()
+        }
+        Profile::SecurityCode => Value::Str(format!("{:06}", 100000 + key_base(table) % 500000 + row_i as i64)),
+        Profile::Date => {
+            // Trading-day columns cycle the trading pool; report-style
+            // dates cycle report dates; other dates are random in range.
+            if col.contains("tradingday") {
+                Value::Str(TRADING_DAYS[row_i % TRADING_DAYS.len()].to_string())
+            } else if col == "enddate" || col.contains("month") {
+                Value::Str(REPORT_DATES[row_i % REPORT_DATES.len()].to_string())
+            } else {
+                Value::Str(random_date(rng))
+            }
+        }
+        Profile::Year => Value::Int(2018 + (row_i as i64 % 5)),
+        Profile::Quarter => Value::Int(1 + (row_i as i64 % 4)),
+        Profile::Category(pool) => {
+            let vs = pool.values();
+            Value::Str(vs[rng.gen_range(0..vs.len())].to_string())
+        }
+        Profile::EntityName(kind) => {
+            let counter = name_counters.entry(name_kind_key(kind)).or_insert(0);
+            let v = entity_name(kind, *counter, db_id);
+            *counter += 1;
+            Value::Str(v)
+        }
+        Profile::Ratio => Value::Float((rng.gen_range(0.0..10000.0f64) / 100.0 * 100.0).round() / 100.0),
+        Profile::SmallFloat => Value::Float((rng.gen_range(-200.0..1200.0f64) / 100.0 * 100.0).round() / 10000.0 * 100.0),
+        Profile::Price => Value::Float((rng.gen_range(100.0..50000.0f64)).round() / 100.0),
+        Profile::Amount => Value::Float((rng.gen_range(1.0e6..5.0e9f64) / 1000.0).round() * 1000.0),
+        Profile::Count => Value::Int(rng.gen_range(1..20000)),
+        Profile::Flag => Value::Int(rng.gen_range(0..2)),
+        Profile::Grade => Value::Int(rng.gen_range(1..6)),
+        Profile::FreeText => Value::Str(format!("{table} {col} note {row_i}")),
+    }
+}
+
+fn key_base(table: &str) -> i64 {
+    // Stable per-table base so keys differ across masters.
+    let mut h: i64 = 7;
+    for b in table.bytes() {
+        h = h.wrapping_mul(31).wrapping_add(i64::from(b));
+    }
+    (h.abs() % 90 + 1) * 1000
+}
+
+fn random_date(rng: &mut StdRng) -> String {
+    let year = rng.gen_range(2019..=2022);
+    let month = if year == 2022 { rng.gen_range(1..=4) } else { rng.gen_range(1..=12) };
+    let day = rng.gen_range(1..=28);
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+fn name_kind_key(kind: NameKind) -> &'static str {
+    match kind {
+        NameKind::Fund => "fund",
+        NameKind::FundAbbr => "fundabbr",
+        NameKind::Company => "company",
+        NameKind::CompanyAbbr => "companyabbr",
+        NameKind::Person => "person",
+        NameKind::Stock => "stock",
+        NameKind::Bond => "bond",
+        NameKind::Index => "index",
+        NameKind::IndexAbbr => "indexabbr",
+        NameKind::Benchmark => "benchmark",
+        NameKind::Bank => "bank",
+        NameKind::Branch => "branch",
+        NameKind::Advisor => "advisor",
+        NameKind::Concept => "concept",
+        NameKind::Underwriter => "underwriter",
+    }
+}
+
+/// Deterministic unique entity names per kind.
+fn entity_name(kind: NameKind, i: usize, _db: DbId) -> String {
+    match kind {
+        NameKind::Fund => {
+            let brand = FUND_BRANDS[i % FUND_BRANDS.len()];
+            let theme = FUND_THEMES[(i / FUND_BRANDS.len()) % FUND_THEMES.len()];
+            let class = ["A", "C", "Mixed A", "Bond A", "ETF", "Mixed C"]
+                [(i / (FUND_BRANDS.len() * FUND_THEMES.len())) % 6];
+            format!("{brand} {theme} {class}")
+        }
+        NameKind::FundAbbr => {
+            let brand = FUND_BRANDS[i % FUND_BRANDS.len()];
+            let theme = FUND_THEMES[(i / FUND_BRANDS.len()) % FUND_THEMES.len()];
+            format!("{brand}{theme}{i}")
+        }
+        NameKind::Company => {
+            let w = COMPANY_WORDS[i % COMPANY_WORDS.len()];
+            let s = COMPANY_SUFFIX[(i / COMPANY_WORDS.len()) % COMPANY_SUFFIX.len()];
+            format!("{w} {s} Co Ltd {}", i / (COMPANY_WORDS.len() * COMPANY_SUFFIX.len()))
+        }
+        NameKind::CompanyAbbr => {
+            format!("{}{}", COMPANY_WORDS[i % COMPANY_WORDS.len()], i)
+        }
+        NameKind::Person => {
+            let s = SURNAMES[i % SURNAMES.len()];
+            let g = GIVEN[(i / SURNAMES.len()) % GIVEN.len()];
+            if i / (SURNAMES.len() * GIVEN.len()) > 0 {
+                format!("{s} {g}{}", i / (SURNAMES.len() * GIVEN.len()))
+            } else {
+                format!("{s} {g}")
+            }
+        }
+        NameKind::Stock => format!(
+            "{} {}",
+            COMPANY_WORDS[i % COMPANY_WORDS.len()],
+            COMPANY_SUFFIX[(i / COMPANY_WORDS.len()) % COMPANY_SUFFIX.len()]
+        ),
+        NameKind::Bond => format!("2{} Treasury {:02}", 1 + i % 2, i % 60),
+        NameKind::Index => INDEX_NAMES[i % INDEX_NAMES.len()].to_string(),
+        NameKind::IndexAbbr => format!("IDX{i:03}"),
+        NameKind::Benchmark => format!(
+            "{} x 80% + deposit rate x 20%",
+            INDEX_NAMES[i % INDEX_NAMES.len()]
+        ),
+        NameKind::Bank => BANKS[i % BANKS.len()].to_string(),
+        NameKind::Branch => format!(
+            "{} Securities {} Branch",
+            COMPANY_WORDS[i % COMPANY_WORDS.len()],
+            ["Beijing", "Shanghai", "Shenzhen", "Hangzhou"][i % 4]
+        ),
+        NameKind::Advisor => format!("{} Investment Advisor", COMPANY_WORDS[i % COMPANY_WORDS.len()]),
+        NameKind::Concept => [
+            "new energy", "artificial intelligence", "semiconductor", "biomedicine", "big data",
+            "cloud computing", "military industry", "photovoltaic",
+        ][i % 8]
+            .to_string(),
+        NameKind::Underwriter => format!(
+            "{} Securities",
+            ["CITIC", "Huatai", "Guotai Junan", "Haitong", "Galaxy", "Merchants"][i % 6]
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_deterministic() {
+        let a = populate(DbId::Fund, 42);
+        let b = populate(DbId::Fund, 42);
+        for t in a.db.catalog().tables.iter() {
+            let ta = a.db.table(&t.name).unwrap();
+            let tb = b.db.table(&t.name).unwrap();
+            assert_eq!(ta.rows, tb.rows, "table {} differs across runs", t.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = populate(DbId::Fund, 1);
+        let b = populate(DbId::Fund, 2);
+        let ta = a.db.table("mf_fundnav").unwrap();
+        let tb = b.db.table("mf_fundnav").unwrap();
+        assert_ne!(ta.rows, tb.rows);
+    }
+
+    #[test]
+    fn every_table_is_populated() {
+        for db_id in DbId::ALL {
+            let g = populate(db_id, 7);
+            for t in g.db.tables() {
+                assert!(!t.is_empty(), "{db_id}: table {} is empty", t.def.name);
+            }
+        }
+    }
+
+    #[test]
+    fn master_tables_have_unique_keys() {
+        let g = populate(DbId::Fund, 7);
+        let t = g.db.table("mf_fundarchives").unwrap();
+        let ci = t.def.column_index("innercode").unwrap();
+        let keys: std::collections::HashSet<_> =
+            t.rows.iter().map(|r| format!("{}", r[ci])).collect();
+        assert_eq!(keys.len(), t.rows.len());
+    }
+
+    #[test]
+    fn fund_names_are_unique() {
+        let g = populate(DbId::Fund, 7);
+        let t = g.db.table("mf_fundarchives").unwrap();
+        let ci = t.def.column_index("chiname").unwrap();
+        let names: std::collections::HashSet<_> =
+            t.rows.iter().map(|r| format!("{}", r[ci])).collect();
+        assert_eq!(names.len(), t.rows.len());
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        for db_id in DbId::ALL {
+            let g = populate(db_id, 7);
+            let schema = g.db.catalog().clone();
+            for fk in &schema.foreign_keys {
+                let target = g.db.table(&fk.to_table).unwrap();
+                let tci = target.def.column_index(&fk.to_column).unwrap();
+                let pool: std::collections::HashSet<String> =
+                    target.rows.iter().map(|r| format!("{}", r[tci])).collect();
+                let source = g.db.table(&fk.from_table).unwrap();
+                let sci = source.def.column_index(&fk.from_column).unwrap();
+                for r in &source.rows {
+                    let v = format!("{}", r[sci]);
+                    assert!(
+                        pool.contains(&v),
+                        "{db_id}: {}.{} value {v} not in {}.{}",
+                        fk.from_table,
+                        fk.from_column,
+                        fk.to_table,
+                        fk.to_column
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joins_execute_against_generated_data() {
+        let g = populate(DbId::Fund, 7);
+        let rs = sqlengine::run_sql(
+            &g.db,
+            "SELECT t1.chiname, t2.nav FROM mf_fundarchives t1 JOIN mf_fundnav t2 ON t1.innercode = t2.innercode LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 5);
+    }
+}

@@ -1,0 +1,268 @@
+//! Dataset assembly: examples, splits, and the top-level [`BullDataset`].
+
+use crate::datagen::{populate, GeneratedDb};
+use crate::schema::DbId;
+use crate::templates::{TemplateCtx, ARCHETYPES, PHRASINGS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlengine::Database;
+use sqlkit::catalog::Lang;
+use std::collections::HashSet;
+
+/// Train/dev split membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    Train,
+    Dev,
+}
+
+/// One annotated question–SQL pair.
+#[derive(Debug, Clone)]
+pub struct BullExample {
+    pub id: u32,
+    pub db: DbId,
+    pub split: Split,
+    pub question_en: String,
+    pub question_cn: String,
+    pub sql: String,
+    /// The archetype (template family) this example instantiates. Models
+    /// never see this — it exists for analysis and tests.
+    pub archetype: &'static str,
+    /// Which surface phrasing was used (training uses only the first
+    /// [`TRAIN_PHRASINGS`]; dev draws from all [`PHRASINGS`], which is the
+    /// linguistic-diversity gap synonym augmentation closes).
+    pub phrasing: usize,
+    /// Tables the gold SQL touches (schema-linking labels).
+    pub gold_tables: Vec<String>,
+    /// `(table, column)` pairs the gold SQL touches.
+    pub gold_columns: Vec<(String, String)>,
+}
+
+impl BullExample {
+    /// The question in the requested register.
+    pub fn question(&self, lang: Lang) -> &str {
+        match lang {
+            Lang::En => &self.question_en,
+            Lang::Cn => &self.question_cn,
+        }
+    }
+}
+
+/// Phrasing indices available to the training annotators. The paper notes
+/// annotators label each SQL with a single question; style diversity in
+/// the dev set beyond the training styles is exactly what the synonymous
+/// question augmentation compensates for.
+pub const TRAIN_PHRASINGS: usize = 3;
+
+/// Paper split sizes per database: (train, dev).
+pub fn split_sizes(db: DbId) -> (usize, usize) {
+    match db {
+        DbId::Fund => (1744, 405),
+        DbId::Stock => (1672, 464),
+        DbId::Macro => (550, 131),
+    }
+}
+
+/// The full benchmark: three populated databases plus all examples.
+pub struct BullDataset {
+    fund: GeneratedDb,
+    stock: GeneratedDb,
+    macro_econ: GeneratedDb,
+    pub examples: Vec<BullExample>,
+}
+
+impl BullDataset {
+    /// Generates the benchmark deterministically from a seed.
+    pub fn generate(seed: u64) -> Self {
+        let fund = populate(DbId::Fund, seed);
+        let stock = populate(DbId::Stock, seed.wrapping_add(1));
+        let macro_econ = populate(DbId::Macro, seed.wrapping_add(2));
+        let mut examples = Vec::new();
+        let mut next_id = 0u32;
+        for (db_id, gdb) in
+            [(DbId::Fund, &fund), (DbId::Stock, &stock), (DbId::Macro, &macro_econ)]
+        {
+            let (n_train, n_dev) = split_sizes(db_id);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A ^ (db_id as u64) << 8);
+            let ctx = TemplateCtx::new(db_id, gdb);
+            let mut seen: HashSet<(String, String)> = HashSet::new();
+            for (split, count, phrasing_cap) in [
+                (Split::Train, n_train, TRAIN_PHRASINGS),
+                (Split::Dev, n_dev, PHRASINGS),
+            ] {
+                let mut made = 0usize;
+                let mut attempts = 0usize;
+                while made < count {
+                    attempts += 1;
+                    assert!(
+                        attempts < count * 200,
+                        "template bank exhausted for {db_id} {split:?} after {made} examples"
+                    );
+                    let archetype = ARCHETYPES[rng.gen_range(0..ARCHETYPES.len())];
+                    // Dev questions mostly reuse the annotators' styles
+                    // (the first TRAIN_PHRASINGS) but a 30% tail uses
+                    // novel styles — the linguistic-diversity gap the
+                    // paper's synonym augmentation addresses.
+                    let phrasing = if phrasing_cap <= TRAIN_PHRASINGS || rng.gen_bool(0.7) {
+                        rng.gen_range(0..TRAIN_PHRASINGS.min(phrasing_cap))
+                    } else {
+                        rng.gen_range(TRAIN_PHRASINGS..phrasing_cap)
+                    };
+                    let Some(d) = ctx.instantiate(archetype, phrasing, &mut rng) else {
+                        continue;
+                    };
+                    let key = (d.sql.clone(), d.question_en.clone());
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    examples.push(BullExample {
+                        id: next_id,
+                        db: db_id,
+                        split,
+                        question_en: d.question_en,
+                        question_cn: d.question_cn,
+                        sql: d.sql,
+                        archetype: d.archetype,
+                        phrasing: d.phrasing,
+                        gold_tables: d.tables,
+                        gold_columns: d.columns,
+                    });
+                    next_id += 1;
+                    made += 1;
+                }
+            }
+        }
+        BullDataset { fund, stock, macro_econ, examples }
+    }
+
+    /// The populated database for a database id.
+    pub fn db(&self, id: DbId) -> &Database {
+        match id {
+            DbId::Fund => &self.fund.db,
+            DbId::Stock => &self.stock.db,
+            DbId::Macro => &self.macro_econ.db,
+        }
+    }
+
+    /// The generation artifacts (database plus key pools).
+    pub fn generated(&self, id: DbId) -> &GeneratedDb {
+        match id {
+            DbId::Fund => &self.fund,
+            DbId::Stock => &self.stock,
+            DbId::Macro => &self.macro_econ,
+        }
+    }
+
+    /// Examples of one database and split.
+    pub fn examples_for(&self, db: DbId, split: Split) -> Vec<&BullExample> {
+        self.examples.iter().filter(|e| e.db == db && e.split == split).collect()
+    }
+
+    /// All examples of one split across databases.
+    pub fn split(&self, split: Split) -> Vec<&BullExample> {
+        self.examples.iter().filter(|e| e.split == split).collect()
+    }
+
+    /// Total number of examples (paper: 4,966).
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// True when no examples were generated (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BullDataset {
+        // Full generation is exercised by integration tests; unit tests use
+        // the real thing once (it is cached below for reuse).
+        BullDataset::generate(0xB011)
+    }
+
+    #[test]
+    fn split_sizes_match_paper() {
+        let ds = small();
+        assert_eq!(ds.len(), 4966);
+        for db in DbId::ALL {
+            let (train, dev) = split_sizes(db);
+            assert_eq!(ds.examples_for(db, Split::Train).len(), train, "{db} train");
+            assert_eq!(ds.examples_for(db, Split::Dev).len(), dev, "{db} dev");
+        }
+    }
+
+    #[test]
+    fn train_phrasings_are_restricted() {
+        let ds = small();
+        for e in ds.split(Split::Train) {
+            assert!(e.phrasing < TRAIN_PHRASINGS);
+        }
+        // Dev must actually use the extra styles.
+        let dev_unseen =
+            ds.split(Split::Dev).iter().filter(|e| e.phrasing >= TRAIN_PHRASINGS).count();
+        assert!(dev_unseen > 100, "dev must contain unseen phrasings, got {dev_unseen}");
+    }
+
+    #[test]
+    fn examples_are_unique() {
+        let ds = small();
+        let mut seen = HashSet::new();
+        for e in &ds.examples {
+            assert!(seen.insert((e.db, e.sql.clone(), e.question_en.clone())));
+        }
+    }
+
+    #[test]
+    fn all_gold_sql_executes() {
+        let ds = small();
+        let mut failures = 0;
+        for e in &ds.examples {
+            if sqlengine::run_sql(ds.db(e.db), &e.sql).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 0, "{failures} gold queries failed to execute");
+    }
+
+    #[test]
+    fn nonempty_execution_rate_is_high() {
+        // The paper's Table 3 reports 12.6% of gold queries return empty
+        // results; our generator should be in the same regime (most
+        // queries non-empty, a nontrivial empty tail).
+        let ds = small();
+        let mut empty = 0usize;
+        for e in &ds.examples {
+            if sqlengine::run_sql(ds.db(e.db), &e.sql).map(|r| r.is_empty()).unwrap_or(true) {
+                empty += 1;
+            }
+        }
+        let rate = empty as f64 / ds.len() as f64;
+        assert!(rate < 0.35, "too many empty-result gold queries: {rate:.2}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = BullDataset::generate(99);
+        let b = BullDataset::generate(99);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.examples.iter().zip(&b.examples) {
+            assert_eq!(x.sql, y.sql);
+            assert_eq!(x.question_en, y.question_en);
+        }
+    }
+
+    #[test]
+    fn cn_register_differs_from_en() {
+        let ds = small();
+        let with_cjk = ds
+            .examples
+            .iter()
+            .filter(|e| e.question_cn.chars().any(|c| c as u32 >= 0x4E00))
+            .count();
+        assert!(with_cjk == ds.len(), "all cn questions must contain CJK");
+    }
+}

@@ -1,0 +1,315 @@
+//! The en→cn lexicon used to derive the Chinese-register variant of every
+//! description and question.
+//!
+//! BULL ships in English and Chinese versions that share one database
+//! structure. We reproduce that by authoring descriptions and question
+//! templates in English and deriving the cn register by word-by-word
+//! translation through this finance lexicon, concatenated without spaces
+//! in the Chinese style. Words without an entry pass through unchanged
+//! (code-switching, common in real Chinese financial text for entity
+//! names and tickers).
+//!
+//! The cn register is *harder* for lexical models in the same way Chinese
+//! is: the tokenizer sees single characters, so distinct words that share
+//! characters (基金/金额, 收益/收入) partially collide — exactly the
+//! vague-term difficulty the paper describes.
+
+/// The finance word map. Kept sorted by English key for binary search.
+pub const LEXICON: &[(&str, &str)] = &[
+    ("abbreviation", "简称"),
+    ("account", "账户"),
+    ("accumulated", "累计"),
+    ("advisor", "顾问"),
+    ("agency", "机构"),
+    ("aggregate", "总量"),
+    ("allocation", "配置"),
+    ("amount", "金额"),
+    ("analyst", "分析师"),
+    ("announcement", "公告"),
+    ("annual", "年度"),
+    ("asset", "资产"),
+    ("assets", "资产"),
+    ("average", "平均"),
+    ("balance", "余额"),
+    ("bank", "银行"),
+    ("benchmark", "基准"),
+    ("birth", "出生"),
+    ("block", "大宗"),
+    ("bond", "债券"),
+    ("bonds", "债券"),
+    ("branch", "营业部"),
+    ("buyer", "买方"),
+    ("capital", "资本"),
+    ("cash", "现金"),
+    ("chinese", "中文"),
+    ("city", "城市"),
+    ("close", "收盘"),
+    ("closing", "收盘"),
+    ("coal", "煤炭"),
+    ("code", "代码"),
+    ("company", "公司"),
+    ("component", "成分"),
+    ("concept", "概念"),
+    ("consumer", "消费"),
+    ("consumption", "消费"),
+    ("count", "数量"),
+    ("crude", "原油"),
+    ("currency", "货币"),
+    ("custodian", "托管人"),
+    ("daily", "每日"),
+    ("date", "日期"),
+    ("day", "日"),
+    ("days", "天"),
+    ("delist", "退市"),
+    ("deposit", "存款"),
+    ("disclosure", "披露"),
+    ("dividend", "分红"),
+    ("drawdown", "回撤"),
+    ("duration", "期限"),
+    ("earnings", "收益"),
+    ("economy", "经济"),
+    ("education", "学历"),
+    ("electricity", "电力"),
+    ("employee", "员工"),
+    ("employment", "就业"),
+    ("end", "截止"),
+    ("energy", "能源"),
+    ("equity", "权益"),
+    ("establishment", "成立"),
+    ("exchange", "交易所"),
+    ("expenditure", "支出"),
+    ("expense", "费用"),
+    ("export", "出口"),
+    ("exports", "出口"),
+    ("fee", "费率"),
+    ("finance", "融资"),
+    ("financing", "融资"),
+    ("fine", "罚款"),
+    ("fiscal", "财政"),
+    ("fixed", "固定"),
+    ("food", "食品"),
+    ("forecast", "预测"),
+    ("foreign", "外汇"),
+    ("fund", "基金"),
+    ("funds", "基金"),
+    ("gender", "性别"),
+    ("gold", "黄金"),
+    ("goodwill", "商誉"),
+    ("growth", "增长"),
+    ("high", "最高"),
+    ("highest", "最高"),
+    ("holder", "持有人"),
+    ("holders", "持有人"),
+    ("holding", "持仓"),
+    ("home", "住宅"),
+    ("housing", "住房"),
+    ("impairment", "减值"),
+    ("import", "进口"),
+    ("imports", "进口"),
+    ("income", "收入"),
+    ("index", "指数"),
+    ("individual", "个人"),
+    ("industrial", "工业"),
+    ("industry", "行业"),
+    ("inflation", "通胀"),
+    ("institution", "机构"),
+    ("institutional", "机构"),
+    ("interest", "利率"),
+    ("investment", "投资"),
+    ("issue", "发行"),
+    ("issued", "发行"),
+    ("job", "就业"),
+    ("jobs", "就业"),
+    ("latest", "最新"),
+    ("liability", "负债"),
+    ("limit", "上限"),
+    ("list", "上市"),
+    ("listing", "上市"),
+    ("loan", "贷款"),
+    ("loans", "贷款"),
+    ("low", "最低"),
+    ("lowest", "最低"),
+    ("management", "管理"),
+    ("manager", "经理"),
+    ("managers", "经理"),
+    ("manufacturing", "制造业"),
+    ("margin", "两融"),
+    ("market", "市场"),
+    ("maximum", "最大"),
+    ("minimum", "最小"),
+    ("mining", "采矿"),
+    ("mixed", "混合"),
+    ("monetary", "货币"),
+    ("money", "货币"),
+    ("month", "月份"),
+    ("monthly", "月度"),
+    ("name", "名称"),
+    ("net", "净"),
+    ("new", "新增"),
+    ("number", "数量"),
+    ("oil", "石油"),
+    ("open", "开盘"),
+    ("opening", "开盘"),
+    ("operating", "经营"),
+    ("per", "每"),
+    ("performance", "业绩"),
+    ("pledge", "质押"),
+    ("pledged", "质押"),
+    ("population", "人口"),
+    ("portfolio", "组合"),
+    ("position", "职位"),
+    ("price", "价格"),
+    ("prices", "价格"),
+    ("producer", "生产者"),
+    ("product", "产品"),
+    ("profit", "利润"),
+    ("province", "省份"),
+    ("publish", "发布"),
+    ("purchase", "申购"),
+    ("quarter", "季度"),
+    ("quota", "额度"),
+    ("quote", "行情"),
+    ("raised", "募集"),
+    ("rank", "排名"),
+    ("rate", "率"),
+    ("rating", "评级"),
+    ("ratio", "比例"),
+    ("reason", "原因"),
+    ("record", "记录"),
+    ("redemption", "赎回"),
+    ("region", "地区"),
+    ("registered", "注册"),
+    ("report", "报告"),
+    ("repurchase", "回购"),
+    ("reserve", "储备"),
+    ("resume", "复牌"),
+    ("retail", "零售"),
+    ("return", "收益率"),
+    ("revenue", "营收"),
+    ("risk", "风险"),
+    ("rural", "农村"),
+    ("salary", "薪酬"),
+    ("sales", "销售"),
+    ("scale", "规模"),
+    ("security", "证券"),
+    ("share", "份额"),
+    ("shareholder", "股东"),
+    ("shareholders", "股东"),
+    ("shares", "股份"),
+    ("social", "社会"),
+    ("split", "拆分"),
+    ("staff", "员工"),
+    ("standard", "标准"),
+    ("start", "起始"),
+    ("status", "状态"),
+    ("stock", "股票"),
+    ("stocks", "股票"),
+    ("subscription", "认购"),
+    ("supply", "供应"),
+    ("suspend", "停牌"),
+    ("tenure", "任职"),
+    ("total", "总"),
+    ("trade", "贸易"),
+    ("trading", "交易"),
+    ("turnover", "成交"),
+    ("type", "类型"),
+    ("unemployment", "失业"),
+    ("unit", "单位"),
+    ("urban", "城镇"),
+    ("used", "二手"),
+    ("value", "价值"),
+    ("violation", "违规"),
+    ("volume", "成交量"),
+    ("weight", "权重"),
+    ("year", "年份"),
+    ("yearly", "年度"),
+    ("yield", "收益率"),
+];
+
+/// Looks up a single English word (lower-case).
+pub fn lookup(word: &str) -> Option<&'static str> {
+    LEXICON.binary_search_by(|(en, _)| en.cmp(&word)).ok().map(|i| LEXICON[i].1)
+}
+
+/// Translates English text into the cn register: lexicon words become
+/// Chinese, everything else (entity names, numbers, quoted values,
+/// unknown words) passes through. Translated neighbours concatenate
+/// without spaces; pass-through tokens keep space separation.
+pub fn translate(text: &str) -> String {
+    let mut out = String::new();
+    for raw in text.split_whitespace() {
+        // Keep leading/trailing punctuation attached to pass-through words.
+        let trimmed = raw.trim_matches(|c: char| !c.is_alphanumeric());
+        let lower = trimmed.to_ascii_lowercase();
+        match lookup(&lower) {
+            Some(cn) if trimmed == raw => {
+                out.push_str(cn);
+            }
+            Some(cn) => {
+                // Word carries punctuation (e.g. a trailing '?'); translate
+                // the core and keep the punctuation.
+                let prefix_len = raw.find(trimmed).unwrap_or(0);
+                out.push_str(&raw[..prefix_len]);
+                out.push_str(cn);
+                out.push_str(&raw[prefix_len + trimmed.len()..]);
+            }
+            None => {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(raw);
+            }
+        }
+    }
+    out
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicon_is_sorted_for_binary_search() {
+        for w in LEXICON.windows(2) {
+            assert!(w[0].0 < w[1].0, "lexicon out of order at {:?} / {:?}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_words() {
+        assert_eq!(lookup("fund"), Some("基金"));
+        assert_eq!(lookup("volume"), Some("成交量"));
+        assert_eq!(lookup("zzz"), None);
+    }
+
+    #[test]
+    fn translate_concatenates_cjk() {
+        assert_eq!(translate("fund code"), "基金代码");
+        assert_eq!(translate("net asset value"), "净资产价值");
+    }
+
+    #[test]
+    fn translate_passes_entities_through() {
+        // Out-of-lexicon words (entity names) pass through; lexicon words
+        // translate even inside names, mirroring real code-switched text.
+        let t = translate("fund name Alpha Zeta77");
+        assert!(t.starts_with("基金名称"), "got {t}");
+        assert!(t.contains("Alpha"));
+        assert!(t.contains("Zeta77"));
+    }
+
+    #[test]
+    fn translate_keeps_punctuation() {
+        let t = translate("what is the closing price?");
+        assert!(t.ends_with("价格?"), "got {t}");
+    }
+
+    #[test]
+    fn shared_characters_create_ambiguity() {
+        // The difficulty property: distinct words share characters.
+        let fund = translate("fund");
+        let amount = translate("amount");
+        assert!(fund.contains('金') && amount.contains('金'));
+    }
+}

@@ -1,0 +1,496 @@
+//! Column value profiles: the single source of truth for what kind of
+//! values each column holds.
+//!
+//! Both the data generator (which must fill every column plausibly) and
+//! the question templates (which must know which columns are filterable
+//! entities, categories, dates or measures) consult the same profile, so
+//! questions always mention values that can actually occur in the data.
+
+use crate::schema::DbId;
+use sqlkit::catalog::{CatalogColumn, CatalogSchema, ColType};
+
+/// What kind of values a column holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Primary entity key of a master table (sequential ids).
+    PrimaryKey,
+    /// References another table's key pool.
+    ForeignKey,
+    /// Exchange-style zero-padded security code text.
+    SecurityCode,
+    /// Calendar date from the benchmark's date pool.
+    Date,
+    /// Report year (2018–2022).
+    Year,
+    /// Report quarter (1–4).
+    Quarter,
+    /// Low-cardinality categorical text drawn from a fixed pool.
+    Category(CategoryPool),
+    /// A unique entity display name.
+    EntityName(NameKind),
+    /// Percentage-like float (0–100).
+    Ratio,
+    /// Small positive float (NAV, rates, indexes near 1–10).
+    SmallFloat,
+    /// Market price (1–500).
+    Price,
+    /// Large monetary amount.
+    Amount,
+    /// Positive integer count.
+    Count,
+    /// 0/1 flag.
+    Flag,
+    /// Small integer grade 1–5.
+    Grade,
+    /// Free text nobody filters on (titles, remarks, addresses).
+    FreeText,
+}
+
+/// Which categorical pool a category column draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CategoryPool {
+    FundType,
+    FundStatus,
+    Gender,
+    Education,
+    City,
+    Province,
+    Industry1,
+    Industry2,
+    Industry3,
+    Exchange,
+    Board,
+    AnnType,
+    BondType,
+    ChangeType,
+    ShareCharacter,
+    HolderType,
+    ViolationType,
+    IssueType,
+    Purpose,
+    ProgressStatus,
+    SuspendReason,
+    SuspendType,
+    RatingGradeText,
+    IndexType,
+    Currency,
+    Agency,
+    Standard,
+    TradeStatus,
+    OpenFrequency,
+    CityTier,
+    Region,
+    Position,
+    TradePartner,
+}
+
+impl CategoryPool {
+    /// The fixed members of each pool.
+    pub fn values(self) -> &'static [&'static str] {
+        match self {
+            CategoryPool::FundType => &[
+                "stock fund",
+                "bond fund",
+                "mixed fund",
+                "money fund",
+                "index fund",
+                "QDII fund",
+            ],
+            CategoryPool::FundStatus => &["normal", "issuing", "closed", "liquidated"],
+            CategoryPool::Gender => &["male", "female"],
+            CategoryPool::Education => &["bachelor", "master", "doctor"],
+            CategoryPool::City => &[
+                "Beijing", "Shanghai", "Shenzhen", "Guangzhou", "Hangzhou", "Chengdu", "Nanjing",
+                "Wuhan",
+            ],
+            CategoryPool::Province => &[
+                "Guangdong", "Zhejiang", "Jiangsu", "Beijing", "Shanghai", "Sichuan", "Hubei",
+                "Shandong",
+            ],
+            CategoryPool::Industry1 => &[
+                "Banks",
+                "Food and Beverage",
+                "Pharmaceuticals",
+                "Electronics",
+                "Real Estate",
+                "Machinery",
+                "Chemicals",
+                "Utilities",
+            ],
+            CategoryPool::Industry2 => &[
+                "Liquor",
+                "Semiconductors",
+                "Chemical Pharmacy",
+                "City Banks",
+                "Property Development",
+                "General Machinery",
+                "Basic Chemicals",
+                "Power Generation",
+            ],
+            CategoryPool::Industry3 => &[
+                "White Liquor",
+                "Digital Chips",
+                "Generic Drugs",
+                "Regional Banks",
+                "Residential Development",
+                "Machine Tools",
+                "Fertilizers",
+                "Thermal Power",
+            ],
+            CategoryPool::Exchange => &["Shanghai Stock Exchange", "Shenzhen Stock Exchange"],
+            CategoryPool::Board => &["main board", "growth board", "star board"],
+            CategoryPool::AnnType => &[
+                "dividend notice",
+                "manager change",
+                "quarterly report",
+                "fee change",
+                "suspension notice",
+            ],
+            CategoryPool::BondType => &["treasury bond", "corporate bond", "convertible bond", "financial bond"],
+            CategoryPool::ChangeType => &["increase", "decrease", "new", "exit", "unchanged"],
+            CategoryPool::ShareCharacter => &["circulating A shares", "restricted shares", "state shares"],
+            CategoryPool::HolderType => &["institution", "individual", "state owned"],
+            CategoryPool::ViolationType => &[
+                "information disclosure violation",
+                "insider trading",
+                "fund misuse",
+                "market manipulation",
+            ],
+            CategoryPool::IssueType => &["public issue", "private placement"],
+            CategoryPool::Purpose => &["equity incentive", "market value management", "capital reduction"],
+            CategoryPool::ProgressStatus => &["board proposal", "in progress", "completed", "terminated"],
+            CategoryPool::SuspendReason => &[
+                "major asset restructuring",
+                "material announcement",
+                "abnormal fluctuation",
+                "shareholder meeting",
+            ],
+            CategoryPool::SuspendType => &["intraday", "one day", "continuous"],
+            CategoryPool::RatingGradeText => &["buy", "overweight", "hold", "underweight"],
+            CategoryPool::IndexType => &["composite index", "sector index", "style index"],
+            CategoryPool::Currency => &["USD", "EUR", "HKD"],
+            CategoryPool::Agency => &[
+                "Morningstar",
+                "Galaxy Securities",
+                "CITIC Securities",
+                "Haitong Securities",
+                "Merchants Securities",
+            ],
+            CategoryPool::Standard => &["CSRC standard", "SW standard", "GICS standard"],
+            CategoryPool::TradeStatus => &["open", "suspended", "limited"],
+            CategoryPool::OpenFrequency => &["quarterly", "semiannual", "annual"],
+            CategoryPool::CityTier => &["first tier", "second tier", "third tier"],
+            CategoryPool::Region => &[
+                "Guangdong", "Zhejiang", "Jiangsu", "Beijing", "Shanghai", "Sichuan", "Hubei",
+                "Shandong",
+            ],
+            CategoryPool::Position => &[
+                "chairman",
+                "general manager",
+                "chief financial officer",
+                "board secretary",
+                "vice president",
+            ],
+            CategoryPool::TradePartner => &["ASEAN", "EU", "US", "Japan", "Korea"],
+        }
+    }
+}
+
+/// What kind of entity name a name column holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameKind {
+    Fund,
+    FundAbbr,
+    Company,
+    CompanyAbbr,
+    Person,
+    Stock,
+    Bond,
+    Index,
+    IndexAbbr,
+    Benchmark,
+    Bank,
+    Branch,
+    Advisor,
+    Concept,
+    Underwriter,
+}
+
+/// Determines the profile of a column.
+pub fn profile_of(db: DbId, table: &str, col: &CatalogColumn, schema: &CatalogSchema) -> Profile {
+    let name = col.name.as_str();
+    // Audit/free-text columns first.
+    if matches!(name, "xgrq") {
+        return Profile::Date;
+    }
+    if matches!(name, "jsid") {
+        return Profile::Count;
+    }
+    if matches!(
+        name,
+        "infosource"
+            | "remark"
+            | "resume"
+            | "website"
+            | "zipcode"
+            | "regaddress"
+            | "officeaddress"
+            | "anntitle"
+            | "annformat"
+            | "typedesc"
+            | "punishdesc"
+            | "dividendplan"
+            | "impairmentreason"
+    ) {
+        return Profile::FreeText;
+    }
+    // Keys: FK target (primary) or FK source.
+    let is_fk_source = schema
+        .foreign_keys
+        .iter()
+        .any(|fk| fk.from_table == table && fk.from_column == name);
+    let is_fk_target =
+        schema.foreign_keys.iter().any(|fk| fk.to_table == table && fk.to_column == name);
+    if is_fk_target && col.ty == ColType::Int {
+        return Profile::PrimaryKey;
+    }
+    if is_fk_source {
+        return Profile::ForeignKey;
+    }
+    if name == "secucode" {
+        return Profile::SecurityCode;
+    }
+    if col.ty == ColType::Date {
+        return Profile::Date;
+    }
+    // Categorical text columns.
+    if col.ty == ColType::Text {
+        if let Some(pool) = category_pool(db, table, name) {
+            return Profile::Category(pool);
+        }
+        if let Some(kind) = name_kind(db, table, name) {
+            return Profile::EntityName(kind);
+        }
+        return Profile::FreeText;
+    }
+    // Integer columns.
+    if col.ty == ColType::Int {
+        if name.contains("year") {
+            return Profile::Year;
+        }
+        if name.contains("quarter") {
+            return Profile::Quarter;
+        }
+        if name.starts_with("is") || name == "isvalid" || name == "isincumbent" {
+            return Profile::Flag;
+        }
+        if name.starts_with("rating") || name == "riskevel" || name.ends_with("level") {
+            return Profile::Grade;
+        }
+        if name.ends_with("code") {
+            // Non-FK code columns (bondcode, conceptcode, stockinnercode).
+            return Profile::Count;
+        }
+        return Profile::Count;
+    }
+    // Float columns by name.
+    if name.contains("ratio")
+        || name.contains("rate")
+        || name.contains("pct")
+        || name.contains("yoy")
+        || name.ends_with("cpi")
+        || name.ends_with("ppi")
+        || name.ends_with("pmi")
+        || name.contains("drawdown")
+        || name.contains("utilization")
+    {
+        return Profile::Ratio;
+    }
+    if name.contains("price") || name.contains("point") {
+        return Profile::Price;
+    }
+    if name.contains("nav")
+        || name.contains("eps")
+        || name.contains("sharpe")
+        || name.contains("beta")
+        || name.contains("index")
+        || name.contains("iopv")
+        || name.contains("shibor")
+        || name.contains("lpr")
+        || name.contains("usdcny")
+        || name.contains("eurcny")
+        || name.contains("jpycny")
+        || name.contains("gbpcny")
+        || name.contains("hkdcny")
+        || name.contains("years")
+        || name.contains("experience")
+        || name.contains("age")
+        || name.contains("return")
+        || name.contains("yield")
+        || name.contains("error")
+        || name.contains("m0growth")
+        || name.contains("stddev")
+    {
+        return Profile::SmallFloat;
+    }
+    Profile::Amount
+}
+
+fn category_pool(db: DbId, table: &str, name: &str) -> Option<CategoryPool> {
+    use CategoryPool as C;
+    Some(match name {
+        "fundtype" => C::FundType,
+        "fundstatus" => C::FundStatus,
+        "gender" => C::Gender,
+        "education" => C::Education,
+        "city" | "cityname" => C::City,
+        "province" => C::Province,
+        "firstindustryname" => C::Industry1,
+        "secondindustryname" => C::Industry2,
+        "thirdindustryname" => C::Industry3,
+        "listexchange" => C::Exchange,
+        "listboard" => C::Board,
+        "anntype" => C::AnnType,
+        "bondtype" => C::BondType,
+        "sharechangetype" | "ratingchange" | "transformtype" | "issuetype" if table != "lc_additionalissue" => C::ChangeType,
+        "issuetype" => C::IssueType,
+        "sharecharacter" => C::ShareCharacter,
+        "holdertype" => C::HolderType,
+        "violationtype" => C::ViolationType,
+        "repurchasepurpose" => C::Purpose,
+        "progressstatus" | "planstatus" | "liststatus" => C::ProgressStatus,
+        "suspendreason" => C::SuspendReason,
+        "suspendtype" => C::SuspendType,
+        "ratinggrade" => C::RatingGradeText,
+        "indextype" => C::IndexType,
+        "quotacurrency" => C::Currency,
+        "approvalagency" | "agencyname" | "punishagency" => C::Agency,
+        "standard" => C::Standard,
+        "purchasestatus" | "redeemstatus" => C::TradeStatus,
+        "openfrequency" => C::OpenFrequency,
+        "citytier" => C::CityTier,
+        "regionname" | "tradepartner" if db == DbId::Macro => {
+            if name == "tradepartner" {
+                C::TradePartner
+            } else {
+                C::Region
+            }
+        }
+        "position" | "postname" => C::Position,
+        "changereason" => C::SuspendReason,
+        _ => return None,
+    })
+}
+
+fn name_kind(db: DbId, table: &str, name: &str) -> Option<NameKind> {
+    use NameKind as N;
+    Some(match (db, table, name) {
+        (DbId::Fund, "mf_fundarchives", "chiname") => N::Fund,
+        (DbId::Fund, "mf_fundarchives", "chinameabbr") => N::FundAbbr,
+        (DbId::Fund, "mf_managerinfo", "mgrname") => N::Person,
+        (DbId::Fund, "mf_fundcompany", "companyname") => N::Company,
+        (DbId::Fund, "mf_fundcompany", "abbrname") => N::CompanyAbbr,
+        (DbId::Fund, "mf_fundcompany", "generalmanager") => N::Person,
+        (DbId::Fund, "mf_keystockportfolio", "stockname") => N::Stock,
+        (DbId::Fund, "mf_bondportfolio", "bondname") => N::Bond,
+        (DbId::Fund, "mf_benchmark", "benchmarkname") => N::Benchmark,
+        (DbId::Fund, "mf_fundtypeinfo", "fundtypename") => N::Concept,
+        (DbId::Fund, "mf_custodian", "custodianname") => N::Bank,
+        (DbId::Fund, "mf_custodian", "abbrname") => N::CompanyAbbr,
+        (DbId::Fund, "mf_investadvisor", "advisorname") => N::Advisor,
+        (DbId::Fund, "mf_investadvisor", "abbrname") => N::CompanyAbbr,
+        (DbId::Stock, "lc_stockarchives", "chiname") => N::Company,
+        (DbId::Stock, "lc_stockarchives", "chinameabbr") => N::CompanyAbbr,
+        (DbId::Stock, "lc_stockarchives", "legalrep") => N::Person,
+        (DbId::Stock, "lc_mainshareholders", "shareholdername") => N::Company,
+        (DbId::Stock, "lc_managers", "mgrname") => N::Person,
+        (DbId::Stock, "lc_indexbasicinfo", "indexname") => N::Index,
+        (DbId::Stock, "lc_indexbasicinfo", "indexabbr") => N::IndexAbbr,
+        (DbId::Stock, "lc_blocktrade", "buyerbranch" | "sellerbranch") => N::Branch,
+        (DbId::Stock, "lc_pledge", "pledgername") => N::Company,
+        (DbId::Stock, "lc_pledge", "pledgeename") => N::Bank,
+        (DbId::Stock, "lc_analystforecast", "analystname") => N::Person,
+        (DbId::Stock, "lc_concept", "conceptname") => N::Concept,
+        (DbId::Stock, "lc_ipoinfo", "leadunderwriter") => N::Underwriter,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema;
+
+    #[test]
+    fn every_column_gets_a_profile() {
+        // profile_of is total — this exercises it over all ~1100 columns
+        // and checks a few known cases.
+        for db in DbId::ALL {
+            let s = db.schema();
+            for t in &s.tables {
+                for c in &t.columns {
+                    let _ = profile_of(db, &t.name, c, &s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_profiles() {
+        let s = schema::fund::schema();
+        let t = s.table("mf_fundarchives").unwrap();
+        assert_eq!(
+            profile_of(DbId::Fund, "mf_fundarchives", t.column("innercode").unwrap(), &s),
+            Profile::PrimaryKey
+        );
+        assert_eq!(
+            profile_of(DbId::Fund, "mf_fundarchives", t.column("fundtype").unwrap(), &s),
+            Profile::Category(CategoryPool::FundType)
+        );
+        assert_eq!(
+            profile_of(DbId::Fund, "mf_fundarchives", t.column("chiname").unwrap(), &s),
+            Profile::EntityName(NameKind::Fund)
+        );
+        let nav = s.table("mf_fundnav").unwrap();
+        assert_eq!(
+            profile_of(DbId::Fund, "mf_fundnav", nav.column("innercode").unwrap(), &s),
+            Profile::ForeignKey
+        );
+        assert_eq!(
+            profile_of(DbId::Fund, "mf_fundnav", nav.column("tradingday").unwrap(), &s),
+            Profile::Date
+        );
+        assert_eq!(
+            profile_of(DbId::Fund, "mf_fundnav", nav.column("nav").unwrap(), &s),
+            Profile::SmallFloat
+        );
+    }
+
+    #[test]
+    fn stock_industry_is_categorical() {
+        let s = schema::stock::schema();
+        let t = s.table("lc_exgindustry").unwrap();
+        assert_eq!(
+            profile_of(DbId::Stock, "lc_exgindustry", t.column("firstindustryname").unwrap(), &s),
+            Profile::Category(CategoryPool::Industry1)
+        );
+    }
+
+    #[test]
+    fn category_pools_are_nonempty_and_unique() {
+        use CategoryPool as C;
+        for pool in [
+            C::FundType,
+            C::Industry1,
+            C::City,
+            C::Agency,
+            C::Position,
+            C::ViolationType,
+        ] {
+            let vs = pool.values();
+            assert!(!vs.is_empty());
+            let set: std::collections::HashSet<_> = vs.iter().collect();
+            assert_eq!(set.len(), vs.len());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The macro database: Chinese macro economy (19 tables).
+//!
+//! Unlike fund/stock, most macro tables are period-keyed time series; the
+//! `ed_regiondict` table gives the region dimension used by joins.
+
+use super::{fk, table, ColSpec};
+use sqlkit::catalog::{CatalogSchema, ColType};
+
+const I: ColType = ColType::Int;
+const F: ColType = ColType::Float;
+const T: ColType = ColType::Text;
+const D: ColType = ColType::Date;
+
+const AUDIT: [ColSpec; 6] = [
+    ("xgrq", D, "record update date"),
+    ("jsid", I, "record id"),
+    ("infosource", T, "disclosure source"),
+    ("insertdate", D, "record insert date"),
+    ("updatetime", D, "record update time"),
+    ("rowflag", I, "record validity flag"),
+];
+
+fn with_audit(cols: &[ColSpec]) -> Vec<ColSpec> {
+    let mut v = cols.to_vec();
+    v.extend_from_slice(&AUDIT);
+    v
+}
+
+/// Builds the macro economy database schema.
+pub fn schema() -> CatalogSchema {
+    let tables = vec![
+        table(
+            "ed_gdp",
+            "gross domestic product record",
+            &with_audit(&[
+                ("reportyear", I, "report year"),
+                ("reportquarter", I, "report quarter"),
+                ("gdp", F, "gross domestic product amount"),
+                ("gdpgrowthrate", F, "gross domestic product growth rate"),
+                ("primaryindustry", F, "primary industry amount"),
+                ("secondaryindustry", F, "secondary industry amount"),
+                ("tertiaryindustry", F, "tertiary industry amount"),
+                ("percapitagdp", F, "per capita gross domestic product amount"),
+            ]),
+        ),
+        table(
+            "ed_cpi",
+            "consumer price index record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("cpi", F, "consumer price index"),
+                ("cpiyoy", F, "consumer price index growth rate"),
+                ("foodcpi", F, "food consumer price index"),
+                ("nonfoodcpi", F, "non food consumer price index"),
+                ("corecpi", F, "core consumer price index"),
+                ("urbancpi", F, "urban consumer price index"),
+                ("ruralcpi", F, "rural consumer price index"),
+            ]),
+        ),
+        table(
+            "ed_ppi",
+            "producer price index record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("ppi", F, "producer price index"),
+                ("ppiyoy", F, "producer price index growth rate"),
+                ("miningppi", F, "mining producer price index"),
+                ("rawmaterialppi", F, "raw material producer price index"),
+                ("processingppi", F, "processing producer price index"),
+                ("consumergoodsppi", F, "consumer goods producer price index"),
+            ]),
+        ),
+        table(
+            "ed_moneysupply",
+            "money supply record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("m0", F, "money supply m0 amount"),
+                ("m1", F, "money supply m1 amount"),
+                ("m2", F, "money supply m2 amount"),
+                ("m0growthrate", F, "money supply m0 growth rate"),
+                ("m1growthrate", F, "money supply m1 growth rate"),
+                ("m2growthrate", F, "money supply m2 growth rate"),
+            ]),
+        ),
+        table(
+            "ed_interestrate",
+            "benchmark interest rate record",
+            &with_audit(&[
+                ("changedate", D, "rate change date"),
+                ("depositrate1y", F, "one year deposit interest rate"),
+                ("loanrate1y", F, "one year loan interest rate"),
+                ("loanrate5y", F, "five year loan interest rate"),
+                ("reserverate", F, "deposit reserve rate"),
+                ("shibor", F, "shibor overnight rate"),
+                ("lpr1y", F, "one year loan prime rate"),
+            ]),
+        ),
+        table(
+            "ed_exchangerate",
+            "currency exchange rate record",
+            &with_audit(&[
+                ("tradingday", D, "trading date"),
+                ("usdcny", F, "usd exchange rate"),
+                ("eurcny", F, "eur exchange rate"),
+                ("jpycny", F, "jpy exchange rate"),
+                ("gbpcny", F, "gbp exchange rate"),
+                ("hkdcny", F, "hkd exchange rate"),
+                ("effectiverate", F, "effective exchange rate index"),
+            ]),
+        ),
+        table(
+            "ed_fiscal",
+            "fiscal revenue and expenditure record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("fiscalrevenue", F, "fiscal revenue amount"),
+                ("fiscalexpenditure", F, "fiscal expenditure amount"),
+                ("taxrevenue", F, "tax revenue amount"),
+                ("nontaxrevenue", F, "non tax revenue amount"),
+                ("revenuegrowthrate", F, "fiscal revenue growth rate"),
+                ("expendituregrowthrate", F, "fiscal expenditure growth rate"),
+            ]),
+        ),
+        table(
+            "ed_trade",
+            "foreign trade record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("exportvalue", F, "export value amount"),
+                ("importvalue", F, "import value amount"),
+                ("tradebalance", F, "trade balance amount"),
+                ("exportgrowthrate", F, "export growth rate"),
+                ("importgrowthrate", F, "import growth rate"),
+                ("tradepartner", T, "trade partner region"),
+            ]),
+        ),
+        table(
+            "ed_pmi",
+            "purchasing managers index record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("manufacturingpmi", F, "manufacturing purchasing index"),
+                ("nonmanufacturingpmi", F, "non manufacturing purchasing index"),
+                ("compositepmi", F, "composite purchasing index"),
+                ("neworderindex", F, "new order index"),
+                ("productionindex", F, "production index"),
+                ("employmentindex", F, "employment index"),
+            ]),
+        ),
+        table(
+            "ed_fixedinvest",
+            "fixed asset investment record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("investment", F, "fixed investment amount"),
+                ("investgrowthrate", F, "fixed investment growth rate"),
+                ("realestateinvest", F, "real estate investment amount"),
+                ("infrastructureinvest", F, "infrastructure investment amount"),
+                ("manufacturinginvest", F, "manufacturing investment amount"),
+                ("privateinvest", F, "private investment amount"),
+            ]),
+        ),
+        table(
+            "ed_retailsales",
+            "retail sales record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("retailsales", F, "retail sales amount"),
+                ("retailgrowthrate", F, "retail sales growth rate"),
+                ("urbanretail", F, "urban retail sales amount"),
+                ("ruralretail", F, "rural retail sales amount"),
+                ("onlineretail", F, "online retail sales amount"),
+                ("cateringrevenue", F, "catering revenue amount"),
+            ]),
+        ),
+        table(
+            "ed_industrial",
+            "industrial production record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("industrialvalueadded", F, "industrial value added growth rate"),
+                ("miningvalueadded", F, "mining value added growth rate"),
+                ("manufacturingvalueadded", F, "manufacturing value added growth rate"),
+                ("utilityvalueadded", F, "utility value added growth rate"),
+                ("capacityutilization", F, "capacity utilization rate"),
+                ("industrialprofit", F, "industrial profit amount"),
+            ]),
+        ),
+        table(
+            "ed_employment",
+            "employment record",
+            &with_audit(&[
+                ("reportyear", I, "report year"),
+                ("urbanunemploymentrate", F, "urban unemployment rate"),
+                ("surveyunemploymentrate", F, "survey unemployment rate"),
+                ("newurbanjobs", F, "new urban jobs count"),
+                ("employedpersons", F, "employed population count"),
+                ("migrantworkers", F, "migrant worker count"),
+                ("avgworkweek", F, "average work week hour count"),
+            ]),
+        ),
+        table(
+            "ed_population",
+            "population record",
+            &with_audit(&[
+                ("reportyear", I, "report year"),
+                ("population", F, "total population count"),
+                ("birthrate", F, "population birth rate"),
+                ("deathrate", F, "population death rate"),
+                ("naturalgrowthrate", F, "population natural growth rate"),
+                ("urbanratio", F, "urban population ratio"),
+                ("agingratio", F, "aging population ratio"),
+                ("workingagepop", F, "working age population count"),
+            ]),
+        ),
+        table(
+            "ed_income",
+            "resident income record",
+            &with_audit(&[
+                ("reportyear", I, "report year"),
+                ("regionname", T, "region name"),
+                ("urbanincome", F, "urban resident income amount"),
+                ("ruralincome", F, "rural resident income amount"),
+                ("incomegrowthrate", F, "income growth rate"),
+                ("disposableincome", F, "disposable income amount"),
+                ("consumptionexpenditure", F, "consumption expenditure amount"),
+            ]),
+        ),
+        table(
+            "ed_housing",
+            "housing price record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("cityname", T, "city name"),
+                ("citytier", T, "city tier type"),
+                ("newhomeprice", F, "new home price index"),
+                ("usedhomeprice", F, "used home price index"),
+                ("newhomeyoy", F, "new home price growth rate"),
+                ("usedhomeyoy", F, "used home price growth rate"),
+                ("salesarea", F, "home sales area amount"),
+            ]),
+        ),
+        table(
+            "ed_energy",
+            "energy production record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("electricity", F, "electricity production amount"),
+                ("coal", F, "coal production amount"),
+                ("crudeoil", F, "crude oil production amount"),
+                ("naturalgas", F, "natural gas production amount"),
+                ("electricitygrowthrate", F, "electricity production growth rate"),
+                ("energyconsumption", F, "energy consumption amount"),
+            ]),
+        ),
+        table(
+            "ed_socialfinance",
+            "social financing record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("aggregatefinancing", F, "aggregate financing amount"),
+                ("newloans", F, "new loans amount"),
+                ("corporatebonds", F, "corporate bonds amount"),
+                ("governmentbonds", F, "government bonds amount"),
+                ("trustloans", F, "trust loans amount"),
+                ("financinggrowthrate", F, "aggregate financing growth rate"),
+            ]),
+        ),
+        table(
+            "ed_forexreserve",
+            "foreign reserve record",
+            &with_audit(&[
+                ("reportmonth", D, "report month"),
+                ("forexreserve", F, "foreign reserve amount"),
+                ("goldreserve", F, "gold reserve amount"),
+                ("forexchange", F, "foreign reserve change amount"),
+                ("goldprice", F, "gold price"),
+                ("sdramount", F, "special drawing rights amount"),
+                ("imfposition", F, "imf reserve position amount"),
+            ]),
+        ),
+    ];
+    let foreign_keys = vec![
+        // The macro DB is period-keyed; the only declared relation links
+        // housing records to income records through the region dimension.
+        fk(("ed_housing", "cityname"), ("ed_income", "regionname")),
+    ];
+    CatalogSchema { db_id: "macro".into(), tables, foreign_keys }
+}

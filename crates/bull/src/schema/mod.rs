@@ -1,0 +1,188 @@
+//! The three BULL database schemas: fund, stock and macro economy.
+//!
+//! The table/column counts match the paper's Figure 2 — stock 31 tables,
+//! fund 28, macro 19, with most tables wider than ten columns — and the
+//! naming style matches the paper's examples (`lc_sharestru`,
+//! `chinameabbr`, `aquireramount`): terse concatenated abbreviations whose
+//! meaning lives in the column descriptions, not the names.
+
+pub mod fund;
+pub mod macro_econ;
+pub mod stock;
+
+use crate::lexicon::translate;
+use sqlkit::catalog::{CatalogColumn, CatalogSchema, CatalogTable, ColType, ForeignKey};
+
+/// Shorthand column spec used by the schema modules.
+pub(crate) type ColSpec = (&'static str, ColType, &'static str);
+
+/// Builds a table from compact specs; the cn description is derived from
+/// the en description through the lexicon.
+pub(crate) fn table(name: &str, desc_en: &str, cols: &[ColSpec]) -> CatalogTable {
+    CatalogTable {
+        name: name.to_string(),
+        desc_en: desc_en.to_string(),
+        desc_cn: translate(desc_en),
+        columns: cols
+            .iter()
+            .map(|(n, ty, d)| CatalogColumn {
+                name: (*n).to_string(),
+                ty: *ty,
+                desc_en: (*d).to_string(),
+                desc_cn: translate(d),
+            })
+            .collect(),
+    }
+}
+
+/// Builds a foreign key spec.
+pub(crate) fn fk(from: (&str, &str), to: (&str, &str)) -> ForeignKey {
+    ForeignKey {
+        from_table: from.0.to_string(),
+        from_column: from.1.to_string(),
+        to_table: to.0.to_string(),
+        to_column: to.1.to_string(),
+    }
+}
+
+/// The identifiers of the three databases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DbId {
+    Fund,
+    Stock,
+    Macro,
+}
+
+impl DbId {
+    /// All database ids in canonical order.
+    pub const ALL: [DbId; 3] = [DbId::Fund, DbId::Stock, DbId::Macro];
+
+    /// The string id used in `CatalogSchema::db_id`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DbId::Fund => "fund",
+            DbId::Stock => "stock",
+            DbId::Macro => "macro",
+        }
+    }
+
+    /// Builds this database's schema.
+    pub fn schema(self) -> CatalogSchema {
+        match self {
+            DbId::Fund => fund::schema(),
+            DbId::Stock => stock::schema(),
+            DbId::Macro => macro_econ::schema(),
+        }
+    }
+}
+
+impl std::fmt::Display for DbId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_counts_match_paper_figure2() {
+        assert_eq!(stock::schema().tables.len(), 31);
+        assert_eq!(fund::schema().tables.len(), 28);
+        assert_eq!(macro_econ::schema().tables.len(), 19);
+    }
+
+    #[test]
+    fn databases_are_wide() {
+        // Paper: on average 26 tables and 390 columns per database; most
+        // tables have more than ten columns.
+        for db in DbId::ALL {
+            let s = db.schema();
+            let cols = s.column_count();
+            let tabs = s.tables.len();
+            assert!(
+                cols as f64 / tabs as f64 >= 10.0,
+                "{db}: {cols} columns over {tabs} tables is too narrow"
+            );
+            let wide = s.tables.iter().filter(|t| t.columns.len() > 10).count();
+            assert!(wide * 2 > tabs, "{db}: most tables must have more than ten columns");
+        }
+    }
+
+    #[test]
+    fn average_column_count_is_in_paper_range() {
+        let total: usize = DbId::ALL.iter().map(|d| d.schema().column_count()).sum();
+        let avg = total as f64 / 3.0;
+        assert!((330.0..=450.0).contains(&avg), "avg columns per DB: {avg}");
+    }
+
+    #[test]
+    fn foreign_keys_reference_real_columns() {
+        for db in DbId::ALL {
+            let s = db.schema();
+            for fk in &s.foreign_keys {
+                assert!(
+                    s.has_column(&fk.from_table, &fk.from_column),
+                    "{db}: bad FK source {}.{}",
+                    fk.from_table,
+                    fk.from_column
+                );
+                assert!(
+                    s.has_column(&fk.to_table, &fk.to_column),
+                    "{db}: bad FK target {}.{}",
+                    fk.to_table,
+                    fk.to_column
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_and_column_names_are_unique() {
+        for db in DbId::ALL {
+            let s = db.schema();
+            let mut names = std::collections::HashSet::new();
+            for t in &s.tables {
+                assert!(names.insert(t.name.clone()), "{db}: duplicate table {}", t.name);
+                let mut cols = std::collections::HashSet::new();
+                for c in &t.columns {
+                    assert!(
+                        cols.insert(c.name.clone()),
+                        "{db}: duplicate column {}.{}",
+                        t.name,
+                        c.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_column_has_descriptions_in_both_registers() {
+        for db in DbId::ALL {
+            let s = db.schema();
+            for t in &s.tables {
+                assert!(!t.desc_en.is_empty());
+                assert!(!t.desc_cn.is_empty());
+                for c in &t.columns {
+                    assert!(!c.desc_en.is_empty(), "{db}.{}.{} lacks desc", t.name, c.name);
+                    assert!(!c.desc_cn.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cn_descriptions_contain_cjk() {
+        let s = fund::schema();
+        let cjk_cols = s
+            .tables
+            .iter()
+            .flat_map(|t| t.columns.iter())
+            .filter(|c| c.desc_cn.chars().any(|ch| ch as u32 >= 0x4E00))
+            .count();
+        let total = s.column_count();
+        assert!(cjk_cols * 10 >= total * 9, "only {cjk_cols}/{total} cn descriptions have CJK");
+    }
+}

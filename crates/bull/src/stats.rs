@@ -1,0 +1,94 @@
+//! Dataset statistics — the numbers behind the paper's Table 1.
+
+use crate::dataset::BullDataset;
+use crate::schema::DbId;
+
+/// One row of the Table 1 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    pub name: &'static str,
+    pub examples: usize,
+    pub tables_per_db: f64,
+    pub columns_per_db: f64,
+}
+
+/// Published statistics of the public benchmarks (paper, Table 1).
+pub const WIKISQL: DatasetStats =
+    DatasetStats { name: "WikiSQL", examples: 80654, tables_per_db: 1.0, columns_per_db: 6.3 };
+/// Spider (Yu et al., 2018).
+pub const SPIDER: DatasetStats =
+    DatasetStats { name: "Spider", examples: 10181, tables_per_db: 5.1, columns_per_db: 27.1 };
+/// BIRD (Li et al., 2023).
+pub const BIRD: DatasetStats =
+    DatasetStats { name: "BIRD", examples: 12751, tables_per_db: 7.3, columns_per_db: 54.2 };
+
+/// Computes BULL's statistics from a generated dataset.
+pub fn bull_stats(ds: &BullDataset) -> DatasetStats {
+    let mut tables = 0usize;
+    let mut columns = 0usize;
+    for db in DbId::ALL {
+        let schema = ds.db(db).catalog();
+        tables += schema.tables.len();
+        columns += schema.column_count();
+    }
+    DatasetStats {
+        name: "BULL",
+        examples: ds.len(),
+        tables_per_db: tables as f64 / 3.0,
+        columns_per_db: columns as f64 / 3.0,
+    }
+}
+
+/// Per-database detail for the paper's Figure 2.
+#[derive(Debug, Clone)]
+pub struct DbDetail {
+    pub db: DbId,
+    pub tables: usize,
+    pub avg_cols: f64,
+    pub max_cols: usize,
+    pub train: usize,
+    pub dev: usize,
+}
+
+/// Computes Figure 2 style details.
+pub fn db_details(ds: &BullDataset) -> Vec<DbDetail> {
+    DbId::ALL
+        .iter()
+        .map(|&db| {
+            let schema = ds.db(db).catalog();
+            let (train, dev) = crate::dataset::split_sizes(db);
+            DbDetail {
+                db,
+                tables: schema.tables.len(),
+                avg_cols: schema.column_count() as f64 / schema.tables.len() as f64,
+                max_cols: schema.tables.iter().map(|t| t.columns.len()).max().unwrap_or(0),
+                train,
+                dev,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_constants_match_paper_table1() {
+        assert_eq!(WIKISQL.examples, 80654);
+        assert_eq!(SPIDER.tables_per_db, 5.1);
+        assert_eq!(BIRD.columns_per_db, 54.2);
+    }
+
+    #[test]
+    fn bull_is_wider_than_public_benchmarks() {
+        let ds = BullDataset::generate(1);
+        let b = bull_stats(&ds);
+        assert_eq!(b.examples, 4966);
+        assert!((25.0..=27.0).contains(&b.tables_per_db), "tables/db = {}", b.tables_per_db);
+        assert!(b.columns_per_db > BIRD.columns_per_db * 5.0);
+        let details = db_details(&ds);
+        assert_eq!(details.len(), 3);
+        assert!(details.iter().all(|d| d.max_cols >= 10));
+    }
+}

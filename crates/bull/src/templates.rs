@@ -1,0 +1,1519 @@
+//! Question–SQL archetypes: the template bank from which BULL examples
+//! are generated.
+//!
+//! Each archetype instantiates a SQL shape over schema slots (tables,
+//! columns, values sampled from the generated data) and renders the
+//! matching natural-language question in both registers. Archetypes are
+//! deliberately *database-agnostic*: the same twenty shapes apply to
+//! fund, stock and macro, which is what makes cross-database transfer
+//! (the paper's Figure 13) possible — a model that learned "top-k by
+//! measure" on fund data can reuse the structure on macro data.
+
+use crate::datagen::GeneratedDb;
+use crate::profile::{profile_of, Profile};
+use crate::schema::DbId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sqlengine::Value;
+use sqlkit::catalog::{CatalogSchema, CatalogTable};
+
+/// A fully instantiated example before id assignment.
+#[derive(Debug, Clone)]
+pub struct Draft {
+    pub sql: String,
+    pub question_en: String,
+    pub question_cn: String,
+    pub archetype: &'static str,
+    pub phrasing: usize,
+    pub tables: Vec<String>,
+    pub columns: Vec<(String, String)>,
+}
+
+/// Number of surface phrasings every archetype provides.
+pub const PHRASINGS: usize = 6;
+
+/// Names of all archetypes, used by analysis and tests.
+pub const ARCHETYPES: &[&str] = &[
+    "filter_select",
+    "filter_select_multi",
+    "count_filter",
+    "agg_measure",
+    "topk_order",
+    "group_count",
+    "group_agg_having",
+    "join_filter",
+    "join_agg",
+    "join_topk",
+    "compare_avg",
+    "in_subquery",
+    "between_dates",
+    "like_match",
+    "count_distinct",
+    "multi_predicate",
+    "latest_date",
+    "group_sum_topk",
+    "distinct_filter",
+    "three_join",
+];
+
+/// Column role classification for one table, derived from profiles.
+struct Roles {
+    /// Categorical or entity-name text columns (filterable by equality).
+    text_filters: Vec<usize>,
+    /// Low-cardinality categorical columns (groupable).
+    categories: Vec<usize>,
+    /// Float measures (aggregatable).
+    measures: Vec<usize>,
+    /// Date columns.
+    dates: Vec<usize>,
+    /// Entity display-name columns.
+    names: Vec<usize>,
+    /// Any selectable non-audit column.
+    selectable: Vec<usize>,
+    /// FK source columns with their target (table, column).
+    fk_sources: Vec<(usize, String, String)>,
+}
+
+fn classify(db_id: DbId, table: &CatalogTable, schema: &CatalogSchema) -> Roles {
+    let mut r = Roles {
+        text_filters: vec![],
+        categories: vec![],
+        measures: vec![],
+        dates: vec![],
+        names: vec![],
+        selectable: vec![],
+        fk_sources: vec![],
+    };
+    for (i, col) in table.columns.iter().enumerate() {
+        match profile_of(db_id, &table.name, col, schema) {
+            Profile::Category(_) => {
+                r.text_filters.push(i);
+                r.categories.push(i);
+                r.selectable.push(i);
+            }
+            Profile::EntityName(_) => {
+                r.text_filters.push(i);
+                r.names.push(i);
+                r.selectable.push(i);
+            }
+            Profile::Ratio | Profile::SmallFloat | Profile::Price | Profile::Amount => {
+                r.measures.push(i);
+                r.selectable.push(i);
+            }
+            Profile::Date
+                if col.name != "xgrq" => {
+                    r.dates.push(i);
+                    r.selectable.push(i);
+                }
+            Profile::Count | Profile::Year | Profile::Quarter | Profile::Grade
+                if col.name != "jsid" => {
+                    r.selectable.push(i);
+                }
+            Profile::ForeignKey => {
+                if let Some(fkdef) = schema
+                    .foreign_keys
+                    .iter()
+                    .find(|f| f.from_table == table.name && f.from_column == col.name)
+                {
+                    r.fk_sources.push((i, fkdef.to_table.clone(), fkdef.to_column.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+    r
+}
+
+/// Renders a [`Value`] as a SQL literal.
+fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        other => format!("{other}"),
+    }
+}
+
+/// Renders a [`Value`] for inclusion in question text.
+fn display(v: &Value) -> String {
+    format!("{v}")
+}
+
+/// Substitutes `{key}` placeholders in a phrasing template.
+fn fill(template: &str, subs: &[(&str, &str)]) -> String {
+    let mut out = template.to_string();
+    for (k, v) in subs {
+        out = out.replace(&format!("{{{k}}}"), v);
+    }
+    out
+}
+
+/// Random existing value of column `ci` in table `t`.
+fn sample_value(gdb: &GeneratedDb, t: &str, ci: usize, rng: &mut StdRng) -> Value {
+    let table = gdb.db.table(t).expect("template references schema table");
+    let row = &table.rows[rng.gen_range(0..table.rows.len())];
+    row[ci].clone()
+}
+
+fn pick<'a, T>(v: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(&v[rng.gen_range(0..v.len())])
+    }
+}
+
+/// The generation context for one database.
+pub struct TemplateCtx<'a> {
+    pub db_id: DbId,
+    pub gdb: &'a GeneratedDb,
+    pub schema: &'a CatalogSchema,
+}
+
+impl<'a> TemplateCtx<'a> {
+    pub fn new(db_id: DbId, gdb: &'a GeneratedDb) -> Self {
+        TemplateCtx { db_id, gdb, schema: gdb.db.catalog() }
+    }
+
+    /// Tries to instantiate the archetype with the given index; the
+    /// phrasing index must be `< PHRASINGS`.
+    pub fn instantiate(
+        &self,
+        archetype: &'static str,
+        phrasing: usize,
+        rng: &mut StdRng,
+    ) -> Option<Draft> {
+        assert!(phrasing < PHRASINGS);
+        match archetype {
+            "filter_select" => self.filter_select(phrasing, rng, 1),
+            "filter_select_multi" => self.filter_select(phrasing, rng, 2),
+            "count_filter" => self.count_filter(phrasing, rng),
+            "agg_measure" => self.agg_measure(phrasing, rng),
+            "topk_order" => self.topk_order(phrasing, rng),
+            "group_count" => self.group_count(phrasing, rng),
+            "group_agg_having" => self.group_agg_having(phrasing, rng),
+            "join_filter" => self.join_filter(phrasing, rng),
+            "join_agg" => self.join_agg(phrasing, rng),
+            "join_topk" => self.join_topk(phrasing, rng),
+            "compare_avg" => self.compare_avg(phrasing, rng),
+            "in_subquery" => self.in_subquery(phrasing, rng),
+            "between_dates" => self.between_dates(phrasing, rng),
+            "like_match" => self.like_match(phrasing, rng),
+            "count_distinct" => self.count_distinct(phrasing, rng),
+            "multi_predicate" => self.multi_predicate(phrasing, rng),
+            "latest_date" => self.latest_date(phrasing, rng),
+            "group_sum_topk" => self.group_sum_topk(phrasing, rng),
+            "distinct_filter" => self.distinct_filter(phrasing, rng),
+            "three_join" => self.three_join(phrasing, rng),
+            other => panic!("unknown archetype {other}"),
+        }
+    }
+
+    fn rand_table(&self, rng: &mut StdRng, pred: impl Fn(&Roles) -> bool) -> Option<(usize, Roles)> {
+        // Scan tables in a random rotation for one satisfying the
+        // predicate.
+        let n = self.schema.tables.len();
+        let start = rng.gen_range(0..n);
+        for k in 0..n {
+            let i = (start + k) % n;
+            let roles = classify(self.db_id, &self.schema.tables[i], self.schema);
+            if pred(&roles) {
+                return Some((i, roles));
+            }
+        }
+        None
+    }
+
+    // --- archetypes -------------------------------------------------------
+
+    fn filter_select(&self, p: usize, rng: &mut StdRng, n_targets: usize) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| {
+            !r.text_filters.is_empty() && r.selectable.len() > n_targets
+        })?;
+        let t = &self.schema.tables[ti];
+        let fi = *pick(&roles.text_filters, rng)?;
+        let mut targets = Vec::new();
+        let mut guard = 0;
+        while targets.len() < n_targets && guard < 50 {
+            guard += 1;
+            let c = *pick(&roles.selectable, rng)?;
+            if c != fi && !targets.contains(&c) {
+                targets.push(c);
+            }
+        }
+        if targets.len() < n_targets {
+            return None;
+        }
+        let v = sample_value(self.gdb, &t.name, fi, rng);
+        let target_cols: Vec<String> = targets.iter().map(|&c| t.columns[c].name.clone()).collect();
+        let sql = format!(
+            "SELECT {} FROM {} WHERE {} = {}",
+            target_cols.join(", "),
+            t.name,
+            t.columns[fi].name,
+            sql_literal(&v)
+        );
+        let ct_en = targets.iter().map(|&c| t.columns[c].desc_en.clone()).collect::<Vec<_>>().join(" and ");
+        let ct_cn = targets.iter().map(|&c| t.columns[c].desc_cn.clone()).collect::<Vec<_>>().join("和");
+        let en_templates = [
+            "What is the {ct} of the {ent} whose {cf} is {v}?",
+            "Show the {ct} of the {ent} with {cf} {v}.",
+            "Find the {ct} for the {ent} whose {cf} equals {v}.",
+            "Please list the {ct} of the {ent} where the {cf} is {v}.",
+            "I want to know the {ct} of the {ent} having {cf} {v}.",
+            "Give me the {ct} recorded for the {ent} whose {cf} is {v}.",
+        ];
+        let cn_templates = [
+            "{cf}为{v}的{ent}的{ct}是什么？",
+            "查询{cf}是{v}的{ent}的{ct}。",
+            "{cf}等于{v}的{ent}，其{ct}是多少？",
+            "请列出{cf}为{v}的{ent}的{ct}。",
+            "想知道{cf}为{v}的{ent}的{ct}。",
+            "给出{cf}是{v}的{ent}的{ct}。",
+        ];
+        let vs = display(&v);
+        let subs_en: &[(&str, &str)] = &[
+            ("ct", &ct_en),
+            ("ent", &t.desc_en),
+            ("cf", &t.columns[fi].desc_en),
+            ("v", &vs),
+        ];
+        let subs_cn: &[(&str, &str)] = &[
+            ("ct", &ct_cn),
+            ("ent", &t.desc_cn),
+            ("cf", &t.columns[fi].desc_cn),
+            ("v", &vs),
+        ];
+        let mut columns: Vec<(String, String)> =
+            targets.iter().map(|&c| (t.name.clone(), t.columns[c].name.clone())).collect();
+        columns.push((t.name.clone(), t.columns[fi].name.clone()));
+        Some(Draft {
+            sql,
+            question_en: fill(en_templates[p], subs_en),
+            question_cn: fill(cn_templates[p], subs_cn),
+            archetype: if n_targets == 1 { "filter_select" } else { "filter_select_multi" },
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns,
+        })
+    }
+
+    fn count_filter(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.text_filters.is_empty())?;
+        let t = &self.schema.tables[ti];
+        let fi = *pick(&roles.text_filters, rng)?;
+        let v = sample_value(self.gdb, &t.name, fi, rng);
+        let sql = format!(
+            "SELECT COUNT(*) FROM {} WHERE {} = {}",
+            t.name,
+            t.columns[fi].name,
+            sql_literal(&v)
+        );
+        let en = [
+            "How many {ent} records have {cf} {v}?",
+            "Count the {ent} records whose {cf} is {v}.",
+            "What is the number of {ent} records with {cf} equal to {v}?",
+            "Please count how many {ent} entries have the {cf} {v}.",
+            "Find the total number of {ent} records where {cf} is {v}.",
+            "Tell me how many {ent} rows have {cf} {v}.",
+        ];
+        let cn = [
+            "{cf}为{v}的{ent}记录有多少条？",
+            "统计{cf}是{v}的{ent}记录数。",
+            "{cf}等于{v}的{ent}记录数量是多少？",
+            "请统计{cf}为{v}的{ent}条目数。",
+            "查找{cf}是{v}的{ent}记录总数。",
+            "告诉我{cf}为{v}的{ent}行数。",
+        ];
+        let vs = display(&v);
+        Some(Draft {
+            sql,
+            question_en: fill(en[p], &[("ent", &t.desc_en), ("cf", &t.columns[fi].desc_en), ("v", &vs)]),
+            question_cn: fill(cn[p], &[("ent", &t.desc_cn), ("cf", &t.columns[fi].desc_cn), ("v", &vs)]),
+            archetype: "count_filter",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![(t.name.clone(), t.columns[fi].name.clone())],
+        })
+    }
+
+    fn agg_measure(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.measures.is_empty())?;
+        let t = &self.schema.tables[ti];
+        let mi = *pick(&roles.measures, rng)?;
+        let (agg, agg_en, agg_cn) = *pick(
+            &[
+                ("AVG", "average", "平均"),
+                ("MAX", "maximum", "最大"),
+                ("MIN", "minimum", "最小"),
+                ("SUM", "total", "总"),
+            ],
+            rng,
+        )?;
+        // Optionally filter.
+        let (where_sql, where_en, where_cn, mut columns) =
+            if !roles.text_filters.is_empty() && rng.gen_bool(0.6) {
+                let fi = *pick(&roles.text_filters, rng)?;
+                let v = sample_value(self.gdb, &t.name, fi, rng);
+                (
+                    format!(" WHERE {} = {}", t.columns[fi].name, sql_literal(&v)),
+                    format!(" with {} {}", t.columns[fi].desc_en, display(&v)),
+                    format!("（{}为{}）", t.columns[fi].desc_cn, display(&v)),
+                    vec![(t.name.clone(), t.columns[fi].name.clone())],
+                )
+            } else {
+                (String::new(), String::new(), String::new(), vec![])
+            };
+        let sql = format!("SELECT {agg}({}) FROM {}{where_sql}", t.columns[mi].name, t.name);
+        let en = [
+            "What is the {agg} {cm} of the {ent}{w}?",
+            "Show the {agg} {cm} across the {ent}{w}.",
+            "Compute the {agg} {cm} for the {ent}{w}.",
+            "Please report the {agg} {cm} of the {ent}{w}.",
+            "I need the {agg} {cm} over all {ent} records{w}.",
+            "Give the {agg} {cm} recorded in the {ent}{w}.",
+        ];
+        let cn = [
+            "{ent}的{agg}{cm}是多少{w}？",
+            "展示{ent}的{agg}{cm}{w}。",
+            "计算{ent}的{agg}{cm}{w}。",
+            "请报告{ent}的{agg}{cm}{w}。",
+            "需要{ent}全部记录的{agg}{cm}{w}。",
+            "给出{ent}中记录的{agg}{cm}{w}。",
+        ];
+        columns.push((t.name.clone(), t.columns[mi].name.clone()));
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[("agg", agg_en), ("cm", &t.columns[mi].desc_en), ("ent", &t.desc_en), ("w", &where_en)],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[("agg", agg_cn), ("cm", &t.columns[mi].desc_cn), ("ent", &t.desc_cn), ("w", &where_cn)],
+            ),
+            archetype: "agg_measure",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns,
+        })
+    }
+
+    fn topk_order(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.measures.is_empty() && !r.selectable.is_empty())?;
+        let t = &self.schema.tables[ti];
+        let mi = *pick(&roles.measures, rng)?;
+        let si = *pick(&roles.selectable, rng)?;
+        if si == mi {
+            return None;
+        }
+        let k = rng.gen_range(1..=5);
+        let desc = rng.gen_bool(0.7);
+        let (dir, dir_en, dir_cn) =
+            if desc { ("DESC", "highest", "最高") } else { ("ASC", "lowest", "最低") };
+        let sql = format!(
+            "SELECT {} FROM {} ORDER BY {} {dir} LIMIT {k}",
+            t.columns[si].name, t.name, t.columns[mi].name
+        );
+        let ks = k.to_string();
+        let en = [
+            "Which {k} {ent} records have the {dir} {cm}? Show their {cs}.",
+            "List the {cs} of the top {k} {ent} records by {dir} {cm}.",
+            "Find the {cs} of the {k} {ent} entries with the {dir} {cm}.",
+            "Please give the {cs} for the {k} records of {ent} ranked by {dir} {cm}.",
+            "Show me the {cs} of the {k} {ent} rows with the {dir} {cm}.",
+            "Return the {cs} of the {k} {ent} records ordered by the {dir} {cm}.",
+        ];
+        let cn = [
+            "{cm}{dir}的{k}条{ent}记录的{cs}是什么？",
+            "列出按{cm}{dir}排名前{k}的{ent}的{cs}。",
+            "找出{cm}{dir}的{k}条{ent}条目的{cs}。",
+            "请给出按{dir}{cm}排序的前{k}条{ent}记录的{cs}。",
+            "展示{cm}{dir}的{k}条{ent}行的{cs}。",
+            "返回按{cm}{dir}排序的{k}条{ent}记录的{cs}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[
+                    ("k", &ks),
+                    ("ent", &t.desc_en),
+                    ("dir", dir_en),
+                    ("cm", &t.columns[mi].desc_en),
+                    ("cs", &t.columns[si].desc_en),
+                ],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[
+                    ("k", &ks),
+                    ("ent", &t.desc_cn),
+                    ("dir", dir_cn),
+                    ("cm", &t.columns[mi].desc_cn),
+                    ("cs", &t.columns[si].desc_cn),
+                ],
+            ),
+            archetype: "topk_order",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![
+                (t.name.clone(), t.columns[si].name.clone()),
+                (t.name.clone(), t.columns[mi].name.clone()),
+            ],
+        })
+    }
+
+    fn group_count(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.categories.is_empty())?;
+        let t = &self.schema.tables[ti];
+        let gi = *pick(&roles.categories, rng)?;
+        let sql = format!(
+            "SELECT {}, COUNT(*) FROM {} GROUP BY {}",
+            t.columns[gi].name, t.name, t.columns[gi].name
+        );
+        let en = [
+            "How many {ent} records are there for each {cg}?",
+            "Count the {ent} records per {cg}.",
+            "For every {cg}, show the number of {ent} records.",
+            "Please break down the {ent} record count by {cg}.",
+            "Show the number of {ent} entries grouped by {cg}.",
+            "Give the count of {ent} rows for each {cg}.",
+        ];
+        let cn = [
+            "每个{cg}各有多少条{ent}记录？",
+            "按{cg}统计{ent}记录数。",
+            "对每个{cg}，展示{ent}记录的数量。",
+            "请按{cg}拆分{ent}记录数。",
+            "展示按{cg}分组的{ent}条目数量。",
+            "给出每个{cg}的{ent}行数。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(en[p], &[("ent", &t.desc_en), ("cg", &t.columns[gi].desc_en)]),
+            question_cn: fill(cn[p], &[("ent", &t.desc_cn), ("cg", &t.columns[gi].desc_cn)]),
+            archetype: "group_count",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![(t.name.clone(), t.columns[gi].name.clone())],
+        })
+    }
+
+    fn group_agg_having(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.categories.is_empty())?;
+        let t = &self.schema.tables[ti];
+        let gi = *pick(&roles.categories, rng)?;
+        let n = rng.gen_range(2..=30);
+        let sql = format!(
+            "SELECT {} FROM {} GROUP BY {} HAVING COUNT(*) > {n}",
+            t.columns[gi].name, t.name, t.columns[gi].name
+        );
+        let ns = n.to_string();
+        let en = [
+            "Which {cg} values appear in more than {n} {ent} records?",
+            "List the {cg} values having over {n} {ent} records.",
+            "Find every {cg} with more than {n} {ent} entries.",
+            "Please show the {cg} values that occur in more than {n} {ent} rows.",
+            "I want the {cg} values counted more than {n} times in the {ent}.",
+            "Return the {cg} values whose {ent} record count exceeds {n}.",
+        ];
+        let cn = [
+            "哪些{cg}出现在超过{n}条{ent}记录中？",
+            "列出{ent}记录数超过{n}的{cg}。",
+            "找出{ent}条目多于{n}的所有{cg}。",
+            "请展示出现在多于{n}条{ent}行中的{cg}。",
+            "需要在{ent}中计数超过{n}次的{cg}。",
+            "返回{ent}记录数大于{n}的{cg}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(en[p], &[("cg", &t.columns[gi].desc_en), ("n", &ns), ("ent", &t.desc_en)]),
+            question_cn: fill(cn[p], &[("cg", &t.columns[gi].desc_cn), ("n", &ns), ("ent", &t.desc_cn)]),
+            archetype: "group_agg_having",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![(t.name.clone(), t.columns[gi].name.clone())],
+        })
+    }
+
+    /// Finds a joinable pair: a table with an FK into a master, where the
+    /// master has text filters and the fact table has the wanted role.
+    fn join_pair(&self, rng: &mut StdRng, fact_pred: impl Fn(&Roles) -> bool) -> Option<JoinPair> {
+        let n = self.schema.tables.len();
+        let start = rng.gen_range(0..n);
+        for k in 0..n {
+            let fi = (start + k) % n;
+            let fact = &self.schema.tables[fi];
+            let fact_roles = classify(self.db_id, fact, self.schema);
+            if !fact_pred(&fact_roles) {
+                continue;
+            }
+            for (ci, target_table, target_col) in &fact_roles.fk_sources {
+                let mi = self.schema.table_index(target_table)?;
+                let master = &self.schema.tables[mi];
+                let master_roles = classify(self.db_id, master, self.schema);
+                if !master_roles.names.is_empty() || !master_roles.text_filters.is_empty() {
+                    return Some(JoinPair {
+                        fact: fi,
+                        master: mi,
+                        fact_fk_col: *ci,
+                        master_key_col: master.column_index(target_col)?,
+                        fact_roles,
+                        master_roles,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn join_filter(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let jp = self.join_pair(rng, |r| !r.selectable.is_empty())?;
+        let fact = &self.schema.tables[jp.fact];
+        let master = &self.schema.tables[jp.master];
+        let filter_pool =
+            if jp.master_roles.names.is_empty() { &jp.master_roles.text_filters } else { &jp.master_roles.names };
+        let mfi = *pick(filter_pool, rng)?;
+        let si = *pick(&jp.fact_roles.selectable, rng)?;
+        let v = sample_value(self.gdb, &master.name, mfi, rng);
+        let sql = format!(
+            "SELECT t1.{} FROM {} AS t1 JOIN {} AS t2 ON t1.{} = t2.{} WHERE t2.{} = {}",
+            fact.columns[si].name,
+            fact.name,
+            master.name,
+            fact.columns[jp.fact_fk_col].name,
+            master.columns[jp.master_key_col].name,
+            master.columns[mfi].name,
+            sql_literal(&v)
+        );
+        let vs = display(&v);
+        let en = [
+            "What is the {cs} in the {fact} for the {master} whose {cf} is {v}?",
+            "Show the {cs} from the {fact} of the {master} with {cf} {v}.",
+            "Find the {cs} recorded in the {fact} for the {master} whose {cf} equals {v}.",
+            "Please list the {cs} in the {fact} belonging to the {master} where {cf} is {v}.",
+            "I want the {cs} from the {fact} linked to the {master} having {cf} {v}.",
+            "Give the {cs} of the {fact} for the {master} whose {cf} is {v}.",
+        ];
+        let cn = [
+            "{cf}为{v}的{master}在{fact}中的{cs}是什么？",
+            "展示{cf}是{v}的{master}的{fact}中的{cs}。",
+            "查找{cf}等于{v}的{master}在{fact}中记录的{cs}。",
+            "请列出{cf}为{v}的{master}对应{fact}的{cs}。",
+            "需要{cf}为{v}的{master}关联的{fact}中的{cs}。",
+            "给出{cf}是{v}的{master}的{fact}的{cs}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[
+                    ("cs", &fact.columns[si].desc_en),
+                    ("fact", &fact.desc_en),
+                    ("master", &master.desc_en),
+                    ("cf", &master.columns[mfi].desc_en),
+                    ("v", &vs),
+                ],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[
+                    ("cs", &fact.columns[si].desc_cn),
+                    ("fact", &fact.desc_cn),
+                    ("master", &master.desc_cn),
+                    ("cf", &master.columns[mfi].desc_cn),
+                    ("v", &vs),
+                ],
+            ),
+            archetype: "join_filter",
+            phrasing: p,
+            tables: vec![fact.name.clone(), master.name.clone()],
+            columns: vec![
+                (fact.name.clone(), fact.columns[si].name.clone()),
+                (fact.name.clone(), fact.columns[jp.fact_fk_col].name.clone()),
+                (master.name.clone(), master.columns[jp.master_key_col].name.clone()),
+                (master.name.clone(), master.columns[mfi].name.clone()),
+            ],
+        })
+    }
+
+    fn join_agg(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let jp = self.join_pair(rng, |r| !r.measures.is_empty())?;
+        let fact = &self.schema.tables[jp.fact];
+        let master = &self.schema.tables[jp.master];
+        let filter_pool =
+            if jp.master_roles.names.is_empty() { &jp.master_roles.text_filters } else { &jp.master_roles.names };
+        let mfi = *pick(filter_pool, rng)?;
+        let mi = *pick(&jp.fact_roles.measures, rng)?;
+        let v = sample_value(self.gdb, &master.name, mfi, rng);
+        let (agg, agg_en, agg_cn) =
+            *pick(&[("AVG", "average", "平均"), ("MAX", "maximum", "最大"), ("SUM", "total", "总")], rng)?;
+        let sql = format!(
+            "SELECT {agg}(t1.{}) FROM {} AS t1 JOIN {} AS t2 ON t1.{} = t2.{} WHERE t2.{} = {}",
+            fact.columns[mi].name,
+            fact.name,
+            master.name,
+            fact.columns[jp.fact_fk_col].name,
+            master.columns[jp.master_key_col].name,
+            master.columns[mfi].name,
+            sql_literal(&v)
+        );
+        let vs = display(&v);
+        let en = [
+            "What is the {agg} {cm} in the {fact} for the {master} whose {cf} is {v}?",
+            "Compute the {agg} {cm} from the {fact} of the {master} with {cf} {v}.",
+            "Find the {agg} {cm} recorded in the {fact} for the {master} whose {cf} equals {v}.",
+            "Please report the {agg} {cm} in the {fact} of the {master} where {cf} is {v}.",
+            "I want the {agg} {cm} over the {fact} linked to the {master} having {cf} {v}.",
+            "Give the {agg} {cm} of the {fact} for the {master} whose {cf} is {v}.",
+        ];
+        let cn = [
+            "{cf}为{v}的{master}在{fact}中的{agg}{cm}是多少？",
+            "计算{cf}是{v}的{master}的{fact}中的{agg}{cm}。",
+            "查找{cf}等于{v}的{master}在{fact}中的{agg}{cm}。",
+            "请报告{cf}为{v}的{master}的{fact}的{agg}{cm}。",
+            "需要{cf}为{v}的{master}关联{fact}的{agg}{cm}。",
+            "给出{cf}是{v}的{master}的{fact}的{agg}{cm}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[
+                    ("agg", agg_en),
+                    ("cm", &fact.columns[mi].desc_en),
+                    ("fact", &fact.desc_en),
+                    ("master", &master.desc_en),
+                    ("cf", &master.columns[mfi].desc_en),
+                    ("v", &vs),
+                ],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[
+                    ("agg", agg_cn),
+                    ("cm", &fact.columns[mi].desc_cn),
+                    ("fact", &fact.desc_cn),
+                    ("master", &master.desc_cn),
+                    ("cf", &master.columns[mfi].desc_cn),
+                    ("v", &vs),
+                ],
+            ),
+            archetype: "join_agg",
+            phrasing: p,
+            tables: vec![fact.name.clone(), master.name.clone()],
+            columns: vec![
+                (fact.name.clone(), fact.columns[mi].name.clone()),
+                (fact.name.clone(), fact.columns[jp.fact_fk_col].name.clone()),
+                (master.name.clone(), master.columns[jp.master_key_col].name.clone()),
+                (master.name.clone(), master.columns[mfi].name.clone()),
+            ],
+        })
+    }
+
+    fn join_topk(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let jp = self.join_pair(rng, |r| !r.measures.is_empty())?;
+        let fact = &self.schema.tables[jp.fact];
+        let master = &self.schema.tables[jp.master];
+        let name_pool =
+            if jp.master_roles.names.is_empty() { &jp.master_roles.text_filters } else { &jp.master_roles.names };
+        let mni = *pick(name_pool, rng)?;
+        let mi = *pick(&jp.fact_roles.measures, rng)?;
+        let k = rng.gen_range(1..=5);
+        let sql = format!(
+            "SELECT t2.{} FROM {} AS t1 JOIN {} AS t2 ON t1.{} = t2.{} ORDER BY t1.{} DESC LIMIT {k}",
+            master.columns[mni].name,
+            fact.name,
+            master.name,
+            fact.columns[jp.fact_fk_col].name,
+            master.columns[jp.master_key_col].name,
+            fact.columns[mi].name
+        );
+        let ks = k.to_string();
+        let en = [
+            "Which {master} have the {k} highest {cm} in the {fact}? Show the {cn}.",
+            "List the {cn} of the {master} with the top {k} {cm} in the {fact}.",
+            "Find the {cn} of the {k} {master} whose {fact} {cm} is highest.",
+            "Please show the {cn} for the {k} {master} ranked by {cm} in the {fact}.",
+            "I want the {cn} of the {k} {master} with the largest {cm} in the {fact}.",
+            "Return the {cn} of the top {k} {master} by {fact} {cm}.",
+        ];
+        let cn = [
+            "{fact}中{cm}最高的{k}个{master}是哪些？展示其{cn}。",
+            "列出{fact}中{cm}排名前{k}的{master}的{cn}。",
+            "找出{fact}的{cm}最高的{k}个{master}的{cn}。",
+            "请展示按{fact}中{cm}排序的前{k}个{master}的{cn}。",
+            "需要{fact}中{cm}最大的{k}个{master}的{cn}。",
+            "返回按{fact}的{cm}排名前{k}的{master}的{cn}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[
+                    ("master", &master.desc_en),
+                    ("k", &ks),
+                    ("cm", &fact.columns[mi].desc_en),
+                    ("fact", &fact.desc_en),
+                    ("cn", &master.columns[mni].desc_en),
+                ],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[
+                    ("master", &master.desc_cn),
+                    ("k", &ks),
+                    ("cm", &fact.columns[mi].desc_cn),
+                    ("fact", &fact.desc_cn),
+                    ("cn", &master.columns[mni].desc_cn),
+                ],
+            ),
+            archetype: "join_topk",
+            phrasing: p,
+            tables: vec![fact.name.clone(), master.name.clone()],
+            columns: vec![
+                (master.name.clone(), master.columns[mni].name.clone()),
+                (fact.name.clone(), fact.columns[jp.fact_fk_col].name.clone()),
+                (master.name.clone(), master.columns[jp.master_key_col].name.clone()),
+                (fact.name.clone(), fact.columns[mi].name.clone()),
+            ],
+        })
+    }
+
+    fn compare_avg(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.measures.is_empty() && !r.selectable.is_empty())?;
+        let t = &self.schema.tables[ti];
+        let mi = *pick(&roles.measures, rng)?;
+        let si = *pick(&roles.selectable, rng)?;
+        if si == mi {
+            return None;
+        }
+        let sql = format!(
+            "SELECT {} FROM {} WHERE {} > (SELECT AVG({}) FROM {})",
+            t.columns[si].name, t.name, t.columns[mi].name, t.columns[mi].name, t.name
+        );
+        let en = [
+            "Which {ent} records have a {cm} above the average? Show the {cs}.",
+            "List the {cs} of the {ent} records whose {cm} exceeds the average {cm}.",
+            "Find the {cs} of every {ent} entry with a {cm} greater than average.",
+            "Please show the {cs} for {ent} records whose {cm} is above the mean.",
+            "I want the {cs} of {ent} rows where the {cm} is higher than the average.",
+            "Return the {cs} of the {ent} records with above average {cm}.",
+        ];
+        let cn = [
+            "哪些{ent}记录的{cm}高于平均值？展示其{cs}。",
+            "列出{cm}超过平均{cm}的{ent}记录的{cs}。",
+            "找出{cm}大于平均值的每条{ent}条目的{cs}。",
+            "请展示{cm}高于均值的{ent}记录的{cs}。",
+            "需要{cm}高于平均的{ent}行的{cs}。",
+            "返回{cm}高于平均值的{ent}记录的{cs}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[("ent", &t.desc_en), ("cm", &t.columns[mi].desc_en), ("cs", &t.columns[si].desc_en)],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[("ent", &t.desc_cn), ("cm", &t.columns[mi].desc_cn), ("cs", &t.columns[si].desc_cn)],
+            ),
+            archetype: "compare_avg",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![
+                (t.name.clone(), t.columns[si].name.clone()),
+                (t.name.clone(), t.columns[mi].name.clone()),
+            ],
+        })
+    }
+
+    fn in_subquery(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        // master.c_t WHERE key IN (SELECT fk FROM fact WHERE fact filter)
+        let jp = self.join_pair(rng, |r| !r.text_filters.is_empty() || !r.measures.is_empty())?;
+        let fact = &self.schema.tables[jp.fact];
+        let master = &self.schema.tables[jp.master];
+        let select_pool =
+            if jp.master_roles.names.is_empty() { &jp.master_roles.selectable } else { &jp.master_roles.names };
+        let msi = *pick(select_pool, rng)?;
+        // Filter on the fact side: categorical equality or measure threshold.
+        let (fact_where, w_en, w_cn, fcol) = if !jp.fact_roles.text_filters.is_empty()
+            && (jp.fact_roles.measures.is_empty() || rng.gen_bool(0.5))
+        {
+            let fi = *pick(&jp.fact_roles.text_filters, rng)?;
+            let v = sample_value(self.gdb, &fact.name, fi, rng);
+            (
+                format!("{} = {}", fact.columns[fi].name, sql_literal(&v)),
+                format!("{} is {}", fact.columns[fi].desc_en, display(&v)),
+                format!("{}为{}", fact.columns[fi].desc_cn, display(&v)),
+                fi,
+            )
+        } else {
+            let fi = *pick(&jp.fact_roles.measures, rng)?;
+            let v = sample_value(self.gdb, &fact.name, fi, rng);
+            let threshold = match v {
+                Value::Float(f) => format!("{:.2}", f),
+                other => display(&other),
+            };
+            (
+                format!("{} > {}", fact.columns[fi].name, threshold),
+                format!("{} is greater than {}", fact.columns[fi].desc_en, threshold),
+                format!("{}大于{}", fact.columns[fi].desc_cn, threshold),
+                fi,
+            )
+        };
+        let sql = format!(
+            "SELECT {} FROM {} WHERE {} IN (SELECT {} FROM {} WHERE {})",
+            master.columns[msi].name,
+            master.name,
+            master.columns[jp.master_key_col].name,
+            fact.columns[jp.fact_fk_col].name,
+            fact.name,
+            fact_where
+        );
+        let en = [
+            "Which {master} have a {fact} record where the {w}? Show the {cs}.",
+            "List the {cs} of the {master} that appear in the {fact} with {w}.",
+            "Find the {cs} of every {master} having a {fact} entry whose {w}.",
+            "Please show the {cs} of the {master} with at least one {fact} record where the {w}.",
+            "I want the {cs} of {master} that have {fact} rows in which the {w}.",
+            "Return the {cs} of the {master} whose {fact} records satisfy: {w}.",
+        ];
+        let cn = [
+            "哪些{master}存在{w}的{fact}记录？展示其{cs}。",
+            "列出在{fact}中{w}的{master}的{cs}。",
+            "找出存在{w}的{fact}条目的每个{master}的{cs}。",
+            "请展示至少有一条{w}的{fact}记录的{master}的{cs}。",
+            "需要拥有{w}的{fact}行的{master}的{cs}。",
+            "返回其{fact}记录满足{w}的{master}的{cs}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[("master", &master.desc_en), ("fact", &fact.desc_en), ("w", &w_en), ("cs", &master.columns[msi].desc_en)],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[("master", &master.desc_cn), ("fact", &fact.desc_cn), ("w", &w_cn), ("cs", &master.columns[msi].desc_cn)],
+            ),
+            archetype: "in_subquery",
+            phrasing: p,
+            tables: vec![master.name.clone(), fact.name.clone()],
+            columns: vec![
+                (master.name.clone(), master.columns[msi].name.clone()),
+                (master.name.clone(), master.columns[jp.master_key_col].name.clone()),
+                (fact.name.clone(), fact.columns[jp.fact_fk_col].name.clone()),
+                (fact.name.clone(), fact.columns[fcol].name.clone()),
+            ],
+        })
+    }
+
+    fn between_dates(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.dates.is_empty() && !r.measures.is_empty())?;
+        let t = &self.schema.tables[ti];
+        // Phrasings 0, 1 and 4 do not name the date column; annotators
+        // then mean the table's primary (first) date column.
+        let di = if matches!(p, 0 | 1 | 4) { roles.dates[0] } else { *pick(&roles.dates, rng)? };
+        let mi = *pick(&roles.measures, rng)?;
+        let (agg, agg_en, agg_cn) =
+            *pick(&[("AVG", "average", "平均"), ("SUM", "total", "总"), ("MAX", "maximum", "最大")], rng)?;
+        let a = sample_value(self.gdb, &t.name, di, rng);
+        let b = sample_value(self.gdb, &t.name, di, rng);
+        let (lo, hi) = match (display(&a).as_str(), display(&b).as_str()) {
+            (x, y) if x <= y => (display(&a), display(&b)),
+            _ => (display(&b), display(&a)),
+        };
+        let sql = format!(
+            "SELECT {agg}({}) FROM {} WHERE {} BETWEEN '{lo}' AND '{hi}'",
+            t.columns[mi].name, t.name, t.columns[di].name
+        );
+        let en = [
+            "What is the {agg} {cm} of the {ent} between {lo} and {hi}?",
+            "Compute the {agg} {cm} for {ent} records dated from {lo} to {hi}.",
+            "Find the {agg} {cm} of the {ent} where the {cd} is between {lo} and {hi}.",
+            "Please report the {agg} {cm} over {ent} records with {cd} from {lo} to {hi}.",
+            "I need the {agg} {cm} of the {ent} in the period {lo} to {hi}.",
+            "Give the {agg} {cm} for the {ent} whose {cd} falls between {lo} and {hi}.",
+        ];
+        let cn = [
+            "{lo}到{hi}之间{ent}的{agg}{cm}是多少？",
+            "计算{lo}至{hi}期间{ent}记录的{agg}{cm}。",
+            "找出{cd}介于{lo}和{hi}之间的{ent}的{agg}{cm}。",
+            "请报告{cd}从{lo}到{hi}的{ent}记录的{agg}{cm}。",
+            "需要{lo}到{hi}期间{ent}的{agg}{cm}。",
+            "给出{cd}在{lo}和{hi}之间的{ent}的{agg}{cm}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[
+                    ("agg", agg_en),
+                    ("cm", &t.columns[mi].desc_en),
+                    ("ent", &t.desc_en),
+                    ("cd", &t.columns[di].desc_en),
+                    ("lo", &lo),
+                    ("hi", &hi),
+                ],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[
+                    ("agg", agg_cn),
+                    ("cm", &t.columns[mi].desc_cn),
+                    ("ent", &t.desc_cn),
+                    ("cd", &t.columns[di].desc_cn),
+                    ("lo", &lo),
+                    ("hi", &hi),
+                ],
+            ),
+            archetype: "between_dates",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![
+                (t.name.clone(), t.columns[mi].name.clone()),
+                (t.name.clone(), t.columns[di].name.clone()),
+            ],
+        })
+    }
+
+    fn like_match(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        // Prefer entity-name columns; fall back to any text filter (the
+        // macro database has no entity names, only categorical text).
+        let (ti, roles) =
+            self.rand_table(rng, |r| !r.text_filters.is_empty() && r.selectable.len() >= 2)?;
+        let t = &self.schema.tables[ti];
+        let ni = *pick(if roles.names.is_empty() { &roles.text_filters } else { &roles.names }, rng)?;
+        let si = *pick(&roles.selectable, rng)?;
+        if si == ni {
+            return None;
+        }
+        // A word that occurs in a real name.
+        let v = sample_value(self.gdb, &t.name, ni, rng);
+        let name = display(&v);
+        let word = name.split_whitespace().next()?.to_string();
+        let sql = format!(
+            "SELECT {} FROM {} WHERE {} LIKE '%{}%'",
+            t.columns[si].name, t.name, t.columns[ni].name, word
+        );
+        let en = [
+            "Show the {cs} of the {ent} whose {cn} contains {w}.",
+            "List the {cs} for {ent} records where the {cn} includes the word {w}.",
+            "Find the {cs} of every {ent} whose {cn} has {w} in it.",
+            "Please give the {cs} of the {ent} with {w} in the {cn}.",
+            "I want the {cs} of {ent} entries whose {cn} mentions {w}.",
+            "Return the {cs} of the {ent} records whose {cn} contains the text {w}.",
+        ];
+        let cn = [
+            "展示{cn}包含{w}的{ent}的{cs}。",
+            "列出{cn}含有{w}一词的{ent}记录的{cs}。",
+            "找出{cn}中带{w}的每个{ent}的{cs}。",
+            "请给出{cn}里有{w}的{ent}的{cs}。",
+            "需要{cn}提到{w}的{ent}条目的{cs}。",
+            "返回{cn}包含文本{w}的{ent}记录的{cs}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[("cs", &t.columns[si].desc_en), ("ent", &t.desc_en), ("cn", &t.columns[ni].desc_en), ("w", &word)],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[("cs", &t.columns[si].desc_cn), ("ent", &t.desc_cn), ("cn", &t.columns[ni].desc_cn), ("w", &word)],
+            ),
+            archetype: "like_match",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![
+                (t.name.clone(), t.columns[si].name.clone()),
+                (t.name.clone(), t.columns[ni].name.clone()),
+            ],
+        })
+    }
+
+    fn count_distinct(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.categories.is_empty())?;
+        let t = &self.schema.tables[ti];
+        let gi = *pick(&roles.categories, rng)?;
+        let sql = format!("SELECT COUNT(DISTINCT {}) FROM {}", t.columns[gi].name, t.name);
+        let en = [
+            "How many distinct {cg} values appear in the {ent}?",
+            "Count the different {cg} values in the {ent}.",
+            "What is the number of unique {cg} values in the {ent}?",
+            "Please count the distinct {cg} values recorded in the {ent}.",
+            "Find how many different {cg} values the {ent} contains.",
+            "Tell me the count of unique {cg} values in the {ent}.",
+        ];
+        let cn = [
+            "{ent}中出现多少个不同的{cg}？",
+            "统计{ent}中不同的{cg}数。",
+            "{ent}中唯一{cg}的数量是多少？",
+            "请统计{ent}中记录的不同{cg}数。",
+            "查找{ent}包含多少种{cg}。",
+            "告诉我{ent}中唯一{cg}的个数。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(en[p], &[("cg", &t.columns[gi].desc_en), ("ent", &t.desc_en)]),
+            question_cn: fill(cn[p], &[("cg", &t.columns[gi].desc_cn), ("ent", &t.desc_cn)]),
+            archetype: "count_distinct",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![(t.name.clone(), t.columns[gi].name.clone())],
+        })
+    }
+
+    fn multi_predicate(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) =
+            self.rand_table(rng, |r| !r.text_filters.is_empty() && !r.measures.is_empty() && r.selectable.len() >= 3)?;
+        let t = &self.schema.tables[ti];
+        let fi = *pick(&roles.text_filters, rng)?;
+        let mi = *pick(&roles.measures, rng)?;
+        let si = *pick(&roles.selectable, rng)?;
+        if si == fi || si == mi {
+            return None;
+        }
+        let v = sample_value(self.gdb, &t.name, fi, rng);
+        let mv = sample_value(self.gdb, &t.name, mi, rng);
+        let threshold = match mv {
+            Value::Float(f) => format!("{:.2}", f),
+            other => display(&other),
+        };
+        let sql = format!(
+            "SELECT {} FROM {} WHERE {} = {} AND {} > {}",
+            t.columns[si].name,
+            t.name,
+            t.columns[fi].name,
+            sql_literal(&v),
+            t.columns[mi].name,
+            threshold
+        );
+        let vs = display(&v);
+        let en = [
+            "Show the {cs} of the {ent} whose {cf} is {v} and whose {cm} is above {x}.",
+            "List the {cs} for {ent} records with {cf} {v} and {cm} greater than {x}.",
+            "Find the {cs} of every {ent} where the {cf} equals {v} and the {cm} exceeds {x}.",
+            "Please give the {cs} of the {ent} having {cf} {v} with {cm} over {x}.",
+            "I want the {cs} of {ent} entries whose {cf} is {v} and {cm} larger than {x}.",
+            "Return the {cs} of the {ent} records where {cf} is {v} and {cm} is more than {x}.",
+        ];
+        let cn = [
+            "展示{cf}为{v}且{cm}高于{x}的{ent}的{cs}。",
+            "列出{cf}是{v}且{cm}大于{x}的{ent}记录的{cs}。",
+            "找出{cf}等于{v}且{cm}超过{x}的每个{ent}的{cs}。",
+            "请给出{cf}为{v}且{cm}超出{x}的{ent}的{cs}。",
+            "需要{cf}是{v}且{cm}大于{x}的{ent}条目的{cs}。",
+            "返回{cf}为{v}且{cm}多于{x}的{ent}记录的{cs}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[
+                    ("cs", &t.columns[si].desc_en),
+                    ("ent", &t.desc_en),
+                    ("cf", &t.columns[fi].desc_en),
+                    ("v", &vs),
+                    ("cm", &t.columns[mi].desc_en),
+                    ("x", &threshold),
+                ],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[
+                    ("cs", &t.columns[si].desc_cn),
+                    ("ent", &t.desc_cn),
+                    ("cf", &t.columns[fi].desc_cn),
+                    ("v", &vs),
+                    ("cm", &t.columns[mi].desc_cn),
+                    ("x", &threshold),
+                ],
+            ),
+            archetype: "multi_predicate",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![
+                (t.name.clone(), t.columns[si].name.clone()),
+                (t.name.clone(), t.columns[fi].name.clone()),
+                (t.name.clone(), t.columns[mi].name.clone()),
+            ],
+        })
+    }
+
+    fn latest_date(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.dates.is_empty() && r.selectable.len() >= 2)?;
+        let t = &self.schema.tables[ti];
+        // Phrasing 1 ("most recent records") leaves the date column
+        // implicit — the primary date is meant.
+        let di = if p == 1 { roles.dates[0] } else { *pick(&roles.dates, rng)? };
+        let si = *pick(&roles.selectable, rng)?;
+        if si == di {
+            return None;
+        }
+        let sql = format!(
+            "SELECT {} FROM {} WHERE {} = (SELECT MAX({}) FROM {})",
+            t.columns[si].name, t.name, t.columns[di].name, t.columns[di].name, t.name
+        );
+        let en = [
+            "What is the {cs} of the {ent} on the latest {cd}?",
+            "Show the {cs} from the most recent {ent} records.",
+            "Find the {cs} of the {ent} at the latest {cd}.",
+            "Please give the {cs} recorded on the newest {cd} of the {ent}.",
+            "I want the latest {cs} of the {ent} by {cd}.",
+            "Return the {cs} of the {ent} records dated at the maximum {cd}.",
+        ];
+        let cn = [
+            "最新{cd}的{ent}的{cs}是什么？",
+            "展示最近{ent}记录的{cs}。",
+            "找出最新{cd}时{ent}的{cs}。",
+            "请给出{ent}最新{cd}记录的{cs}。",
+            "需要按{cd}最新的{ent}的{cs}。",
+            "返回{cd}最大的{ent}记录的{cs}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[("cs", &t.columns[si].desc_en), ("ent", &t.desc_en), ("cd", &t.columns[di].desc_en)],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[("cs", &t.columns[si].desc_cn), ("ent", &t.desc_cn), ("cd", &t.columns[di].desc_cn)],
+            ),
+            archetype: "latest_date",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![
+                (t.name.clone(), t.columns[si].name.clone()),
+                (t.name.clone(), t.columns[di].name.clone()),
+            ],
+        })
+    }
+
+    fn group_sum_topk(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.categories.is_empty() && !r.measures.is_empty())?;
+        let t = &self.schema.tables[ti];
+        let gi = *pick(&roles.categories, rng)?;
+        let mi = *pick(&roles.measures, rng)?;
+        let k = rng.gen_range(1..=3);
+        let sql = format!(
+            "SELECT {}, SUM({}) FROM {} GROUP BY {} ORDER BY SUM({}) DESC LIMIT {k}",
+            t.columns[gi].name,
+            t.columns[mi].name,
+            t.name,
+            t.columns[gi].name,
+            t.columns[mi].name
+        );
+        let ks = k.to_string();
+        let en = [
+            "Which {k} {cg} values have the largest total {cm} in the {ent}?",
+            "List the top {k} {cg} values by total {cm} in the {ent}.",
+            "Find the {k} {cg} values with the highest summed {cm} in the {ent}.",
+            "Please show the {k} {cg} values whose total {cm} is largest in the {ent}.",
+            "I want the {k} leading {cg} values by total {cm} in the {ent}.",
+            "Return the {k} {cg} values ranked by total {cm} in the {ent}.",
+        ];
+        let cn = [
+            "{ent}中总{cm}最大的{k}个{cg}是哪些？",
+            "列出{ent}中按总{cm}排名前{k}的{cg}。",
+            "找出{ent}中{cm}合计最高的{k}个{cg}。",
+            "请展示{ent}中总{cm}最大的{k}个{cg}。",
+            "需要{ent}中总{cm}领先的{k}个{cg}。",
+            "返回{ent}中按总{cm}排序的{k}个{cg}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[("k", &ks), ("cg", &t.columns[gi].desc_en), ("cm", &t.columns[mi].desc_en), ("ent", &t.desc_en)],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[("k", &ks), ("cg", &t.columns[gi].desc_cn), ("cm", &t.columns[mi].desc_cn), ("ent", &t.desc_cn)],
+            ),
+            archetype: "group_sum_topk",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![
+                (t.name.clone(), t.columns[gi].name.clone()),
+                (t.name.clone(), t.columns[mi].name.clone()),
+            ],
+        })
+    }
+
+    fn distinct_filter(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        let (ti, roles) = self.rand_table(rng, |r| !r.categories.is_empty() && !r.measures.is_empty())?;
+        let t = &self.schema.tables[ti];
+        let gi = *pick(&roles.categories, rng)?;
+        let mi = *pick(&roles.measures, rng)?;
+        let mv = sample_value(self.gdb, &t.name, mi, rng);
+        let threshold = match mv {
+            Value::Float(f) => format!("{:.2}", f),
+            other => display(&other),
+        };
+        let sql = format!(
+            "SELECT DISTINCT {} FROM {} WHERE {} > {}",
+            t.columns[gi].name, t.name, t.columns[mi].name, threshold
+        );
+        let en = [
+            "Which distinct {cg} values appear in {ent} records with {cm} above {x}?",
+            "List the different {cg} values of the {ent} where the {cm} exceeds {x}.",
+            "Find all unique {cg} values among {ent} entries whose {cm} is greater than {x}.",
+            "Please show the distinct {cg} values for {ent} rows with {cm} over {x}.",
+            "I want every different {cg} of the {ent} having {cm} larger than {x}.",
+            "Return the unique {cg} values in the {ent} where {cm} is more than {x}.",
+        ];
+        let cn = [
+            "{cm}高于{x}的{ent}记录中出现哪些不同的{cg}？",
+            "列出{cm}超过{x}的{ent}的不同{cg}。",
+            "找出{cm}大于{x}的{ent}条目中所有唯一的{cg}。",
+            "请展示{cm}超出{x}的{ent}行的不同{cg}。",
+            "需要{cm}大于{x}的{ent}的每种{cg}。",
+            "返回{ent}中{cm}多于{x}的唯一{cg}。",
+        ];
+        Some(Draft {
+            sql,
+            question_en: fill(
+                en[p],
+                &[("cg", &t.columns[gi].desc_en), ("ent", &t.desc_en), ("cm", &t.columns[mi].desc_en), ("x", &threshold)],
+            ),
+            question_cn: fill(
+                cn[p],
+                &[("cg", &t.columns[gi].desc_cn), ("ent", &t.desc_cn), ("cm", &t.columns[mi].desc_cn), ("x", &threshold)],
+            ),
+            archetype: "distinct_filter",
+            phrasing: p,
+            tables: vec![t.name.clone()],
+            columns: vec![
+                (t.name.clone(), t.columns[gi].name.clone()),
+                (t.name.clone(), t.columns[mi].name.clone()),
+            ],
+        })
+    }
+
+    fn three_join(&self, p: usize, rng: &mut StdRng) -> Option<Draft> {
+        // Chain: fact A --fk--> master M <--fk-- fact B. Select from B,
+        // filter on A.
+        let n = self.schema.tables.len();
+        let start = rng.gen_range(0..n);
+        for k in 0..n {
+            let ai = (start + k) % n;
+            let a = &self.schema.tables[ai];
+            let a_roles = classify(self.db_id, a, self.schema);
+            if a_roles.text_filters.is_empty() || a_roles.fk_sources.is_empty() {
+                continue;
+            }
+            let (a_fk_col, m_name, m_key) = a_roles.fk_sources[0].clone();
+            // A second fact table with an FK into the same master.
+            for bi in 0..n {
+                if bi == ai {
+                    continue;
+                }
+                let b = &self.schema.tables[bi];
+                let b_roles = classify(self.db_id, b, self.schema);
+                let Some((b_fk_col, _, _)) = b_roles
+                    .fk_sources
+                    .iter()
+                    .find(|(_, t2, c2)| *t2 == m_name && *c2 == m_key)
+                    .cloned()
+                else {
+                    continue;
+                };
+                if b_roles.selectable.is_empty() {
+                    continue;
+                }
+                let mi = self.schema.table_index(&m_name)?;
+                let m = &self.schema.tables[mi];
+                let m_key_idx = m.column_index(&m_key)?;
+                let fi = *pick(&a_roles.text_filters, rng)?;
+                let si = *pick(&b_roles.selectable, rng)?;
+                let v = sample_value(self.gdb, &a.name, fi, rng);
+                let sql = format!(
+                    "SELECT t3.{} FROM {} AS t1 JOIN {} AS t2 ON t1.{} = t2.{} JOIN {} AS t3 ON t2.{} = t3.{} WHERE t1.{} = {}",
+                    b.columns[si].name,
+                    a.name,
+                    m.name,
+                    a.columns[a_fk_col].name,
+                    m.columns[m_key_idx].name,
+                    b.name,
+                    m.columns[m_key_idx].name,
+                    b.columns[b_fk_col].name,
+                    a.columns[fi].name,
+                    sql_literal(&v)
+                );
+                let vs = display(&v);
+                let en = [
+                    "For the {m} whose {a} record has {cf} {v}, what is the {cs} in the {b}?",
+                    "Show the {cs} from the {b} for the {m} whose {a} {cf} is {v}.",
+                    "Find the {b} {cs} of the {m} linked to an {a} record where {cf} equals {v}.",
+                    "Please list the {cs} in the {b} for the {m} whose {a} entry has {cf} {v}.",
+                    "I want the {cs} from the {b} of the {m} whose {a} record shows {cf} {v}.",
+                    "Return the {cs} recorded in the {b} for the {m} with {a} {cf} {v}.",
+                ];
+                let cn = [
+                    "{a}中{cf}为{v}的{m}，其{b}中的{cs}是什么？",
+                    "展示{a}的{cf}是{v}的{m}在{b}中的{cs}。",
+                    "查找{a}记录{cf}等于{v}的{m}的{b}的{cs}。",
+                    "请列出{a}条目{cf}为{v}的{m}在{b}中的{cs}。",
+                    "需要{a}记录显示{cf}为{v}的{m}的{b}中的{cs}。",
+                    "返回{a}的{cf}为{v}的{m}在{b}中记录的{cs}。",
+                ];
+                return Some(Draft {
+                    sql,
+                    question_en: fill(
+                        en[p],
+                        &[
+                            ("m", &m.desc_en),
+                            ("a", &a.desc_en),
+                            ("cf", &a.columns[fi].desc_en),
+                            ("v", &vs),
+                            ("cs", &b.columns[si].desc_en),
+                            ("b", &b.desc_en),
+                        ],
+                    ),
+                    question_cn: fill(
+                        cn[p],
+                        &[
+                            ("m", &m.desc_cn),
+                            ("a", &a.desc_cn),
+                            ("cf", &a.columns[fi].desc_cn),
+                            ("v", &vs),
+                            ("cs", &b.columns[si].desc_cn),
+                            ("b", &b.desc_cn),
+                        ],
+                    ),
+                    archetype: "three_join",
+                    phrasing: p,
+                    tables: vec![a.name.clone(), m.name.clone(), b.name.clone()],
+                    columns: vec![
+                        (b.name.clone(), b.columns[si].name.clone()),
+                        (a.name.clone(), a.columns[a_fk_col].name.clone()),
+                        (m.name.clone(), m.columns[m_key_idx].name.clone()),
+                        (b.name.clone(), b.columns[b_fk_col].name.clone()),
+                        (a.name.clone(), a.columns[fi].name.clone()),
+                    ],
+                });
+            }
+        }
+        None
+    }
+}
+
+/// A resolved fact→master join.
+struct JoinPair {
+    fact: usize,
+    master: usize,
+    fact_fk_col: usize,
+    master_key_col: usize,
+    fact_roles: Roles,
+    master_roles: Roles,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::populate;
+    use rand::SeedableRng;
+
+    fn ctx_for(db: DbId) -> GeneratedDb {
+        populate(db, 7)
+    }
+
+    #[test]
+    fn every_archetype_instantiates_on_every_db() {
+        for db in DbId::ALL {
+            let gdb = ctx_for(db);
+            let ctx = TemplateCtx::new(db, &gdb);
+            let mut rng = StdRng::seed_from_u64(11);
+            for &a in ARCHETYPES {
+                // The macro database has a single foreign key, so no
+                // three-table chain exists there — that archetype is
+                // legitimately absent from macro questions.
+                if db == DbId::Macro && a == "three_join" {
+                    continue;
+                }
+                let mut ok = false;
+                for _ in 0..30 {
+                    if ctx.instantiate(a, 0, &mut rng).is_some() {
+                        ok = true;
+                        break;
+                    }
+                }
+                assert!(ok, "archetype {a} never instantiated on {db}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_sql_parses_and_executes() {
+        let gdb = ctx_for(DbId::Fund);
+        let ctx = TemplateCtx::new(DbId::Fund, &gdb);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut executed = 0;
+        for &a in ARCHETYPES {
+            for p in 0..PHRASINGS {
+                if let Some(d) = ctx.instantiate(a, p, &mut rng) {
+                    sqlkit::parse_statement(&d.sql)
+                        .unwrap_or_else(|e| panic!("{a} produced unparseable SQL {:?}: {e}", d.sql));
+                    sqlengine::run_sql(&gdb.db, &d.sql)
+                        .unwrap_or_else(|e| panic!("{a} produced unexecutable SQL {:?}: {e}", d.sql));
+                    executed += 1;
+                }
+            }
+        }
+        assert!(executed > 80, "only {executed} drafts executed");
+    }
+
+    #[test]
+    fn questions_mention_slot_descriptions() {
+        let gdb = ctx_for(DbId::Stock);
+        let ctx = TemplateCtx::new(DbId::Stock, &gdb);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = loop {
+            if let Some(d) = ctx.instantiate("filter_select", 0, &mut rng) {
+                break d;
+            }
+        };
+        // The question must carry lexical signal about the gold columns.
+        assert!(!d.question_en.is_empty());
+        assert!(d.question_en.contains("whose"));
+        assert!(!d.question_cn.is_empty());
+    }
+
+    #[test]
+    fn phrasings_differ() {
+        let gdb = ctx_for(DbId::Fund);
+        let ctx = TemplateCtx::new(DbId::Fund, &gdb);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = ctx.instantiate("count_filter", 0, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = ctx.instantiate("count_filter", 1, &mut rng).unwrap();
+        assert_eq!(a.sql, b.sql, "same seed must give same slots");
+        assert_ne!(a.question_en, b.question_en, "different phrasings must differ");
+    }
+
+    #[test]
+    fn gold_metadata_is_consistent_with_sql() {
+        let gdb = ctx_for(DbId::Fund);
+        let ctx = TemplateCtx::new(DbId::Fund, &gdb);
+        let mut rng = StdRng::seed_from_u64(9);
+        for &a in ARCHETYPES {
+            if let Some(d) = ctx.instantiate(a, 0, &mut rng) {
+                for t in &d.tables {
+                    assert!(
+                        d.sql.contains(t.as_str()),
+                        "{a}: gold table {t} missing from SQL {}",
+                        d.sql
+                    );
+                }
+                for (_, c) in &d.columns {
+                    assert!(
+                        d.sql.to_lowercase().contains(&c.to_lowercase()),
+                        "{a}: gold column {c} missing from SQL {}",
+                        d.sql
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! GPT-based in-context-learning baselines: DAIL-SQL, DIN-SQL, C3.
+//!
+//! These methods prompt a closed model with the *full* schema (no
+//! fine-tuning, no Cross-Encoder): DAIL-SQL selects demonstration pairs
+//! by similarity, DIN-SQL decomposes the task into several long prompts,
+//! C3 relies on zero-shot "clear prompting". The closed model is
+//! simulated with an in-context "plugin" whose prototypes come from the
+//! selected demonstrations only (no LoRA adaptation — exactly what ICL
+//! is), under a GPT-specific capability profile. Cost-per-SQL is metered
+//! from real prompt text at the paper's Table 2 prices.
+
+use crate::prompt::{render_icl_prompt, render_prompt};
+use bull::Lang;
+use rand::rngs::StdRng;
+use simllm::hub::Prototype;
+use simllm::noise::NoiseRates;
+use simllm::{
+    shape_of, BaseModelProfile, EmbeddingModel, GenConfig, LoraPlugin, SqlGenerator, ValueIndex,
+};
+use sqlkit::catalog::CatalogSchema;
+use sqlkit::skeleton_of;
+use textenc::{ApiPrice, CostMeter, GPT_35_TURBO, GPT_4_32K, GPT_4_8K};
+
+/// Which closed model backs the method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GptModel {
+    Gpt4,
+    ChatGpt,
+}
+
+impl GptModel {
+    /// API prices (DIN-SQL's oversized prompts are priced at the 32k
+    /// tier, as the paper does).
+    pub fn price(self, needs_32k: bool) -> ApiPrice {
+        match self {
+            GptModel::Gpt4 => {
+                if needs_32k {
+                    GPT_4_32K
+                } else {
+                    GPT_4_8K
+                }
+            }
+            GptModel::ChatGpt => GPT_35_TURBO,
+        }
+    }
+
+    fn profile(self) -> &'static BaseModelProfile {
+        match self {
+            GptModel::Gpt4 => &GPT4_PROFILE,
+            GptModel::ChatGpt => &CHATGPT_PROFILE,
+        }
+    }
+}
+
+/// GPT-4: strong in-context learner.
+pub static GPT4_PROFILE: BaseModelProfile = BaseModelProfile {
+    name: "GPT-4",
+    slot_skill: 0.95,
+    join_skill: 0.9,
+    skel_slip: 0.06,
+    noise: NoiseRates { typo: 0.02, double_eq: 0.015, drop_on: 0.015, misalign: 0.04, value: 0.008 },
+};
+
+/// ChatGPT (GPT-3.5-turbo): markedly weaker on wide schemas.
+pub static CHATGPT_PROFILE: BaseModelProfile = BaseModelProfile {
+    name: "ChatGPT",
+    slot_skill: 0.78,
+    join_skill: 0.62,
+    skel_slip: 0.3,
+    noise: NoiseRates { typo: 0.07, double_eq: 0.05, drop_on: 0.05, misalign: 0.1, value: 0.015 },
+};
+
+/// The prompting strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GptMethod {
+    /// DAIL-SQL: similarity-selected demonstrations.
+    DailSql { shots: usize },
+    /// DIN-SQL: decomposed multi-stage prompting (four long prompts per
+    /// question).
+    DinSql,
+    /// C3: zero-shot clear prompting (its Spider-tuned instructions do
+    /// not carry over to BULL).
+    C3,
+}
+
+/// One configured GPT baseline over one database.
+pub struct GptBaseline<'a> {
+    pub method: GptMethod,
+    pub model: GptModel,
+    pub lang: Lang,
+    base: &'a EmbeddingModel,
+    schema: &'a CatalogSchema,
+    values: &'a ValueIndex,
+    /// Training pool for demonstration selection, with cached embeddings.
+    pool: Vec<(String, String, Vec<f32>)>,
+    pub meter: CostMeter,
+}
+
+impl<'a> GptBaseline<'a> {
+    /// Prepares a baseline; `train_pairs` is the demonstration pool.
+    pub fn new(
+        method: GptMethod,
+        model: GptModel,
+        lang: Lang,
+        base: &'a EmbeddingModel,
+        schema: &'a CatalogSchema,
+        values: &'a ValueIndex,
+        train_pairs: &[(String, String)],
+    ) -> Self {
+        // DAIL-SQL matches *masked* questions: schema words are removed so
+        // similarity reflects linguistic structure, not topic.
+        let vocab = schema_vocab(schema);
+        let pool = train_pairs
+            .iter()
+            .map(|(q, sql)| (q.clone(), sql.clone(), base.embed(&mask_question(q, &vocab), None)))
+            .collect();
+        GptBaseline { method, model, lang, base, schema, values, pool, meter: CostMeter::new() }
+    }
+
+    /// Answers one question, metering the API cost.
+    pub fn answer(&mut self, question: &str, rng: &mut StdRng) -> String {
+        let (prompt_text, n_calls, demonstrations) = match self.method {
+            GptMethod::DailSql { shots } => {
+                let demos = self.select_demonstrations(question, shots);
+                let text = render_icl_prompt(question, self.schema, self.lang, &demos);
+                (text, 1, demos)
+            }
+            GptMethod::DinSql => {
+                // Four decomposed stages, each re-sending the schema plus
+                // DIN-SQL's large static exemplar library.
+                let text =
+                    format!("{}\n{}", din_exemplars(), render_prompt(question, self.schema, self.lang));
+                (text, 4, Vec::new())
+            }
+            GptMethod::C3 => (render_prompt(question, self.schema, self.lang), 1, Vec::new()),
+        };
+        // The in-context "plugin": prototypes from the demonstrations,
+        // in masked-question space.
+        let vocab = schema_vocab(self.schema);
+        let plugin =
+            icl_plugin(self.base, &demonstrations, &vocab, self.model == GptModel::Gpt4);
+        let generator =
+            SqlGenerator::new(self.base, plugin.as_ref(), self.model.profile());
+        let masked = mask_question(question, &vocab);
+        let sql = generator
+            .generate_with_retrieval_text(
+                question,
+                &masked,
+                self.schema,
+                self.values,
+                GenConfig { n_samples: 1, temperature: 0.6, skeleton_temperature: None },
+                rng,
+            )
+            .into_iter()
+            .next()
+            .unwrap_or_default();
+        // Cost accounting: every stage pays for its prompt.
+        let price = self.price();
+        for _ in 0..n_calls {
+            self.meter.record_call(&price, &prompt_text, &sql);
+        }
+        self.meter.finish_query();
+        sql
+    }
+
+    /// The effective price tier (DIN-SQL prompts exceed the 8k window on
+    /// BULL schemas, as the paper reports).
+    pub fn price(&self) -> ApiPrice {
+        self.model.price(matches!(self.method, GptMethod::DinSql))
+    }
+
+    /// True when this method cannot actually run within the model's
+    /// context window (the paper's DIN-SQL + GPT-4 "-" row).
+    pub fn infeasible(&self) -> bool {
+        if self.method != GptMethod::DinSql || self.model != GptModel::Gpt4 {
+            return false;
+        }
+        let text = format!("{}\n{}", din_exemplars(), render_prompt("q", self.schema, self.lang));
+        textenc::approx_token_count(&text) > GPT_4_8K.context_limit
+    }
+
+    fn select_demonstrations(&self, question: &str, shots: usize) -> Vec<(String, String)> {
+        // DAIL-style: rank the pool by masked-question-embedding
+        // similarity, diversified by skeleton (at most two per skeleton).
+        let vocab = schema_vocab(self.schema);
+        let qe = self.base.embed(&mask_question(question, &vocab), None);
+        type PoolEntry = (String, String, Vec<f32>);
+        let mut ranked: Vec<(f32, &PoolEntry)> = self
+            .pool
+            .iter()
+            .map(|entry| (simllm::embed::cosine(&qe, &entry.2), entry))
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut per_skeleton: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        let mut out = Vec::new();
+        for (_, (q, sql, _)) in ranked {
+            if out.len() >= shots {
+                break;
+            }
+            let skel = skeleton_of(sql).unwrap_or_default();
+            let seen = per_skeleton.entry(skel).or_insert(0);
+            if *seen < 2 {
+                *seen += 1;
+                out.push((q.clone(), sql.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// DIN-SQL ships a fixed library of decomposition instructions and
+/// worked exemplars that every stage prompt carries (schema-linking
+/// exemplars, classification exemplars, generation exemplars and
+/// self-correction rules). We stand in for that text with a block of the
+/// same token mass, which is what drives both the context overflow on
+/// 8k models and the paper's ~$4.9 cost per SQL.
+fn din_exemplars() -> String {
+    const STAGE_BLOCK: &str = "Decompose the question, classify its hardness, link the schema \
+items, produce the intermediate representation, then generate and self correct the final SQL \
+following the worked examples below. ";
+    // ≈ 16k tokens of instructions + exemplars across the four stages.
+    STAGE_BLOCK.repeat(400)
+}
+
+/// Builds the in-context plugin: skeleton prototypes over *base*
+/// embeddings of the demonstrations (no weight adaptation — that is what
+/// distinguishes ICL from fine-tuning).
+/// All description/identifier word tokens of a schema, used for masking.
+fn schema_vocab(schema: &CatalogSchema) -> std::collections::HashSet<String> {
+    let mut vocab = std::collections::HashSet::new();
+    for t in &schema.tables {
+        vocab.extend(textenc::tokenize(&t.desc_en));
+        vocab.extend(textenc::tokenize(&t.desc_cn));
+        for c in &t.columns {
+            vocab.extend(textenc::tokenize(&c.desc_en));
+            vocab.extend(textenc::tokenize(&c.desc_cn));
+        }
+    }
+    vocab
+}
+
+/// Removes schema-vocabulary words from a question, leaving the
+/// linguistic frame ("what is the ⟨⟩ of the ⟨⟩ whose ⟨⟩ is Alpha").
+/// Structure cue words survive even when a column description also uses
+/// them ("count", "total") — they carry the query's shape.
+fn mask_question(question: &str, vocab: &std::collections::HashSet<String>) -> String {
+    textenc::tokenize(question)
+        .into_iter()
+        .filter(|t| simllm::embed::is_structure_word(t) || !vocab.contains(t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn icl_plugin(
+    base: &EmbeddingModel,
+    demonstrations: &[(String, String)],
+    vocab: &std::collections::HashSet<String>,
+    strong_reasoner: bool,
+) -> Option<LoraPlugin> {
+    if demonstrations.is_empty() {
+        return None;
+    }
+    type ProtoAcc = std::collections::HashMap<String, (simllm::ShapeKind, Vec<f32>, f32)>;
+    let mut by_skeleton: ProtoAcc = std::collections::HashMap::new();
+    for (q, sql) in demonstrations {
+        let (Some(skel), Some(shape)) = (skeleton_of(sql), shape_of(sql)) else {
+            continue;
+        };
+        let emb = base.embed(&mask_question(q, vocab), None);
+        let entry = by_skeleton.entry(skel).or_insert((shape, vec![0.0; emb.len()], 0.0));
+        for (a, e) in entry.1.iter_mut().zip(&emb) {
+            *a += e;
+        }
+        entry.2 += 1.0;
+    }
+    if by_skeleton.is_empty() {
+        return None;
+    }
+    let mut prototypes: Vec<Prototype> = by_skeleton
+        .into_iter()
+        .map(|(skeleton, (shape, mut sum, count))| {
+            for v in &mut sum {
+                *v /= count;
+            }
+            simllm::embed::normalize(&mut sum);
+            Prototype { skeleton, shape, centroid: sum, count }
+        })
+        .collect();
+    prototypes.sort_by(|a, b| a.skeleton.cmp(&b.skeleton));
+    Some(LoraPlugin {
+        name: "icl".into(),
+        lora: simllm::LoraModule::init(base.dim_in(), simllm::embed::EMBED_DIM, 0),
+        prototypes,
+        cot_trained: strong_reasoner,
+        n_examples: demonstrations.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sqlengine::{Database, Value};
+    use sqlkit::catalog::{CatalogColumn, CatalogTable, ColType};
+
+    fn schema() -> CatalogSchema {
+        CatalogSchema {
+            db_id: "gpt".into(),
+            tables: vec![CatalogTable {
+                name: "fund".into(),
+                desc_en: "fund master".into(),
+                desc_cn: "基金".into(),
+                columns: vec![
+                    CatalogColumn::new("fname", ColType::Text, "fund name", "基金名称"),
+                    CatalogColumn::new("ftype", ColType::Text, "fund type", "基金类型"),
+                ],
+            }],
+            foreign_keys: vec![],
+        }
+    }
+
+    fn db(schema: &CatalogSchema) -> Database {
+        let mut db = Database::new(schema.clone());
+        db.insert("fund", vec![Value::from("Alpha"), Value::from("bond fund")]).unwrap();
+        db
+    }
+
+    fn pool() -> Vec<(String, String)> {
+        (0..20)
+            .map(|i| {
+                (
+                    format!("how many funds have fund type kind{i}"),
+                    format!("SELECT COUNT(*) FROM fund WHERE ftype = 'k{i}'"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dail_selects_similar_demonstrations() {
+        let base = EmbeddingModel::pretrained(1);
+        let s = schema();
+        let d = db(&s);
+        let values = ValueIndex::build(&d);
+        let b = GptBaseline::new(
+            GptMethod::DailSql { shots: 4 },
+            GptModel::Gpt4,
+            Lang::En,
+            &base,
+            &s,
+            &values,
+            &pool(),
+        );
+        let demos = b.select_demonstrations("how many funds have fund type bond fund", 4);
+        assert_eq!(demos.len(), 2, "skeleton diversity caps at two per skeleton");
+        assert!(demos[0].0.contains("how many"));
+    }
+
+    #[test]
+    fn answer_meters_cost() {
+        let base = EmbeddingModel::pretrained(1);
+        let s = schema();
+        let d = db(&s);
+        let values = ValueIndex::build(&d);
+        let mut b = GptBaseline::new(
+            GptMethod::DailSql { shots: 4 },
+            GptModel::ChatGpt,
+            Lang::En,
+            &base,
+            &s,
+            &values,
+            &pool(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let sql = b.answer("how many funds have fund type bond fund", &mut rng);
+        assert!(sql.starts_with("SELECT"), "{sql}");
+        assert_eq!(b.meter.queries, 1);
+        let cost = b.meter.cost_per_query(&b.price());
+        assert!(cost > 0.0 && cost < 0.1, "cost {cost}");
+    }
+
+    #[test]
+    fn din_sql_pays_multiple_calls() {
+        let base = EmbeddingModel::pretrained(1);
+        let s = schema();
+        let d = db(&s);
+        let values = ValueIndex::build(&d);
+        let mut dail = GptBaseline::new(
+            GptMethod::DailSql { shots: 2 },
+            GptModel::Gpt4,
+            Lang::En,
+            &base,
+            &s,
+            &values,
+            &pool(),
+        );
+        let mut din = GptBaseline::new(
+            GptMethod::DinSql,
+            GptModel::Gpt4,
+            Lang::En,
+            &base,
+            &s,
+            &values,
+            &pool(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        dail.answer("how many funds have fund type bond fund", &mut rng);
+        din.answer("how many funds have fund type bond fund", &mut rng);
+        assert!(din.meter.calls > dail.meter.calls);
+    }
+
+    #[test]
+    fn c3_zero_shot_falls_back() {
+        let base = EmbeddingModel::pretrained(1);
+        let s = schema();
+        let d = db(&s);
+        let values = ValueIndex::build(&d);
+        let mut b = GptBaseline::new(
+            GptMethod::C3,
+            GptModel::ChatGpt,
+            Lang::En,
+            &base,
+            &s,
+            &values,
+            &pool(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let sql = b.answer("how many funds have fund type bond fund", &mut rng);
+        // Zero-shot: no prototypes, so the output is a bare fallback.
+        assert!(sql.starts_with("SELECT "));
+        assert!(!sql.contains("COUNT"), "zero-shot cannot recover the aggregate: {sql}");
+    }
+
+    #[test]
+    fn din_on_bull_exceeds_8k_context() {
+        let base = EmbeddingModel::pretrained(1);
+        let full = bull::DbId::Stock.schema();
+        let d = Database::new(full.clone());
+        let values = ValueIndex::build(&d);
+        let b = GptBaseline::new(
+            GptMethod::DinSql,
+            GptModel::Gpt4,
+            Lang::En,
+            &base,
+            &full,
+            &values,
+            &[],
+        );
+        assert!(b.infeasible(), "DIN-SQL must overflow the 8k window on BULL");
+    }
+}

@@ -1,0 +1,13 @@
+//! The six comparison systems of the paper's Tables 4–5.
+//!
+//! GPT-based in-context-learning methods ([`gpt`]): DAIL-SQL, DIN-SQL and
+//! C3, with cost-per-SQL accounting at the paper's Table 2 prices.
+//! Fine-tuning methods ([`ft`]): RESDSQL, Token Preprocessing and PICARD,
+//! all using our parallel Cross-Encoder for schema linking (the `*` in
+//! the paper's result tables).
+
+pub mod ft;
+pub mod gpt;
+
+pub use ft::{FtBaseline, FtMode};
+pub use gpt::{GptBaseline, GptMethod, GptModel};

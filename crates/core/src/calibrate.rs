@@ -1,0 +1,242 @@
+//! Output calibration — the paper's Algorithm 1.
+//!
+//! Input: `n` candidate SQL strings sampled from the LLM plus the schema.
+//! Steps: `f1` typo repair, `f2` keyword-component extraction with a
+//! validity gate, non-execution self-consistency clustering on component
+//! compatibility, largest-cluster selection, and `f3` table–column
+//! alignment. No SQL is ever executed — the design constraint the paper
+//! emphasises for production financial databases.
+
+use sqlkit::ast::Statement;
+use sqlkit::catalog::CatalogSchema;
+use sqlkit::components::{components_of_query, SqlComponents};
+use sqlkit::repair::{align_tables, normalize_text, repair_statement};
+use sqlkit::{parse_statement, to_sql};
+
+/// Which calibration steps run — the knobs of the paper's Table 9.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationConfig {
+    /// `f1`: typo/structure repair before clustering.
+    pub repair: bool,
+    /// Component-compatibility clustering and largest-cluster voting.
+    pub self_consistency: bool,
+    /// `f3`: table–column alignment on the final query.
+    pub alignment: bool,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig { repair: true, self_consistency: true, alignment: true }
+    }
+}
+
+impl CalibrationConfig {
+    /// Calibration fully disabled (Table 9, "w/o Output Calibration").
+    pub fn off() -> Self {
+        CalibrationConfig { repair: false, self_consistency: false, alignment: false }
+    }
+}
+
+/// Runs Algorithm 1 over candidate SQL strings. Returns the calibrated
+/// final SQL, or `None` when no candidate parses at all.
+pub fn calibrate(
+    candidates: &[String],
+    schema: &CatalogSchema,
+    cfg: &CalibrationConfig,
+) -> Option<String> {
+    // f1 + f2: repair and extract components, dropping candidates whose
+    // columns cannot be resolved against the schema.
+    let mut entries: Vec<(sqlkit::ast::SelectStmt, SqlComponents)> = Vec::new();
+    for raw in candidates {
+        let text = if cfg.repair { normalize_text(raw) } else { raw.clone() };
+        let Ok(Statement::Select(mut q)) = parse_statement(&text) else {
+            continue;
+        };
+        if cfg.repair {
+            repair_statement(&mut q, schema);
+        }
+        let comps = components_of_query(&q);
+        // "if columns of e_i in S": candidates referencing unresolvable
+        // columns are dropped (when repair could not fix them).
+        if cfg.repair && !columns_resolve(&q, schema) {
+            continue;
+        }
+        entries.push((q, comps));
+    }
+    if entries.is_empty() {
+        // Fall back to the first parseable candidate without the gate.
+        for raw in candidates {
+            if let Ok(Statement::Select(q)) = parse_statement(&normalize_text(raw)) {
+                let comps = components_of_query(&q);
+                entries.push((q, comps));
+                break;
+            }
+        }
+    }
+    let (mut best, _) = if cfg.self_consistency {
+        largest_cluster(entries)?
+    } else {
+        let mut it = entries.into_iter();
+        let first = it.next()?;
+        (first.0, first.1)
+    };
+    if cfg.alignment {
+        align_tables(&mut best, schema);
+    }
+    Some(to_sql(&Statement::Select(best)))
+}
+
+/// Clusters candidates by component compatibility; returns the first
+/// member of the largest cluster (ties: earliest-formed cluster, as in
+/// the paper's stable ordering).
+fn largest_cluster(
+    entries: Vec<(sqlkit::ast::SelectStmt, SqlComponents)>,
+) -> Option<(sqlkit::ast::SelectStmt, SqlComponents)> {
+    let mut clusters: Vec<Vec<(sqlkit::ast::SelectStmt, SqlComponents)>> = Vec::new();
+    for (q, comps) in entries {
+        match clusters.iter_mut().find(|cl| cl[0].1.compatible_with(&comps)) {
+            Some(cl) => cl.push((q, comps)),
+            None => clusters.push(vec![(q, comps)]),
+        }
+    }
+    clusters
+        .into_iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.len().cmp(&b.len()).then(ib.cmp(ia)))
+        .and_then(|(_, cl)| cl.into_iter().next())
+}
+
+/// True when every referenced column resolves within the schema scope.
+fn columns_resolve(q: &sqlkit::ast::SelectStmt, schema: &CatalogSchema) -> bool {
+    sqlkit::incremental::check_against_schema(&to_sql(&Statement::Select(q.clone())), schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::catalog::{CatalogColumn, CatalogTable, ColType, ForeignKey};
+
+    fn schema() -> CatalogSchema {
+        CatalogSchema {
+            db_id: "cal".into(),
+            tables: vec![
+                CatalogTable {
+                    name: "lc_sharestru".into(),
+                    desc_en: String::new(),
+                    desc_cn: String::new(),
+                    columns: vec![
+                        CatalogColumn::new("compcode", ColType::Int, "", ""),
+                        CatalogColumn::new("chinameabbr", ColType::Text, "", ""),
+                        CatalogColumn::new("aquireramount", ColType::Float, "", ""),
+                    ],
+                },
+                CatalogTable {
+                    name: "lc_exgindustry".into(),
+                    desc_en: String::new(),
+                    desc_cn: String::new(),
+                    columns: vec![
+                        CatalogColumn::new("compcode", ColType::Int, "", ""),
+                        CatalogColumn::new("firstindustryname", ColType::Text, "", ""),
+                    ],
+                },
+            ],
+            foreign_keys: vec![ForeignKey {
+                from_table: "lc_exgindustry".into(),
+                from_column: "compcode".into(),
+                to_table: "lc_sharestru".into(),
+                to_column: "compcode".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn majority_cluster_wins() {
+        let candidates = vec![
+            "SELECT chinameabbr FROM lc_sharestru WHERE compcode = 5".to_string(),
+            "SELECT chinameabbr FROM lc_sharestru WHERE compcode = 5".to_string(),
+            "SELECT aquireramount FROM lc_sharestru WHERE compcode = 5".to_string(),
+        ];
+        let out = calibrate(&candidates, &schema(), &CalibrationConfig::default()).unwrap();
+        assert!(out.contains("chinameabbr"), "got {out}");
+    }
+
+    #[test]
+    fn semantically_equal_candidates_cluster_together() {
+        // Different alias spelling and predicate order, same components:
+        // they must form one cluster that outvotes the odd one out.
+        let candidates = vec![
+            "SELECT t1.chinameabbr FROM lc_sharestru AS t1 WHERE t1.compcode = 5 AND t1.aquireramount > 2".to_string(),
+            "SELECT lc_sharestru.chinameabbr FROM lc_sharestru WHERE lc_sharestru.aquireramount > 2 AND lc_sharestru.compcode = 5".to_string(),
+            "SELECT aquireramount FROM lc_sharestru".to_string(),
+            "SELECT compcode FROM lc_sharestru".to_string(),
+        ];
+        let out = calibrate(&candidates, &schema(), &CalibrationConfig::default()).unwrap();
+        assert!(out.contains("chinameabbr"), "got {out}");
+    }
+
+    #[test]
+    fn repair_fixes_figure12_typos() {
+        let candidates = vec![
+            "SELECT aquirementrium FROM lc_sharestru WHERE compcode == 5;".to_string(),
+        ];
+        let out = calibrate(&candidates, &schema(), &CalibrationConfig::default()).unwrap();
+        assert_eq!(out, "SELECT aquireramount FROM lc_sharestru WHERE compcode = 5");
+    }
+
+    #[test]
+    fn alignment_requalifies_wrong_tables() {
+        let candidates = vec![
+            "SELECT t2.chinameabbr FROM lc_sharestru AS t1 JOIN lc_exgindustry AS t2 ON t1.compcode = t2.compcode WHERE t1.firstindustryname = 'Banks'".to_string(),
+        ];
+        let out = calibrate(&candidates, &schema(), &CalibrationConfig::default()).unwrap();
+        assert!(out.contains("t1.chinameabbr"), "got {out}");
+        assert!(out.contains("t2.firstindustryname"), "got {out}");
+    }
+
+    #[test]
+    fn disabled_alignment_leaves_misqualification() {
+        let candidates = vec![
+            "SELECT t2.chinameabbr FROM lc_sharestru AS t1 JOIN lc_exgindustry AS t2 ON t1.compcode = t2.compcode".to_string(),
+        ];
+        let cfg = CalibrationConfig { alignment: false, ..Default::default() };
+        let out = calibrate(&candidates, &schema(), &cfg).unwrap();
+        assert!(out.contains("t2.chinameabbr"), "got {out}");
+    }
+
+    #[test]
+    fn disabled_self_consistency_takes_first_valid() {
+        let candidates = vec![
+            "SELECT aquireramount FROM lc_sharestru".to_string(),
+            "SELECT chinameabbr FROM lc_sharestru".to_string(),
+            "SELECT chinameabbr FROM lc_sharestru".to_string(),
+        ];
+        let cfg = CalibrationConfig { self_consistency: false, ..Default::default() };
+        let out = calibrate(&candidates, &schema(), &cfg).unwrap();
+        assert!(out.contains("aquireramount"));
+    }
+
+    #[test]
+    fn unparseable_candidates_are_dropped() {
+        let candidates = vec![
+            "totally not sql".to_string(),
+            "SELECT chinameabbr FROM lc_sharestru".to_string(),
+        ];
+        let out = calibrate(&candidates, &schema(), &CalibrationConfig::default()).unwrap();
+        assert!(out.contains("chinameabbr"));
+    }
+
+    #[test]
+    fn all_unparseable_yields_none() {
+        let candidates = vec!["???".to_string(), "".to_string()];
+        assert!(calibrate(&candidates, &schema(), &CalibrationConfig::default()).is_none());
+    }
+
+    #[test]
+    fn dangling_join_gets_fk_repair() {
+        let candidates = vec![
+            "SELECT t1.chinameabbr FROM lc_sharestru t1 JOIN lc_exgindustry t2 ON WHERE t2.firstindustryname = 'Banks'".to_string(),
+        ];
+        let out = calibrate(&candidates, &schema(), &CalibrationConfig::default()).unwrap();
+        assert!(out.contains("ON t1.compcode = t2.compcode"), "got {out}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Execution-accuracy (EX) evaluation, the paper's metric for every
+//! Text-to-SQL result table.
+
+use bull::{BullDataset, DbId, Lang, Split};
+use sqlengine::execution_accuracy;
+
+/// EX counts for one evaluation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalOutcome {
+    pub correct: usize,
+    pub total: usize,
+}
+
+impl EvalOutcome {
+    /// Execution accuracy in `[0, 1]`.
+    pub fn ex(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Execution accuracy as a percentage.
+    pub fn ex_pct(&self) -> f64 {
+        self.ex() * 100.0
+    }
+
+    /// Merges another outcome into this one.
+    pub fn absorb(&mut self, other: &EvalOutcome) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+}
+
+/// Evaluates a prediction function over the dev split of one database.
+/// `predict` maps a question to the final SQL.
+pub fn evaluate_ex(
+    ds: &BullDataset,
+    db: DbId,
+    lang: Lang,
+    mut predict: impl FnMut(&str) -> String,
+) -> EvalOutcome {
+    let database = ds.db(db);
+    let mut outcome = EvalOutcome::default();
+    for e in ds.examples_for(db, Split::Dev) {
+        let predicted = predict(e.question(lang));
+        if execution_accuracy(database, &predicted, &e.sql) {
+            outcome.correct += 1;
+        }
+        outcome.total += 1;
+    }
+    outcome
+}
+
+/// Evaluates over every database and pools the counts (the headline EX of
+/// Tables 4/5 covers all three dev sets).
+pub fn evaluate_ex_all(
+    ds: &BullDataset,
+    lang: Lang,
+    mut predict: impl FnMut(DbId, &str) -> String,
+) -> EvalOutcome {
+    let mut outcome = EvalOutcome::default();
+    for db in DbId::ALL {
+        let per_db = evaluate_ex(ds, db, lang, |q| predict(db, q));
+        outcome.absorb(&per_db);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_arithmetic() {
+        let mut a = EvalOutcome { correct: 3, total: 4 };
+        assert_eq!(a.ex(), 0.75);
+        assert_eq!(a.ex_pct(), 75.0);
+        a.absorb(&EvalOutcome { correct: 1, total: 4 });
+        assert_eq!(a.ex(), 0.5);
+        assert_eq!(EvalOutcome::default().ex(), 0.0);
+    }
+}

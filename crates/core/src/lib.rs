@@ -1,0 +1,30 @@
+//! FinSQL: the model-agnostic LLM-based Text-to-SQL framework.
+//!
+//! This crate assembles the paper's three components over the substrate
+//! crates:
+//!
+//! - **Prompt construction** ([`prompt`]): parallel Cross-Encoder schema
+//!   linking producing a concise prompt schema, plus prompt text
+//!   rendering for cost accounting;
+//! - **Parameter-efficient fine-tuning** ([`peft`]): LoRA plugin training
+//!   on the hybrid augmented data, the plugin hub, and weights-merging
+//!   based few-shot transfer;
+//! - **Output calibration** ([`calibrate`]): Algorithm 1 — typo repair
+//!   (`f1`), keyword-component extraction (`f2`), non-execution
+//!   self-consistency clustering, and table–column alignment (`f3`).
+//!
+//! [`pipeline`] wires them into the runnable [`pipeline::FinSql`]
+//! system; [`eval`] measures execution accuracy; [`baselines`] implements
+//! the six comparison systems of the paper's Tables 4–5.
+
+pub mod baselines;
+pub mod calibrate;
+pub mod eval;
+pub mod peft;
+pub mod pipeline;
+pub mod prompt;
+
+pub use calibrate::{calibrate, CalibrationConfig};
+pub use eval::{evaluate_ex, EvalOutcome};
+pub use pipeline::{FinSql, FinSqlConfig};
+pub use prompt::{render_prompt, render_schema};

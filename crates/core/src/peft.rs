@@ -1,0 +1,137 @@
+//! Parameter-efficient fine-tuning orchestration (paper §7): training a
+//! database's LoRA plugin on the hybrid augmented mix, registering it in
+//! the plugin hub, and weights-merging-based few-shot transfer.
+
+use augment::{build_training_mix, AugmentationFlags};
+use bull::{BullDataset, DbId, Lang, Split};
+use simllm::{
+    train_plugin, EmbeddingModel, LoraPlugin, PluginHub, TrainExample, TrainOpts,
+};
+
+/// Builds the training pairs `(question, sql)` of one database's split in
+/// one register.
+pub fn training_pairs(ds: &BullDataset, db: DbId, lang: Lang) -> Vec<(String, String)> {
+    ds.examples_for(db, Split::Train)
+        .into_iter()
+        .map(|e| (e.question(lang).to_string(), e.sql.clone()))
+        .collect()
+}
+
+/// Trains a plugin for one database on the augmented mix and stores it in
+/// the hub under `"{db}-{lang}"`.
+pub fn train_database_plugin(
+    base: &EmbeddingModel,
+    hub: &PluginHub,
+    ds: &BullDataset,
+    db: DbId,
+    lang: Lang,
+    flags: AugmentationFlags,
+    opts: TrainOpts,
+) -> std::sync::Arc<LoraPlugin> {
+    let pairs = training_pairs(ds, db, lang);
+    let mix = build_training_mix(ds.db(db), &pairs, lang, flags);
+    let name = plugin_name(db, lang);
+    // Train to a fixed optimisation budget: smaller datasets get more
+    // epochs, as any real fine-tuning run would (the augmented mixes are
+    // several times larger than the raw annotations).
+    let epochs = (60_000 / mix.len().max(1)).clamp(opts.epochs, 24);
+    let plugin = train_plugin(base, &name, &mix, TrainOpts { epochs, ..opts });
+    hub.insert(plugin)
+}
+
+/// Canonical hub name for a database's plugin.
+pub fn plugin_name(db: DbId, lang: Lang) -> String {
+    format!("{}-{}", db.as_str(), lang.suffix())
+}
+
+/// Weights-merging-based few-shot fine-tuning (paper §7.3, Figure 11):
+/// merges the named source plugins with uniform ω, then continues
+/// training on `k` target-domain examples.
+pub fn fewshot_with_merge(
+    base: &EmbeddingModel,
+    hub: &PluginHub,
+    sources: &[&str],
+    target_name: &str,
+    shots: &[TrainExample],
+    opts: TrainOpts,
+) -> Option<std::sync::Arc<LoraPlugin>> {
+    let w = 1.0 / sources.len() as f32;
+    let weighted: Vec<(&str, f32)> = sources.iter().map(|s| (*s, w)).collect();
+    let merged = hub.merge_into(&format!("{target_name}-merged-init"), &weighted)?;
+    let continued = simllm::train::continue_training(
+        base,
+        target_name,
+        merged.lora.clone(),
+        &merged.prototypes,
+        shots,
+        opts,
+    );
+    Some(hub.insert(continued))
+}
+
+/// Few-shot fine-tuning from scratch (the paper's "LoRA" curve of
+/// Figure 13): a fresh plugin trained only on the `k` shots.
+pub fn fewshot_from_scratch(
+    base: &EmbeddingModel,
+    hub: &PluginHub,
+    target_name: &str,
+    shots: &[TrainExample],
+    opts: TrainOpts,
+) -> std::sync::Arc<LoraPlugin> {
+    hub.insert(train_plugin(base, target_name, shots, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simllm::ExampleKind;
+
+    fn shots(n: usize) -> Vec<TrainExample> {
+        (0..n)
+            .map(|i| TrainExample {
+                question: format!("how many records of kind {i}"),
+                sql: format!("SELECT COUNT(*) FROM t WHERE a = 'k{i}'"),
+                kind: ExampleKind::Original,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plugin_names_are_stable() {
+        assert_eq!(plugin_name(DbId::Fund, Lang::En), "fund-en");
+        assert_eq!(plugin_name(DbId::Macro, Lang::Cn), "macro-cn");
+    }
+
+    #[test]
+    fn fewshot_merge_carries_source_knowledge() {
+        let base = EmbeddingModel::pretrained(5);
+        let hub = PluginHub::new();
+        hub.insert(train_plugin(&base, "src-a", &shots(10), TrainOpts::default()));
+        hub.insert(train_plugin(
+            &base,
+            "src-b",
+            &[TrainExample {
+                question: "top 3 things by size".into(),
+                sql: "SELECT n FROM t ORDER BY m DESC LIMIT 3".into(),
+                kind: ExampleKind::Original,
+            }],
+            TrainOpts::default(),
+        ));
+        let merged =
+            fewshot_with_merge(&base, &hub, &["src-a", "src-b"], "tgt", &[], TrainOpts::default())
+                .unwrap();
+        // Zero-shot merged plugin still knows both source skeletons.
+        assert_eq!(merged.prototypes.len(), 2);
+        // From-scratch zero-shot knows nothing.
+        let scratch = fewshot_from_scratch(&base, &hub, "tgt2", &[], TrainOpts::default());
+        assert!(scratch.prototypes.is_empty());
+    }
+
+    #[test]
+    fn missing_source_returns_none() {
+        let base = EmbeddingModel::pretrained(5);
+        let hub = PluginHub::new();
+        assert!(fewshot_with_merge(&base, &hub, &["ghost"], "t", &[], TrainOpts::default())
+            .is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! The end-to-end FinSQL system (paper Figure 1, inference path):
+//! schema linking → concise prompt → LLM sampling → output calibration.
+
+use crate::calibrate::{calibrate, CalibrationConfig};
+use crate::peft::train_database_plugin;
+use augment::AugmentationFlags;
+use bull::{BullDataset, DbId, Lang, Split};
+use crossenc::{CrossEncoder, InferenceMode, LinkExample, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simllm::{
+    BaseModelProfile, EmbeddingModel, GenConfig, LoraPlugin, PluginHub, SqlGenerator, TrainOpts,
+    ValueIndex,
+};
+use sqlkit::catalog::CatalogSchema;
+use std::sync::Arc;
+
+/// Build-time configuration for a [`FinSql`] system.
+#[derive(Debug, Clone, Copy)]
+pub struct FinSqlConfig {
+    pub lang: Lang,
+    /// Augmentation flags for plugin training (Table 8 knobs).
+    pub augmentation: AugmentationFlags,
+    /// Calibration steps at inference (Table 9 knobs).
+    pub calibration: CalibrationConfig,
+    /// Tables kept by schema linking.
+    pub k_tables: usize,
+    /// Columns kept per table.
+    pub k_columns: usize,
+    /// Candidates sampled for self-consistency.
+    pub n_candidates: usize,
+    /// Sampling temperature.
+    pub temperature: f64,
+    pub seed: u64,
+}
+
+impl FinSqlConfig {
+    /// The defaults used for the headline Tables 4/5 rows.
+    pub fn standard(lang: Lang) -> Self {
+        FinSqlConfig {
+            lang,
+            augmentation: AugmentationFlags::default(),
+            calibration: CalibrationConfig::default(),
+            k_tables: 4,
+            k_columns: 8,
+            n_candidates: 5,
+            temperature: 0.7,
+            seed: 0xF1A5,
+        }
+    }
+}
+
+/// Per-database inference artifacts.
+pub struct DbRuntime {
+    pub db: DbId,
+    pub schema: CatalogSchema,
+    pub views: crossenc::model::SchemaViews,
+    pub values: ValueIndex,
+    pub plugin: Arc<LoraPlugin>,
+}
+
+/// A fully-built FinSQL system for one register, covering all three
+/// databases.
+pub struct FinSql {
+    pub config: FinSqlConfig,
+    pub profile: &'static BaseModelProfile,
+    pub base: EmbeddingModel,
+    pub linker: CrossEncoder,
+    pub hub: PluginHub,
+    runtimes: Vec<DbRuntime>,
+}
+
+impl FinSql {
+    /// Trains the full system on the dataset's training splits: the
+    /// Cross-Encoder linker jointly over the three databases, and one
+    /// LoRA plugin per database on the augmented mix.
+    pub fn build(
+        ds: &BullDataset,
+        profile: &'static BaseModelProfile,
+        config: FinSqlConfig,
+    ) -> Self {
+        let base = EmbeddingModel::pretrained(config.seed);
+        let linker = train_linker(ds, config.lang, &DbId::ALL, config.seed);
+        let hub = PluginHub::new();
+        let mut runtimes = Vec::new();
+        for db in DbId::ALL {
+            let plugin = train_database_plugin(
+                &base,
+                &hub,
+                ds,
+                db,
+                config.lang,
+                config.augmentation,
+                TrainOpts { seed: config.seed ^ db as u64, ..Default::default() },
+            );
+            runtimes.push(DbRuntime {
+                db,
+                schema: ds.db(db).catalog().clone(),
+                views: crossenc::model::SchemaViews::build(ds.db(db).catalog(), config.lang),
+                values: ValueIndex::build(ds.db(db)),
+                plugin,
+            });
+        }
+        FinSql { config, profile, base, linker, hub, runtimes }
+    }
+
+    /// The runtime artifacts of one database.
+    pub fn runtime(&self, db: DbId) -> &DbRuntime {
+        self.runtimes.iter().find(|r| r.db == db).expect("runtime built for every database")
+    }
+
+    /// Replaces a database's plugin (used by the few-shot experiments).
+    pub fn set_plugin(&mut self, db: DbId, plugin: Arc<LoraPlugin>) {
+        if let Some(r) = self.runtimes.iter_mut().find(|r| r.db == db) {
+            r.plugin = plugin;
+        }
+    }
+
+    /// Answers a question against one database: the paper's full
+    /// inference path.
+    pub fn answer(&self, db: DbId, question: &str, rng: &mut StdRng) -> String {
+        let rt = self.runtime(db);
+        // 1. Parallel schema linking → concise prompt schema.
+        let linked = self.linker.link(question, &rt.views, InferenceMode::Parallel);
+        let prompt_schema = linked.project(&rt.schema, self.config.k_tables, self.config.k_columns);
+        // 2. Sample n candidates from the adapted model.
+        let generator = SqlGenerator::new(&self.base, Some(&rt.plugin), self.profile);
+        let candidates = generator.generate(
+            question,
+            &prompt_schema,
+            &rt.values,
+            GenConfig {
+                n_samples: self.config.n_candidates,
+                temperature: self.config.temperature,
+                skeleton_temperature: None,
+            },
+            rng,
+        );
+        // 3. Output calibration against the full schema.
+        calibrate(&candidates, &rt.schema, &self.config.calibration)
+            .unwrap_or_else(|| candidates.first().cloned().unwrap_or_default())
+    }
+
+    /// A deterministic per-question RNG (seeded from the system seed and
+    /// the question), so evaluation order does not matter.
+    pub fn question_rng(&self, question: &str) -> StdRng {
+        let mut h = self.config.seed;
+        for b in question.as_bytes() {
+            h = h.wrapping_mul(0x100000001B3).wrapping_add(u64::from(*b));
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Trains the Cross-Encoder on the training splits of the given
+/// databases (jointly, as the paper does for the few-shot study).
+pub fn train_linker(ds: &BullDataset, lang: Lang, dbs: &[DbId], seed: u64) -> CrossEncoder {
+    let schemas: Vec<&CatalogSchema> = dbs.iter().map(|&db| ds.db(db).catalog()).collect();
+    let mut examples = Vec::new();
+    for (si, &db) in dbs.iter().enumerate() {
+        for e in ds.examples_for(db, Split::Train) {
+            examples.push(LinkExample {
+                question: e.question(lang).to_string(),
+                gold_tables: e.gold_tables.clone(),
+                gold_columns: e.gold_columns.clone(),
+                schema_idx: si,
+            });
+        }
+    }
+    crossenc::train::train(lang, &schemas, &examples, TrainConfig { seed, ..Default::default() })
+}
+
+/// Convenience: the training pairs + linker examples used by baselines.
+pub fn dev_pairs(ds: &BullDataset, db: DbId, lang: Lang) -> Vec<(String, String)> {
+    ds.examples_for(db, Split::Dev)
+        .into_iter()
+        .map(|e| (e.question(lang).to_string(), e.sql.clone()))
+        .collect()
+}

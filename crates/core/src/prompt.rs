@@ -1,0 +1,131 @@
+//! Prompt construction: rendering schemas and instruction prompts.
+//!
+//! The rendered text matters twice: it is what the context-length and
+//! cost accounting of the GPT baselines is computed over (Tables 2/4/5),
+//! and its conciseness — full schema vs schema-linked subset — is the
+//! measurable benefit of the parallel Cross-Encoder.
+
+use sqlkit::catalog::{CatalogSchema, Lang};
+
+/// Renders a schema as `CREATE TABLE`-style prompt text with per-column
+/// description comments, the common LLM Text-to-SQL serialisation.
+pub fn render_schema(schema: &CatalogSchema, lang: Lang) -> String {
+    let mut out = String::new();
+    for t in &schema.tables {
+        out.push_str(&format!("CREATE TABLE {} -- {}\n", t.name, t.desc(lang)));
+        for (i, c) in t.columns.iter().enumerate() {
+            let comma = if i + 1 < t.columns.len() { "," } else { "" };
+            out.push_str(&format!("  {} {}{comma} -- {}\n", c.name, c.ty.sql_name(), c.desc(lang)));
+        }
+    }
+    for fk in &schema.foreign_keys {
+        out.push_str(&format!(
+            "-- {}.{} references {}.{}\n",
+            fk.from_table, fk.from_column, fk.to_table, fk.to_column
+        ));
+    }
+    out
+}
+
+/// Builds the zero-shot instruction prompt.
+pub fn render_prompt(question: &str, schema: &CatalogSchema, lang: Lang) -> String {
+    format!(
+        "Given the database schema and a question, write the SQL query corresponding to the question.\n\n{}\nQuestion: {}\nSQL:",
+        render_schema(schema, lang),
+        question
+    )
+}
+
+/// Builds a few-shot in-context-learning prompt with `(question, sql)`
+/// demonstration pairs, as the GPT baselines do.
+pub fn render_icl_prompt(
+    question: &str,
+    schema: &CatalogSchema,
+    lang: Lang,
+    examples: &[(String, String)],
+) -> String {
+    let mut out = String::from(
+        "Given the database schema, examples and a question, write the SQL query corresponding to the question.\n\n",
+    );
+    out.push_str(&render_schema(schema, lang));
+    for (q, sql) in examples {
+        out.push_str(&format!("\nQuestion: {q}\nSQL: {sql}\n"));
+    }
+    out.push_str(&format!("\nQuestion: {question}\nSQL:"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::catalog::{CatalogColumn, CatalogTable, ColType, ForeignKey};
+
+    fn schema() -> CatalogSchema {
+        CatalogSchema {
+            db_id: "p".into(),
+            tables: vec![CatalogTable {
+                name: "mf_fundnav".into(),
+                desc_en: "fund daily net value".into(),
+                desc_cn: "基金每日净值".into(),
+                columns: vec![
+                    CatalogColumn::new("innercode", ColType::Int, "fund code", "基金代码"),
+                    CatalogColumn::new("nav", ColType::Float, "unit net value", "单位净值"),
+                ],
+            }],
+            foreign_keys: vec![ForeignKey {
+                from_table: "mf_fundnav".into(),
+                from_column: "innercode".into(),
+                to_table: "mf_fundarchives".into(),
+                to_column: "innercode".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn schema_rendering_includes_descriptions_and_fks() {
+        let text = render_schema(&schema(), Lang::En);
+        assert!(text.contains("CREATE TABLE mf_fundnav -- fund daily net value"));
+        assert!(text.contains("nav REAL -- unit net value"));
+        assert!(text.contains("references mf_fundarchives.innercode"));
+    }
+
+    #[test]
+    fn cn_register_uses_cn_descriptions() {
+        let text = render_schema(&schema(), Lang::Cn);
+        assert!(text.contains("单位净值"));
+        assert!(!text.contains("unit net value"));
+    }
+
+    #[test]
+    fn prompt_contains_question() {
+        let p = render_prompt("show the nav", &schema(), Lang::En);
+        assert!(p.contains("Question: show the nav"));
+        assert!(p.ends_with("SQL:"));
+    }
+
+    #[test]
+    fn icl_prompt_contains_examples() {
+        let p = render_icl_prompt(
+            "q",
+            &schema(),
+            Lang::En,
+            &[("example q".into(), "SELECT 1".into())],
+        );
+        assert!(p.contains("example q"));
+        assert!(p.contains("SELECT 1"));
+    }
+
+    #[test]
+    fn linked_schema_prompt_is_much_shorter() {
+        // A pruned schema renders to fewer tokens — the concise-prompt
+        // benefit of schema linking.
+        let full = bull::DbId::Fund.schema();
+        let pruned = full.project(
+            &["mf_fundnav".into()],
+            &[("mf_fundnav".into(), "nav".into()), ("mf_fundnav".into(), "innercode".into())],
+        );
+        let t_full = textenc::approx_token_count(&render_schema(&full, Lang::En));
+        let t_pruned = textenc::approx_token_count(&render_schema(&pruned, Lang::En));
+        assert!(t_pruned * 10 < t_full, "pruned {t_pruned} vs full {t_full}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Feature extraction for the Cross-Encoder: lexical-overlap features
+//! between a question and schema-element descriptions.
+
+use sqlkit::catalog::{CatalogColumn, CatalogTable, Lang};
+use textenc::{char_ngrams, tokenize, tokenize_identifier, FeatureHasher, SparseVec};
+
+/// Hash-space size (bits) for the linking models.
+pub const FEATURE_BITS: u32 = 16;
+
+/// A pre-tokenised question, computed once per inference/training step.
+#[derive(Debug, Clone)]
+pub struct QuestionView {
+    tokens: Vec<String>,
+    trigrams: std::collections::HashSet<String>,
+}
+
+impl QuestionView {
+    /// Tokenises a question.
+    pub fn new(question: &str) -> Self {
+        let tokens = tokenize(question);
+        let trigrams = tokens.iter().flat_map(|t| char_ngrams(t, 3)).collect();
+        QuestionView { tokens, trigrams }
+    }
+
+    fn overlap_tokens<'a>(&'a self, desc_tokens: &'a [String]) -> impl Iterator<Item = &'a String> {
+        desc_tokens.iter().filter(|t| self.tokens.contains(t))
+    }
+
+    /// Character-trigram overlap ratio with a pre-tokenised description.
+    fn trigram_overlap(&self, grams: &std::collections::HashSet<String>) -> f32 {
+        if grams.is_empty() {
+            return 0.0;
+        }
+        let inter = grams.iter().filter(|g| self.trigrams.contains(*g)).count();
+        inter as f32 / grams.len() as f32
+    }
+}
+
+/// Tokenised description of one schema element, cached per schema.
+#[derive(Debug, Clone)]
+pub struct ElementView {
+    /// Description word tokens (register-specific).
+    pub desc_tokens: Vec<String>,
+    /// Identifier word parts (`lc_sharestru` → `lc`, `sharestru`).
+    pub ident_tokens: Vec<String>,
+    /// Character trigrams of the description (cached — feature extraction
+    /// runs millions of times during training).
+    pub desc_trigrams: std::collections::HashSet<String>,
+}
+
+impl ElementView {
+    /// Builds a view of a table's own description.
+    pub fn of_table(t: &CatalogTable, lang: Lang) -> Self {
+        let desc_tokens = tokenize(t.desc(lang));
+        let desc_trigrams = desc_tokens.iter().flat_map(|t| char_ngrams(t, 3)).collect();
+        ElementView { desc_tokens, ident_tokens: tokenize_identifier(&t.name), desc_trigrams }
+    }
+
+    /// Builds a view of a column's description.
+    pub fn of_column(c: &CatalogColumn, lang: Lang) -> Self {
+        let desc_tokens = tokenize(c.desc(lang));
+        let desc_trigrams = desc_tokens.iter().flat_map(|t| char_ngrams(t, 3)).collect();
+        ElementView { desc_tokens, ident_tokens: tokenize_identifier(&c.name), desc_trigrams }
+    }
+}
+
+/// Extracts the feature vector for one (question, element) pair.
+///
+/// Features: exact description-word overlaps (hashed individually, so the
+/// model learns which words are discriminative), identifier-part
+/// overlaps, binned trigram-overlap ratio, overlap-count buckets and a
+/// bias term.
+pub fn pair_features(hasher: &FeatureHasher, q: &QuestionView, e: &ElementView) -> SparseVec {
+    let mut feats: Vec<(String, f32)> = Vec::with_capacity(16);
+    feats.push(("bias".to_string(), 1.0));
+    let mut overlap_count = 0usize;
+    for w in q.overlap_tokens(&e.desc_tokens) {
+        feats.push((format!("dw={w}"), 1.0));
+        overlap_count += 1;
+    }
+    for w in q.overlap_tokens(&e.ident_tokens) {
+        feats.push((format!("iw={w}"), 1.0));
+        overlap_count += 1;
+    }
+    // Coverage of the description by the question.
+    let coverage = if e.desc_tokens.is_empty() {
+        0.0
+    } else {
+        q.overlap_tokens(&e.desc_tokens).count() as f32 / e.desc_tokens.len() as f32
+    };
+    feats.push(("coverage".to_string(), coverage));
+    let tri = q.trigram_overlap(&e.desc_trigrams);
+    feats.push(("trigram".to_string(), tri));
+    // Bucketised overlap count (lets the linear model be non-linear in
+    // count).
+    let bucket = overlap_count.min(5);
+    feats.push((format!("oc={bucket}"), 1.0));
+    hasher.hash_weighted(feats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::catalog::ColType;
+
+    fn hasher() -> FeatureHasher {
+        FeatureHasher::new(FEATURE_BITS)
+    }
+
+    fn col(name: &str, desc: &str) -> CatalogColumn {
+        CatalogColumn::new(name, ColType::Float, desc, desc)
+    }
+
+    #[test]
+    fn overlapping_description_scores_more_features() {
+        let q = QuestionView::new("What is the unit net value of the fund?");
+        let relevant = ElementView::of_column(&col("nav", "unit net value"), Lang::En);
+        let irrelevant = ElementView::of_column(&col("xgrq", "record update date"), Lang::En);
+        let h = hasher();
+        let fr = pair_features(&h, &q, &relevant);
+        let fi = pair_features(&h, &q, &irrelevant);
+        assert!(fr.nnz() > fi.nnz(), "relevant pair must fire more features");
+    }
+
+    #[test]
+    fn identifier_parts_contribute() {
+        let q = QuestionView::new("show the nav history");
+        let e = ElementView::of_column(&col("nav", "unit net value"), Lang::En);
+        let h = hasher();
+        let f = pair_features(&h, &q, &e);
+        // The "iw=nav" feature must be present (weight 1 at its bucket).
+        let bucket = h.bucket("iw=nav");
+        assert!(f.entries().iter().any(|(i, _)| *i == bucket));
+    }
+
+    #[test]
+    fn features_are_deterministic() {
+        let q = QuestionView::new("average closing price");
+        let e = ElementView::of_column(&col("closeprice", "closing price"), Lang::En);
+        let h = hasher();
+        assert_eq!(pair_features(&h, &q, &e), pair_features(&h, &q, &e));
+    }
+
+    #[test]
+    fn cn_register_works() {
+        let c = CatalogColumn::new("nav", ColType::Float, "unit net value", "单位净值");
+        let q = QuestionView::new("基金的单位净值是多少");
+        let e = ElementView::of_column(&c, Lang::Cn);
+        let f = pair_features(&hasher(), &q, &e);
+        assert!(f.nnz() > 2, "CJK chars must overlap: {}", f.nnz());
+    }
+}

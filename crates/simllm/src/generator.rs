@@ -1,0 +1,293 @@
+//! The end-to-end SQL generator: retrieve skeleton → fill slots → decode
+//! with noise.
+
+use crate::embed::{cosine, EmbeddingModel};
+use crate::hub::LoraPlugin;
+use crate::noise::corrupt;
+use crate::profiles::BaseModelProfile;
+use crate::slots::{FillOptions, SlotFiller};
+use crate::values::ValueIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlkit::catalog::CatalogSchema;
+
+/// FNV-1a fingerprint used to derive per-question slot seeds.
+fn fingerprint(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Sampling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Number of candidates to sample (the paper generates `n` in
+    /// parallel for self-consistency).
+    pub n_samples: usize,
+    /// Sampling temperature: scales skeleton slips and decoder noise.
+    /// `0.0` is greedy decoding.
+    pub temperature: f64,
+    /// Separate temperature for the skeleton (structure) choice. RESDSQL
+    /// style skeleton-aware decoding fixes the structure first — modelled
+    /// as skeleton temperature 0 with normal token noise. `None` follows
+    /// `temperature`.
+    pub skeleton_temperature: Option<f64>,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { n_samples: 1, temperature: 0.7, skeleton_temperature: None }
+    }
+}
+
+/// A ready-to-run generator: frozen base + optional plugin + profile.
+pub struct SqlGenerator<'a> {
+    pub base: &'a EmbeddingModel,
+    pub plugin: Option<&'a LoraPlugin>,
+    pub profile: &'a BaseModelProfile,
+}
+
+impl<'a> SqlGenerator<'a> {
+    /// Creates a generator.
+    pub fn new(
+        base: &'a EmbeddingModel,
+        plugin: Option<&'a LoraPlugin>,
+        profile: &'a BaseModelProfile,
+    ) -> Self {
+        SqlGenerator { base, plugin, profile }
+    }
+
+    /// Generates `cfg.n_samples` candidate SQL strings for a question
+    /// against a (typically schema-linked) prompt schema.
+    pub fn generate(
+        &self,
+        question: &str,
+        prompt_schema: &CatalogSchema,
+        values: &ValueIndex,
+        cfg: GenConfig,
+        rng: &mut StdRng,
+    ) -> Vec<String> {
+        self.generate_with_retrieval_text(question, question, prompt_schema, values, cfg, rng)
+    }
+
+    /// Like [`SqlGenerator::generate`], but retrieves skeleton prototypes
+    /// with a different text than the one used for slot filling. DAIL-SQL
+    /// style masked-question matching uses this: structure is matched on
+    /// the question with schema words removed, slots on the full question.
+    pub fn generate_with_retrieval_text(
+        &self,
+        question: &str,
+        retrieval_text: &str,
+        prompt_schema: &CatalogSchema,
+        values: &ValueIndex,
+        cfg: GenConfig,
+        rng: &mut StdRng,
+    ) -> Vec<String> {
+        let filler = SlotFiller::new(prompt_schema, values, question);
+        // Rank skeleton prototypes once.
+        let ranked = self.ranked_prototypes(retrieval_text);
+        // Slot (identifier) decisions are a *systematic* property of the
+        // model given a fixed prompt — sampling temperature perturbs the
+        // decoded surface (noise) and occasionally the structure, but a
+        // model that binds "redemption status" to the wrong column does
+        // so on every sample. Hence slot draws come from a per-question
+        // seed shared across the n samples, while skeleton slips and
+        // decoder noise use the sampling RNG.
+        let slot_seed = fingerprint(question) ^ fingerprint(&self.profile.name_and_skill());
+        let mut out = Vec::with_capacity(cfg.n_samples);
+        for _ in 0..cfg.n_samples.max(1) {
+            let mut slot_rng = StdRng::seed_from_u64(slot_seed);
+            let sql = self.sample_once(&filler, &ranked, cfg, &mut slot_rng, rng);
+            out.push(sql);
+        }
+        out
+    }
+
+    /// Prototype indices sorted by cosine to the adapted question
+    /// embedding, with their similarities.
+    fn ranked_prototypes(&self, question: &str) -> Vec<(usize, f32)> {
+        let Some(plugin) = self.plugin else { return Vec::new() };
+        let emb = self.base.embed(question, Some(&plugin.lora));
+        let mut ranked: Vec<(usize, f32)> = plugin
+            .prototypes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, cosine(&emb, &p.centroid)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+
+    fn sample_once(
+        &self,
+        filler: &SlotFiller<'_>,
+        ranked: &[(usize, f32)],
+        cfg: GenConfig,
+        slot_rng: &mut StdRng,
+        rng: &mut StdRng,
+    ) -> String {
+        let Some(plugin) = self.plugin else {
+            // No adaptation at all: the base model free-associates.
+            return filler.fallback_sql();
+        };
+        if ranked.is_empty() {
+            return filler.fallback_sql();
+        }
+        // Skeleton choice: best prototype, with a margin- and
+        // temperature-dependent slip to the runner-up.
+        let idx = if ranked.len() >= 2 {
+            let margin = (ranked[0].1 - ranked[1].1).max(0.0) as f64;
+            let skel_temp = cfg.skeleton_temperature.unwrap_or(cfg.temperature);
+            let p_slip = (self.profile.skel_slip * skel_temp * (1.0 - margin * 4.0))
+                .clamp(0.0, 0.9);
+            if p_slip > 0.0 && rng.gen_bool(p_slip) {
+                ranked[1].0
+            } else {
+                ranked[0].0
+            }
+        } else {
+            ranked[0].0
+        };
+        let proto = &plugin.prototypes[idx];
+        let opts = FillOptions {
+            cot: plugin.cot_trained,
+            slot_skill: self.profile.slot_skill,
+            join_skill: self.profile.join_skill,
+        };
+        let sql = filler
+            .fill(proto.shape, &opts, slot_rng)
+            .unwrap_or_else(|| filler.fallback_sql());
+        corrupt(&sql, &self.profile.noise, cfg.temperature, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::LLAMA2_13B;
+    use crate::train::{train_plugin, ExampleKind, TrainExample, TrainOpts};
+    use rand::SeedableRng;
+    use sqlengine::{Database, Value};
+    use sqlkit::catalog::{CatalogColumn, CatalogSchema, CatalogTable, ColType};
+
+    fn schema() -> CatalogSchema {
+        CatalogSchema {
+            db_id: "g".into(),
+            tables: vec![CatalogTable {
+                name: "fund".into(),
+                desc_en: "fund master".into(),
+                desc_cn: "fund".into(),
+                columns: vec![
+                    CatalogColumn::new("fname", ColType::Text, "fund name", "fund name"),
+                    CatalogColumn::new("ftype", ColType::Text, "fund type", "fund type"),
+                    CatalogColumn::new("ret", ColType::Float, "return rate", "return rate"),
+                ],
+            }],
+            foreign_keys: vec![],
+        }
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new(schema());
+        for (n, t, r) in [
+            ("Alpha Growth", "bond fund", 1.5),
+            ("Beta Value", "stock fund", 2.5),
+            ("Gamma Mix", "bond fund", 0.5),
+        ] {
+            db.insert("fund", vec![Value::from(n), Value::from(t), Value::Float(r)]).unwrap();
+        }
+        db
+    }
+
+    fn plugin(base: &EmbeddingModel) -> crate::hub::LoraPlugin {
+        let mut examples = Vec::new();
+        for i in 0..15 {
+            examples.push(TrainExample {
+                question: format!("how many funds have fund type kind{i}"),
+                sql: format!("SELECT COUNT(*) FROM fund WHERE ftype = 'k{i}'"),
+                kind: ExampleKind::Original,
+            });
+            examples.push(TrainExample {
+                question: format!("what is the average return rate of type kind{i}"),
+                sql: format!("SELECT AVG(ret) FROM fund WHERE ftype = 'k{i}'"),
+                kind: ExampleKind::Original,
+            });
+        }
+        train_plugin(base, "fund", &examples, TrainOpts::default())
+    }
+
+    #[test]
+    fn trained_generator_produces_correct_sql_greedily() {
+        let base = EmbeddingModel::pretrained(42);
+        let plugin = plugin(&base);
+        let s = schema();
+        let database = db();
+        let values = ValueIndex::build(&database);
+        let g = SqlGenerator::new(&base, Some(&plugin), &LLAMA2_13B);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = g.generate(
+            "how many funds have fund type bond fund",
+            &s,
+            &values,
+            GenConfig { n_samples: 1, temperature: 0.0, skeleton_temperature: None },
+            &mut rng,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(
+            sqlengine::execution_accuracy(
+                &database,
+                &out[0],
+                "SELECT COUNT(*) FROM fund WHERE ftype = 'bond fund'"
+            ),
+            "generated: {}",
+            out[0]
+        );
+    }
+
+    #[test]
+    fn unadapted_generator_falls_back() {
+        let base = EmbeddingModel::pretrained(42);
+        let s = schema();
+        let database = db();
+        let values = ValueIndex::build(&database);
+        let g = SqlGenerator::new(&base, None, &LLAMA2_13B);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = g.generate("how many funds", &s, &values, GenConfig::default(), &mut rng);
+        assert!(out[0].starts_with("SELECT"));
+    }
+
+    #[test]
+    fn sampling_produces_varied_candidates() {
+        let base = EmbeddingModel::pretrained(42);
+        let plugin = plugin(&base);
+        let s = schema();
+        let database = db();
+        let values = ValueIndex::build(&database);
+        // A deliberately noisy decoder: sampling must vary the surface
+        // while slot decisions stay systematic.
+        let noisy = crate::BaseModelProfile {
+            noise: crate::noise::NoiseRates {
+                typo: 0.5,
+                double_eq: 0.5,
+                drop_on: 0.0,
+                misalign: 0.0,
+                value: 0.0,
+            },
+            ..LLAMA2_13B
+        };
+        let g = SqlGenerator::new(&base, Some(&plugin), &noisy);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = g.generate(
+            "how many funds have fund type bond fund",
+            &s,
+            &values,
+            GenConfig { n_samples: 20, temperature: 1.5, skeleton_temperature: None },
+            &mut rng,
+        );
+        let distinct: std::collections::HashSet<&String> = out.iter().collect();
+        assert!(distinct.len() > 1, "high temperature must vary output");
+    }
+}

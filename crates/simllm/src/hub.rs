@@ -1,0 +1,412 @@
+//! The LoRA plugin hub (paper §7.2): named, serialisable plugins that are
+//! independent of the base model, plus weighted merging (§7.3).
+
+use crate::embed::normalize;
+use crate::lora::LoraModule;
+use crate::shape::{AggKind, ShapeKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One skeleton class learned during training: its anchor skeleton, the
+/// structural shape, and the centroid of its member questions in the
+/// adapted embedding space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prototype {
+    pub skeleton: String,
+    pub shape: ShapeKind,
+    pub centroid: Vec<f32>,
+    /// Effective member count (merging produces fractional weights).
+    pub count: f32,
+}
+
+/// A trained LoRA plugin: the adapter matrices plus the skeleton
+/// prototype head learned with them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoraPlugin {
+    pub name: String,
+    pub lora: LoraModule,
+    pub prototypes: Vec<Prototype>,
+    /// Whether chain-of-thought data participated in training.
+    pub cot_trained: bool,
+    pub n_examples: usize,
+}
+
+impl LoraPlugin {
+    /// Merges plugins by weighted summation — the paper's Eq. 3–5 for the
+    /// factor matrices, and count-weighted centroid averaging for the
+    /// prototype head.
+    pub fn merge(name: &str, parts: &[(&LoraPlugin, f32)]) -> LoraPlugin {
+        assert!(!parts.is_empty(), "merge of zero plugins");
+        let lora_parts: Vec<(&LoraModule, f32)> =
+            parts.iter().map(|(p, w)| (&p.lora, *w)).collect();
+        let lora = LoraModule::merge(&lora_parts);
+        // Group prototypes by skeleton.
+        let mut by_skeleton: HashMap<&str, Vec<(f32, &Prototype)>> = HashMap::new();
+        for (p, w) in parts {
+            for proto in &p.prototypes {
+                by_skeleton.entry(proto.skeleton.as_str()).or_default().push((*w, proto));
+            }
+        }
+        let mut prototypes: Vec<Prototype> = by_skeleton
+            .into_iter()
+            .map(|(skeleton, members)| {
+                let dim = members[0].1.centroid.len();
+                let mut centroid = vec![0.0f32; dim];
+                let mut total = 0.0f32;
+                for (w, proto) in &members {
+                    let weight = w * proto.count;
+                    total += weight;
+                    for (c, v) in centroid.iter_mut().zip(&proto.centroid) {
+                        *c += weight * v;
+                    }
+                }
+                if total > 0.0 {
+                    for c in &mut centroid {
+                        *c /= total;
+                    }
+                }
+                normalize(&mut centroid);
+                Prototype {
+                    skeleton: skeleton.to_string(),
+                    shape: members[0].1.shape,
+                    centroid,
+                    count: total,
+                }
+            })
+            .collect();
+        prototypes.sort_by(|a, b| a.skeleton.cmp(&b.skeleton));
+        LoraPlugin {
+            name: name.to_string(),
+            lora,
+            prototypes,
+            cot_trained: parts.iter().any(|(p, _)| p.cot_trained),
+            n_examples: parts.iter().map(|(p, _)| p.n_examples).sum(),
+        }
+    }
+
+    /// Serialises the plugin to bytes (a plugin is a file in a real hub).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, &self.name);
+        buf.put_u8(u8::from(self.cot_trained));
+        buf.put_u64(self.n_examples as u64);
+        // LoRA module.
+        buf.put_u32(self.lora.dim_in as u32);
+        buf.put_u32(self.lora.dim_out as u32);
+        buf.put_u32(self.lora.rank as u32);
+        buf.put_f32(self.lora.scale);
+        put_f32s(&mut buf, &self.lora.a);
+        put_f32s(&mut buf, &self.lora.b);
+        // Prototypes.
+        buf.put_u32(self.prototypes.len() as u32);
+        for p in &self.prototypes {
+            put_str(&mut buf, &p.skeleton);
+            let (tag, arg) = encode_shape(p.shape);
+            buf.put_u8(tag);
+            buf.put_u8(arg);
+            buf.put_f32(p.count);
+            put_f32s(&mut buf, &p.centroid);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialises a plugin. Returns `None` on malformed input.
+    pub fn from_bytes(mut data: Bytes) -> Option<LoraPlugin> {
+        let name = get_str(&mut data)?;
+        if data.remaining() < 1 + 8 + 12 + 4 {
+            return None;
+        }
+        let cot_trained = data.get_u8() != 0;
+        let n_examples = data.get_u64() as usize;
+        let dim_in = data.get_u32() as usize;
+        let dim_out = data.get_u32() as usize;
+        let rank = data.get_u32() as usize;
+        let scale = data.get_f32();
+        let a = get_f32s(&mut data)?;
+        let b = get_f32s(&mut data)?;
+        if a.len() != dim_in * rank || b.len() != rank * dim_out {
+            return None;
+        }
+        if data.remaining() < 4 {
+            return None;
+        }
+        let n_protos = data.get_u32() as usize;
+        let mut prototypes = Vec::with_capacity(n_protos);
+        for _ in 0..n_protos {
+            let skeleton = get_str(&mut data)?;
+            if data.remaining() < 6 {
+                return None;
+            }
+            let tag = data.get_u8();
+            let arg = data.get_u8();
+            let count = data.get_f32();
+            let centroid = get_f32s(&mut data)?;
+            prototypes.push(Prototype {
+                skeleton,
+                shape: decode_shape(tag, arg)?,
+                centroid,
+                count,
+            });
+        }
+        Some(LoraPlugin {
+            name,
+            lora: LoraModule { a, b, dim_in, dim_out, rank, scale },
+            prototypes,
+            cot_trained,
+            n_examples,
+        })
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(data: &mut Bytes) -> Option<String> {
+    if data.remaining() < 4 {
+        return None;
+    }
+    let len = data.get_u32() as usize;
+    if data.remaining() < len {
+        return None;
+    }
+    let bytes = data.split_to(len);
+    String::from_utf8(bytes.to_vec()).ok()
+}
+
+fn put_f32s(buf: &mut BytesMut, v: &[f32]) {
+    buf.put_u32(v.len() as u32);
+    for x in v {
+        buf.put_f32(*x);
+    }
+}
+
+fn get_f32s(data: &mut Bytes) -> Option<Vec<f32>> {
+    if data.remaining() < 4 {
+        return None;
+    }
+    let len = data.get_u32() as usize;
+    if data.remaining() < len * 4 {
+        return None;
+    }
+    Some((0..len).map(|_| data.get_f32()).collect())
+}
+
+fn encode_shape(s: ShapeKind) -> (u8, u8) {
+    use ShapeKind::*;
+    match s {
+        FilterSelect { n_targets } => (0, n_targets),
+        CountFilter => (1, 0),
+        AggMeasure { agg, filtered } => (2, encode_agg(agg) | if filtered { 0x10 } else { 0 }),
+        TopkOrder { desc } => (3, u8::from(desc)),
+        GroupCount => (4, 0),
+        GroupAggHaving => (5, 0),
+        JoinFilter => (6, 0),
+        JoinAgg { agg } => (7, encode_agg(agg)),
+        JoinTopk => (8, 0),
+        CompareAvg => (9, 0),
+        InSubquery { text_pred } => (10, u8::from(text_pred)),
+        BetweenDates { agg } => (11, encode_agg(agg)),
+        LikeMatch => (12, 0),
+        CountDistinct => (13, 0),
+        MultiPredicate => (14, 0),
+        LatestDate => (15, 0),
+        GroupSumTopk => (16, 0),
+        DistinctFilter => (17, 0),
+        ThreeJoin => (18, 0),
+    }
+}
+
+fn decode_shape(tag: u8, arg: u8) -> Option<ShapeKind> {
+    use ShapeKind::*;
+    Some(match tag {
+        0 => FilterSelect { n_targets: arg },
+        1 => CountFilter,
+        2 => AggMeasure { agg: decode_agg(arg & 0x0F)?, filtered: arg & 0x10 != 0 },
+        3 => TopkOrder { desc: arg != 0 },
+        4 => GroupCount,
+        5 => GroupAggHaving,
+        6 => JoinFilter,
+        7 => JoinAgg { agg: decode_agg(arg)? },
+        8 => JoinTopk,
+        9 => CompareAvg,
+        10 => InSubquery { text_pred: arg != 0 },
+        11 => BetweenDates { agg: decode_agg(arg)? },
+        12 => LikeMatch,
+        13 => CountDistinct,
+        14 => MultiPredicate,
+        15 => LatestDate,
+        16 => GroupSumTopk,
+        17 => DistinctFilter,
+        18 => ThreeJoin,
+        _ => return None,
+    })
+}
+
+fn encode_agg(a: AggKind) -> u8 {
+    match a {
+        AggKind::Count => 0,
+        AggKind::Sum => 1,
+        AggKind::Avg => 2,
+        AggKind::Min => 3,
+        AggKind::Max => 4,
+    }
+}
+
+fn decode_agg(b: u8) -> Option<AggKind> {
+    Some(match b {
+        0 => AggKind::Count,
+        1 => AggKind::Sum,
+        2 => AggKind::Avg,
+        3 => AggKind::Min,
+        4 => AggKind::Max,
+        _ => return None,
+    })
+}
+
+/// The plugin hub: a concurrent registry of named plugins.
+#[derive(Default)]
+pub struct PluginHub {
+    plugins: RwLock<HashMap<String, Arc<LoraPlugin>>>,
+}
+
+impl PluginHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a plugin under its name, replacing any previous version.
+    pub fn insert(&self, plugin: LoraPlugin) -> Arc<LoraPlugin> {
+        let arc = Arc::new(plugin);
+        self.plugins.write().insert(arc.name.clone(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Fetches a plugin by name.
+    pub fn get(&self, name: &str) -> Option<Arc<LoraPlugin>> {
+        self.plugins.read().get(name).cloned()
+    }
+
+    /// Names of all stored plugins, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.plugins.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of stored plugins.
+    pub fn len(&self) -> usize {
+        self.plugins.read().len()
+    }
+
+    /// True when the hub holds no plugins.
+    pub fn is_empty(&self) -> bool {
+        self.plugins.read().is_empty()
+    }
+
+    /// Merges named plugins with the given weights and stores the result
+    /// under `out_name`. Returns `None` if any source is missing.
+    pub fn merge_into(
+        &self,
+        out_name: &str,
+        sources: &[(&str, f32)],
+    ) -> Option<Arc<LoraPlugin>> {
+        let fetched: Vec<Arc<LoraPlugin>> =
+            sources.iter().map(|(n, _)| self.get(n)).collect::<Option<_>>()?;
+        let parts: Vec<(&LoraPlugin, f32)> =
+            fetched.iter().zip(sources).map(|(p, (_, w))| (p.as_ref(), *w)).collect();
+        Some(self.insert(LoraPlugin::merge(out_name, &parts)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plugin(name: &str, b_fill: f32, skeleton: &str) -> LoraPlugin {
+        let mut lora = LoraModule::init(16, 4, 3);
+        lora.b.iter_mut().for_each(|v| *v = b_fill);
+        LoraPlugin {
+            name: name.into(),
+            lora,
+            prototypes: vec![Prototype {
+                skeleton: skeleton.into(),
+                shape: ShapeKind::CountFilter,
+                centroid: vec![1.0, 0.0, 0.0, 0.0],
+                count: 2.0,
+            }],
+            cot_trained: false,
+            n_examples: 2,
+        }
+    }
+
+    #[test]
+    fn roundtrip_serialization() {
+        let p = plugin("fund", 1.5, "SELECT COUNT(*) FROM _ WHERE _ = _");
+        let bytes = p.to_bytes();
+        let back = LoraPlugin::from_bytes(bytes).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn corrupt_bytes_fail_gracefully() {
+        let p = plugin("fund", 1.0, "S");
+        let bytes = p.to_bytes();
+        assert!(LoraPlugin::from_bytes(bytes.slice(0..bytes.len() / 2)).is_none());
+        assert!(LoraPlugin::from_bytes(Bytes::from_static(b"xx")).is_none());
+    }
+
+    #[test]
+    fn all_shapes_roundtrip_codec() {
+        for &s in crate::shape::ALL_SHAPES {
+            let (t, a) = encode_shape(s);
+            assert_eq!(decode_shape(t, a), Some(s), "shape {s:?}");
+        }
+    }
+
+    #[test]
+    fn hub_insert_get_names() {
+        let hub = PluginHub::new();
+        assert!(hub.is_empty());
+        hub.insert(plugin("stock", 1.0, "A"));
+        hub.insert(plugin("fund", 2.0, "B"));
+        assert_eq!(hub.len(), 2);
+        assert_eq!(hub.names(), vec!["fund".to_string(), "stock".to_string()]);
+        assert!(hub.get("fund").is_some());
+        assert!(hub.get("macro").is_none());
+    }
+
+    #[test]
+    fn merge_averages_lora_and_unions_prototypes() {
+        let hub = PluginHub::new();
+        hub.insert(plugin("a", 1.0, "SKEL1"));
+        hub.insert(plugin("b", 3.0, "SKEL2"));
+        let merged = hub.merge_into("ab", &[("a", 0.5), ("b", 0.5)]).unwrap();
+        assert!(merged.lora.b.iter().all(|v| (*v - 2.0).abs() < 1e-6));
+        assert_eq!(merged.prototypes.len(), 2);
+        assert_eq!(hub.len(), 3);
+    }
+
+    #[test]
+    fn merge_of_shared_skeleton_weights_centroids() {
+        let mut p1 = plugin("a", 0.0, "SKEL");
+        p1.prototypes[0].centroid = vec![1.0, 0.0, 0.0, 0.0];
+        let mut p2 = plugin("b", 0.0, "SKEL");
+        p2.prototypes[0].centroid = vec![0.0, 1.0, 0.0, 0.0];
+        let merged = LoraPlugin::merge("m", &[(&p1, 0.5), (&p2, 0.5)]);
+        assert_eq!(merged.prototypes.len(), 1);
+        let c = &merged.prototypes[0].centroid;
+        assert!((c[0] - c[1]).abs() < 1e-6, "balanced merge must balance centroid: {c:?}");
+    }
+
+    #[test]
+    fn missing_source_merge_fails() {
+        let hub = PluginHub::new();
+        hub.insert(plugin("a", 1.0, "S"));
+        assert!(hub.merge_into("x", &[("a", 0.5), ("ghost", 0.5)]).is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Low-Rank Adaptation: the paper's Eq. 2–5 implemented literally.
+//!
+//! For the frozen projection `W0 ∈ R^{d×k}`, a LoRA module holds
+//! `A ∈ R^{d×r}` (Gaussian init) and `B ∈ R^{r×k}` (zero init) and adds
+//! `ΔW = A B` to the forward pass: `h = W0ᵀx + Bᵀ(Aᵀx)`. Merging plugins
+//! sums the factor matrices with weights ω (Eq. 3–4).
+
+use serde::{Deserialize, Serialize};
+use textenc::SparseVec;
+
+/// LoRA rank.
+pub const LORA_RANK: usize = 48;
+
+/// A LoRA adapter for the embedding projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoraModule {
+    /// Row-major `dim_in × r`.
+    pub a: Vec<f32>,
+    /// Row-major `r × dim_out`.
+    pub b: Vec<f32>,
+    pub dim_in: usize,
+    pub dim_out: usize,
+    pub rank: usize,
+    /// Scaling factor α/r applied to the delta.
+    pub scale: f32,
+}
+
+impl LoraModule {
+    /// Fresh module: `A` Gaussian-initialised from the seed, `B` zero —
+    /// so an untrained module is an exact no-op, as in the paper.
+    pub fn init(dim_in: usize, dim_out: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(7);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Uniform in [-1, 1), scaled down like Kaiming init.
+            ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        };
+        let a_scale = 1.0 / (dim_in as f32).sqrt();
+        let a = (0..dim_in * LORA_RANK).map(|_| next() * a_scale).collect();
+        let b = vec![0.0; LORA_RANK * dim_out];
+        LoraModule { a, b, dim_in, dim_out, rank: LORA_RANK, scale: 2.0 }
+    }
+
+    /// `t = Aᵀx` — the rank-r bottleneck activation.
+    pub fn bottleneck(&self, x: &SparseVec) -> Vec<f32> {
+        let mut t = vec![0.0f32; self.rank];
+        for (i, w) in x.entries() {
+            let row = &self.a[*i as usize * self.rank..(*i as usize + 1) * self.rank];
+            for (tk, r) in t.iter_mut().zip(row) {
+                *tk += w * r;
+            }
+        }
+        t
+    }
+
+    /// Adds `scale · Bᵀ(Aᵀx)` into `h`.
+    pub fn add_delta(&self, x: &SparseVec, h: &mut [f32]) {
+        let t = self.bottleneck(x);
+        for (k, tk) in t.iter().enumerate() {
+            if *tk == 0.0 {
+                continue;
+            }
+            let row = &self.b[k * self.dim_out..(k + 1) * self.dim_out];
+            for (hj, bj) in h.iter_mut().zip(row) {
+                *hj += self.scale * tk * bj;
+            }
+        }
+    }
+
+    /// One SGD step of the anchor-regression objective: move the adapted
+    /// output toward `target` for input `x`. Returns the squared error
+    /// before the step.
+    pub fn sgd_step(&mut self, x: &SparseVec, base_out: &[f32], target: &[f32], lr: f32) -> f32 {
+        let t = self.bottleneck(x);
+        // Current adapted output.
+        let mut h = base_out.to_vec();
+        for (k, tk) in t.iter().enumerate() {
+            let row = &self.b[k * self.dim_out..(k + 1) * self.dim_out];
+            for (hj, bj) in h.iter_mut().zip(row) {
+                *hj += self.scale * tk * bj;
+            }
+        }
+        // Residual and loss, with a norm clip so a single outlier (or a
+        // too-aggressive learning rate) cannot blow the weights up.
+        let mut resid: Vec<f32> = h.iter().zip(target).map(|(hj, tj)| hj - tj).collect();
+        let loss = resid.iter().map(|r| r * r).sum::<f32>();
+        const CLIP: f32 = 4.0;
+        let rnorm = loss.sqrt();
+        if rnorm > CLIP {
+            let k = CLIP / rnorm;
+            for r in &mut resid {
+                *r *= k;
+            }
+        }
+        // dL/dB[k][j] = scale * t_k * resid_j
+        for (k, tk) in t.iter().enumerate() {
+            if *tk == 0.0 {
+                continue;
+            }
+            let row = &mut self.b[k * self.dim_out..(k + 1) * self.dim_out];
+            for (bj, rj) in row.iter_mut().zip(&resid) {
+                *bj -= lr * self.scale * tk * rj;
+            }
+        }
+        // dL/dA[i][k] = scale * x_i * (B[k,:]·resid)
+        let mut brow_dot = vec![0.0f32; self.rank];
+        for (k, bd) in brow_dot.iter_mut().enumerate() {
+            let row = &self.b[k * self.dim_out..(k + 1) * self.dim_out];
+            *bd = row.iter().zip(&resid).map(|(b, r)| b * r).sum();
+        }
+        for (i, w) in x.entries() {
+            let row = &mut self.a[*i as usize * self.rank..(*i as usize + 1) * self.rank];
+            for (ak, bd) in row.iter_mut().zip(&brow_dot) {
+                *ak -= lr * self.scale * w * bd;
+            }
+        }
+        loss
+    }
+
+    /// Weighted merge of LoRA modules — the paper's Eq. 3–4:
+    /// `Â = Σ ωᵢAᵢ`, `B̂ = Σ ωᵢBᵢ`. Panics if shapes differ or the input
+    /// is empty.
+    pub fn merge(modules: &[(&LoraModule, f32)]) -> LoraModule {
+        let (first, _) = modules.first().expect("merge of zero modules");
+        let mut a = vec![0.0f32; first.a.len()];
+        let mut b = vec![0.0f32; first.b.len()];
+        for (m, w) in modules {
+            assert_eq!(m.a.len(), a.len(), "LoRA A shape mismatch");
+            assert_eq!(m.b.len(), b.len(), "LoRA B shape mismatch");
+            for (acc, v) in a.iter_mut().zip(&m.a) {
+                *acc += w * v;
+            }
+            for (acc, v) in b.iter_mut().zip(&m.b) {
+                *acc += w * v;
+            }
+        }
+        LoraModule {
+            a,
+            b,
+            dim_in: first.dim_in,
+            dim_out: first.dim_out,
+            rank: first.rank,
+            scale: first.scale,
+        }
+    }
+
+    /// Approximate in-memory size in bytes (the paper notes plugins are
+    /// small — typically well under 100 MB).
+    pub fn size_bytes(&self) -> usize {
+        (self.a.len() + self.b.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::{cosine, EmbeddingModel};
+
+    #[test]
+    fn untrained_lora_is_identity() {
+        let m = EmbeddingModel::pretrained(3);
+        let l = LoraModule::init(m.dim_in(), crate::embed::EMBED_DIM, 9);
+        let a = m.embed("the quick brown fox", None);
+        let b = m.embed("the quick brown fox", Some(&l));
+        assert_eq!(a, b, "zero-initialised B must make LoRA a no-op");
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let m = EmbeddingModel::pretrained(3);
+        let mut l = LoraModule::init(m.dim_in(), crate::embed::EMBED_DIM, 9);
+        let x = m.features("what is the unit net value");
+        let base = m.project_base(&x);
+        let target = m.project_base(&m.features("SELECT _ FROM _ WHERE _ = _"));
+        let first = l.sgd_step(&x, &base, &target, 0.1);
+        let mut last = first;
+        for _ in 0..100 {
+            last = l.sgd_step(&x, &base, &target, 0.1);
+        }
+        assert!(last < first * 0.2, "loss must drop: {first} → {last}");
+    }
+
+    #[test]
+    fn training_moves_embedding_toward_anchor() {
+        let m = EmbeddingModel::pretrained(4);
+        let mut l = LoraModule::init(m.dim_in(), crate::embed::EMBED_DIM, 10);
+        let anchor_text = "SELECT _ FROM _ ORDER BY _ DESC LIMIT _";
+        let anchor = m.embed(anchor_text, None);
+        let q = "top five funds by highest return";
+        let before = cosine(&m.embed(q, Some(&l)), &anchor);
+        let x = m.features(q);
+        let base = m.project_base(&x);
+        let target = m.project_base(&m.features(anchor_text));
+        for _ in 0..200 {
+            l.sgd_step(&x, &base, &target, 0.05);
+        }
+        let after = cosine(&m.embed(q, Some(&l)), &anchor);
+        assert!(after > before + 0.3, "cosine must rise: {before} → {after}");
+    }
+
+    #[test]
+    fn merge_is_weighted_sum() {
+        let mut a = LoraModule::init(8, 4, 1);
+        let mut b = LoraModule::init(8, 4, 2);
+        a.b.iter_mut().for_each(|v| *v = 1.0);
+        b.b.iter_mut().for_each(|v| *v = 3.0);
+        let merged = LoraModule::merge(&[(&a, 0.5), (&b, 0.5)]);
+        assert!(merged.b.iter().all(|v| (*v - 2.0).abs() < 1e-6));
+        for i in 0..merged.a.len() {
+            let expect = 0.5 * a.a[i] + 0.5 * b.a[i];
+            assert!((merged.a[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn plugin_size_is_small() {
+        let m = EmbeddingModel::pretrained(3);
+        let l = LoraModule::init(m.dim_in(), crate::embed::EMBED_DIM, 9);
+        assert!(l.size_bytes() < 100 * 1024 * 1024, "plugin must stay under 100 MB");
+    }
+
+    #[test]
+    #[should_panic(expected = "merge of zero modules")]
+    fn merge_of_nothing_panics() {
+        let _ = LoraModule::merge(&[]);
+    }
+}

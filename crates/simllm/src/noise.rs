@@ -1,0 +1,255 @@
+//! The decoder-noise model: injects the invalid-SQL error classes of the
+//! paper's Figure 12 into otherwise-correct output.
+//!
+//! LLM decoders produce `==`, misspelled columns, dangling `JOIN ON` and
+//! wrong table–column bindings; sampling `n` candidates sees different
+//! corruption draws, which is what gives self-consistency its signal and
+//! output calibration its work.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sqlkit::ast::{ColumnRef, JoinType, Statement};
+use sqlkit::repair::{visit_select_columns_mut, visit_selects_mut};
+use sqlkit::{parse_statement, to_sql};
+
+/// Per-error-class base probabilities (scaled by temperature).
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseRates {
+    /// Misspell a column name.
+    pub typo: f64,
+    /// Emit `==` for `=`.
+    pub double_eq: f64,
+    /// Drop a join condition, leaving `JOIN t ON`.
+    pub drop_on: f64,
+    /// Re-qualify a column with the wrong table alias.
+    pub misalign: f64,
+    /// Corrupt a string literal (unfixable by calibration, as in reality).
+    pub value: f64,
+}
+
+impl NoiseRates {
+    /// A noise-free decoder (used by oracle tests).
+    pub const NONE: NoiseRates =
+        NoiseRates { typo: 0.0, double_eq: 0.0, drop_on: 0.0, misalign: 0.0, value: 0.0 };
+}
+
+/// Applies the noise model to a SQL string. Unparseable input is returned
+/// unchanged (it is already wrong).
+pub fn corrupt(sql: &str, rates: &NoiseRates, temperature: f64, rng: &mut StdRng) -> String {
+    let Ok(Statement::Select(mut q)) = parse_statement(sql) else {
+        return sql.to_string();
+    };
+    let t = temperature.max(0.0);
+    let hit = |rng: &mut StdRng, p: f64| -> bool {
+        let eff = (p * t).clamp(0.0, 1.0);
+        eff > 0.0 && rng.gen_bool(eff)
+    };
+
+    // Typo: mangle one column reference (two passes: count, then edit
+    // the n-th).
+    if hit(rng, rates.typo) {
+        let mut total = 0usize;
+        visit_selects_mut(&mut q.body, &mut |s| {
+            visit_select_columns_mut(s, &mut |_| total += 1);
+        });
+        if total > 0 {
+            let pick = rng.gen_range(0..total);
+            let mangled = {
+                let mut name: Option<String> = None;
+                let mut idx = 0usize;
+                visit_selects_mut(&mut q.body, &mut |s| {
+                    visit_select_columns_mut(s, &mut |c: &mut ColumnRef| {
+                        if idx == pick {
+                            name = Some(c.column.clone());
+                        }
+                        idx += 1;
+                    });
+                });
+                mangle(&name.unwrap_or_default(), rng)
+            };
+            let mut idx = 0usize;
+            visit_selects_mut(&mut q.body, &mut |s| {
+                visit_select_columns_mut(s, &mut |c: &mut ColumnRef| {
+                    if idx == pick {
+                        c.column = mangled.clone();
+                    }
+                    idx += 1;
+                });
+            });
+        }
+    }
+
+    // Misalignment: swap the qualifiers of two qualified columns.
+    if hit(rng, rates.misalign) {
+        let mut quals: Vec<String> = Vec::new();
+        visit_selects_mut(&mut q.body, &mut |s| {
+            visit_select_columns_mut(s, &mut |c| {
+                if let Some(t) = &c.table {
+                    quals.push(t.clone());
+                }
+            });
+        });
+        quals.sort();
+        quals.dedup();
+        if quals.len() >= 2 {
+            let a = quals[rng.gen_range(0..quals.len())].clone();
+            let b = quals[rng.gen_range(0..quals.len())].clone();
+            if a != b {
+                // Re-qualify one random column from a → b.
+                let mut done = false;
+                visit_selects_mut(&mut q.body, &mut |s| {
+                    visit_select_columns_mut(s, &mut |c| {
+                        if !done && c.table.as_deref() == Some(a.as_str()) {
+                            c.table = Some(b.clone());
+                            done = true;
+                        }
+                    });
+                });
+            }
+        }
+    }
+
+    // Dangling ON.
+    if hit(rng, rates.drop_on) {
+        visit_selects_mut(&mut q.body, &mut |s| {
+            if let Some(from) = &mut s.from {
+                for j in &mut from.joins {
+                    if j.join_type != JoinType::Cross && j.on.is_some() {
+                        j.on = None;
+                        break;
+                    }
+                }
+            }
+        });
+    }
+
+    // Value corruption.
+    if hit(rng, rates.value) {
+        visit_selects_mut(&mut q.body, &mut |s| {
+            if let Some(w) = &mut s.selection {
+                corrupt_first_string(w, rng);
+            }
+        });
+    }
+
+    let mut out = to_sql(&Statement::Select(q));
+    // `==` is a surface-level artifact, applied on the printed text.
+    if hit(rng, rates.double_eq) {
+        if let Some(idx) = out.find(" = ") {
+            out.replace_range(idx..idx + 3, " == ");
+        }
+    }
+    out
+}
+
+/// Misspells an identifier: swaps two interior characters or doubles one.
+fn mangle(name: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 4 {
+        return format!("{name}x");
+    }
+    let mut out = chars.clone();
+    if rng.gen_bool(0.5) {
+        let i = rng.gen_range(1..chars.len() - 2);
+        out.swap(i, i + 1);
+    } else {
+        let i = rng.gen_range(1..chars.len() - 1);
+        out.insert(i, chars[i]);
+    }
+    out.into_iter().collect()
+}
+
+fn corrupt_first_string(e: &mut sqlkit::ast::Expr, rng: &mut StdRng) {
+    use sqlkit::ast::{Expr, Literal};
+    match e {
+        Expr::Literal(Literal::Str(s))
+            if s.len() > 2 => {
+                let cut = rng.gen_range(1..s.chars().count());
+                *s = s.chars().take(cut).collect();
+            }
+        Expr::Binary { left, right, .. } => {
+            corrupt_first_string(left, rng);
+            corrupt_first_string(right, rng);
+        }
+        Expr::Like { pattern, .. } => corrupt_first_string(pattern, rng),
+        Expr::InList { list, .. } => {
+            for v in list {
+                corrupt_first_string(v, rng);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const SQL: &str =
+        "SELECT t1.nav FROM mf_fundnav AS t1 JOIN mf_fundarchives AS t2 ON t1.innercode = t2.innercode WHERE t2.fundtype = 'bond fund'";
+
+    #[test]
+    fn zero_noise_is_canonical_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = corrupt(SQL, &NoiseRates::NONE, 1.0, &mut rng);
+        // Idempotent up to canonical printing.
+        assert_eq!(out, sqlkit::to_sql(&sqlkit::parse_statement(SQL).unwrap()));
+    }
+
+    #[test]
+    fn typo_noise_changes_a_column() {
+        let rates = NoiseRates { typo: 1.0, ..NoiseRates::NONE };
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = corrupt(SQL, &rates, 1.0, &mut rng);
+        assert_ne!(out, corrupt(SQL, &NoiseRates::NONE, 1.0, &mut rng));
+        // Still parseable — typos are in-identifier.
+        assert!(sqlkit::parse_statement(&out).is_ok());
+    }
+
+    #[test]
+    fn double_eq_noise() {
+        let rates = NoiseRates { double_eq: 1.0, ..NoiseRates::NONE };
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = corrupt(SQL, &rates, 1.0, &mut rng);
+        assert!(out.contains("=="), "got: {out}");
+    }
+
+    #[test]
+    fn drop_on_noise_dangles_join() {
+        let rates = NoiseRates { drop_on: 1.0, ..NoiseRates::NONE };
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = corrupt(SQL, &rates, 1.0, &mut rng);
+        assert!(!out.contains(" ON "), "got: {out}");
+    }
+
+    #[test]
+    fn temperature_zero_disables_noise() {
+        let rates =
+            NoiseRates { typo: 1.0, double_eq: 1.0, drop_on: 1.0, misalign: 1.0, value: 1.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = corrupt(SQL, &rates, 0.0, &mut rng);
+        assert_eq!(out, sqlkit::to_sql(&sqlkit::parse_statement(SQL).unwrap()));
+    }
+
+    #[test]
+    fn misalign_changes_qualifier() {
+        let rates = NoiseRates { misalign: 1.0, ..NoiseRates::NONE };
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut changed = false;
+        for _ in 0..10 {
+            let out = corrupt(SQL, &rates, 1.0, &mut rng);
+            if out != sqlkit::to_sql(&sqlkit::parse_statement(SQL).unwrap()) {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "misalignment never fired");
+    }
+
+    #[test]
+    fn unparseable_input_passes_through() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(corrupt("not sql", &NoiseRates::NONE, 1.0, &mut rng), "not sql");
+    }
+}

@@ -1,0 +1,348 @@
+//! Query-shape extraction: classifying gold SQL into structural families.
+//!
+//! The generator's "knowledge" of SQL structure is a mapping from
+//! questions to *shapes* — what RESDSQL calls skeletons and DAIL-SQL uses
+//! for example selection. Shapes are derived purely from the SQL text via
+//! the parser, never from generator-internal metadata, so this is
+//! information a real fine-tuned model would also extract from its
+//! training pairs.
+
+use serde::{Deserialize, Serialize};
+use sqlkit::ast::*;
+use sqlkit::parse_statement;
+
+/// Aggregate families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggKind {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggKind {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggKind::Count => "COUNT",
+            AggKind::Sum => "SUM",
+            AggKind::Avg => "AVG",
+            AggKind::Min => "MIN",
+            AggKind::Max => "MAX",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<AggKind> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggKind::Count,
+            "SUM" => AggKind::Sum,
+            "AVG" => AggKind::Avg,
+            "MIN" => AggKind::Min,
+            "MAX" => AggKind::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// The structural families the workload exercises. One shape corresponds
+/// to one slot-filling recipe in [`crate::slots`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeKind {
+    /// `SELECT c… FROM t WHERE c_text = v`
+    FilterSelect { n_targets: u8 },
+    /// `SELECT COUNT(*) FROM t WHERE c_text = v`
+    CountFilter,
+    /// `SELECT agg(c_num) FROM t [WHERE c_text = v]`
+    AggMeasure { agg: AggKind, filtered: bool },
+    /// `SELECT c FROM t ORDER BY c_num dir LIMIT k`
+    TopkOrder { desc: bool },
+    /// `SELECT c_g, COUNT(*) FROM t GROUP BY c_g`
+    GroupCount,
+    /// `SELECT c_g FROM t GROUP BY c_g HAVING COUNT(*) > n`
+    GroupAggHaving,
+    /// `SELECT t1.c FROM fact JOIN master ON fk WHERE master.c_text = v`
+    JoinFilter,
+    /// `SELECT agg(t1.c) FROM fact JOIN master ON fk WHERE master.c = v`
+    JoinAgg { agg: AggKind },
+    /// `SELECT t2.c FROM fact JOIN master ON fk ORDER BY fact.c DESC LIMIT k`
+    JoinTopk,
+    /// `… WHERE c_num > (SELECT AVG(c_num) FROM t)`
+    CompareAvg,
+    /// `… WHERE key IN (SELECT fk FROM fact WHERE …)` — text or numeric
+    /// inner predicate.
+    InSubquery { text_pred: bool },
+    /// `SELECT agg(c) FROM t WHERE c_date BETWEEN a AND b`
+    BetweenDates { agg: AggKind },
+    /// `SELECT c FROM t WHERE c_text LIKE '%w%'`
+    LikeMatch,
+    /// `SELECT COUNT(DISTINCT c) FROM t`
+    CountDistinct,
+    /// `SELECT c FROM t WHERE c_text = v AND c_num > x`
+    MultiPredicate,
+    /// `… WHERE c_date = (SELECT MAX(c_date) FROM t)`
+    LatestDate,
+    /// `SELECT c_g, SUM(c) FROM t GROUP BY c_g ORDER BY SUM(c) DESC LIMIT k`
+    GroupSumTopk,
+    /// `SELECT DISTINCT c_g FROM t WHERE c_num > x`
+    DistinctFilter,
+    /// `SELECT t3.c FROM a JOIN m JOIN b WHERE a.c_text = v`
+    ThreeJoin,
+}
+
+/// All shapes, for iteration in tests and analyses.
+pub const ALL_SHAPES: &[ShapeKind] = &[
+    ShapeKind::FilterSelect { n_targets: 1 },
+    ShapeKind::FilterSelect { n_targets: 2 },
+    ShapeKind::CountFilter,
+    ShapeKind::AggMeasure { agg: AggKind::Avg, filtered: true },
+    ShapeKind::TopkOrder { desc: true },
+    ShapeKind::GroupCount,
+    ShapeKind::GroupAggHaving,
+    ShapeKind::JoinFilter,
+    ShapeKind::JoinAgg { agg: AggKind::Avg },
+    ShapeKind::JoinTopk,
+    ShapeKind::CompareAvg,
+    ShapeKind::InSubquery { text_pred: true },
+    ShapeKind::BetweenDates { agg: AggKind::Avg },
+    ShapeKind::LikeMatch,
+    ShapeKind::CountDistinct,
+    ShapeKind::MultiPredicate,
+    ShapeKind::LatestDate,
+    ShapeKind::GroupSumTopk,
+    ShapeKind::DistinctFilter,
+    ShapeKind::ThreeJoin,
+];
+
+/// Classifies a SQL string into its shape, or `None` when it parses but
+/// fits no known family (or does not parse).
+pub fn shape_of(sql: &str) -> Option<ShapeKind> {
+    let Statement::Select(q) = parse_statement(sql).ok()?;
+    let SetExpr::Select(s) = &q.body else { return None };
+    let n_joins = s.from.as_ref().map(|f| f.joins.len()).unwrap_or(0);
+    let preds: Vec<&Expr> =
+        s.selection.as_ref().map(sqlkit::components::conjuncts).unwrap_or_default();
+
+    // Join shapes first.
+    if n_joins == 2 {
+        return Some(ShapeKind::ThreeJoin);
+    }
+    if n_joins == 1 {
+        if let Some(SelectItem::Expr { expr, .. }) = s.items.first() {
+            if let Some(agg) = agg_of(expr) {
+                return Some(ShapeKind::JoinAgg { agg });
+            }
+        }
+        if q.limit.is_some() && !q.order_by.is_empty() {
+            return Some(ShapeKind::JoinTopk);
+        }
+        return Some(ShapeKind::JoinFilter);
+    }
+
+    // Subquery-driven shapes.
+    for p in &preds {
+        match p {
+            Expr::Binary { op, right, left, .. } if op.is_comparison() => {
+                if let Expr::Subquery(sub) = right.as_ref() {
+                    if subquery_agg(sub) == Some(AggKind::Avg) {
+                        return Some(ShapeKind::CompareAvg);
+                    }
+                    if subquery_agg(sub) == Some(AggKind::Max) && *op == BinaryOp::Eq {
+                        return Some(ShapeKind::LatestDate);
+                    }
+                }
+                if let Expr::Subquery(sub) = left.as_ref() {
+                    let _ = sub;
+                    return None;
+                }
+            }
+            Expr::InSubquery { subquery, .. } => {
+                let text_pred = subquery_has_text_pred(subquery);
+                return Some(ShapeKind::InSubquery { text_pred });
+            }
+            Expr::Between { .. } => {
+                if let Some(SelectItem::Expr { expr, .. }) = s.items.first() {
+                    if let Some(agg) = agg_of(expr) {
+                        return Some(ShapeKind::BetweenDates { agg });
+                    }
+                }
+            }
+            Expr::Like { .. } => return Some(ShapeKind::LikeMatch),
+            _ => {}
+        }
+    }
+
+    // Grouping shapes.
+    if !s.group_by.is_empty() {
+        if s.having.is_some() {
+            return Some(ShapeKind::GroupAggHaving);
+        }
+        if q.limit.is_some() {
+            return Some(ShapeKind::GroupSumTopk);
+        }
+        return Some(ShapeKind::GroupCount);
+    }
+
+    // Aggregate head shapes.
+    if let Some(SelectItem::Expr { expr, .. }) = s.items.first() {
+        if let Expr::Function { name, distinct: true, .. } = expr {
+            if AggKind::from_name(name) == Some(AggKind::Count) {
+                return Some(ShapeKind::CountDistinct);
+            }
+        }
+        if matches!(expr, Expr::CountStar) {
+            return Some(ShapeKind::CountFilter);
+        }
+        if let Some(agg) = agg_of(expr) {
+            return Some(ShapeKind::AggMeasure { agg, filtered: !preds.is_empty() });
+        }
+    }
+
+    // Order/limit shapes.
+    if q.limit.is_some() && !q.order_by.is_empty() {
+        return Some(ShapeKind::TopkOrder { desc: q.order_by[0].desc });
+    }
+
+    // Plain filters.
+    if s.distinct {
+        return Some(ShapeKind::DistinctFilter);
+    }
+    let text_eq = preds.iter().any(|p| is_text_eq(p));
+    let num_cmp = preds.iter().any(|p| is_num_cmp(p));
+    if text_eq && num_cmp {
+        return Some(ShapeKind::MultiPredicate);
+    }
+    if text_eq || num_cmp || preds.is_empty() {
+        let n_targets = s.items.len().min(255) as u8;
+        return Some(ShapeKind::FilterSelect { n_targets });
+    }
+    None
+}
+
+fn agg_of(e: &Expr) -> Option<AggKind> {
+    match e {
+        Expr::CountStar => Some(AggKind::Count),
+        Expr::Function { name, .. } => AggKind::from_name(name),
+        _ => None,
+    }
+}
+
+fn subquery_agg(q: &SelectStmt) -> Option<AggKind> {
+    let SetExpr::Select(s) = &q.body else { return None };
+    match s.items.first() {
+        Some(SelectItem::Expr { expr, .. }) => agg_of(expr),
+        _ => None,
+    }
+}
+
+fn subquery_has_text_pred(q: &SelectStmt) -> bool {
+    let SetExpr::Select(s) = &q.body else { return false };
+    s.selection.as_ref().map(is_text_eq).unwrap_or(false)
+}
+
+fn is_text_eq(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Binary { op: BinaryOp::Eq, right, .. }
+            if matches!(right.as_ref(), Expr::Literal(Literal::Str(_)))
+    )
+}
+
+fn is_num_cmp(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Binary { op, right, .. }
+            if op.is_comparison()
+                && matches!(right.as_ref(), Expr::Literal(Literal::Int(_) | Literal::Float(_)))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_core_shapes() {
+        let cases: Vec<(&str, ShapeKind)> = vec![
+            ("SELECT a FROM t WHERE b = 'x'", ShapeKind::FilterSelect { n_targets: 1 }),
+            ("SELECT a, c FROM t WHERE b = 'x'", ShapeKind::FilterSelect { n_targets: 2 }),
+            ("SELECT COUNT(*) FROM t WHERE b = 'x'", ShapeKind::CountFilter),
+            (
+                "SELECT AVG(m) FROM t WHERE b = 'x'",
+                ShapeKind::AggMeasure { agg: AggKind::Avg, filtered: true },
+            ),
+            (
+                "SELECT MAX(m) FROM t",
+                ShapeKind::AggMeasure { agg: AggKind::Max, filtered: false },
+            ),
+            ("SELECT a FROM t ORDER BY m DESC LIMIT 3", ShapeKind::TopkOrder { desc: true }),
+            ("SELECT g, COUNT(*) FROM t GROUP BY g", ShapeKind::GroupCount),
+            (
+                "SELECT g FROM t GROUP BY g HAVING COUNT(*) > 5",
+                ShapeKind::GroupAggHaving,
+            ),
+            (
+                "SELECT t1.a FROM f AS t1 JOIN m AS t2 ON t1.k = t2.k WHERE t2.n = 'x'",
+                ShapeKind::JoinFilter,
+            ),
+            (
+                "SELECT AVG(t1.m) FROM f AS t1 JOIN m AS t2 ON t1.k = t2.k WHERE t2.n = 'x'",
+                ShapeKind::JoinAgg { agg: AggKind::Avg },
+            ),
+            (
+                "SELECT t2.n FROM f AS t1 JOIN m AS t2 ON t1.k = t2.k ORDER BY t1.m DESC LIMIT 3",
+                ShapeKind::JoinTopk,
+            ),
+            (
+                "SELECT a FROM t WHERE m > (SELECT AVG(m) FROM t)",
+                ShapeKind::CompareAvg,
+            ),
+            (
+                "SELECT n FROM m WHERE k IN (SELECT k FROM f WHERE b = 'x')",
+                ShapeKind::InSubquery { text_pred: true },
+            ),
+            (
+                "SELECT n FROM m WHERE k IN (SELECT k FROM f WHERE v > 2.5)",
+                ShapeKind::InSubquery { text_pred: false },
+            ),
+            (
+                "SELECT SUM(m) FROM t WHERE d BETWEEN '2022-01-01' AND '2022-02-01'",
+                ShapeKind::BetweenDates { agg: AggKind::Sum },
+            ),
+            ("SELECT a FROM t WHERE n LIKE '%x%'", ShapeKind::LikeMatch),
+            ("SELECT COUNT(DISTINCT g) FROM t", ShapeKind::CountDistinct),
+            (
+                "SELECT a FROM t WHERE b = 'x' AND m > 2.5",
+                ShapeKind::MultiPredicate,
+            ),
+            (
+                "SELECT a FROM t WHERE d = (SELECT MAX(d) FROM t)",
+                ShapeKind::LatestDate,
+            ),
+            (
+                "SELECT g, SUM(m) FROM t GROUP BY g ORDER BY SUM(m) DESC LIMIT 2",
+                ShapeKind::GroupSumTopk,
+            ),
+            ("SELECT DISTINCT g FROM t WHERE m > 2.5", ShapeKind::DistinctFilter),
+            (
+                "SELECT t3.a FROM a AS t1 JOIN m AS t2 ON t1.k = t2.k JOIN b AS t3 ON t2.k = t3.k WHERE t1.c = 'x'",
+                ShapeKind::ThreeJoin,
+            ),
+        ];
+        for (sql, expect) in cases {
+            assert_eq!(shape_of(sql), Some(expect), "for {sql}");
+        }
+    }
+
+    #[test]
+    fn unparseable_sql_has_no_shape() {
+        assert_eq!(shape_of("SELEC a FROM"), None);
+    }
+
+    #[test]
+    fn shape_is_stable_under_identifier_renaming() {
+        let a = shape_of("SELECT nav FROM mf_fundnav WHERE fundtype = 'bond fund'");
+        let b = shape_of("SELECT closeprice FROM qt_dailyquote WHERE liststatus = 'normal'");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,902 @@
+//! Schema-grounded slot filling: instantiating a retrieved query shape
+//! against the (schema-linked) prompt schema and the question's literals.
+//!
+//! This is the generation half of the simulated LLM. Identifier slots are
+//! resolved by lexical affinity between question tokens and column/table
+//! descriptions (the same signal a fine-tuned LLM exploits); literal
+//! slots come from the [`crate::values::ValueIndex`] and from
+//! number/date extraction. Join resolution is where the chain-of-thought
+//! flag matters: a CoT-trained model searches the declared foreign-key
+//! graph for a consistent join path, while a non-CoT model picks tables
+//! greedily and only sometimes lands on a joinable pair — reproducing the
+//! paper's observation that CoT data mainly helps multi-step queries.
+
+use crate::shape::{AggKind, ShapeKind};
+use crate::values::{extract_dates, extract_number_spans, ValueHit, ValueIndex};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sqlkit::catalog::{CatalogSchema, ColType};
+use textenc::{tokenize, tokenize_identifier};
+
+/// Knobs controlled by the base-model profile and training state.
+#[derive(Debug, Clone, Copy)]
+pub struct FillOptions {
+    /// Whether the model was trained with chain-of-thought data (enables
+    /// FK-graph search for multi-table shapes).
+    pub cot: bool,
+    /// Probability of taking the best-scoring candidate for a slot
+    /// (otherwise the runner-up) — the paper's "capacity" differences
+    /// between base models reduce to this.
+    pub slot_skill: f64,
+    /// Probability that a non-CoT model still resolves a join correctly.
+    pub join_skill: f64,
+}
+
+impl Default for FillOptions {
+    fn default() -> Self {
+        FillOptions { cot: true, slot_skill: 0.95, join_skill: 0.6 }
+    }
+}
+
+/// A column candidate with its affinity to the question.
+#[derive(Debug, Clone, Copy)]
+struct ColCand {
+    ti: usize,
+    ci: usize,
+    score: f32,
+    /// First question-token index where this column's description
+    /// matches (used to order multi-column SELECT lists by appearance).
+    pos: usize,
+}
+
+/// The slot filler for one (question, prompt schema) pair.
+pub struct SlotFiller<'a> {
+    schema: &'a CatalogSchema,
+    values: &'a ValueIndex,
+    question: &'a str,
+    qtokens: Vec<String>,
+    /// Per-table affinity of the table's own description to the question
+    /// (cached — it feeds every column score).
+    table_affinity: Vec<f32>,
+}
+
+impl<'a> SlotFiller<'a> {
+    /// Builds a filler; tokenisation happens once.
+    pub fn new(schema: &'a CatalogSchema, values: &'a ValueIndex, question: &'a str) -> Self {
+        let qtokens = tokenize(question);
+        let mut filler = SlotFiller { schema, values, question, qtokens, table_affinity: vec![] };
+        filler.table_affinity = (0..schema.tables.len())
+            .map(|ti| {
+                let t = &schema.tables[ti];
+                let (s_en, _) = filler.overlap(&tokenize(&t.desc_en));
+                let (s_cn, _) = filler.overlap(&tokenize(&t.desc_cn));
+                let (s_id, _) = filler.overlap(&tokenize_identifier(&t.name));
+                s_en.max(s_cn) + 0.3 * s_id
+            })
+            .collect();
+        filler
+    }
+
+    /// Fills the shape into SQL. `None` means the model could not ground
+    /// the shape in the prompt schema (callers fall back to
+    /// [`SlotFiller::fallback_sql`]).
+    pub fn fill(&self, shape: ShapeKind, opts: &FillOptions, rng: &mut StdRng) -> Option<String> {
+        match shape {
+            ShapeKind::FilterSelect { n_targets } => self.filter_select(n_targets as usize, opts, rng),
+            ShapeKind::CountFilter => {
+                let hit = self.pick_hit(opts, rng)?;
+                Some(format!(
+                    "SELECT COUNT(*) FROM {} WHERE {} = {}",
+                    hit.table,
+                    hit.column,
+                    quote(&hit.value)
+                ))
+            }
+            ShapeKind::AggMeasure { agg, filtered } => {
+                let agg = self.lexical_agg().unwrap_or(agg);
+                self.agg_measure(agg, filtered, opts, rng)
+            }
+            ShapeKind::TopkOrder { desc } => self.topk_order(desc, opts, rng),
+            ShapeKind::GroupCount => {
+                let g = self.best_text_col(None, opts, rng)?;
+                let (t, c) = self.name_of(g);
+                Some(format!("SELECT {c}, COUNT(*) FROM {t} GROUP BY {c}"))
+            }
+            ShapeKind::GroupAggHaving => {
+                let g = self.best_text_col(None, opts, rng)?;
+                let (t, c) = self.name_of(g);
+                let n = self.first_int()?;
+                Some(format!("SELECT {c} FROM {t} GROUP BY {c} HAVING COUNT(*) > {n}"))
+            }
+            ShapeKind::JoinFilter => self.join_filter(None, opts, rng),
+            ShapeKind::JoinAgg { agg } => {
+                let agg = self.lexical_agg().unwrap_or(agg);
+                self.join_filter(Some(agg), opts, rng)
+            }
+            ShapeKind::JoinTopk => self.join_topk(opts, rng),
+            ShapeKind::CompareAvg => {
+                let m = self.float_near_cue(Self::AVG_CUES, opts, rng)?;
+                let (t, mc) = self.name_of(m);
+                let s = self.best_in_table(m.ti, Some(m.ci), opts, rng)?;
+                let (_, sc) = self.name_of(s);
+                Some(format!("SELECT {sc} FROM {t} WHERE {mc} > (SELECT AVG({mc}) FROM {t})"))
+            }
+            ShapeKind::InSubquery { text_pred } => self.in_subquery(text_pred, opts, rng),
+            ShapeKind::BetweenDates { agg } => {
+                let agg = self.lexical_agg().unwrap_or(agg);
+                let dates = extract_dates(self.question);
+                let (lo, hi) = match dates.as_slice() {
+                    [a, b, ..] => (a.clone(), b.clone()),
+                    _ => return None,
+                };
+                let d = self.best_col_where(|ty| ty == ColType::Date, None, opts, rng)?;
+                let m = self.best_in_table_where(d.ti, |ty| ty == ColType::Float, None, opts, rng)?;
+                let (t, dc) = self.name_of(d);
+                let (_, mc) = self.name_of(m);
+                Some(format!(
+                    "SELECT {}({mc}) FROM {t} WHERE {dc} BETWEEN '{lo}' AND '{hi}'",
+                    agg.sql()
+                ))
+            }
+            ShapeKind::LikeMatch => self.like_match(opts, rng),
+            ShapeKind::CountDistinct => {
+                let g = self.best_text_col(None, opts, rng)?;
+                let (t, c) = self.name_of(g);
+                Some(format!("SELECT COUNT(DISTINCT {c}) FROM {t}"))
+            }
+            ShapeKind::MultiPredicate => {
+                let hit = self.pick_hit(opts, rng)?;
+                let ti = self.schema.table_index(&hit.table)?;
+                let fci = self.schema.tables[ti].column_index(&hit.column)?;
+                let m = self.best_in_table_where(ti, |ty| ty == ColType::Float, None, opts, rng)?;
+                let x = self.first_float_span()?;
+                let s = {
+                    let v = self.ranked(
+                        self.table_cols(ti, |_| true)
+                            .into_iter()
+                            .filter(|c| c.ci != fci && c.ci != m.ci)
+                            .collect(),
+                    );
+                    choose(&v, opts.slot_skill, rng).copied()?
+                };
+                let (t, sc) = self.name_of(s);
+                let (_, mc) = self.name_of(m);
+                Some(format!(
+                    "SELECT {sc} FROM {t} WHERE {} = {} AND {mc} > {x}",
+                    hit.column,
+                    quote(&hit.value)
+                ))
+            }
+            ShapeKind::LatestDate => {
+                let d = self.best_col_where(|ty| ty == ColType::Date, None, opts, rng)?;
+                let s = self.best_in_table(d.ti, Some(d.ci), opts, rng)?;
+                let (t, dc) = self.name_of(d);
+                let (_, sc) = self.name_of(s);
+                Some(format!("SELECT {sc} FROM {t} WHERE {dc} = (SELECT MAX({dc}) FROM {t})"))
+            }
+            ShapeKind::GroupSumTopk => {
+                let g = self.best_text_col(None, opts, rng)?;
+                let m = self.best_in_table_where(g.ti, |ty| ty == ColType::Float, None, opts, rng)?;
+                let k = self.first_int()?;
+                let (t, gc) = self.name_of(g);
+                let (_, mc) = self.name_of(m);
+                Some(format!(
+                    "SELECT {gc}, SUM({mc}) FROM {t} GROUP BY {gc} ORDER BY SUM({mc}) DESC LIMIT {k}"
+                ))
+            }
+            ShapeKind::DistinctFilter => {
+                let g = self.best_text_col(None, opts, rng)?;
+                let m = self.best_in_table_where(g.ti, |ty| ty == ColType::Float, None, opts, rng)?;
+                let x = self.first_float_span()?;
+                let (t, gc) = self.name_of(g);
+                let (_, mc) = self.name_of(m);
+                Some(format!("SELECT DISTINCT {gc} FROM {t} WHERE {mc} > {x}"))
+            }
+            ShapeKind::ThreeJoin => self.three_join(opts, rng),
+        }
+    }
+
+    /// Last-resort SQL when shape filling fails: select the
+    /// best-matching column of the best-matching table.
+    pub fn fallback_sql(&self) -> String {
+        let mut best: Option<ColCand> = None;
+        for c in self.all_cols(|_| true) {
+            if best.map(|b| c.score > b.score).unwrap_or(true) {
+                best = Some(c);
+            }
+        }
+        match best {
+            Some(c) => {
+                let (t, cn) = self.name_of(c);
+                format!("SELECT {cn} FROM {t}")
+            }
+            None => "SELECT 1".to_string(),
+        }
+    }
+
+    // --- shape implementations ---------------------------------------
+
+    fn filter_select(&self, n: usize, opts: &FillOptions, rng: &mut StdRng) -> Option<String> {
+        let hit = self.pick_hit(opts, rng)?;
+        let ti = self.schema.table_index(&hit.table)?;
+        let fci = self.schema.tables[ti].column_index(&hit.column)?;
+        // Rank target columns inside the filter table by affinity; order
+        // the chosen ones by where they appear in the question.
+        let mut cands: Vec<ColCand> = self
+            .table_cols(ti, |_| true)
+            .into_iter()
+            .filter(|c| c.ci != fci && c.score > 0.0)
+            .collect();
+        cands.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.ci.cmp(&b.ci)));
+        if cands.len() < n {
+            return None;
+        }
+        let mut chosen: Vec<ColCand> = Vec::with_capacity(n);
+        let mut idx = 0usize;
+        while chosen.len() < n && idx < cands.len() {
+            // Occasionally take the runner-up, as everywhere else.
+            let take = if idx + 1 < cands.len() && !rng.gen_bool(opts.slot_skill) {
+                idx + 1
+            } else {
+                idx
+            };
+            if !chosen.iter().any(|c| c.ci == cands[take].ci) {
+                chosen.push(cands[take]);
+            }
+            idx += 1;
+        }
+        if chosen.len() < n {
+            return None;
+        }
+        chosen.sort_by_key(|c| c.pos);
+        let names: Vec<&str> = chosen
+            .iter()
+            .map(|c| self.schema.tables[c.ti].columns[c.ci].name.as_str())
+            .collect();
+        Some(format!(
+            "SELECT {} FROM {} WHERE {} = {}",
+            names.join(", "),
+            hit.table,
+            hit.column,
+            quote(&hit.value)
+        ))
+    }
+
+    fn agg_measure(
+        &self,
+        agg: AggKind,
+        filtered: bool,
+        opts: &FillOptions,
+        rng: &mut StdRng,
+    ) -> Option<String> {
+        if filtered {
+            let hit = self.pick_hit(opts, rng)?;
+            let ti = self.schema.table_index(&hit.table)?;
+            let m = self.best_in_table_where(ti, |ty| ty == ColType::Float, None, opts, rng)?;
+            let (t, mc) = self.name_of(m);
+            Some(format!(
+                "SELECT {}({mc}) FROM {t} WHERE {} = {}",
+                agg.sql(),
+                hit.column,
+                quote(&hit.value)
+            ))
+        } else {
+            let m = self.best_col_where(|ty| ty == ColType::Float, None, opts, rng)?;
+            let (t, mc) = self.name_of(m);
+            Some(format!("SELECT {}({mc}) FROM {t}", agg.sql()))
+        }
+    }
+
+    const DIR_CUES: &'static [&'static str] = &[
+        "highest", "lowest", "largest", "smallest", "ranked by", "ordered by", "top ", "最高",
+        "最低", "最大", "排名", "排序",
+    ];
+    const AVG_CUES: &'static [&'static str] =
+        &["average", "mean", "exceeds", "above", "higher", "平均", "均值", "高于"];
+
+    fn topk_order(&self, desc: bool, opts: &FillOptions, rng: &mut StdRng) -> Option<String> {
+        let m = self.float_after_cue(None, Self::DIR_CUES, opts, rng)?;
+        let s = self.best_in_table(m.ti, Some(m.ci), opts, rng)?;
+        let k = self.first_int()?;
+        let (t, mc) = self.name_of(m);
+        let (_, sc) = self.name_of(s);
+        let dir = if desc { "DESC" } else { "ASC" };
+        Some(format!("SELECT {sc} FROM {t} ORDER BY {mc} {dir} LIMIT {k}"))
+    }
+
+    fn join_filter(
+        &self,
+        agg: Option<AggKind>,
+        opts: &FillOptions,
+        rng: &mut StdRng,
+    ) -> Option<String> {
+        let hit = self.pick_hit(opts, rng)?;
+        let master_ti = self.schema.table_index(&hit.table)?;
+        let master = &self.schema.tables[master_ti];
+        // Find the fact table: CoT models search the FK graph; non-CoT
+        // models sometimes pick the globally best table regardless of
+        // joinability.
+        let fact_ti = self.pick_join_partner(master_ti, agg.is_some(), opts, rng)?;
+        let fact = &self.schema.tables[fact_ti];
+        let (fk_fact_col, fk_master_col) = self.join_columns(fact_ti, master_ti);
+        // Figure 12 (example 3) failure mode: the model systematically
+        // binds the selected column to the wrong table alias. Output
+        // calibration's alignment step (`f3`) exists to repair exactly
+        // this.
+        let qualifier = if rng.gen_bool(misbind_rate(opts)) { "t2" } else { "t1" };
+        let inner = if let Some(agg) = agg {
+            let m = self.best_in_table_where(fact_ti, |ty| ty == ColType::Float, None, opts, rng)?;
+            format!("{}({qualifier}.{})", agg.sql(), fact.columns[m.ci].name)
+        } else {
+            let s = self.best_in_table(fact_ti, None, opts, rng)?;
+            format!("{qualifier}.{}", fact.columns[s.ci].name)
+        };
+        Some(format!(
+            "SELECT {inner} FROM {} AS t1 JOIN {} AS t2 ON t1.{} = t2.{} WHERE t2.{} = {}",
+            fact.name,
+            master.name,
+            fk_fact_col,
+            fk_master_col,
+            hit.column,
+            quote(&hit.value)
+        ))
+    }
+
+    fn join_topk(&self, opts: &FillOptions, rng: &mut StdRng) -> Option<String> {
+        // Choose the FK whose fact-side measure and master-side name best
+        // match the question.
+        let mut best: Option<(usize, usize, f32)> = None;
+        for fk in &self.schema.foreign_keys {
+            let (Some(fact_ti), Some(master_ti)) =
+                (self.schema.table_index(&fk.from_table), self.schema.table_index(&fk.to_table))
+            else {
+                continue;
+            };
+            let m_score = self
+                .table_cols(fact_ti, |ty| ty == ColType::Float)
+                .iter()
+                .map(|c| c.score)
+                .fold(0.0f32, f32::max);
+            let n_score = self
+                .table_cols(master_ti, |ty| ty == ColType::Text)
+                .iter()
+                .map(|c| c.score)
+                .fold(0.0f32, f32::max);
+            let total = m_score + n_score;
+            if best.map(|(_, _, b)| total > b).unwrap_or(true) {
+                best = Some((fact_ti, master_ti, total));
+            }
+        }
+        let (fact_ti, master_ti, _) = best?;
+        let m = self.float_after_cue(Some(fact_ti), Self::DIR_CUES, opts, rng)?;
+        let n = self.best_in_table_where(master_ti, |ty| ty == ColType::Text, None, opts, rng)?;
+        let k = self.first_int()?;
+        let (fk_fact_col, fk_master_col) = self.join_columns(fact_ti, master_ti);
+        let qualifier = if rng.gen_bool(misbind_rate(opts)) { "t1" } else { "t2" };
+        Some(format!(
+            "SELECT {qualifier}.{} FROM {} AS t1 JOIN {} AS t2 ON t1.{} = t2.{} ORDER BY t1.{} DESC LIMIT {k}",
+            self.schema.tables[master_ti].columns[n.ci].name,
+            self.schema.tables[fact_ti].name,
+            self.schema.tables[master_ti].name,
+            fk_fact_col,
+            fk_master_col,
+            self.schema.tables[fact_ti].columns[m.ci].name,
+        ))
+    }
+
+    fn in_subquery(&self, text_pred: bool, opts: &FillOptions, rng: &mut StdRng) -> Option<String> {
+        // Inner filter lives on the fact table; the outer select on its
+        // FK master.
+        let (fact_ti, pred_sql) = if text_pred {
+            let hit = self.pick_hit(opts, rng)?;
+            let ti = self.schema.table_index(&hit.table)?;
+            (ti, format!("{} = {}", hit.column, quote(&hit.value)))
+        } else {
+            let m = self.best_col_where(|ty| ty == ColType::Float, None, opts, rng)?;
+            let x = self.first_float_span()?;
+            (m.ti, format!("{} > {x}", self.schema.tables[m.ti].columns[m.ci].name))
+        };
+        let fact = &self.schema.tables[fact_ti];
+        // Among the fact table's foreign keys, pick the master the
+        // question actually names.
+        let fkdef = self
+            .schema
+            .foreign_keys
+            .iter()
+            .filter(|f| f.from_table.eq_ignore_ascii_case(&fact.name))
+            .max_by(|a, b| {
+                let fa = self
+                    .schema
+                    .table_index(&a.to_table)
+                    .map(|ti| self.table_affinity[ti])
+                    .unwrap_or(0.0);
+                let fb = self
+                    .schema
+                    .table_index(&b.to_table)
+                    .map(|ti| self.table_affinity[ti])
+                    .unwrap_or(0.0);
+                fa.total_cmp(&fb).then(b.to_table.cmp(&a.to_table))
+            })?;
+        let master_ti = self.schema.table_index(&fkdef.to_table)?;
+        let s = self.best_in_table(master_ti, None, opts, rng)?;
+        Some(format!(
+            "SELECT {} FROM {} WHERE {} IN (SELECT {} FROM {} WHERE {})",
+            self.schema.tables[master_ti].columns[s.ci].name,
+            fkdef.to_table,
+            fkdef.to_column,
+            fkdef.from_column,
+            fact.name,
+            pred_sql
+        ))
+    }
+
+    fn like_match(&self, opts: &FillOptions, rng: &mut StdRng) -> Option<String> {
+        // Candidate: a value's leading word that occurs in the question.
+        let qlower = self.question.to_lowercase();
+        let mut cands: Vec<(ColCand, String)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for hit in self.prefix_hits(&qlower) {
+            let Some(ti) = self.schema.table_index(&hit.0) else { continue };
+            let Some(ci) = self.schema.tables[ti].column_index(&hit.1) else { continue };
+            if !seen.insert((ti, ci, hit.2.clone())) {
+                continue;
+            }
+            let score = self.col_affinity(ti, ci).0 + hit.2.len() as f32 * 0.01;
+            cands.push((ColCand { ti, ci, score, pos: 0 }, hit.2));
+        }
+        cands.sort_by(|a, b| b.0.score.total_cmp(&a.0.score).then(a.1.cmp(&b.1)));
+        let (ncol, word) = choose_pair(&cands, opts.slot_skill, rng)?;
+        let s = self.best_in_table(ncol.ti, Some(ncol.ci), opts, rng)?;
+        let (t, nc) = self.name_of(*ncol);
+        let (_, sc) = self.name_of(s);
+        Some(format!("SELECT {sc} FROM {t} WHERE {nc} LIKE '%{word}%'"))
+    }
+
+    fn three_join(&self, opts: &FillOptions, rng: &mut StdRng) -> Option<String> {
+        let hit = self.pick_hit(opts, rng)?;
+        let a_ti = self.schema.table_index(&hit.table)?;
+        let a = &self.schema.tables[a_ti];
+        let fkdef = self
+            .schema
+            .foreign_keys
+            .iter()
+            .find(|f| f.from_table.eq_ignore_ascii_case(&a.name))?;
+        let m_ti = self.schema.table_index(&fkdef.to_table)?;
+        // B: another fact table on the same master. CoT searches; non-CoT
+        // guesses globally with join_skill.
+        let b_ti = if opts.cot || rng.gen_bool(opts.join_skill) {
+            let mut best: Option<(usize, f32)> = None;
+            for f2 in &self.schema.foreign_keys {
+                if f2.to_table != fkdef.to_table || f2.from_table.eq_ignore_ascii_case(&a.name) {
+                    continue;
+                }
+                let Some(bi) = self.schema.table_index(&f2.from_table) else { continue };
+                let score = self
+                    .table_cols(bi, |_| true)
+                    .iter()
+                    .map(|c| c.score)
+                    .fold(0.0f32, f32::max);
+                if best.map(|(_, b)| score > b).unwrap_or(true) {
+                    best = Some((bi, score));
+                }
+            }
+            best?.0
+        } else {
+            // Greedy global pick — often not FK-linked to the master.
+            let mut best: Option<ColCand> = None;
+            for c in self.all_cols(|_| true) {
+                if c.ti != a_ti && best.map(|b| c.score > b.score).unwrap_or(true) {
+                    best = Some(c);
+                }
+            }
+            best?.ti
+        };
+        let b = &self.schema.tables[b_ti];
+        let b_fk = self
+            .schema
+            .foreign_keys
+            .iter()
+            .find(|f| f.from_table.eq_ignore_ascii_case(&b.name) && f.to_table == fkdef.to_table);
+        let b_fk_col = match b_fk {
+            Some(f) => f.from_column.clone(),
+            None => b.columns.first()?.name.clone(), // broken chain → wrong SQL
+        };
+        let s = self.best_in_table(b_ti, None, opts, rng)?;
+        let m = &self.schema.tables[m_ti];
+        let qualifier = if rng.gen_bool(misbind_rate(opts)) { "t2" } else { "t3" };
+        Some(format!(
+            "SELECT {qualifier}.{} FROM {} AS t1 JOIN {} AS t2 ON t1.{} = t2.{} JOIN {} AS t3 ON t2.{} = t3.{} WHERE t1.{} = {}",
+            b.columns[s.ci].name,
+            a.name,
+            m.name,
+            fkdef.from_column,
+            fkdef.to_column,
+            b.name,
+            fkdef.to_column,
+            b_fk_col,
+            hit.column,
+            quote(&hit.value)
+        ))
+    }
+
+    // --- candidate machinery ------------------------------------------
+
+    /// Lexical affinity of a column to the question.
+    ///
+    /// Per register: coverage fraction of the description by question
+    /// tokens, a contiguity bonus when the full description phrase occurs
+    /// verbatim (this is what separates `redemption status` from a
+    /// `purchase … status` co-occurrence), and a matched-token-count
+    /// bonus so longer exact descriptions beat their own prefixes
+    /// (`fund name abbreviation` vs `fund name`). Identifier parts and
+    /// the enclosing table's description affinity are added on top.
+    /// The returned position is the byte offset of the description's
+    /// first matching token in the question (drives cue-relative slot
+    /// selection).
+    fn col_affinity(&self, ti: usize, ci: usize) -> (f32, usize) {
+        let col = &self.schema.tables[ti].columns[ci];
+        let (s_en, p_en) = self.desc_score(&col.desc_en);
+        let (s_cn, p_cn) = self.desc_score(&col.desc_cn);
+        let (s_id, p_id) = self.overlap(&tokenize_identifier(&col.name));
+        let (mut score, mut pos) = if s_en >= s_cn { (s_en, p_en) } else { (s_cn, p_cn) };
+        score += 0.3 * s_id;
+        // The enclosing table's description disambiguates identically
+        // described columns across tables (every question names its
+        // table's business description).
+        score += 0.6 * self.table_affinity[ti];
+        pos = pos.min(p_id);
+        (score, pos)
+    }
+
+    /// Score of one description string against the question. The position
+    /// is the byte offset of the *whole phrase* when it occurs verbatim
+    /// (single shared words like "amount" would otherwise report wildly
+    /// wrong positions), else the earliest matched token.
+    fn desc_score(&self, desc: &str) -> (f32, usize) {
+        let tokens = tokenize(desc);
+        if tokens.is_empty() {
+            return (0.0, usize::MAX);
+        }
+        let (frac, mut pos) = self.overlap(&tokens);
+        let hits = (frac * tokens.len() as f32).round();
+        let qlower = self.question.to_lowercase();
+        let phrase = tokens.join(if desc.chars().any(|c| c as u32 >= 0x4E00) { "" } else { " " });
+        let phrase_at = if phrase.is_empty() { None } else { qlower.find(&phrase) };
+        if let Some(p) = phrase_at {
+            pos = p;
+        }
+        (frac + 0.08 * hits + if phrase_at.is_some() { 0.6 } else { 0.0 }, pos)
+    }
+
+    fn overlap(&self, desc_tokens: &[String]) -> (f32, usize) {
+        if desc_tokens.is_empty() {
+            return (0.0, usize::MAX);
+        }
+        let qlower = self.question.to_lowercase();
+        let mut hits = 0usize;
+        let mut first = usize::MAX;
+        for t in desc_tokens {
+            if self.qtokens.iter().any(|q| q == t) {
+                hits += 1;
+                if let Some(b) = qlower.find(t.as_str()) {
+                    first = first.min(b);
+                }
+            }
+        }
+        (hits as f32 / desc_tokens.len() as f32, first)
+    }
+
+    /// Byte position of the earliest cue word in the question, if any.
+    fn cue_pos(&self, cues: &[&str]) -> Option<usize> {
+        let q = self.question.to_lowercase();
+        cues.iter().filter_map(|c| q.find(c)).min()
+    }
+
+    /// Chooses the measure column relative to a direction/aggregation cue:
+    /// the measure the question orders by directly follows the cue word
+    /// ("… with the lowest ⟨share change amount⟩").
+    fn float_after_cue(
+        &self,
+        ti: Option<usize>,
+        cues: &[&str],
+        opts: &FillOptions,
+        rng: &mut StdRng,
+    ) -> Option<ColCand> {
+        let cands: Vec<ColCand> = match ti {
+            Some(ti) => self.table_cols(ti, |ty| ty == ColType::Float),
+            None => self.all_cols(|ty| ty == ColType::Float),
+        };
+        if let Some(cp) = self.cue_pos(cues) {
+            let mut after: Vec<ColCand> =
+                cands.iter().copied().filter(|c| c.pos != usize::MAX && c.pos > cp).collect();
+            if !after.is_empty() {
+                after.sort_by(|a, b| {
+                    a.pos.cmp(&b.pos).then(b.score.total_cmp(&a.score)).then(a.ci.cmp(&b.ci))
+                });
+                return choose(&after, opts.slot_skill, rng).copied();
+            }
+        }
+        choose(&self.ranked(cands), opts.slot_skill, rng).copied()
+    }
+
+    /// Chooses the measure column nearest a cue on either side — the
+    /// comparison measure sits immediately around "higher than the
+    /// average" / "above average" in every phrasing.
+    fn float_near_cue(
+        &self,
+        cues: &[&str],
+        opts: &FillOptions,
+        rng: &mut StdRng,
+    ) -> Option<ColCand> {
+        let cands = self.all_cols(|ty| ty == ColType::Float);
+        if let Some(cp) = self.cue_pos(cues) {
+            let best = cands.iter().map(|c| c.score).fold(f32::MIN, f32::max);
+            let mut near: Vec<ColCand> = cands
+                .iter()
+                .copied()
+                .filter(|c| c.pos != usize::MAX && c.score >= best - 0.5)
+                .collect();
+            if !near.is_empty() {
+                near.sort_by(|a, b| {
+                    let da = a.pos.abs_diff(cp);
+                    let db = b.pos.abs_diff(cp);
+                    da.cmp(&db).then(b.score.total_cmp(&a.score)).then(a.ci.cmp(&b.ci))
+                });
+                return choose(&near, opts.slot_skill, rng).copied();
+            }
+        }
+        choose(&self.ranked(cands), opts.slot_skill, rng).copied()
+    }
+
+    fn table_cols(&self, ti: usize, ty_pred: impl Fn(ColType) -> bool) -> Vec<ColCand> {
+        self.schema.tables[ti]
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| ty_pred(c.ty))
+            .map(|(ci, _)| {
+                let (score, pos) = self.col_affinity(ti, ci);
+                ColCand { ti, ci, score, pos }
+            })
+            .collect()
+    }
+
+    fn all_cols(&self, ty_pred: impl Fn(ColType) -> bool + Copy) -> Vec<ColCand> {
+        (0..self.schema.tables.len()).flat_map(|ti| self.table_cols(ti, ty_pred)).collect()
+    }
+
+    fn ranked(&self, mut v: Vec<ColCand>) -> Vec<ColCand> {
+        v.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.ti.cmp(&b.ti)).then(a.ci.cmp(&b.ci)));
+        v
+    }
+
+    fn best_col_where(
+        &self,
+        ty_pred: impl Fn(ColType) -> bool + Copy,
+        exclude: Option<(usize, usize)>,
+        opts: &FillOptions,
+        rng: &mut StdRng,
+    ) -> Option<ColCand> {
+        let v = self.ranked(
+            self.all_cols(ty_pred)
+                .into_iter()
+                .filter(|c| exclude != Some((c.ti, c.ci)))
+                .collect(),
+        );
+        choose(&v, opts.slot_skill, rng).copied()
+    }
+
+    fn best_in_table(
+        &self,
+        ti: usize,
+        exclude_ci: Option<usize>,
+        opts: &FillOptions,
+        rng: &mut StdRng,
+    ) -> Option<ColCand> {
+        self.best_in_table_where(ti, |_| true, exclude_ci, opts, rng)
+    }
+
+    fn best_in_table_where(
+        &self,
+        ti: usize,
+        ty_pred: impl Fn(ColType) -> bool,
+        exclude_ci: Option<usize>,
+        opts: &FillOptions,
+        rng: &mut StdRng,
+    ) -> Option<ColCand> {
+        let v = self.ranked(
+            self.table_cols(ti, ty_pred)
+                .into_iter()
+                .filter(|c| Some(c.ci) != exclude_ci)
+                .collect(),
+        );
+        choose(&v, opts.slot_skill, rng).copied()
+    }
+
+    /// Best text column anywhere (grouping slots).
+    fn best_text_col(
+        &self,
+        exclude: Option<(usize, usize)>,
+        opts: &FillOptions,
+        rng: &mut StdRng,
+    ) -> Option<ColCand> {
+        self.best_col_where(|ty| ty == ColType::Text, exclude, opts, rng)
+    }
+
+    /// Value-index hits restricted to the prompt schema, ranked by the
+    /// hit column's affinity to the question (the same value can live in
+    /// several columns — e.g. a city name — and the question names the
+    /// right one), then by value length.
+    fn pick_hit(&self, opts: &FillOptions, rng: &mut StdRng) -> Option<ValueHit> {
+        let mut hits: Vec<(f32, usize, ValueHit)> = self
+            .values
+            .find_in_question(self.question)
+            .into_iter()
+            .filter_map(|h| {
+                let ti = self.schema.table_index(&h.table)?;
+                let ci = self.schema.tables[ti].column_index(&h.column)?;
+                let (aff, _) = self.col_affinity(ti, ci);
+                Some((aff, h.value.chars().count(), h))
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then(b.1.cmp(&a.1))
+                .then(a.2.table.cmp(&b.2.table))
+                .then(a.2.column.cmp(&b.2.column))
+        });
+        let ranked: Vec<ValueHit> = hits.into_iter().map(|(_, _, h)| h).collect();
+        choose(&ranked, opts.slot_skill, rng).cloned()
+    }
+
+    /// `(table, column, first word)` candidates for LIKE matching.
+    fn prefix_hits(&self, qlower: &str) -> Vec<(String, String, String)> {
+        let mut out = Vec::new();
+        for hit in self.values.all_entries() {
+            let Some(word) = hit.2.split_whitespace().next() else { continue };
+            if word.len() >= 3 && qlower.contains(&word.to_lowercase()) {
+                out.push((hit.0.clone(), hit.1.clone(), word.to_string()));
+            }
+        }
+        out
+    }
+
+    fn pick_join_partner(
+        &self,
+        master_ti: usize,
+        want_measure: bool,
+        opts: &FillOptions,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        let master_name = &self.schema.tables[master_ti].name;
+        if opts.cot || rng.gen_bool(opts.join_skill) {
+            // FK-constrained search.
+            let mut cands: Vec<(usize, f32)> = Vec::new();
+            for fk in &self.schema.foreign_keys {
+                let partner = if fk.to_table.eq_ignore_ascii_case(master_name) {
+                    self.schema.table_index(&fk.from_table)
+                } else if fk.from_table.eq_ignore_ascii_case(master_name) {
+                    self.schema.table_index(&fk.to_table)
+                } else {
+                    None
+                };
+                let Some(pi) = partner else { continue };
+                if pi == master_ti {
+                    continue;
+                }
+                let score = self
+                    .table_cols(pi, |ty| !want_measure || ty == ColType::Float)
+                    .iter()
+                    .map(|c| c.score)
+                    .fold(0.0f32, f32::max);
+                cands.push((pi, score));
+            }
+            cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            cands.dedup_by_key(|c| c.0);
+            choose(&cands, opts.slot_skill, rng).map(|(pi, _)| *pi)
+        } else {
+            // Greedy pick ignoring joinability.
+            let mut best: Option<ColCand> = None;
+            for c in self.all_cols(|ty| !want_measure || ty == ColType::Float) {
+                if c.ti != master_ti && best.map(|b| c.score > b.score).unwrap_or(true) {
+                    best = Some(c);
+                }
+            }
+            best.map(|c| c.ti)
+        }
+    }
+
+    /// The join columns between two tables: the declared FK when present,
+    /// otherwise a shared column name, otherwise a blind guess (which
+    /// yields the paper's Figure 12 style wrong-join output).
+    fn join_columns(&self, fact_ti: usize, master_ti: usize) -> (String, String) {
+        let fact = &self.schema.tables[fact_ti];
+        let master = &self.schema.tables[master_ti];
+        if let Some(fk) = self.schema.foreign_key_between(&fact.name, &master.name) {
+            if fk.from_table.eq_ignore_ascii_case(&fact.name) {
+                return (fk.from_column.clone(), fk.to_column.clone());
+            }
+            return (fk.to_column.clone(), fk.from_column.clone());
+        }
+        for c in &fact.columns {
+            if master.column(&c.name).is_some() {
+                return (c.name.clone(), c.name.clone());
+            }
+        }
+        (
+            fact.columns.first().map(|c| c.name.clone()).unwrap_or_default(),
+            master.columns.first().map(|c| c.name.clone()).unwrap_or_default(),
+        )
+    }
+
+    fn name_of(&self, c: ColCand) -> (String, String) {
+        (
+            self.schema.tables[c.ti].name.clone(),
+            self.schema.tables[c.ti].columns[c.ci].name.clone(),
+        )
+    }
+
+    /// Derives the aggregate function from explicit cue words in the
+    /// question ("average", "总", …), taking the earliest cue. Models
+    /// attend strongly to these tokens; this corrects skeleton-retrieval
+    /// slips between sibling aggregate skeletons.
+    fn lexical_agg(&self) -> Option<AggKind> {
+        const CUES: &[(&str, AggKind)] = &[
+            ("average", AggKind::Avg),
+            ("平均", AggKind::Avg),
+            ("maximum", AggKind::Max),
+            ("最大", AggKind::Max),
+            ("minimum", AggKind::Min),
+            ("最小", AggKind::Min),
+            ("total", AggKind::Sum),
+            ("总", AggKind::Sum),
+        ];
+        let q = self.question.to_lowercase();
+        CUES.iter()
+            .filter_map(|(cue, agg)| q.find(cue).map(|i| (i, *agg)))
+            .min_by_key(|(i, _)| *i)
+            .map(|(_, agg)| agg)
+    }
+
+    fn first_int(&self) -> Option<i64> {
+        extract_number_spans(self.question)
+            .into_iter()
+            .find(|s| !s.contains('.'))
+            .and_then(|s| s.parse().ok())
+    }
+
+    fn first_float_span(&self) -> Option<String> {
+        let spans = extract_number_spans(self.question);
+        spans.iter().find(|s| s.contains('.')).cloned().or_else(|| spans.into_iter().next())
+    }
+}
+
+/// Probability of a systematic wrong-table column binding in multi-table
+/// shapes (drawn from the per-question slot RNG, so every sample of one
+/// question shares it — only alignment can fix it, not voting).
+fn misbind_rate(opts: &FillOptions) -> f64 {
+    (1.5 * (1.0 - opts.slot_skill)).clamp(0.0, 0.5)
+}
+
+fn quote(v: &str) -> String {
+    format!("'{}'", v.replace('\'', "''"))
+}
+
+/// Best-or-runner-up selection shared by every slot.
+fn choose<'x, T>(v: &'x [T], skill: f64, rng: &mut StdRng) -> Option<&'x T> {
+    match v.len() {
+        0 => None,
+        1 => Some(&v[0]),
+        _ => {
+            if rng.gen_bool(skill) {
+                Some(&v[0])
+            } else {
+                Some(&v[1])
+            }
+        }
+    }
+}
+
+fn choose_pair<'x, A, B>(v: &'x [(A, B)], skill: f64, rng: &mut StdRng) -> Option<(&'x A, &'x B)> {
+    choose(v, skill, rng).map(|(a, b)| (a, b))
+}

@@ -1,0 +1,297 @@
+//! LoRA plugin training: skeleton-anchor SGD plus prototype estimation.
+//!
+//! The objective is the retrieval analogue of fine-tuning: every training
+//! question is pulled toward the (frozen) base embedding of its SQL
+//! *skeleton*, so questions that share structure — across phrasings and
+//! even across databases — cluster in the adapted space. The skeleton
+//! prototype head (nearest-class-mean over the adapted embeddings) is the
+//! model's "decoder choice" of structure at inference time.
+
+use crate::embed::{normalize, EmbeddingModel, EMBED_DIM};
+use crate::hub::{LoraPlugin, Prototype};
+use crate::lora::LoraModule;
+use crate::shape::{shape_of, ShapeKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sqlkit::skeleton_of;
+use std::collections::HashMap;
+
+/// Provenance of a training pair — the paper's three augmentation tasks
+/// plus the original annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExampleKind {
+    /// Annotated question–SQL pair.
+    Original,
+    /// Chain-of-thought augmented pair (question, reasoning, SQL).
+    Cot,
+    /// Synonymous-question augmented pair.
+    Synonym,
+    /// Skeleton-augmented pair (skeleton generated before SQL).
+    Skeleton,
+}
+
+/// One training pair.
+#[derive(Debug, Clone)]
+pub struct TrainExample {
+    pub question: String,
+    pub sql: String,
+    pub kind: ExampleKind,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainOpts {
+    pub epochs: usize,
+    pub lr: f32,
+    pub seed: u64,
+}
+
+impl Default for TrainOpts {
+    fn default() -> Self {
+        TrainOpts { epochs: 6, lr: 0.012, seed: 23 }
+    }
+}
+
+/// Fraction of CoT pairs needed before the plugin counts as CoT-trained.
+const COT_THRESHOLD: f64 = 0.05;
+
+/// Trains a fresh plugin on the examples.
+pub fn train_plugin(
+    base: &EmbeddingModel,
+    name: &str,
+    examples: &[TrainExample],
+    opts: TrainOpts,
+) -> LoraPlugin {
+    let lora = LoraModule::init(base.dim_in(), EMBED_DIM, opts.seed);
+    continue_training(base, name, lora, &[], examples, opts)
+}
+
+/// Continues training from an existing LoRA module (the paper's §7.3:
+/// merged weights initialise the model, then further fine-tuning on the
+/// target domain's few shots). `prior_prototypes` carries the merged
+/// prototype head forward.
+pub fn continue_training(
+    base: &EmbeddingModel,
+    name: &str,
+    mut lora: LoraModule,
+    prior_prototypes: &[Prototype],
+    examples: &[TrainExample],
+    opts: TrainOpts,
+) -> LoraPlugin {
+    // Resolve skeleton + shape per example; drop pairs whose SQL is
+    // outside the shape bank (real pipelines drop unparseable pairs too).
+    struct Prepared {
+        x: textenc::SparseVec,
+        base_out: Vec<f32>,
+        target: Vec<f32>,
+        skeleton: String,
+        shape: ShapeKind,
+        kind: ExampleKind,
+    }
+    let mut prepared: Vec<Prepared> = Vec::new();
+    // Anchor per skeleton class: a deterministic random unit vector seeded
+    // by the skeleton text (an error-correcting-output-code style label
+    // embedding). Random codes keep near-identical skeletons — e.g.
+    // `AVG(_)` vs `MAX(_)` — maximally separated, which the base text
+    // embedding of the skeleton cannot; and the same skeleton maps to the
+    // same anchor in every plugin, which is what makes merged plugins
+    // compatible across databases.
+    let mut anchors: HashMap<String, Vec<f32>> = HashMap::new();
+    for ex in examples {
+        let Some(skeleton) = skeleton_of(&ex.sql) else { continue };
+        let Some(shape) = shape_of(&ex.sql) else { continue };
+        let x = base.features(&ex.question);
+        let base_out = base.project_base(&x);
+        let target =
+            anchors.entry(skeleton.clone()).or_insert_with(|| anchor_code(&skeleton)).clone();
+        prepared.push(Prepared { x, base_out, target, skeleton, shape, kind: ex.kind });
+    }
+    // SGD.
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5EED);
+    let mut order: Vec<usize> = (0..prepared.len()).collect();
+    for epoch in 0..opts.epochs {
+        let lr = opts.lr / (1.0 + epoch as f32);
+        order.shuffle(&mut rng);
+        for &i in &order {
+            let p = &prepared[i];
+            lora.sgd_step(&p.x, &p.base_out, &p.target, lr);
+        }
+    }
+    // Prototype head: class means in the adapted space, seeded from the
+    // prior head (counts damped so fresh data can move the centroids).
+    let mut acc: HashMap<String, (ShapeKind, Vec<f32>, f32)> = HashMap::new();
+    for proto in prior_prototypes {
+        acc.insert(
+            proto.skeleton.clone(),
+            (proto.shape, scale(&proto.centroid, proto.count), proto.count),
+        );
+    }
+    for p in &prepared {
+        let emb = base.embed_features(&p.x, Some(&lora));
+        let entry = acc
+            .entry(p.skeleton.clone())
+            .or_insert_with(|| (p.shape, vec![0.0; EMBED_DIM], 0.0));
+        for (a, e) in entry.1.iter_mut().zip(&emb) {
+            *a += e;
+        }
+        entry.2 += 1.0;
+    }
+    let mut prototypes: Vec<Prototype> = acc
+        .into_iter()
+        .map(|(skeleton, (shape, mut sum, count))| {
+            if count > 0.0 {
+                for v in &mut sum {
+                    *v /= count;
+                }
+            }
+            normalize(&mut sum);
+            Prototype { skeleton, shape, centroid: sum, count }
+        })
+        .collect();
+    prototypes.sort_by(|a, b| a.skeleton.cmp(&b.skeleton));
+    let n_cot = prepared.iter().filter(|p| p.kind == ExampleKind::Cot).count();
+    let cot_trained = !prepared.is_empty()
+        && n_cot as f64 / prepared.len() as f64 >= COT_THRESHOLD;
+    LoraPlugin {
+        name: name.to_string(),
+        lora,
+        prototypes,
+        cot_trained,
+        n_examples: prepared.len(),
+    }
+}
+
+/// Deterministic unit-norm label code for a skeleton class.
+fn anchor_code(skeleton: &str) -> Vec<f32> {
+    let mut state: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in skeleton.as_bytes() {
+        state ^= u64::from(*b);
+        state = state.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut v: Vec<f32> = (0..EMBED_DIM)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        })
+        .collect();
+    normalize(&mut v);
+    // Scale to the typical norm of base projections so the LoRA delta
+    // stays in a trainable range.
+    v
+}
+
+fn scale(v: &[f32], s: f32) -> Vec<f32> {
+    v.iter().map(|x| x * s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::cosine;
+
+    fn base() -> EmbeddingModel {
+        EmbeddingModel::pretrained(42)
+    }
+
+    fn ex(q: &str, sql: &str) -> TrainExample {
+        TrainExample { question: q.into(), sql: sql.into(), kind: ExampleKind::Original }
+    }
+
+    #[test]
+    fn training_builds_prototypes_per_skeleton() {
+        let b = base();
+        let examples = vec![
+            ex("how many bond funds are there", "SELECT COUNT(*) FROM t WHERE a = 'x'"),
+            ex("count the stock funds", "SELECT COUNT(*) FROM t WHERE a = 'y'"),
+            ex("top 3 funds by return", "SELECT n FROM t ORDER BY r DESC LIMIT 3"),
+        ];
+        let plugin = train_plugin(&b, "fund", &examples, TrainOpts::default());
+        assert_eq!(plugin.prototypes.len(), 2, "two distinct skeletons");
+        assert_eq!(plugin.n_examples, 3);
+        assert!(!plugin.cot_trained);
+    }
+
+    #[test]
+    fn adapted_space_clusters_same_skeleton_questions() {
+        let b = base();
+        // Two phrasing families for two skeletons.
+        let mut examples = Vec::new();
+        for i in 0..20 {
+            examples.push(ex(
+                &format!("how many records of kind {i} are there"),
+                &format!("SELECT COUNT(*) FROM t WHERE a = 'v{i}'"),
+            ));
+            examples.push(ex(
+                &format!("list the top {i} items by measure"),
+                &format!("SELECT n FROM t ORDER BY m DESC LIMIT {i}"),
+            ));
+        }
+        let plugin = train_plugin(&b, "p", &examples, TrainOpts { epochs: 4, ..Default::default() });
+        // An unseen phrasing of the count family must land nearer the
+        // count prototype than the topk prototype.
+        let q = b.embed("please count how many entries of kind zz exist", Some(&plugin.lora));
+        let count_proto = plugin
+            .prototypes
+            .iter()
+            .find(|p| p.skeleton.contains("COUNT(*)"))
+            .unwrap();
+        let topk_proto = plugin
+            .prototypes
+            .iter()
+            .find(|p| p.skeleton.contains("LIMIT"))
+            .unwrap();
+        let (sc, st) = (cosine(&q, &count_proto.centroid), cosine(&q, &topk_proto.centroid));
+        assert!(sc > st, "count {sc} must beat topk {st}");
+    }
+
+    #[test]
+    fn cot_flag_follows_data_mix() {
+        let b = base();
+        let mut examples =
+            vec![ex("count things", "SELECT COUNT(*) FROM t WHERE a = 'x'"); 10];
+        let plugin = train_plugin(&b, "p", &examples, TrainOpts::default());
+        assert!(!plugin.cot_trained);
+        examples.push(TrainExample {
+            question: "count with reasoning".into(),
+            sql: "SELECT COUNT(*) FROM t WHERE a = 'y'".into(),
+            kind: ExampleKind::Cot,
+        });
+        let plugin = train_plugin(&b, "p", &examples, TrainOpts::default());
+        assert!(plugin.cot_trained);
+    }
+
+    #[test]
+    fn continue_training_keeps_prior_prototypes() {
+        let b = base();
+        let first = train_plugin(
+            &b,
+            "src",
+            &[ex("count things", "SELECT COUNT(*) FROM t WHERE a = 'x'")],
+            TrainOpts::default(),
+        );
+        let continued = continue_training(
+            &b,
+            "dst",
+            first.lora.clone(),
+            &first.prototypes,
+            &[ex("top 2 by size", "SELECT n FROM t ORDER BY m DESC LIMIT 2")],
+            TrainOpts::default(),
+        );
+        assert_eq!(continued.prototypes.len(), 2, "prior + new skeleton classes");
+    }
+
+    #[test]
+    fn unparseable_examples_are_dropped() {
+        let b = base();
+        let plugin = train_plugin(
+            &b,
+            "p",
+            &[ex("bad", "NOT SQL AT ALL"), ex("ok", "SELECT COUNT(*) FROM t WHERE a = 'x'")],
+            TrainOpts::default(),
+        );
+        assert_eq!(plugin.n_examples, 1);
+    }
+}

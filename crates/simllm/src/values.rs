@@ -1,0 +1,286 @@
+//! The value index: DB-content grounding for literal slots.
+//!
+//! Production Text-to-SQL systems (including FinSQL's deployment) keep an
+//! offline index of distinct cell values so that literals in questions
+//! can be matched to columns *without executing queries*. This module
+//! builds that index and extracts literal spans (values, numbers, dates)
+//! from question text.
+
+use sqlengine::{Database, Value};
+use std::collections::HashSet;
+
+/// Maximum distinct values a column may have to be indexed (large
+/// free-text columns are useless for matching and bloat the index).
+const MAX_DISTINCT: usize = 400;
+/// Minimum value length worth matching.
+const MIN_LEN: usize = 3;
+
+/// A value occurrence in some column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueHit {
+    pub table: String,
+    pub column: String,
+    /// The original-cased value as stored.
+    pub value: String,
+}
+
+/// An index of distinct text values across a database's columns.
+#[derive(Debug, Clone)]
+pub struct ValueIndex {
+    /// `(lower-cased value, table, column, original value)`, sorted by
+    /// descending value length so maximal matches come first.
+    entries: Vec<(String, String, String, String)>,
+}
+
+impl ValueIndex {
+    /// Scans every text column of the database.
+    pub fn build(db: &Database) -> Self {
+        let mut entries = Vec::new();
+        for table in db.tables() {
+            for (ci, col) in table.def.columns.iter().enumerate() {
+                let mut distinct: HashSet<&str> = HashSet::new();
+                let mut over = false;
+                for row in &table.rows {
+                    if let Value::Str(s) = &row[ci] {
+                        distinct.insert(s.as_str());
+                        if distinct.len() > MAX_DISTINCT {
+                            over = true;
+                            break;
+                        }
+                    }
+                }
+                if over {
+                    continue;
+                }
+                for v in distinct {
+                    if v.chars().count() >= MIN_LEN && !looks_like_date(v) {
+                        entries.push((
+                            v.to_lowercase(),
+                            table.def.name.clone(),
+                            col.name.clone(),
+                            v.to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        entries.sort_by(|a, b| {
+            b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)).then_with(|| a.1.cmp(&b.1))
+        });
+        ValueIndex { entries }
+    }
+
+    /// Number of indexed values.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates all `(table, column, original value)` entries, longest
+    /// value first.
+    pub fn all_entries(&self) -> impl Iterator<Item = (&String, &String, &String)> {
+        self.entries.iter().map(|(_, t, c, v)| (t, c, v))
+    }
+
+    /// Finds indexed values occurring verbatim (case-insensitively) in
+    /// the question, longest first.
+    pub fn find_in_question(&self, question: &str) -> Vec<ValueHit> {
+        let q = question.to_lowercase();
+        let mut hits = Vec::new();
+        for (lower, table, column, original) in &self.entries {
+            if q.contains(lower.as_str()) {
+                hits.push(ValueHit {
+                    table: table.clone(),
+                    column: column.clone(),
+                    value: original.clone(),
+                });
+            }
+        }
+        hits
+    }
+}
+
+/// `YYYY-MM-DD` check.
+pub fn looks_like_date(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 10
+        && b.iter().enumerate().all(|(i, c)| {
+            if i == 4 || i == 7 {
+                *c == b'-'
+            } else {
+                c.is_ascii_digit()
+            }
+        })
+}
+
+/// Extracts numeric literals (`123`, `45.20`) from raw question text, in
+/// order of appearance. Digits that are part of a date are skipped.
+pub fn extract_numbers(question: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    for span in number_spans(question) {
+        if let Ok(v) = span.parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Extracts `YYYY-MM-DD` dates from the question, in order.
+pub fn extract_dates(question: &str) -> Vec<String> {
+    let bytes = question.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 10 <= bytes.len() {
+        // A date is pure ASCII, so byte-slicing is safe once the window
+        // starts on a char boundary (CJK questions contain multi-byte
+        // chars elsewhere).
+        if !question.is_char_boundary(i) || !question.is_char_boundary(i + 10) {
+            i += 1;
+            continue;
+        }
+        let cand = &question[i..i + 10];
+        if looks_like_date(cand)
+            && (i == 0 || !bytes[i - 1].is_ascii_digit())
+            && (i + 10 == bytes.len() || !bytes[i + 10].is_ascii_digit())
+        {
+            out.push(cand.to_string());
+            i += 10;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Extracts the raw numeric spans (`"3"`, `"45.20"`) from a question, in
+/// order of appearance, skipping digits that belong to dates.
+pub fn extract_number_spans(question: &str) -> Vec<String> {
+    number_spans(question)
+}
+
+/// Numeric spans excluding date digits.
+fn number_spans(question: &str) -> Vec<String> {
+    // Blank out dates first.
+    let mut masked: Vec<u8> = question.as_bytes().to_vec();
+    let mut i = 0;
+    while i + 10 <= masked.len() {
+        if !question.is_char_boundary(i) || !question.is_char_boundary(i + 10) {
+            i += 1;
+            continue;
+        }
+        if looks_like_date(&question[i..i + 10]) {
+            for b in &mut masked[i..i + 10] {
+                *b = b' ';
+            }
+            i += 10;
+        } else {
+            i += 1;
+        }
+    }
+    let text = String::from_utf8_lossy(&masked).into_owned();
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || (bytes[i] == b'.'
+                        && !seen_dot
+                        && i + 1 < bytes.len()
+                        && bytes[i + 1].is_ascii_digit()))
+            {
+                if bytes[i] == b'.' {
+                    seen_dot = true;
+                }
+                i += 1;
+            }
+            out.push(text[start..i].to_string());
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::catalog::{CatalogColumn, CatalogSchema, CatalogTable, ColType};
+
+    fn db() -> Database {
+        let schema = CatalogSchema {
+            db_id: "v".into(),
+            tables: vec![CatalogTable {
+                name: "fund".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![
+                    CatalogColumn::new("fname", ColType::Text, "fund name", ""),
+                    CatalogColumn::new("ftype", ColType::Text, "fund type", ""),
+                    CatalogColumn::new("d", ColType::Date, "date", ""),
+                ],
+            }],
+            foreign_keys: vec![],
+        };
+        let mut db = Database::new(schema);
+        for (n, t, d) in [
+            ("Harvest Growth A", "bond fund", "2022-01-04"),
+            ("Bosera Value C", "stock fund", "2022-02-07"),
+        ] {
+            db.insert("fund", vec![Value::from(n), Value::from(t), Value::from(d)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn index_finds_values_in_questions() {
+        let idx = ValueIndex::build(&db());
+        let hits = idx.find_in_question("What is the date of the fund whose fund type is bond fund?");
+        assert!(hits.iter().any(|h| h.column == "ftype" && h.value == "bond fund"));
+        // Longest match first.
+        let hits = idx.find_in_question("show Harvest Growth A please");
+        assert_eq!(hits[0].value, "Harvest Growth A");
+    }
+
+    #[test]
+    fn dates_are_not_indexed_as_values() {
+        let idx = ValueIndex::build(&db());
+        let hits = idx.find_in_question("on 2022-01-04 what happened");
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let idx = ValueIndex::build(&db());
+        let hits = idx.find_in_question("what about BOND FUND here");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].value, "bond fund");
+    }
+
+    #[test]
+    fn number_extraction() {
+        assert_eq!(extract_numbers("top 3 funds above 45.20 percent"), vec![3.0, 45.2]);
+        assert_eq!(extract_numbers("no numbers here"), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn number_extraction_skips_dates() {
+        assert_eq!(extract_numbers("between 2022-01-04 and 2022-02-07 above 1.5"), vec![1.5]);
+    }
+
+    #[test]
+    fn date_extraction() {
+        assert_eq!(
+            extract_dates("from 2022-01-04 to 2022-02-07"),
+            vec!["2022-01-04".to_string(), "2022-02-07".to_string()]
+        );
+        assert!(extract_dates("the code 20220104 is not a date").is_empty());
+    }
+}

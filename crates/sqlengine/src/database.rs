@@ -1,0 +1,169 @@
+//! Tables and databases: typed row storage over the shared catalog types.
+
+use crate::error::{ExecError, ExecResult};
+use crate::value::Value;
+use sqlkit::catalog::{CatalogSchema, CatalogTable, ColType};
+
+/// A stored table: its catalog definition plus row data.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub def: CatalogTable,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table for a definition.
+    pub fn empty(def: CatalogTable) -> Self {
+        Table { def, rows: Vec::new() }
+    }
+
+    /// Appends a row after checking arity and (loosely) types. `Null` is
+    /// allowed anywhere; Int is accepted into Float columns.
+    pub fn insert(&mut self, row: Vec<Value>) -> ExecResult<()> {
+        if row.len() != self.def.columns.len() {
+            return Err(ExecError::Type(format!(
+                "table {} expects {} columns, got {}",
+                self.def.name,
+                self.def.columns.len(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.def.columns) {
+            let ok = matches!(
+                (v, c.ty),
+                (Value::Null, _)
+                    | (Value::Int(_), ColType::Int | ColType::Float)
+                    | (Value::Float(_), ColType::Float)
+                    | (Value::Str(_), ColType::Text | ColType::Date)
+                    | (Value::Bool(_), ColType::Int)
+            );
+            if !ok {
+                return Err(ExecError::Type(format!(
+                    "column {}.{} has type {:?}, got {v:?}",
+                    self.def.name, c.name, c.ty
+                )));
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A populated database: catalog plus one [`Table`] per catalog table.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: CatalogSchema,
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// Creates an empty database from a catalog.
+    pub fn new(catalog: CatalogSchema) -> Self {
+        let tables = catalog.tables.iter().cloned().map(Table::empty).collect();
+        Database { catalog, tables }
+    }
+
+    /// The catalog this database instantiates.
+    pub fn catalog(&self) -> &CatalogSchema {
+        &self.catalog
+    }
+
+    /// Looks up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> ExecResult<&Table> {
+        self.tables
+            .iter()
+            .find(|t| t.def.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| ExecError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> ExecResult<&mut Table> {
+        self.tables
+            .iter_mut()
+            .find(|t| t.def.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| ExecError::UnknownTable(name.to_string()))
+    }
+
+    /// Inserts a row into a named table.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> ExecResult<()> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+
+    /// Iterates over all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::catalog::{CatalogColumn, ForeignKey};
+
+    fn catalog() -> CatalogSchema {
+        CatalogSchema {
+            db_id: "t".into(),
+            tables: vec![CatalogTable {
+                name: "fund".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![
+                    CatalogColumn::new("fid", ColType::Int, "", ""),
+                    CatalogColumn::new("nav", ColType::Float, "", ""),
+                    CatalogColumn::new("nm", ColType::Text, "", ""),
+                ],
+            }],
+            foreign_keys: Vec::<ForeignKey>::new(),
+        }
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut db = Database::new(catalog());
+        assert!(db.insert("fund", vec![Value::Int(1)]).is_err());
+        assert!(db
+            .insert("fund", vec![Value::Int(1), Value::Float(1.5), Value::from("Alpha")])
+            .is_ok());
+        assert_eq!(db.table("fund").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn insert_checks_types_loosely() {
+        let mut db = Database::new(catalog());
+        // Int into Float column is fine.
+        assert!(db.insert("fund", vec![Value::Int(1), Value::Int(2), Value::from("x")]).is_ok());
+        // Str into Int column is not.
+        assert!(db
+            .insert("fund", vec![Value::from("x"), Value::Float(1.0), Value::from("y")])
+            .is_err());
+        // NULL goes anywhere.
+        assert!(db.insert("fund", vec![Value::Null, Value::Null, Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let db = Database::new(catalog());
+        assert_eq!(db.table("ghost").unwrap_err(), ExecError::UnknownTable("ghost".into()));
+    }
+
+    #[test]
+    fn table_lookup_ignores_case() {
+        let db = Database::new(catalog());
+        assert!(db.table("FUND").is_ok());
+    }
+}

@@ -1,0 +1,44 @@
+//! Execution errors.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type ExecResult<T> = std::result::Result<T, ExecError>;
+
+/// An error raised while planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The SQL text failed to parse.
+    Parse(String),
+    /// A referenced table does not exist in the database.
+    UnknownTable(String),
+    /// A referenced column does not exist in its scope.
+    UnknownColumn(String),
+    /// An unqualified column name matches more than one table in scope.
+    AmbiguousColumn(String),
+    /// An inner/left/right join has no ON condition.
+    DanglingJoin(String),
+    /// A value had the wrong type for the operation.
+    Type(String),
+    /// A scalar subquery returned more than one row/column.
+    Cardinality(String),
+    /// Unsupported construct.
+    Unsupported(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Parse(m) => write!(f, "parse error: {m}"),
+            ExecError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            ExecError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            ExecError::DanglingJoin(t) => write!(f, "join on {t} has no ON condition"),
+            ExecError::Type(m) => write!(f, "type error: {m}"),
+            ExecError::Cardinality(m) => write!(f, "cardinality error: {m}"),
+            ExecError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

@@ -1,0 +1,142 @@
+//! Query results and the execution-accuracy comparison.
+
+use crate::value::Value;
+
+/// A materialised query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names (aliases, expression text, or column names).
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// An empty result with the given column names.
+    pub fn empty(columns: Vec<String>) -> Self {
+        ResultSet { columns, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Relative+absolute tolerance for float comparison, mirroring the test
+/// suite evaluation's forgiveness for floating point noise.
+const FLOAT_TOL: f64 = 1e-6;
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                (x - y).abs() <= FLOAT_TOL * scale
+            }
+            _ => false,
+        },
+    }
+}
+
+fn rows_equal(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| values_equal(x, y))
+}
+
+/// The execution-accuracy criterion: two results match when they have the
+/// same column count and the same multiset of rows — compared in order
+/// when `ordered` (the gold query has ORDER BY), otherwise after sorting
+/// both sides canonically. Column *names* are ignored, as in the Spider
+/// test-suite metric.
+pub fn results_match(a: &ResultSet, b: &ResultSet, ordered: bool) -> bool {
+    if a.columns.len() != b.columns.len() || a.rows.len() != b.rows.len() {
+        return false;
+    }
+    if ordered {
+        a.rows.iter().zip(&b.rows).all(|(x, y)| rows_equal(x, y))
+    } else {
+        let mut ra = a.rows.clone();
+        let mut rb = b.rows.clone();
+        let cmp = |x: &Vec<Value>, y: &Vec<Value>| {
+            x.iter()
+                .zip(y.iter())
+                .map(|(u, v)| u.cmp_total(v))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        };
+        ra.sort_by(cmp);
+        rb.sort_by(cmp);
+        ra.iter().zip(&rb).all(|(x, y)| rows_equal(x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(rows: Vec<Vec<Value>>) -> ResultSet {
+        let n = rows.first().map(Vec::len).unwrap_or(1);
+        ResultSet { columns: (0..n).map(|i| format!("c{i}")).collect(), rows }
+    }
+
+    #[test]
+    fn unordered_match_ignores_row_order() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let b = rs(vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+        assert!(results_match(&a, &b, false));
+        assert!(!results_match(&a, &b, true));
+    }
+
+    #[test]
+    fn float_tolerance() {
+        let a = rs(vec![vec![Value::Float(0.333333333)]]);
+        let b = rs(vec![vec![Value::Float(0.333333334)]]);
+        assert!(results_match(&a, &b, false));
+        let c = rs(vec![vec![Value::Float(0.34)]]);
+        assert!(!results_match(&a, &c, false));
+    }
+
+    #[test]
+    fn int_float_match() {
+        let a = rs(vec![vec![Value::Int(5)]]);
+        let b = rs(vec![vec![Value::Float(5.0)]]);
+        assert!(results_match(&a, &b, false));
+    }
+
+    #[test]
+    fn different_cardinality_never_matches() {
+        let a = rs(vec![vec![Value::Int(1)]]);
+        let b = rs(vec![vec![Value::Int(1)], vec![Value::Int(1)]]);
+        assert!(!results_match(&a, &b, false));
+    }
+
+    #[test]
+    fn column_names_are_ignored() {
+        let a = ResultSet { columns: vec!["x".into()], rows: vec![vec![Value::Int(1)]] };
+        let b = ResultSet { columns: vec!["y".into()], rows: vec![vec![Value::Int(1)]] };
+        assert!(results_match(&a, &b, false));
+    }
+
+    #[test]
+    fn nulls_match_nulls_only() {
+        let a = rs(vec![vec![Value::Null]]);
+        let b = rs(vec![vec![Value::Null]]);
+        assert!(results_match(&a, &b, false));
+        let c = rs(vec![vec![Value::Int(0)]]);
+        assert!(!results_match(&a, &c, false));
+    }
+
+    #[test]
+    fn multiset_duplicates_are_respected() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let b = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(2)]]);
+        assert!(!results_match(&a, &b, false));
+    }
+}

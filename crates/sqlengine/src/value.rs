@@ -1,0 +1,216 @@
+//! Runtime values and their SQL comparison semantics.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view with Int→Float coercion.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// SQL truthiness: NULL is "unknown" and filtered out by WHERE.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Null => false,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Three-valued SQL comparison. Returns `None` when either side is
+    /// NULL or the types are incomparable.
+    pub fn cmp_sql(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality (NULL-propagating).
+    pub fn eq_sql(&self, other: &Value) -> Option<bool> {
+        self.cmp_sql(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// A total ordering used for ORDER BY and sorting result rows: NULLs
+    /// sort first, then by type class, then by value.
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        fn class(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match self.cmp_sql(other) {
+            Some(o) => o,
+            None => match (self, other) {
+                (Value::Null, Value::Null) => Ordering::Equal,
+                _ => {
+                    let (ca, cb) = (class(self), class(other));
+                    if ca != cb {
+                        ca.cmp(&cb)
+                    } else {
+                        // Same class but incomparable: NaN floats.
+                        Ordering::Equal
+                    }
+                }
+            },
+        }
+    }
+
+    /// A canonical key usable for hashing/grouping: floats that are whole
+    /// numbers collapse onto their integer key so `1` and `1.0` group
+    /// together, mirroring SQLite.
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Int(i64::from(*b)),
+            Value::Int(v) => GroupKey::Int(*v),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && *v >= i64::MIN as f64 && *v <= i64::MAX as f64
+                {
+                    GroupKey::Int(*v as i64)
+                } else {
+                    GroupKey::Float(v.to_bits())
+                }
+            }
+            Value::Str(s) => GroupKey::Str(s.clone()),
+        }
+    }
+}
+
+/// Hashable canonical form of a [`Value`] used as a grouping key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GroupKey {
+    Null,
+    Int(i64),
+    Float(u64),
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.cmp_sql(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).eq_sql(&Value::Null), None);
+    }
+
+    #[test]
+    fn int_float_coercion() {
+        assert_eq!(Value::Int(2).cmp_sql(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(1.5).cmp_sql(&Value::Int(2)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        // Date semantics: YYYY-MM-DD strings order correctly.
+        assert_eq!(
+            Value::from("2022-01-15").cmp_sql(&Value::from("2022-02-01")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn mixed_types_are_incomparable() {
+        assert_eq!(Value::from("a").cmp_sql(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_puts_nulls_first() {
+        let mut vals = [Value::Int(2), Value::Null, Value::from("x"), Value::Float(1.5)];
+        vals.sort_by(|a, b| a.cmp_total(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Float(1.5));
+        assert_eq!(vals[2], Value::Int(2));
+        assert_eq!(vals[3], Value::from("x"));
+    }
+
+    #[test]
+    fn group_key_unifies_int_and_whole_float() {
+        assert_eq!(Value::Int(3).group_key(), Value::Float(3.0).group_key());
+        assert_ne!(Value::Float(3.5).group_key(), Value::Int(3).group_key());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(Value::Int(5).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests over the execution engine: relational invariants that
+//! must hold for any generated data.
+
+use proptest::prelude::*;
+use sqlengine::{run_sql, Database, Value};
+use sqlkit::catalog::{CatalogColumn, CatalogSchema, CatalogTable, ColType, ForeignKey};
+
+fn schema() -> CatalogSchema {
+    CatalogSchema {
+        db_id: "prop".into(),
+        tables: vec![
+            CatalogTable {
+                name: "m".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![
+                    CatalogColumn::new("id", ColType::Int, "", ""),
+                    CatalogColumn::new("grp", ColType::Text, "", ""),
+                    CatalogColumn::new("val", ColType::Float, "", ""),
+                ],
+            },
+            CatalogTable {
+                name: "f".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![
+                    CatalogColumn::new("mid", ColType::Int, "", ""),
+                    CatalogColumn::new("x", ColType::Float, "", ""),
+                ],
+            },
+        ],
+        foreign_keys: vec![ForeignKey {
+            from_table: "f".into(),
+            from_column: "mid".into(),
+            to_table: "m".into(),
+            to_column: "id".into(),
+        }],
+    }
+}
+
+fn database(
+    masters: &[(i64, String, f64)],
+    facts: &[(usize, f64)],
+) -> Database {
+    let mut db = Database::new(schema());
+    for (id, grp, val) in masters {
+        db.insert("m", vec![Value::Int(*id), Value::from(grp.clone()), Value::Float(*val)])
+            .unwrap();
+    }
+    for (mi, x) in facts {
+        let mid = masters[mi % masters.len().max(1)].0;
+        db.insert("f", vec![Value::Int(mid), Value::Float(*x)]).unwrap();
+    }
+    db
+}
+
+fn masters() -> impl Strategy<Value = Vec<(i64, String, f64)>> {
+    proptest::collection::vec(
+        (0i64..40, "[a-c]", -50.0f64..50.0),
+        1..25,
+    )
+}
+
+fn facts() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0usize..24, -50.0f64..50.0), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A WHERE filter returns a subset of the unfiltered rows.
+    #[test]
+    fn filter_returns_subset(ms in masters(), threshold in -60.0f64..60.0) {
+        let db = database(&ms, &[]);
+        let all = run_sql(&db, "SELECT id FROM m").unwrap();
+        let filtered = run_sql(&db, &format!("SELECT id FROM m WHERE val > {threshold}")).unwrap();
+        prop_assert!(filtered.len() <= all.len());
+        for row in &filtered.rows {
+            prop_assert!(all.rows.contains(row));
+        }
+    }
+
+    /// Complementary filters partition the table (no NULLs present).
+    #[test]
+    fn filters_partition(ms in masters(), threshold in -60.0f64..60.0) {
+        let db = database(&ms, &[]);
+        let all = run_sql(&db, "SELECT COUNT(*) FROM m").unwrap();
+        let hi = run_sql(&db, &format!("SELECT COUNT(*) FROM m WHERE val > {threshold}")).unwrap();
+        let lo = run_sql(&db, &format!("SELECT COUNT(*) FROM m WHERE val <= {threshold}")).unwrap();
+        let (a, h, l) = (&all.rows[0][0], &hi.rows[0][0], &lo.rows[0][0]);
+        if let (Value::Int(a), Value::Int(h), Value::Int(l)) = (a, h, l) {
+            prop_assert_eq!(*a, h + l);
+        } else {
+            prop_assert!(false, "COUNT must be Int");
+        }
+    }
+
+    /// LIMIT k yields exactly min(k, n) rows and a prefix of the ordered
+    /// result.
+    #[test]
+    fn limit_is_prefix(ms in masters(), k in 1u64..10) {
+        let db = database(&ms, &[]);
+        let full = run_sql(&db, "SELECT id FROM m ORDER BY val DESC, id ASC").unwrap();
+        let limited =
+            run_sql(&db, &format!("SELECT id FROM m ORDER BY val DESC, id ASC LIMIT {k}")).unwrap();
+        prop_assert_eq!(limited.len(), full.len().min(k as usize));
+        prop_assert_eq!(&limited.rows[..], &full.rows[..limited.len()]);
+    }
+
+    /// DISTINCT never increases cardinality and removes all duplicates.
+    #[test]
+    fn distinct_dedups(ms in masters()) {
+        let db = database(&ms, &[]);
+        let plain = run_sql(&db, "SELECT grp FROM m").unwrap();
+        let distinct = run_sql(&db, "SELECT DISTINCT grp FROM m").unwrap();
+        prop_assert!(distinct.len() <= plain.len());
+        let mut seen = std::collections::HashSet::new();
+        for row in &distinct.rows {
+            prop_assert!(seen.insert(format!("{}", row[0])), "duplicate in DISTINCT");
+        }
+    }
+
+    /// GROUP BY counts sum to the table cardinality.
+    #[test]
+    fn group_counts_sum(ms in masters()) {
+        let db = database(&ms, &[]);
+        let groups = run_sql(&db, "SELECT grp, COUNT(*) FROM m GROUP BY grp").unwrap();
+        let total: i64 = groups
+            .rows
+            .iter()
+            .map(|r| if let Value::Int(c) = r[1] { c } else { 0 })
+            .sum();
+        prop_assert_eq!(total, ms.len() as i64);
+    }
+
+    /// An FK inner join yields exactly one row per fact row (every fact
+    /// references an existing master and master ids may repeat).
+    #[test]
+    fn fk_join_cardinality(ms in masters(), fs in facts()) {
+        // Deduplicate master ids so the join is key-unique.
+        let mut seen = std::collections::HashSet::new();
+        let ms: Vec<_> = ms.into_iter().filter(|(id, _, _)| seen.insert(*id)).collect();
+        let db = database(&ms, &fs);
+        let joined = run_sql(
+            &db,
+            "SELECT f.x FROM f JOIN m ON f.mid = m.id",
+        )
+        .unwrap();
+        prop_assert_eq!(joined.len(), fs.len());
+    }
+
+    /// Aggregates agree with manual computation.
+    #[test]
+    fn sum_avg_agree(ms in masters()) {
+        let db = database(&ms, &[]);
+        let rs = run_sql(&db, "SELECT SUM(val), AVG(val), MIN(val), MAX(val) FROM m").unwrap();
+        let vals: Vec<f64> = ms.iter().map(|(_, _, v)| *v).collect();
+        let sum: f64 = vals.iter().sum();
+        let expect_avg = sum / vals.len() as f64;
+        let got_sum = rs.rows[0][0].as_f64().unwrap();
+        let got_avg = rs.rows[0][1].as_f64().unwrap();
+        prop_assert!((got_sum - sum).abs() < 1e-6);
+        prop_assert!((got_avg - expect_avg).abs() < 1e-6);
+        let got_min = rs.rows[0][2].as_f64().unwrap();
+        let got_max = rs.rows[0][3].as_f64().unwrap();
+        prop_assert!((got_min - vals.iter().cloned().fold(f64::INFINITY, f64::min)).abs() < 1e-9);
+        prop_assert!((got_max - vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)).abs() < 1e-9);
+    }
+
+    /// UNION is idempotent: `q UNION q` has the cardinality of
+    /// `SELECT DISTINCT`.
+    #[test]
+    fn union_idempotent(ms in masters()) {
+        let db = database(&ms, &[]);
+        let distinct = run_sql(&db, "SELECT DISTINCT grp FROM m").unwrap();
+        let unioned = run_sql(&db, "SELECT grp FROM m UNION SELECT grp FROM m").unwrap();
+        prop_assert_eq!(distinct.len(), unioned.len());
+    }
+
+    /// The hash-join fast path agrees with a comma-join + WHERE, which
+    /// takes the nested-loop path.
+    #[test]
+    fn hash_join_equals_nested(ms in masters(), fs in facts()) {
+        let db = database(&ms, &fs);
+        let hash = run_sql(&db, "SELECT f.x, m.grp FROM f JOIN m ON f.mid = m.id").unwrap();
+        let nested = run_sql(&db, "SELECT f.x, m.grp FROM f, m WHERE f.mid = m.id").unwrap();
+        prop_assert!(sqlengine::results_match(&hash, &nested, false));
+    }
+}

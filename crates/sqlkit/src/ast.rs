@@ -1,0 +1,449 @@
+//! Abstract syntax tree for the analytic SELECT dialect.
+//!
+//! The tree is deliberately close to the textbook SQL grammar: a
+//! [`Statement`] wraps a [`SelectStmt`], whose body is a [`SetExpr`] (a
+//! plain [`Select`] or a set operation over two bodies), followed by the
+//! statement-level `ORDER BY` / `LIMIT`.
+
+use serde::{Deserialize, Serialize};
+
+/// A complete parsed SQL statement. Only queries are supported — the BULL
+/// workload (like Spider and BIRD) is read-only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    Select(SelectStmt),
+}
+
+/// A query: set-expression body plus trailing ordering and limit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStmt {
+    pub body: SetExpr,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<Limit>,
+}
+
+/// The body of a query: either a single SELECT block or a set operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    SetOp { op: SetOp, all: bool, left: Box<SetExpr>, right: Box<SetExpr> },
+}
+
+/// Set operations between SELECT blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<FromClause>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+/// An entry of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `table.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// The FROM clause: a base table followed by zero or more joins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FromClause {
+    pub base: TableRef,
+    pub joins: Vec<Join>,
+}
+
+/// A (possibly aliased) table reference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Creates an unaliased reference.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableRef { name: name.into(), alias: None }
+    }
+
+    /// The name this table is known by inside the query.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// A join onto the preceding FROM items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    pub join_type: JoinType,
+    pub table: TableRef,
+    /// `None` models the malformed `JOIN t ON` / bare `JOIN t` output the
+    /// calibration pass repairs; the executor rejects it.
+    pub on: Option<Expr>,
+}
+
+/// Supported join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinType {
+    Inner,
+    Left,
+    Right,
+    Cross,
+}
+
+/// A key of the ORDER BY clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// `LIMIT n [OFFSET m]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Limit {
+    pub count: u64,
+    pub offset: u64,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    Column(ColumnRef),
+    Literal(Literal),
+    Unary { op: UnaryOp, operand: Box<Expr> },
+    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
+    /// Function call: aggregates (`COUNT`, `SUM`, …) and scalar functions.
+    Function { name: String, distinct: bool, args: Vec<Expr> },
+    /// `COUNT(*)` — kept distinct from `Function` so printing and
+    /// component extraction stay exact.
+    CountStar,
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InSubquery { expr: Box<Expr>, subquery: Box<SelectStmt>, negated: bool },
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    IsNull { expr: Box<Expr>, negated: bool },
+    Exists { subquery: Box<SelectStmt>, negated: bool },
+    /// A parenthesised scalar subquery used as a value.
+    Subquery(Box<SelectStmt>),
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_result: Option<Box<Expr>>,
+    },
+}
+
+/// A column reference, optionally qualified by table name or alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Creates an unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef { table: None, column: column.into() }
+    }
+
+    /// Creates a qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef { table: Some(table.into()), column: column.into() }
+    }
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// Binary operators, both arithmetic and boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinaryOp {
+    /// True for comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// The SQL spelling of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::Neq => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        }
+    }
+}
+
+/// The aggregate function names the dialect recognises.
+pub const AGGREGATES: &[&str] = &["COUNT", "SUM", "AVG", "MIN", "MAX"];
+
+/// True if `name` (any case) is an aggregate function.
+pub fn is_aggregate(name: &str) -> bool {
+    AGGREGATES.iter().any(|a| a.eq_ignore_ascii_case(name))
+}
+
+impl SelectStmt {
+    /// Walks every SELECT block of the statement (including subqueries),
+    /// applying `f` to each.
+    pub fn walk_selects<'a>(&'a self, f: &mut impl FnMut(&'a Select)) {
+        walk_set_expr(&self.body, f);
+        for item in &self.order_by {
+            walk_expr_selects(&item.expr, f);
+        }
+    }
+
+    /// Collects every table referenced anywhere in the statement.
+    pub fn referenced_tables(&self) -> Vec<&TableRef> {
+        let mut out = Vec::new();
+        self.walk_selects(&mut |s| {
+            if let Some(from) = &s.from {
+                out.push(&from.base);
+                for j in &from.joins {
+                    out.push(&j.table);
+                }
+            }
+        });
+        out
+    }
+
+    /// Collects every column reference anywhere in the statement.
+    pub fn referenced_columns(&self) -> Vec<&ColumnRef> {
+        let mut out = Vec::new();
+        self.walk_selects(&mut |s| {
+            for item in &s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    collect_columns(expr, &mut out);
+                }
+            }
+            if let Some(w) = &s.selection {
+                collect_columns(w, &mut out);
+            }
+            for g in &s.group_by {
+                collect_columns(g, &mut out);
+            }
+            if let Some(h) = &s.having {
+                collect_columns(h, &mut out);
+            }
+            if let Some(from) = &s.from {
+                for j in &from.joins {
+                    if let Some(on) = &j.on {
+                        collect_columns(on, &mut out);
+                    }
+                }
+            }
+        });
+        for item in &self.order_by {
+            collect_columns(&item.expr, &mut out);
+        }
+        out
+    }
+}
+
+fn walk_set_expr<'a>(body: &'a SetExpr, f: &mut impl FnMut(&'a Select)) {
+    match body {
+        SetExpr::Select(s) => {
+            f(s);
+            // Recurse into subqueries reachable from this block.
+            let mut visit = |e: &'a Expr| walk_expr_selects(e, f);
+            for item in &s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    visit(expr);
+                }
+            }
+            if let Some(w) = &s.selection {
+                visit(w);
+            }
+            if let Some(h) = &s.having {
+                visit(h);
+            }
+            if let Some(from) = &s.from {
+                for j in &from.joins {
+                    if let Some(on) = &j.on {
+                        visit(on);
+                    }
+                }
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            walk_set_expr(left, f);
+            walk_set_expr(right, f);
+        }
+    }
+}
+
+fn walk_expr_selects<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Select)) {
+    match expr {
+        Expr::Unary { operand, .. } => walk_expr_selects(operand, f),
+        Expr::Binary { left, right, .. } => {
+            walk_expr_selects(left, f);
+            walk_expr_selects(right, f);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                walk_expr_selects(a, f);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_expr_selects(expr, f);
+            for e in list {
+                walk_expr_selects(e, f);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            walk_expr_selects(expr, f);
+            walk_set_expr(&subquery.body, f);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            walk_expr_selects(expr, f);
+            walk_expr_selects(low, f);
+            walk_expr_selects(high, f);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            walk_expr_selects(expr, f);
+            walk_expr_selects(pattern, f);
+        }
+        Expr::IsNull { expr, .. } => walk_expr_selects(expr, f),
+        Expr::Exists { subquery, .. } | Expr::Subquery(subquery) => walk_set_expr(&subquery.body, f),
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                walk_expr_selects(op, f);
+            }
+            for (c, r) in branches {
+                walk_expr_selects(c, f);
+                walk_expr_selects(r, f);
+            }
+            if let Some(e) = else_result {
+                walk_expr_selects(e, f);
+            }
+        }
+        Expr::Column(_) | Expr::Literal(_) | Expr::CountStar => {}
+    }
+}
+
+/// Appends every [`ColumnRef`] inside `expr` (not descending into
+/// subqueries, whose columns belong to their own scope).
+pub fn collect_columns<'a>(expr: &'a Expr, out: &mut Vec<&'a ColumnRef>) {
+    match expr {
+        Expr::Column(c) => out.push(c),
+        Expr::Unary { operand, .. } => collect_columns(operand, out),
+        Expr::Binary { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_columns(a, out);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_columns(expr, out);
+            for e in list {
+                collect_columns(e, out);
+            }
+        }
+        Expr::InSubquery { expr, .. } => collect_columns(expr, out),
+        Expr::Between { expr, low, high, .. } => {
+            collect_columns(expr, out);
+            collect_columns(low, out);
+            collect_columns(high, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_columns(expr, out);
+            collect_columns(pattern, out);
+        }
+        Expr::IsNull { expr, .. } => collect_columns(expr, out),
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                collect_columns(op, out);
+            }
+            for (c, r) in branches {
+                collect_columns(c, out);
+                collect_columns(r, out);
+            }
+            if let Some(e) = else_result {
+                collect_columns(e, out);
+            }
+        }
+        Expr::Literal(_) | Expr::CountStar | Expr::Exists { .. } | Expr::Subquery(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ref_effective_name_prefers_alias() {
+        let t = TableRef { name: "lc_sharestru".into(), alias: Some("t1".into()) };
+        assert_eq!(t.effective_name(), "t1");
+        assert_eq!(TableRef::new("mf_fundnav").effective_name(), "mf_fundnav");
+    }
+
+    #[test]
+    fn aggregate_detection_ignores_case() {
+        assert!(is_aggregate("count"));
+        assert!(is_aggregate("SUM"));
+        assert!(!is_aggregate("lower"));
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinaryOp::Le.is_comparison());
+        assert!(!BinaryOp::And.is_comparison());
+        assert_eq!(BinaryOp::Neq.sql(), "!=");
+    }
+}

@@ -1,0 +1,314 @@
+//! Lightweight catalog (schema) types shared across the workspace.
+//!
+//! These describe the *shape* of a database — table names, column names,
+//! types, human descriptions and foreign keys — without any stored data.
+//! The execution engine attaches rows to them; the schema-linking model,
+//! prompt builder and calibration passes only need this shape.
+
+use serde::{Deserialize, Serialize};
+
+/// A column's logical type. Matches what the BULL-style financial tables
+/// need: identifiers/text, integers, decimals and dates (stored as text in
+/// `YYYY-MM-DD` form, compared lexicographically like SQLite does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColType {
+    Text,
+    Int,
+    Float,
+    Date,
+}
+
+impl ColType {
+    /// SQL type name used when rendering `CREATE TABLE` style prompts.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            ColType::Text => "TEXT",
+            ColType::Int => "INTEGER",
+            ColType::Float => "REAL",
+            ColType::Date => "DATE",
+        }
+    }
+}
+
+/// A column definition: physical (often abbreviated) name, type, and the
+/// business description annotators attached to it (the paper notes BULL
+/// column names are "abbreviations or vague representations", so the
+/// description is what links questions to columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogColumn {
+    pub name: String,
+    pub ty: ColType,
+    /// English business description.
+    pub desc_en: String,
+    /// Terse register description standing in for the Chinese annotation.
+    pub desc_cn: String,
+}
+
+impl CatalogColumn {
+    pub fn new(name: &str, ty: ColType, desc_en: &str, desc_cn: &str) -> Self {
+        CatalogColumn {
+            name: name.to_string(),
+            ty,
+            desc_en: desc_en.to_string(),
+            desc_cn: desc_cn.to_string(),
+        }
+    }
+
+    /// The description in the requested language register.
+    pub fn desc(&self, lang: Lang) -> &str {
+        match lang {
+            Lang::En => &self.desc_en,
+            Lang::Cn => &self.desc_cn,
+        }
+    }
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogTable {
+    pub name: String,
+    pub desc_en: String,
+    pub desc_cn: String,
+    pub columns: Vec<CatalogColumn>,
+}
+
+impl CatalogTable {
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Looks up a column by (case-insensitive) name.
+    pub fn column(&self, name: &str) -> Option<&CatalogColumn> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// The description in the requested language register.
+    pub fn desc(&self, lang: Lang) -> &str {
+        match lang {
+            Lang::En => &self.desc_en,
+            Lang::Cn => &self.desc_cn,
+        }
+    }
+}
+
+/// A foreign-key relation `from_table.from_column -> to_table.to_column`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    pub from_table: String,
+    pub from_column: String,
+    pub to_table: String,
+    pub to_column: String,
+}
+
+/// A database schema: the `S = (T, C, R)` of the paper's problem
+/// formulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogSchema {
+    /// Stable identifier (`fund`, `stock`, `macro`).
+    pub db_id: String,
+    pub tables: Vec<CatalogTable>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+/// The two language registers of BULL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Lang {
+    En,
+    Cn,
+}
+
+impl Lang {
+    /// Short suffix used in dataset identifiers (`bull-en` / `bull-cn`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Lang::En => "en",
+            Lang::Cn => "cn",
+        }
+    }
+}
+
+impl CatalogSchema {
+    /// Looks up a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&CatalogTable> {
+        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Index of a table by (case-insensitive) name.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// True if `table.column` exists.
+    pub fn has_column(&self, table: &str, column: &str) -> bool {
+        self.table(table).is_some_and(|t| t.column(column).is_some())
+    }
+
+    /// All tables containing a column of the given name.
+    pub fn tables_with_column(&self, column: &str) -> Vec<&CatalogTable> {
+        self.tables.iter().filter(|t| t.column(column).is_some()).collect()
+    }
+
+    /// Every column name in the schema (may contain duplicates across
+    /// tables).
+    pub fn all_column_names(&self) -> Vec<&str> {
+        self.tables.iter().flat_map(|t| t.columns.iter().map(|c| c.name.as_str())).collect()
+    }
+
+    /// Total number of columns across all tables.
+    pub fn column_count(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+
+    /// The foreign key joining two tables, if declared (in either
+    /// direction).
+    pub fn foreign_key_between(&self, a: &str, b: &str) -> Option<&ForeignKey> {
+        self.foreign_keys.iter().find(|fk| {
+            (fk.from_table.eq_ignore_ascii_case(a) && fk.to_table.eq_ignore_ascii_case(b))
+                || (fk.from_table.eq_ignore_ascii_case(b) && fk.to_table.eq_ignore_ascii_case(a))
+        })
+    }
+
+    /// Restricts the schema to the given tables, and within each table to
+    /// the given columns (plus key columns needed for joins). Used to build
+    /// concise prompts after schema linking.
+    pub fn project(&self, tables: &[String], columns: &[(String, String)]) -> CatalogSchema {
+        let keep_table = |name: &str| tables.iter().any(|t| t.eq_ignore_ascii_case(name));
+        let mut out_tables = Vec::new();
+        for t in &self.tables {
+            if !keep_table(&t.name) {
+                continue;
+            }
+            let mut cols: Vec<CatalogColumn> = t
+                .columns
+                .iter()
+                .filter(|c| {
+                    columns.iter().any(|(tb, cn)| {
+                        tb.eq_ignore_ascii_case(&t.name) && cn.eq_ignore_ascii_case(&c.name)
+                    })
+                })
+                .cloned()
+                .collect();
+            // Always keep columns that participate in FKs between kept
+            // tables so joins remain expressible.
+            for fk in &self.foreign_keys {
+                if keep_table(&fk.from_table) && keep_table(&fk.to_table) {
+                    let fk_col = if fk.from_table.eq_ignore_ascii_case(&t.name) {
+                        Some(&fk.from_column)
+                    } else if fk.to_table.eq_ignore_ascii_case(&t.name) {
+                        Some(&fk.to_column)
+                    } else {
+                        None
+                    };
+                    if let Some(colname) = fk_col {
+                        if !cols.iter().any(|c| c.name.eq_ignore_ascii_case(colname)) {
+                            if let Some(c) = t.column(colname) {
+                                cols.push(c.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            out_tables.push(CatalogTable {
+                name: t.name.clone(),
+                desc_en: t.desc_en.clone(),
+                desc_cn: t.desc_cn.clone(),
+                columns: cols,
+            });
+        }
+        let fks = self
+            .foreign_keys
+            .iter()
+            .filter(|fk| keep_table(&fk.from_table) && keep_table(&fk.to_table))
+            .cloned()
+            .collect();
+        CatalogSchema { db_id: self.db_id.clone(), tables: out_tables, foreign_keys: fks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> CatalogSchema {
+        CatalogSchema {
+            db_id: "toy".into(),
+            tables: vec![
+                CatalogTable {
+                    name: "fund".into(),
+                    desc_en: "funds".into(),
+                    desc_cn: "funds".into(),
+                    columns: vec![
+                        CatalogColumn::new("fid", ColType::Int, "fund id", "fund id"),
+                        CatalogColumn::new("fname", ColType::Text, "fund name", "fund name"),
+                    ],
+                },
+                CatalogTable {
+                    name: "nav".into(),
+                    desc_en: "net asset values".into(),
+                    desc_cn: "nav".into(),
+                    columns: vec![
+                        CatalogColumn::new("fid", ColType::Int, "fund id", "fund id"),
+                        CatalogColumn::new("nv", ColType::Float, "net value", "net value"),
+                    ],
+                },
+            ],
+            foreign_keys: vec![ForeignKey {
+                from_table: "nav".into(),
+                from_column: "fid".into(),
+                to_table: "fund".into(),
+                to_column: "fid".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = toy();
+        assert!(s.table("FUND").is_some());
+        assert!(s.has_column("fund", "FNAME"));
+        assert!(!s.has_column("fund", "nv"));
+    }
+
+    #[test]
+    fn tables_with_column_finds_all() {
+        let s = toy();
+        let ts = s.tables_with_column("fid");
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn fk_lookup_works_both_directions() {
+        let s = toy();
+        assert!(s.foreign_key_between("fund", "nav").is_some());
+        assert!(s.foreign_key_between("nav", "fund").is_some());
+        assert!(s.foreign_key_between("fund", "fund").is_none());
+    }
+
+    #[test]
+    fn projection_keeps_fk_columns() {
+        let s = toy();
+        let p = s.project(
+            &["fund".into(), "nav".into()],
+            &[("nav".into(), "nv".into()), ("fund".into(), "fname".into())],
+        );
+        // fid must survive in both tables because the FK needs it.
+        assert!(p.has_column("fund", "fid"));
+        assert!(p.has_column("nav", "fid"));
+        assert!(p.has_column("nav", "nv"));
+        assert_eq!(p.foreign_keys.len(), 1);
+    }
+
+    #[test]
+    fn projection_drops_unlisted_tables() {
+        let s = toy();
+        let p = s.project(&["fund".into()], &[("fund".into(), "fname".into())]);
+        assert_eq!(p.tables.len(), 1);
+        assert!(p.foreign_keys.is_empty());
+    }
+
+    #[test]
+    fn column_count_sums_tables() {
+        assert_eq!(toy().column_count(), 4);
+    }
+}

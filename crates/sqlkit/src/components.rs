@@ -1,0 +1,424 @@
+//! Keyword-component extraction — the `f2` of the paper's Algorithm 1.
+//!
+//! Two generated SQL queries are considered *equivalent* by the
+//! non-execution self-consistency step when their keyword components
+//! (selected expressions, source tables, predicates, grouping, ordering,
+//! limit) agree after normalisation. This module extracts those components
+//! and defines the compatibility relation used for clustering.
+
+use crate::ast::*;
+use crate::parser::parse_statement;
+use crate::printer::query_to_sql;
+use std::collections::BTreeSet;
+
+/// The normalised components of a query, keyed by SQL keyword.
+///
+/// All sets use `BTreeSet<String>` so equality, hashing and debugging are
+/// order-insensitive and deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SqlComponents {
+    /// Normalised SELECT-list expressions (aliases stripped).
+    pub select: BTreeSet<String>,
+    pub distinct: bool,
+    /// Source table names (aliases resolved away, lower-cased).
+    pub tables: BTreeSet<String>,
+    /// Conjunctive WHERE predicates, normalised and alias-resolved.
+    pub predicates: BTreeSet<String>,
+    /// GROUP BY expressions.
+    pub group_by: BTreeSet<String>,
+    /// HAVING predicates.
+    pub having: BTreeSet<String>,
+    /// ORDER BY keys with direction.
+    pub order_by: Vec<String>,
+    /// LIMIT/OFFSET if present.
+    pub limit: Option<(u64, u64)>,
+    /// Every column mentioned anywhere, as `table.column` when resolvable.
+    pub columns: BTreeSet<String>,
+    /// String/number literal values appearing in predicates.
+    pub values: BTreeSet<String>,
+}
+
+/// Extracts components from SQL text. Returns `None` when the SQL does not
+/// parse (such candidates are dropped by Algorithm 1).
+pub fn extract_components(sql: &str) -> Option<SqlComponents> {
+    let Statement::Select(q) = parse_statement(sql).ok()?;
+    Some(components_of_query(&q))
+}
+
+/// Extracts components from a parsed query.
+pub fn components_of_query(q: &SelectStmt) -> SqlComponents {
+    let mut out = SqlComponents::default();
+    // Alias → table map from every FROM clause in the main body.
+    let mut alias_map: Vec<(String, String)> = Vec::new();
+    q.walk_selects(&mut |s| {
+        if let Some(from) = &s.from {
+            record_alias(&mut alias_map, &from.base);
+            for j in &from.joins {
+                record_alias(&mut alias_map, &j.table);
+            }
+        }
+    });
+    let main = first_select(&q.body);
+    out.distinct = main.distinct;
+    for item in &main.items {
+        match item {
+            SelectItem::Wildcard => {
+                out.select.insert("*".to_string());
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                out.select.insert(format!("{}.*", resolve(&alias_map, t)));
+            }
+            SelectItem::Expr { expr, .. } => {
+                out.select.insert(norm_expr(expr, &alias_map));
+            }
+        }
+    }
+    if let Some(from) = &main.from {
+        out.tables.insert(from.base.name.to_ascii_lowercase());
+        for j in &from.joins {
+            out.tables.insert(j.table.name.to_ascii_lowercase());
+            // Join conditions count as predicates so a comma-join +
+            // WHERE-equality query clusters with its JOIN-ON spelling.
+            if let Some(on) = &j.on {
+                for p in conjuncts(on) {
+                    out.predicates.insert(norm_expr(p, &alias_map));
+                }
+            }
+        }
+    }
+    if let Some(w) = &main.selection {
+        for p in conjuncts(w) {
+            out.predicates.insert(norm_expr(p, &alias_map));
+        }
+    }
+    for g in &main.group_by {
+        out.group_by.insert(norm_expr(g, &alias_map));
+    }
+    if let Some(h) = &main.having {
+        for p in conjuncts(h) {
+            out.having.insert(norm_expr(p, &alias_map));
+        }
+    }
+    for item in &q.order_by {
+        let dir = if item.desc { "DESC" } else { "ASC" };
+        out.order_by.push(format!("{} {dir}", norm_expr(&item.expr, &alias_map)));
+    }
+    out.limit = q.limit.map(|l| (l.count, l.offset));
+    // Columns and values across the whole statement.
+    for c in q.referenced_columns() {
+        let resolved = match &c.table {
+            Some(t) => format!("{}.{}", resolve(&alias_map, t), c.column.to_ascii_lowercase()),
+            None => c.column.to_ascii_lowercase(),
+        };
+        out.columns.insert(resolved);
+    }
+    collect_values_stmt(q, &mut out.values);
+    out
+}
+
+fn record_alias(map: &mut Vec<(String, String)>, t: &TableRef) {
+    if let Some(a) = &t.alias {
+        map.push((a.to_ascii_lowercase(), t.name.to_ascii_lowercase()));
+    }
+    // A table's own name also resolves to itself.
+    map.push((t.name.to_ascii_lowercase(), t.name.to_ascii_lowercase()));
+}
+
+fn resolve(map: &[(String, String)], name: &str) -> String {
+    let lower = name.to_ascii_lowercase();
+    map.iter().find(|(a, _)| *a == lower).map(|(_, t)| t.clone()).unwrap_or(lower)
+}
+
+fn first_select(body: &SetExpr) -> &Select {
+    match body {
+        SetExpr::Select(s) => s,
+        SetExpr::SetOp { left, .. } => first_select(left),
+    }
+}
+
+/// Splits a boolean expression on top-level ANDs.
+pub fn conjuncts(e: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn go<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::Binary { op: BinaryOp::And, left, right } => {
+                go(left, out);
+                go(right, out);
+            }
+            other => out.push(other),
+        }
+    }
+    go(e, &mut out);
+    out
+}
+
+/// Normalises an expression to comparable text: identifiers lower-cased,
+/// aliases resolved, commutative equality ordered canonically.
+fn norm_expr(e: &Expr, alias_map: &[(String, String)]) -> String {
+    match e {
+        Expr::Column(c) => match &c.table {
+            Some(t) => format!("{}.{}", resolve(alias_map, t), c.column.to_ascii_lowercase()),
+            None => c.column.to_ascii_lowercase(),
+        },
+        Expr::Literal(l) => literal_text(l),
+        Expr::Unary { op, operand } => {
+            let inner = norm_expr(operand, alias_map);
+            match op {
+                UnaryOp::Neg => format!("-{inner}"),
+                UnaryOp::Not => format!("NOT {inner}"),
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            let l = norm_expr(left, alias_map);
+            let r = norm_expr(right, alias_map);
+            if *op == BinaryOp::Eq && l > r {
+                // Canonical order for commutative equality so
+                // `a.id = b.id` and `b.id = a.id` compare equal.
+                format!("{r} = {l}")
+            } else {
+                format!("{l} {} {r}", op.sql())
+            }
+        }
+        Expr::Function { name, distinct, args } => {
+            let args_s: Vec<String> = args.iter().map(|a| norm_expr(a, alias_map)).collect();
+            let d = if *distinct { "DISTINCT " } else { "" };
+            format!("{}({d}{})", name.to_ascii_uppercase(), args_s.join(", "))
+        }
+        Expr::CountStar => "COUNT(*)".to_string(),
+        Expr::InList { expr, list, negated } => {
+            let mut vals: Vec<String> = list.iter().map(|v| norm_expr(v, alias_map)).collect();
+            vals.sort();
+            let n = if *negated { " NOT" } else { "" };
+            format!("{}{n} IN ({})", norm_expr(expr, alias_map), vals.join(", "))
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            let n = if *negated { " NOT" } else { "" };
+            format!("{}{n} IN ({})", norm_expr(expr, alias_map), query_to_sql(subquery).to_ascii_lowercase())
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let n = if *negated { " NOT" } else { "" };
+            format!(
+                "{}{n} BETWEEN {} AND {}",
+                norm_expr(expr, alias_map),
+                norm_expr(low, alias_map),
+                norm_expr(high, alias_map)
+            )
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let n = if *negated { " NOT" } else { "" };
+            format!("{}{n} LIKE {}", norm_expr(expr, alias_map), norm_expr(pattern, alias_map))
+        }
+        Expr::IsNull { expr, negated } => {
+            let n = if *negated { " IS NOT NULL" } else { " IS NULL" };
+            format!("{}{n}", norm_expr(expr, alias_map))
+        }
+        Expr::Exists { subquery, negated } => {
+            let n = if *negated { "NOT " } else { "" };
+            format!("{n}EXISTS ({})", query_to_sql(subquery).to_ascii_lowercase())
+        }
+        Expr::Subquery(qq) => format!("({})", query_to_sql(qq).to_ascii_lowercase()),
+        Expr::Case { .. } => {
+            // CASE is rare in the workload; normalise by printing.
+            let mut s = String::new();
+            crate::printer::to_sql(&Statement::Select(SelectStmt {
+                body: SetExpr::Select(Box::new(Select {
+                    distinct: false,
+                    items: vec![SelectItem::Expr { expr: e.clone(), alias: None }],
+                    from: None,
+                    selection: None,
+                    group_by: vec![],
+                    having: None,
+                })),
+                order_by: vec![],
+                limit: None,
+            }))
+            .chars()
+            .skip("SELECT ".len())
+            .for_each(|c| s.push(c));
+            s.to_ascii_lowercase()
+        }
+    }
+}
+
+fn literal_text(l: &Literal) -> String {
+    match l {
+        Literal::Int(v) => v.to_string(),
+        Literal::Float(v) => format!("{v}"),
+        Literal::Str(s) => format!("'{s}'"),
+        Literal::Bool(b) => b.to_string(),
+        Literal::Null => "NULL".to_string(),
+    }
+}
+
+fn collect_values_stmt(q: &SelectStmt, out: &mut BTreeSet<String>) {
+    q.walk_selects(&mut |s| {
+        if let Some(w) = &s.selection {
+            collect_values_expr(w, out);
+        }
+        if let Some(h) = &s.having {
+            collect_values_expr(h, out);
+        }
+    });
+}
+
+fn collect_values_expr(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Literal(l) => {
+            if !matches!(l, Literal::Null) {
+                out.insert(literal_text(l));
+            }
+        }
+        Expr::Unary { operand, .. } => collect_values_expr(operand, out),
+        Expr::Binary { left, right, .. } => {
+            collect_values_expr(left, out);
+            collect_values_expr(right, out);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_values_expr(a, out);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_values_expr(expr, out);
+            for v in list {
+                collect_values_expr(v, out);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_values_expr(expr, out);
+            collect_values_expr(low, out);
+            collect_values_expr(high, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_values_expr(expr, out);
+            collect_values_expr(pattern, out);
+        }
+        Expr::IsNull { expr, .. } => collect_values_expr(expr, out),
+        Expr::InSubquery { expr, subquery, .. } => {
+            collect_values_expr(expr, out);
+            collect_values_stmt(subquery, out);
+        }
+        Expr::Exists { subquery, .. } | Expr::Subquery(subquery) => {
+            collect_values_stmt(subquery, out);
+        }
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                collect_values_expr(op, out);
+            }
+            for (c, r) in branches {
+                collect_values_expr(c, out);
+                collect_values_expr(r, out);
+            }
+            if let Some(el) = else_result {
+                collect_values_expr(el, out);
+            }
+        }
+        Expr::Column(_) | Expr::CountStar => {}
+    }
+}
+
+impl SqlComponents {
+    /// The compatibility relation of Algorithm 1: two candidate queries
+    /// fall into the same cluster when their keywords and values agree.
+    pub fn compatible_with(&self, other: &SqlComponents) -> bool {
+        self.select == other.select
+            && self.distinct == other.distinct
+            && self.tables == other.tables
+            && self.predicates == other.predicates
+            && self.group_by == other.group_by
+            && self.having == other.having
+            && self.order_by == other.order_by
+            && self.limit == other.limit
+            && self.values == other.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_basic_components() {
+        let c = extract_components(
+            "SELECT name, nav FROM fund WHERE nav > 1.5 AND mgr = 'Li' ORDER BY nav DESC LIMIT 3",
+        )
+        .unwrap();
+        assert!(c.select.contains("name"));
+        assert!(c.tables.contains("fund"));
+        assert_eq!(c.predicates.len(), 2);
+        assert_eq!(c.order_by, vec!["nav DESC"]);
+        assert_eq!(c.limit, Some((3, 0)));
+        assert!(c.values.contains("'Li'"));
+        assert!(c.values.contains("1.5"));
+    }
+
+    #[test]
+    fn aliases_are_resolved() {
+        let a = extract_components("SELECT t1.name FROM fund AS t1 WHERE t1.nav > 1").unwrap();
+        let b = extract_components("SELECT fund.name FROM fund WHERE fund.nav > 1").unwrap();
+        assert!(a.compatible_with(&b), "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn join_on_order_is_canonical() {
+        let a = extract_components("SELECT a.x FROM a JOIN b ON a.id = b.id").unwrap();
+        let b = extract_components("SELECT a.x FROM a JOIN b ON b.id = a.id").unwrap();
+        assert!(a.compatible_with(&b));
+    }
+
+    #[test]
+    fn where_conjunct_order_is_irrelevant() {
+        let a = extract_components("SELECT x FROM t WHERE p = 1 AND q = 2").unwrap();
+        let b = extract_components("SELECT x FROM t WHERE q = 2 AND p = 1").unwrap();
+        assert!(a.compatible_with(&b));
+    }
+
+    #[test]
+    fn in_list_order_is_irrelevant() {
+        let a = extract_components("SELECT x FROM t WHERE y IN (1, 2, 3)").unwrap();
+        let b = extract_components("SELECT x FROM t WHERE y IN (3, 1, 2)").unwrap();
+        assert!(a.compatible_with(&b));
+    }
+
+    #[test]
+    fn different_values_are_incompatible() {
+        let a = extract_components("SELECT x FROM t WHERE y = 'alpha'").unwrap();
+        let b = extract_components("SELECT x FROM t WHERE y = 'beta'").unwrap();
+        assert!(!a.compatible_with(&b));
+    }
+
+    #[test]
+    fn different_limits_are_incompatible() {
+        let a = extract_components("SELECT x FROM t LIMIT 3").unwrap();
+        let b = extract_components("SELECT x FROM t LIMIT 5").unwrap();
+        assert!(!a.compatible_with(&b));
+    }
+
+    #[test]
+    fn case_insensitive_identifiers() {
+        let a = extract_components("SELECT NAME FROM FUND WHERE NAV > 1").unwrap();
+        let b = extract_components("select name from fund where nav > 1").unwrap();
+        assert!(a.compatible_with(&b));
+    }
+
+    #[test]
+    fn unparseable_sql_yields_none() {
+        assert!(extract_components("SELECT FROM WHERE").is_none());
+    }
+
+    #[test]
+    fn collects_qualified_columns() {
+        let c = extract_components("SELECT t1.a FROM x AS t1 JOIN y ON t1.id = y.id").unwrap();
+        assert!(c.columns.contains("x.a"), "{:?}", c.columns);
+        assert!(c.columns.contains("y.id"));
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let Statement::Select(q) =
+            parse_statement("SELECT x FROM t WHERE a = 1 AND (b = 2 OR c = 3) AND d = 4").unwrap();
+        let SetExpr::Select(s) = &q.body else { panic!() };
+        let cs = conjuncts(s.selection.as_ref().unwrap());
+        assert_eq!(cs.len(), 3);
+    }
+}

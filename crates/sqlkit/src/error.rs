@@ -1,0 +1,43 @@
+//! Error types for lexing and parsing.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error produced while lexing or parsing SQL text.
+///
+/// `pos` is a byte offset into the original input; `at_end` distinguishes
+/// "ran out of input" (a *valid prefix* for incremental checking) from a
+/// genuine syntax error in the middle of the text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset of the offending token in the input.
+    pub pos: usize,
+    /// True when the error is an unexpected end of input.
+    pub at_end: bool,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, pos: usize) -> Self {
+        ParseError { message: message.into(), pos, at_end: false }
+    }
+
+    pub(crate) fn eof(message: impl Into<String>, pos: usize) -> Self {
+        ParseError { message: message.into(), pos, at_end: true }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.at_end {
+            write!(f, "unexpected end of input at byte {}: {}", self.pos, self.message)
+        } else {
+            write!(f, "syntax error at byte {}: {}", self.pos, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,142 @@
+//! Fuzzy identifier matching.
+//!
+//! When an LLM hallucinates a column like `aquirementrium` (paper,
+//! Figure 12) the calibration pass replaces it with the schema column most
+//! similar "in terms of characters". We use Levenshtein distance with a
+//! relative threshold, breaking ties by longest common prefix.
+
+/// Levenshtein edit distance between two strings (over chars).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalised string similarity in `[0, 1]`.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / la.max(lb) as f64
+}
+
+/// Length of the common prefix of two strings (in chars).
+fn common_prefix_len(a: &str, b: &str) -> usize {
+    a.chars().zip(b.chars()).take_while(|(x, y)| x == y).count()
+}
+
+/// Finds the candidate most similar to `target` (case-insensitively),
+/// requiring at least `min_similarity`. Ties break toward the longer
+/// common prefix, then lexicographically for determinism.
+pub fn best_match<'a, I>(target: &str, candidates: I, min_similarity: f64) -> Option<&'a str>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let target_lower = target.to_ascii_lowercase();
+    let mut best: Option<(&str, f64, usize)> = None;
+    for cand in candidates {
+        let cand_lower = cand.to_ascii_lowercase();
+        let sim = similarity(&target_lower, &cand_lower);
+        if sim < min_similarity {
+            continue;
+        }
+        let prefix = common_prefix_len(&target_lower, &cand_lower);
+        let better = match best {
+            None => true,
+            Some((bc, bs, bp)) => {
+                sim > bs || (sim == bs && prefix > bp) || (sim == bs && prefix == bp && cand < bc)
+            }
+        };
+        if better {
+            best = Some((cand, sim, prefix));
+        }
+    }
+    best.map(|(c, _, _)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+    }
+
+    #[test]
+    fn similarity_is_normalised() {
+        assert_eq!(similarity("abc", "abc"), 1.0);
+        assert!(similarity("abc", "xyz") < 0.01);
+        assert_eq!(similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn recovers_paper_figure12_typo() {
+        // Paper: model generated `aquirementrium`; the true column is
+        // `aquireramount`.
+        let cols = ["aquireramount", "chinameabbr", "firstindustryname", "secucode"];
+        assert_eq!(best_match("aquirementrium", cols, 0.4), Some("aquireramount"));
+    }
+
+    #[test]
+    fn respects_min_similarity() {
+        let cols = ["alpha", "beta"];
+        assert_eq!(best_match("zzzzzz", cols, 0.6), None);
+    }
+
+    #[test]
+    fn match_is_case_insensitive() {
+        let cols = ["SecuCode"];
+        assert_eq!(best_match("secucode", cols, 0.9), Some("SecuCode"));
+    }
+
+    #[test]
+    fn prefix_breaks_ties() {
+        // Both candidates at the same edit distance from the target; prefer
+        // the common-prefix one.
+        let cols = ["navx", "xnav"];
+        assert_eq!(best_match("nav", cols, 0.5), Some("navx"));
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+            prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+        }
+
+        #[test]
+        fn exact_candidate_always_wins(t in "[a-z]{1,10}") {
+            let other = format!("{t}zz");
+            let cands = [t.as_str(), other.as_str()];
+            prop_assert_eq!(best_match(&t, cands, 0.0), Some(t.as_str()));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Incremental prefix-validity checking, the mechanism behind the
+//! PICARD-style constrained-decoding baseline.
+//!
+//! PICARD rejects decoder tokens that cannot be extended into valid SQL.
+//! Our equivalent asks, for a textual prefix: *can some suffix make this
+//! parse?* The parser distinguishes "syntax error mid-input" (dead prefix)
+//! from "unexpected end of input" (extensible prefix), which is exactly
+//! the signal needed.
+
+use crate::catalog::CatalogSchema;
+use crate::parser::parse_statement;
+
+/// The verdict on a SQL prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixValidity {
+    /// The prefix is already a complete, valid statement.
+    Complete,
+    /// The prefix is not complete but some continuation is valid.
+    Extensible,
+    /// No continuation can make the prefix valid.
+    Dead,
+}
+
+/// Classifies a SQL prefix.
+pub fn check_prefix(prefix: &str) -> PrefixValidity {
+    match parse_statement(prefix) {
+        Ok(_) => PrefixValidity::Complete,
+        Err(e) if e.at_end => PrefixValidity::Extensible,
+        Err(_) => PrefixValidity::Dead,
+    }
+}
+
+/// Schema-aware validity: a *complete* statement is additionally required
+/// to reference only tables and columns that exist. This is the filter the
+/// PICARD baseline applies to whole candidates (token-level schema checks
+/// reduce to this at candidate granularity).
+pub fn check_against_schema(sql: &str, schema: &CatalogSchema) -> bool {
+    let Ok(crate::ast::Statement::Select(q)) = parse_statement(sql) else {
+        return false;
+    };
+    // Every referenced table must exist.
+    let tables = q.referenced_tables();
+    if tables.iter().any(|t| schema.table(&t.name).is_none()) {
+        return false;
+    }
+    // Build alias scope (query-wide; fine for the dialect's workloads).
+    let mut scope: Vec<(String, String)> = Vec::new();
+    for t in &tables {
+        scope.push((t.effective_name().to_ascii_lowercase(), t.name.clone()));
+    }
+    // Every column must exist in its qualifying table, or in some table in
+    // scope when unqualified.
+    for c in q.referenced_columns() {
+        let ok = match &c.table {
+            Some(q) => scope
+                .iter()
+                .find(|(eff, _)| eff == &q.to_ascii_lowercase())
+                .map(|(_, real)| schema.has_column(real, &c.column))
+                .unwrap_or(false),
+            None => scope.iter().any(|(_, real)| schema.has_column(real, &c.column)),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    // Dangling join conditions are invalid.
+    let mut dangling = false;
+    q.walk_selects(&mut |s| {
+        if let Some(from) = &s.from {
+            for j in &from.joins {
+                if j.on.is_none() && j.join_type != crate::ast::JoinType::Cross {
+                    dangling = true;
+                }
+            }
+        }
+    });
+    !dangling
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CatalogColumn, CatalogTable, ColType};
+
+    #[test]
+    fn complete_statement() {
+        assert_eq!(check_prefix("SELECT a FROM t"), PrefixValidity::Complete);
+    }
+
+    #[test]
+    fn extensible_prefixes() {
+        for p in ["SELECT", "SELECT a FROM", "SELECT a FROM t WHERE", "SELECT a FROM t WHERE x ="] {
+            assert_eq!(check_prefix(p), PrefixValidity::Extensible, "prefix: {p}");
+        }
+    }
+
+    #[test]
+    fn dead_prefixes() {
+        for p in ["SELECT FROM FROM", "WHERE x", "SELECT a a a a FROM"] {
+            assert_eq!(check_prefix(p), PrefixValidity::Dead, "prefix: {p}");
+        }
+    }
+
+    fn schema() -> CatalogSchema {
+        CatalogSchema {
+            db_id: "s".into(),
+            tables: vec![CatalogTable {
+                name: "t".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![CatalogColumn::new("a", ColType::Int, "", "")],
+            }],
+            foreign_keys: vec![],
+        }
+    }
+
+    #[test]
+    fn schema_check_accepts_valid() {
+        assert!(check_against_schema("SELECT a FROM t", &schema()));
+        assert!(check_against_schema("SELECT t.a FROM t", &schema()));
+    }
+
+    #[test]
+    fn schema_check_rejects_unknown_table_or_column() {
+        assert!(!check_against_schema("SELECT a FROM missing", &schema()));
+        assert!(!check_against_schema("SELECT ghost FROM t", &schema()));
+        assert!(!check_against_schema("SELECT u.a FROM t", &schema()));
+    }
+
+    #[test]
+    fn schema_check_rejects_dangling_join() {
+        let mut s = schema();
+        s.tables.push(CatalogTable {
+            name: "u".into(),
+            desc_en: String::new(),
+            desc_cn: String::new(),
+            columns: vec![CatalogColumn::new("a", ColType::Int, "", "")],
+        });
+        assert!(!check_against_schema("SELECT t.a FROM t JOIN u ON", &s));
+    }
+}

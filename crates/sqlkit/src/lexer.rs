@@ -1,0 +1,313 @@
+//! Hand-written SQL lexer.
+
+use crate::error::{ParseError, Result};
+use crate::token::{keyword_of, Symbol, Token, TokenKind};
+
+/// Lexes `input` into a token stream.
+///
+/// The lexer is forgiving in exactly the ways the FinSQL calibration pass
+/// needs: it accepts `==` (emitted as [`Symbol::DoubleEq`]) and `<>` as
+/// `!=`, so that malformed LLM output still lexes and can be repaired
+/// downstream rather than rejected outright.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '(' => push_sym(&mut tokens, Symbol::LParen, &mut i),
+            ')' => push_sym(&mut tokens, Symbol::RParen, &mut i),
+            ',' => push_sym(&mut tokens, Symbol::Comma, &mut i),
+            ';' => push_sym(&mut tokens, Symbol::Semicolon, &mut i),
+            '+' => push_sym(&mut tokens, Symbol::Plus, &mut i),
+            '-' => {
+                // `--` starts a line comment.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    push_sym(&mut tokens, Symbol::Minus, &mut i);
+                }
+            }
+            '*' => push_sym(&mut tokens, Symbol::Star, &mut i),
+            '/' => push_sym(&mut tokens, Symbol::Slash, &mut i),
+            '%' => push_sym(&mut tokens, Symbol::Percent, &mut i),
+            '.' => push_sym(&mut tokens, Symbol::Dot, &mut i),
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::DoubleEq), pos: start });
+                    i += 2;
+                } else {
+                    push_sym(&mut tokens, Symbol::Eq, &mut i);
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Neq), pos: start });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("unexpected character '!'", start));
+                }
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        tokens.push(Token { kind: TokenKind::Symbol(Symbol::Le), pos: start });
+                        i += 2;
+                    }
+                    Some(&b'>') => {
+                        tokens.push(Token { kind: TokenKind::Symbol(Symbol::Neq), pos: start });
+                        i += 2;
+                    }
+                    _ => push_sym(&mut tokens, Symbol::Lt, &mut i),
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Ge), pos: start });
+                    i += 2;
+                } else {
+                    push_sym(&mut tokens, Symbol::Gt, &mut i);
+                }
+            }
+            '\'' => {
+                let (text, next) = lex_string(input, i)?;
+                tokens.push(Token { kind: TokenKind::Str(text), pos: start });
+                i = next;
+            }
+            '"' | '`' => {
+                let quote = c;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError::eof("unterminated quoted identifier", start));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(input[i + 1..j].to_string()),
+                    pos: start,
+                });
+                i = j + 1;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !seen_dot && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Number(input[i..j].to_string()), pos: start });
+                i = j;
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_alphanumeric() || d == '_' {
+                        j += char_len(bytes[j]);
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[i..j];
+                let kind = match keyword_of(word) {
+                    Some(kw) => TokenKind::Keyword(kw.to_string()),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, pos: start });
+                i = j;
+            }
+            _ => {
+                // Non-ASCII alphabetic (e.g. CJK in the cn register) is
+                // treated as identifier material.
+                if c as u32 > 127 {
+                    let mut j = i;
+                    while j < bytes.len() {
+                        let rest = &input[j..];
+                        let ch = rest.chars().next().unwrap();
+                        if ch.is_alphanumeric() || ch == '_' || ch as u32 > 127 {
+                            j += ch.len_utf8();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token { kind: TokenKind::Ident(input[i..j].to_string()), pos: start });
+                    i = j;
+                } else {
+                    return Err(ParseError::new(format!("unexpected character '{c}'"), start));
+                }
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Byte length of the UTF-8 character starting with byte `b`.
+fn char_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >> 5 == 0b110 {
+        2
+    } else if b >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Lexes a single-quoted string starting at byte `start`; returns the
+/// unescaped contents and the byte offset just past the closing quote.
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            // `''` escapes a quote.
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            let ch_len = char_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(ParseError::eof("unterminated string literal", start))
+}
+
+fn push_sym(tokens: &mut Vec<Token>, sym: Symbol, i: &mut usize) {
+    tokens.push(Token { kind: TokenKind::Symbol(sym), pos: *i });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_select() {
+        let ks = kinds("SELECT a, b FROM t WHERE x = 1");
+        assert_eq!(ks.len(), 10);
+        assert!(ks[0].is_keyword("SELECT"));
+        assert!(matches!(&ks[1], TokenKind::Ident(s) if s == "a"));
+        assert!(ks[2].is_symbol(Symbol::Comma));
+        assert!(ks[4].is_keyword("FROM"));
+        assert!(matches!(&ks[9], TokenKind::Number(n) if n == "1"));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let ks = kinds("select distinct");
+        assert!(ks[0].is_keyword("SELECT"));
+        assert!(ks[1].is_keyword("DISTINCT"));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("<= >= != <> = == < >");
+        let syms: Vec<_> = ks
+            .iter()
+            .map(|k| match k {
+                TokenKind::Symbol(s) => *s,
+                _ => panic!("not a symbol"),
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![
+                Symbol::Le,
+                Symbol::Ge,
+                Symbol::Neq,
+                Symbol::Neq,
+                Symbol::Eq,
+                Symbol::DoubleEq,
+                Symbol::Lt,
+                Symbol::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_with_escape() {
+        let ks = kinds("'it''s'");
+        assert_eq!(ks, vec![TokenKind::Str("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_reports_eof() {
+        let err = lex("SELECT 'oops").unwrap_err();
+        assert!(err.at_end);
+    }
+
+    #[test]
+    fn lexes_decimal_numbers() {
+        let ks = kinds("3.25 10 0.5");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Number("3.25".into()),
+                TokenKind::Number("10".into()),
+                TokenKind::Number("0.5".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_number_without_digit_is_symbol() {
+        let ks = kinds("t1.col");
+        assert_eq!(ks.len(), 3);
+        assert!(ks[1].is_symbol(Symbol::Dot));
+    }
+
+    #[test]
+    fn lexes_quoted_identifiers() {
+        let ks = kinds("\"weird col\" `another`");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::QuotedIdent("weird col".into()),
+                TokenKind::QuotedIdent("another".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        let ks = kinds("SELECT -- the columns\n a");
+        assert_eq!(ks.len(), 2);
+    }
+
+    #[test]
+    fn lexes_non_ascii_identifier() {
+        let ks = kinds("基金名称");
+        assert_eq!(ks, vec![TokenKind::Ident("基金名称".into())]);
+    }
+
+    #[test]
+    fn rejects_unexpected_character() {
+        assert!(lex("SELECT @").is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! SQL substrate for the FinSQL reproduction.
+//!
+//! This crate implements everything the rest of the workspace needs to
+//! *understand* SQL text without executing it:
+//!
+//! - a lexer and recursive-descent parser for an analytic SELECT dialect
+//!   ([`lexer`], [`parser`], [`ast`]),
+//! - a canonical pretty-printer ([`printer`]),
+//! - SQL-skeleton extraction as used by the paper's rule-based
+//!   augmentation and DAIL-style example selection ([`skeleton`]),
+//! - keyword-component extraction (`f2` of the paper's Algorithm 1) used
+//!   by the non-execution self-consistency clustering ([`components`]),
+//! - typo repair (`f1` of Algorithm 1) ([`repair`]),
+//! - fuzzy identifier matching used both by repair and by table/column
+//!   alignment (`f3`) ([`fuzzy`]),
+//! - incremental prefix-validity checking used by the PICARD-style
+//!   constrained-decoding baseline ([`incremental`]),
+//! - lightweight catalog types ([`catalog`]) shared by the execution
+//!   engine, the dataset generator and the schema-linking model.
+//!
+//! The dialect covers the subset of SQL exercised by the BULL-style
+//! financial workloads: joins, aggregation, grouping, having, ordering,
+//! limits, `IN`/scalar subqueries, `BETWEEN`, `LIKE`, set operations.
+
+pub mod ast;
+pub mod catalog;
+pub mod components;
+pub mod error;
+pub mod fuzzy;
+pub mod incremental;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod repair;
+pub mod skeleton;
+pub mod token;
+
+pub use ast::{
+    BinaryOp, ColumnRef, Expr, FromClause, Join, JoinType, Limit, Literal, OrderByItem, Select,
+    SelectItem, SelectStmt, SetExpr, SetOp, Statement, TableRef, UnaryOp,
+};
+pub use catalog::{CatalogColumn, CatalogSchema, CatalogTable, ColType, ForeignKey};
+pub use error::{ParseError, Result};
+pub use parser::parse_statement;
+pub use printer::to_sql;
+pub use skeleton::skeleton_of;

@@ -1,0 +1,818 @@
+//! Recursive-descent parser for the analytic SELECT dialect.
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::lex;
+use crate::token::{Symbol, Token, TokenKind};
+
+/// Parses a complete SQL statement. Trailing semicolons are accepted;
+/// anything after them is an error.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0, input_len: sql.len() };
+    let stmt = p.parse_select_stmt()?;
+    if p.peek_symbol(Symbol::Semicolon) {
+        p.advance();
+    }
+    if let Some(t) = p.peek() {
+        return Err(ParseError::new(
+            format!("unexpected trailing token: {:?}", t.kind),
+            t.pos,
+        ));
+    }
+    Ok(Statement::Select(stmt))
+}
+
+/// Parses just the query (used by subquery parsing and tests).
+pub fn parse_query(sql: &str) -> Result<SelectStmt> {
+    match parse_statement(sql)? {
+        Statement::Select(q) => Ok(q),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kind(&self) -> Option<&TokenKind> {
+        self.peek().map(|t| &t.kind)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        self.tokens.get(self.pos - 1)
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError::new(msg, t.pos),
+            None => ParseError::eof(msg, self.input_len),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek_kind(), Some(k) if k.is_keyword(kw))
+    }
+
+    fn peek_symbol(&self, sym: Symbol) -> bool {
+        matches!(self.peek_kind(), Some(k) if k.is_symbol(sym))
+    }
+
+    /// Consumes the keyword if present; returns whether it was consumed.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Symbol) -> bool {
+        if self.peek_symbol(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Symbol) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected '{sym}'")))
+        }
+    }
+
+    /// Consumes an identifier (bare or quoted).
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek_kind().cloned() {
+            Some(TokenKind::Ident(s)) | Some(TokenKind::QuotedIdent(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error_here("expected identifier")),
+        }
+    }
+
+    // ---- query structure -------------------------------------------------
+
+    fn parse_select_stmt(&mut self) -> Result<SelectStmt> {
+        let body = self.parse_set_expr()?;
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            self.parse_order_by_list()?
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_keyword("LIMIT") { Some(self.parse_limit()?) } else { None };
+        Ok(SelectStmt { body, order_by, limit })
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = SetExpr::Select(Box::new(self.parse_select_block()?));
+        loop {
+            let op = if self.peek_keyword("UNION") {
+                SetOp::Union
+            } else if self.peek_keyword("INTERSECT") {
+                SetOp::Intersect
+            } else if self.peek_keyword("EXCEPT") {
+                SetOp::Except
+            } else {
+                break;
+            };
+            self.advance();
+            let all = self.eat_keyword("ALL");
+            let right = SetExpr::Select(Box::new(self.parse_select_block()?));
+            left = SetExpr::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_select_block(&mut self) -> Result<Select> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat_symbol(Symbol::Comma) {
+            items.push(self.parse_select_item()?);
+        }
+        let from = if self.eat_keyword("FROM") { Some(self.parse_from()?) } else { None };
+        let selection = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let mut keys = vec![self.parse_expr()?];
+            while self.eat_symbol(Symbol::Comma) {
+                keys.push(self.parse_expr()?);
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_keyword("HAVING") { Some(self.parse_expr()?) } else { None };
+        Ok(Select { distinct, items, from, selection, group_by, having })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol(Symbol::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `ident.*`
+        if let Some(TokenKind::Ident(name)) = self.peek_kind().cloned() {
+            if self.tokens.get(self.pos + 1).is_some_and(|t| t.kind.is_symbol(Symbol::Dot))
+                && self.tokens.get(self.pos + 2).is_some_and(|t| t.kind.is_symbol(Symbol::Star))
+            {
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else if let Some(TokenKind::Ident(_)) = self.peek_kind() {
+            // Implicit alias only when followed by a clause boundary —
+            // keeps `SELECT a b` unambiguous enough for this dialect.
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_from(&mut self) -> Result<FromClause> {
+        let base = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let join_type = if self.peek_keyword("JOIN") {
+                self.advance();
+                JoinType::Inner
+            } else if self.peek_keyword("INNER") {
+                self.advance();
+                self.expect_keyword("JOIN")?;
+                JoinType::Inner
+            } else if self.peek_keyword("LEFT") {
+                self.advance();
+                self.eat_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinType::Left
+            } else if self.peek_keyword("RIGHT") {
+                self.advance();
+                self.eat_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinType::Right
+            } else if self.peek_keyword("CROSS") {
+                self.advance();
+                self.expect_keyword("JOIN")?;
+                JoinType::Cross
+            } else if self.peek_symbol(Symbol::Comma) {
+                self.advance();
+                JoinType::Cross
+            } else {
+                break;
+            };
+            let table = self.parse_table_ref()?;
+            // `ON` may legitimately be absent for CROSS joins, and is
+            // tolerated as absent (or dangling) otherwise so the repair
+            // pass can fix LLM output.
+            let on = if self.eat_keyword("ON") {
+                if self.at_clause_boundary() {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                }
+            } else {
+                None
+            };
+            joins.push(Join { join_type, table, on });
+        }
+        Ok(FromClause { base, joins })
+    }
+
+    /// True when the next token starts a new clause (or input ends) —
+    /// used to detect a dangling `ON`.
+    fn at_clause_boundary(&self) -> bool {
+        match self.peek_kind() {
+            None => true,
+            Some(k) => {
+                ["WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT", "RIGHT",
+                 "CROSS", "UNION", "INTERSECT", "EXCEPT"]
+                .iter()
+                .any(|kw| k.is_keyword(kw))
+                    || k.is_symbol(Symbol::Semicolon)
+                    || k.is_symbol(Symbol::RParen)
+            }
+        }
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let name = self.expect_ident()?;
+        // `AS` is optional before an alias.
+        let has_alias =
+            self.eat_keyword("AS") || matches!(self.peek_kind(), Some(TokenKind::Ident(_)));
+        let alias = if has_alias { Some(self.expect_ident()?) } else { None };
+        Ok(TableRef { name, alias })
+    }
+
+    fn parse_order_by_list(&mut self) -> Result<Vec<OrderByItem>> {
+        let mut items = Vec::new();
+        loop {
+            let expr = self.parse_expr()?;
+            let desc = if self.eat_keyword("DESC") {
+                true
+            } else {
+                self.eat_keyword("ASC");
+                false
+            };
+            items.push(OrderByItem { expr, desc });
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_limit(&mut self) -> Result<Limit> {
+        let count = self.parse_u64()?;
+        let offset = if self.eat_keyword("OFFSET") { self.parse_u64()? } else { 0 };
+        Ok(Limit { count, offset })
+    }
+
+    fn parse_u64(&mut self) -> Result<u64> {
+        match self.peek_kind().cloned() {
+            Some(TokenKind::Number(n)) => {
+                let v = n
+                    .parse::<u64>()
+                    .map_err(|_| self.error_here("expected a non-negative integer"))?;
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.error_here("expected a number")),
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+    //
+    // Precedence (low → high): OR, AND, NOT, comparison/IN/BETWEEN/LIKE/IS,
+    // + -, * / %, unary -, atoms.
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            // `NOT EXISTS (...)` folds into the Exists node.
+            if self.peek_keyword("EXISTS") {
+                self.advance();
+                let sub = self.parse_parenthesised_query()?;
+                return Ok(Expr::Exists { subquery: Box::new(sub), negated: true });
+            }
+            let operand = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        if self.peek_keyword("EXISTS") {
+            self.advance();
+            let sub = self.parse_parenthesised_query()?;
+            return Ok(Expr::Exists { subquery: Box::new(sub), negated: false });
+        }
+        let left = self.parse_additive()?;
+        // Postfix predicates.
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect_symbol(Symbol::LParen)?;
+            if self.peek_keyword("SELECT") {
+                let sub = self.parse_select_stmt()?;
+                self.expect_symbol(Symbol::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(sub),
+                    negated,
+                });
+            }
+            let mut list = vec![self.parse_additive()?];
+            while self.eat_symbol(Symbol::Comma) {
+                list.push(self.parse_additive()?);
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if negated {
+            return Err(self.error_here("expected IN, BETWEEN or LIKE after NOT"));
+        }
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek_kind() {
+            Some(TokenKind::Symbol(Symbol::Eq)) | Some(TokenKind::Symbol(Symbol::DoubleEq)) => {
+                Some(BinaryOp::Eq)
+            }
+            Some(TokenKind::Symbol(Symbol::Neq)) => Some(BinaryOp::Neq),
+            Some(TokenKind::Symbol(Symbol::Lt)) => Some(BinaryOp::Lt),
+            Some(TokenKind::Symbol(Symbol::Le)) => Some(BinaryOp::Le),
+            Some(TokenKind::Symbol(Symbol::Gt)) => Some(BinaryOp::Gt),
+            Some(TokenKind::Symbol(Symbol::Ge)) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.parse_additive()?;
+            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.peek_symbol(Symbol::Plus) {
+                BinaryOp::Add
+            } else if self.peek_symbol(Symbol::Minus) {
+                BinaryOp::Sub
+            } else {
+                break;
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = if self.peek_symbol(Symbol::Star) {
+                BinaryOp::Mul
+            } else if self.peek_symbol(Symbol::Slash) {
+                BinaryOp::Div
+            } else if self.peek_symbol(Symbol::Percent) {
+                BinaryOp::Mod
+            } else {
+                break;
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol(Symbol::Minus) {
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, operand: Box::new(operand) });
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr> {
+        match self.peek_kind().cloned() {
+            Some(TokenKind::Number(n)) => {
+                self.pos += 1;
+                if n.contains('.') {
+                    let v = n.parse::<f64>().map_err(|_| self.error_here("bad float literal"))?;
+                    Ok(Expr::Literal(Literal::Float(v)))
+                } else {
+                    let v = n.parse::<i64>().map_err(|_| self.error_here("bad int literal"))?;
+                    Ok(Expr::Literal(Literal::Int(v)))
+                }
+            }
+            Some(TokenKind::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(TokenKind::Keyword(kw)) => match kw.as_str() {
+                "NULL" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Literal::Null))
+                }
+                "TRUE" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Literal::Bool(true)))
+                }
+                "FALSE" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Literal::Bool(false)))
+                }
+                "CASE" => self.parse_case(),
+                _ => Err(self.error_here(format!("unexpected keyword {kw}"))),
+            },
+            Some(TokenKind::Symbol(Symbol::LParen)) => {
+                self.pos += 1;
+                if self.peek_keyword("SELECT") {
+                    let sub = self.parse_select_stmt()?;
+                    self.expect_symbol(Symbol::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(sub)));
+                }
+                let inner = self.parse_expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(inner)
+            }
+            Some(TokenKind::Ident(_)) | Some(TokenKind::QuotedIdent(_)) => {
+                let name = self.expect_ident()?;
+                // Function call?
+                if self.peek_symbol(Symbol::LParen) {
+                    self.pos += 1;
+                    if name.eq_ignore_ascii_case("count") && self.eat_symbol(Symbol::Star) {
+                        self.expect_symbol(Symbol::RParen)?;
+                        return Ok(Expr::CountStar);
+                    }
+                    let distinct = self.eat_keyword("DISTINCT");
+                    let mut args = Vec::new();
+                    if !self.peek_symbol(Symbol::RParen) {
+                        args.push(self.parse_expr()?);
+                        while self.eat_symbol(Symbol::Comma) {
+                            args.push(self.parse_expr()?);
+                        }
+                    }
+                    self.expect_symbol(Symbol::RParen)?;
+                    return Ok(Expr::Function { name: name.to_ascii_uppercase(), distinct, args });
+                }
+                // Qualified column?
+                if self.eat_symbol(Symbol::Dot) {
+                    let column = self.expect_ident()?;
+                    return Ok(Expr::Column(ColumnRef { table: Some(name), column }));
+                }
+                Ok(Expr::Column(ColumnRef { table: None, column: name }))
+            }
+            _ => Err(self.error_here("expected expression")),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        self.expect_keyword("CASE")?;
+        let operand = if self.peek_keyword("WHEN") { None } else { Some(Box::new(self.parse_expr()?)) };
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let cond = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let result = self.parse_expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(self.error_here("CASE requires at least one WHEN branch"));
+        }
+        let else_result =
+            if self.eat_keyword("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case { operand, branches, else_result })
+    }
+
+    fn parse_parenthesised_query(&mut self) -> Result<SelectStmt> {
+        self.expect_symbol(Symbol::LParen)?;
+        let q = self.parse_select_stmt()?;
+        self.expect_symbol(Symbol::RParen)?;
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(sql: &str) -> SelectStmt {
+        parse_query(sql).unwrap_or_else(|e| panic!("failed to parse {sql:?}: {e}"))
+    }
+
+    fn only_select(q: &SelectStmt) -> &Select {
+        match &q.body {
+            SetExpr::Select(s) => s,
+            _ => panic!("expected a plain select"),
+        }
+    }
+
+    #[test]
+    fn parses_minimal_select() {
+        let q = parse("SELECT a FROM t");
+        let s = only_select(&q);
+        assert_eq!(s.items.len(), 1);
+        assert_eq!(s.from.as_ref().unwrap().base.name, "t");
+    }
+
+    #[test]
+    fn parses_distinct_and_wildcard() {
+        let q = parse("SELECT DISTINCT * FROM t");
+        let s = only_select(&q);
+        assert!(s.distinct);
+        assert!(matches!(s.items[0], SelectItem::Wildcard));
+    }
+
+    #[test]
+    fn parses_qualified_wildcard() {
+        let q = parse("SELECT t1.* FROM t t1");
+        let s = only_select(&q);
+        assert!(matches!(&s.items[0], SelectItem::QualifiedWildcard(n) if n == "t1"));
+    }
+
+    #[test]
+    fn parses_aliases() {
+        let q = parse("SELECT secucode AS code, chiname name FROM lc_sharestru AS t1");
+        let s = only_select(&q);
+        match &s.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("code")),
+            _ => panic!(),
+        }
+        match &s.items[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("name")),
+            _ => panic!(),
+        }
+        assert_eq!(s.from.as_ref().unwrap().base.alias.as_deref(), Some("t1"));
+    }
+
+    #[test]
+    fn parses_joins_with_on() {
+        let q = parse(
+            "SELECT a.x FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id",
+        );
+        let s = only_select(&q);
+        let from = s.from.as_ref().unwrap();
+        assert_eq!(from.joins.len(), 2);
+        assert_eq!(from.joins[0].join_type, JoinType::Inner);
+        assert_eq!(from.joins[1].join_type, JoinType::Left);
+        assert!(from.joins[0].on.is_some());
+    }
+
+    #[test]
+    fn tolerates_dangling_on() {
+        // Malformed LLM output the calibration step repairs.
+        let q = parse("SELECT a.x FROM a JOIN b ON WHERE a.x > 1");
+        let s = only_select(&q);
+        assert!(s.from.as_ref().unwrap().joins[0].on.is_none());
+        assert!(s.selection.is_some());
+    }
+
+    #[test]
+    fn parses_comma_join_as_cross() {
+        let q = parse("SELECT * FROM a, b WHERE a.id = b.id");
+        let s = only_select(&q);
+        assert_eq!(s.from.as_ref().unwrap().joins[0].join_type, JoinType::Cross);
+    }
+
+    #[test]
+    fn parses_where_precedence() {
+        let q = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3");
+        let s = only_select(&q);
+        match s.selection.as_ref().unwrap() {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("unexpected tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let q = parse("SELECT 1 + 2 * 3");
+        let s = only_select(&q);
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinaryOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_by_having() {
+        let q = parse(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 5 ORDER BY dept DESC LIMIT 3 OFFSET 1",
+        );
+        let s = only_select(&q);
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(Limit { count: 3, offset: 1 }));
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let q = parse("SELECT COUNT(*), COUNT(DISTINCT x), SUM(y), AVG(z) FROM t");
+        let s = only_select(&q);
+        assert!(matches!(s.items[0], SelectItem::Expr { expr: Expr::CountStar, .. }));
+        match &s.items[1] {
+            SelectItem::Expr { expr: Expr::Function { name, distinct, .. }, .. } => {
+                assert_eq!(name, "COUNT");
+                assert!(*distinct);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_list_and_subquery() {
+        let q = parse("SELECT a FROM t WHERE x IN (1, 2, 3) AND y NOT IN (SELECT y FROM u)");
+        let s = only_select(&q);
+        match s.selection.as_ref().unwrap() {
+            Expr::Binary { left, right, .. } => {
+                assert!(matches!(**left, Expr::InList { negated: false, .. }));
+                assert!(matches!(**right, Expr::InSubquery { negated: true, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_between_like_isnull() {
+        let q = parse(
+            "SELECT a FROM t WHERE x BETWEEN 1 AND 5 AND n LIKE '%fund%' AND z IS NOT NULL",
+        );
+        let s = only_select(&q);
+        let mut found = (false, false, false);
+        fn scan(e: &Expr, found: &mut (bool, bool, bool)) {
+            match e {
+                Expr::Between { .. } => found.0 = true,
+                Expr::Like { .. } => found.1 = true,
+                Expr::IsNull { negated: true, .. } => found.2 = true,
+                Expr::Binary { left, right, .. } => {
+                    scan(left, found);
+                    scan(right, found);
+                }
+                _ => {}
+            }
+        }
+        scan(s.selection.as_ref().unwrap(), &mut found);
+        assert_eq!(found, (true, true, true));
+    }
+
+    #[test]
+    fn parses_scalar_subquery() {
+        let q = parse("SELECT a FROM t WHERE x > (SELECT AVG(x) FROM t)");
+        let s = only_select(&q);
+        match s.selection.as_ref().unwrap() {
+            Expr::Binary { right, .. } => assert!(matches!(**right, Expr::Subquery(_))),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_exists() {
+        let q = parse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u) AND NOT EXISTS (SELECT 2 FROM v)");
+        let s = only_select(&q);
+        match s.selection.as_ref().unwrap() {
+            Expr::Binary { left, right, .. } => {
+                assert!(matches!(**left, Expr::Exists { negated: false, .. }));
+                assert!(matches!(**right, Expr::Exists { negated: true, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_union() {
+        let q = parse("SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY a LIMIT 10");
+        match &q.body {
+            SetExpr::SetOp { op: SetOp::Union, all: true, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(q.order_by.len(), 1);
+    }
+
+    #[test]
+    fn parses_case_expression() {
+        let q = parse("SELECT CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END FROM t");
+        let s = only_select(&q);
+        assert!(matches!(
+            s.items[0],
+            SelectItem::Expr { expr: Expr::Case { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_double_equals_as_eq() {
+        // `==` is normalised at parse time so downstream code never sees it.
+        let q = parse("SELECT a FROM t WHERE x == 5");
+        let s = only_select(&q);
+        assert!(matches!(
+            s.selection.as_ref().unwrap(),
+            Expr::Binary { op: BinaryOp::Eq, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_statement("SELECT a FROM t WHERE").is_err());
+        assert!(parse_statement("SELECT a FROM t 123 456").is_err());
+    }
+
+    #[test]
+    fn eof_errors_are_flagged() {
+        let err = parse_statement("SELECT a FROM").unwrap_err();
+        assert!(err.at_end, "error should be at end: {err:?}");
+        let err = parse_statement("SELECT a FRO t").unwrap_err();
+        assert!(!err.at_end);
+    }
+
+    #[test]
+    fn referenced_tables_and_columns() {
+        let q = parse(
+            "SELECT a.x, b.y FROM a JOIN b ON a.id = b.id WHERE a.z IN (SELECT z FROM c)",
+        );
+        let tables: Vec<_> = q.referenced_tables().iter().map(|t| t.name.clone()).collect();
+        assert_eq!(tables, vec!["a", "b", "c"]);
+        let cols = q.referenced_columns();
+        assert!(cols.iter().any(|c| c.column == "x"));
+        assert!(cols.iter().any(|c| c.column == "id"));
+    }
+
+    #[test]
+    fn parses_semicolon_terminated() {
+        assert!(parse_statement("SELECT 1;").is_ok());
+    }
+}

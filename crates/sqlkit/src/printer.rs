@@ -1,0 +1,386 @@
+//! Canonical SQL pretty-printer.
+//!
+//! Printing is the inverse of parsing up to whitespace and case
+//! normalisation: `parse(to_sql(parse(x))) == parse(x)` (verified by a
+//! property test in the crate's test suite).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a statement to canonical SQL text.
+pub fn to_sql(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Select(q) => query_to_sql(q),
+    }
+}
+
+/// Renders a query to canonical SQL text.
+pub fn query_to_sql(q: &SelectStmt) -> String {
+    let mut out = String::new();
+    write_set_expr(&mut out, &q.body);
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, item) in q.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(&mut out, &item.expr);
+            if item.desc {
+                out.push_str(" DESC");
+            } else {
+                out.push_str(" ASC");
+            }
+        }
+    }
+    if let Some(limit) = &q.limit {
+        write!(out, " LIMIT {}", limit.count).unwrap();
+        if limit.offset > 0 {
+            write!(out, " OFFSET {}", limit.offset).unwrap();
+        }
+    }
+    out
+}
+
+fn write_set_expr(out: &mut String, body: &SetExpr) {
+    match body {
+        SetExpr::Select(s) => write_select(out, s),
+        SetExpr::SetOp { op, all, left, right } => {
+            write_set_expr(out, left);
+            out.push(' ');
+            out.push_str(match op {
+                SetOp::Union => "UNION",
+                SetOp::Intersect => "INTERSECT",
+                SetOp::Except => "EXCEPT",
+            });
+            if *all {
+                out.push_str(" ALL");
+            }
+            out.push(' ');
+            write_set_expr(out, right);
+        }
+    }
+}
+
+fn write_select(out: &mut String, s: &Select) {
+    out.push_str("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, item) in s.items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::QualifiedWildcard(t) => {
+                out.push_str(t);
+                out.push_str(".*");
+            }
+            SelectItem::Expr { expr, alias } => {
+                write_expr(out, expr);
+                if let Some(a) = alias {
+                    out.push_str(" AS ");
+                    out.push_str(a);
+                }
+            }
+        }
+    }
+    if let Some(from) = &s.from {
+        out.push_str(" FROM ");
+        write_table_ref(out, &from.base);
+        for j in &from.joins {
+            out.push_str(match j.join_type {
+                JoinType::Inner => " JOIN ",
+                JoinType::Left => " LEFT JOIN ",
+                JoinType::Right => " RIGHT JOIN ",
+                JoinType::Cross => " CROSS JOIN ",
+            });
+            write_table_ref(out, &j.table);
+            if let Some(on) = &j.on {
+                out.push_str(" ON ");
+                write_expr(out, on);
+            }
+        }
+    }
+    if let Some(w) = &s.selection {
+        out.push_str(" WHERE ");
+        write_expr(out, w);
+    }
+    if !s.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, g) in s.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, g);
+        }
+    }
+    if let Some(h) = &s.having {
+        out.push_str(" HAVING ");
+        write_expr(out, h);
+    }
+}
+
+fn write_table_ref(out: &mut String, t: &TableRef) {
+    out.push_str(&t.name);
+    if let Some(a) = &t.alias {
+        out.push_str(" AS ");
+        out.push_str(a);
+    }
+}
+
+/// Operator precedence used to decide parenthesisation.
+fn precedence(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Or => 1,
+        BinaryOp::And => 2,
+        BinaryOp::Eq
+        | BinaryOp::Neq
+        | BinaryOp::Lt
+        | BinaryOp::Le
+        | BinaryOp::Gt
+        | BinaryOp::Ge => 3,
+        BinaryOp::Add | BinaryOp::Sub => 4,
+        BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 5,
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    write_expr_prec(out, e, 0)
+}
+
+fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
+    match e {
+        Expr::Column(c) => {
+            if let Some(t) = &c.table {
+                out.push_str(t);
+                out.push('.');
+            }
+            out.push_str(&c.column);
+        }
+        Expr::Literal(l) => write_literal(out, l),
+        Expr::Unary { op, operand } => {
+            match op {
+                UnaryOp::Neg => {
+                    // `--x` would lex as a line comment: parenthesise any
+                    // operand whose rendering starts with a minus.
+                    let mut inner = String::new();
+                    write_expr_prec(&mut inner, operand, 6);
+                    out.push('-');
+                    if inner.starts_with('-') {
+                        out.push('(');
+                        out.push_str(&inner);
+                        out.push(')');
+                    } else {
+                        out.push_str(&inner);
+                    }
+                    return;
+                }
+                UnaryOp::Not => out.push_str("NOT "),
+            }
+            write_expr_prec(out, operand, 6);
+        }
+        Expr::Binary { op, left, right } => {
+            let prec = precedence(*op);
+            let needs_parens = prec < parent_prec;
+            if needs_parens {
+                out.push('(');
+            }
+            write_expr_prec(out, left, prec);
+            out.push(' ');
+            out.push_str(op.sql());
+            out.push(' ');
+            // Right side binds one tighter for left-associative printing.
+            write_expr_prec(out, right, prec + 1);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        Expr::Function { name, distinct, args } => {
+            out.push_str(name);
+            out.push('(');
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::CountStar => out.push_str("COUNT(*)"),
+        Expr::InList { expr, list, negated } => {
+            write_expr_prec(out, expr, 6);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            for (i, v) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, v);
+            }
+            out.push(')');
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            write_expr_prec(out, expr, 6);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            out.push_str(&query_to_sql(subquery));
+            out.push(')');
+        }
+        Expr::Between { expr, low, high, negated } => {
+            write_expr_prec(out, expr, 6);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" BETWEEN ");
+            write_expr_prec(out, low, 4);
+            out.push_str(" AND ");
+            write_expr_prec(out, high, 4);
+        }
+        Expr::Like { expr, pattern, negated } => {
+            write_expr_prec(out, expr, 6);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" LIKE ");
+            write_expr_prec(out, pattern, 6);
+        }
+        Expr::IsNull { expr, negated } => {
+            write_expr_prec(out, expr, 6);
+            if *negated {
+                out.push_str(" IS NOT NULL");
+            } else {
+                out.push_str(" IS NULL");
+            }
+        }
+        Expr::Exists { subquery, negated } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (");
+            out.push_str(&query_to_sql(subquery));
+            out.push(')');
+        }
+        Expr::Subquery(q) => {
+            out.push('(');
+            out.push_str(&query_to_sql(q));
+            out.push(')');
+        }
+        Expr::Case { operand, branches, else_result } => {
+            out.push_str("CASE");
+            if let Some(op) = operand {
+                out.push(' ');
+                write_expr(out, op);
+            }
+            for (cond, res) in branches {
+                out.push_str(" WHEN ");
+                write_expr(out, cond);
+                out.push_str(" THEN ");
+                write_expr(out, res);
+            }
+            if let Some(e) = else_result {
+                out.push_str(" ELSE ");
+                write_expr(out, e);
+            }
+            out.push_str(" END");
+        }
+    }
+}
+
+fn write_literal(out: &mut String, l: &Literal) {
+    match l {
+        Literal::Int(v) => {
+            write!(out, "{v}").unwrap();
+        }
+        Literal::Float(v) => {
+            // Keep a decimal point so the literal re-lexes as a float.
+            if v.fract() == 0.0 && v.is_finite() {
+                write!(out, "{v:.1}").unwrap();
+            } else {
+                write!(out, "{v}").unwrap();
+            }
+        }
+        Literal::Str(s) => {
+            out.push('\'');
+            out.push_str(&s.replace('\'', "''"));
+            out.push('\'');
+        }
+        Literal::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+        Literal::Null => out.push_str("NULL"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn round_trip(sql: &str) -> String {
+        to_sql(&parse_statement(sql).unwrap())
+    }
+
+    #[test]
+    fn prints_basic_query() {
+        assert_eq!(
+            round_trip("select a , b from t where x = 1"),
+            "SELECT a, b FROM t WHERE x = 1"
+        );
+    }
+
+    #[test]
+    fn printing_is_idempotent() {
+        let cases = [
+            "SELECT DISTINCT a.x AS v FROM a AS t1 JOIN b AS t2 ON t1.id = t2.id WHERE t1.y > 3.5 GROUP BY a.x HAVING COUNT(*) > 2 ORDER BY v DESC LIMIT 5",
+            "SELECT COUNT(DISTINCT x) FROM t WHERE n LIKE '%fund%' AND z IS NOT NULL",
+            "SELECT a FROM t WHERE x IN (SELECT x FROM u WHERE y = 'it''s')",
+            "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY a ASC LIMIT 10",
+            "SELECT CASE WHEN x > 0 THEN 'p' ELSE 'n' END FROM t",
+            "SELECT a FROM t WHERE x BETWEEN 1 AND 5 OR NOT EXISTS (SELECT 1 FROM u)",
+        ];
+        for sql in cases {
+            let once = round_trip(sql);
+            let twice = round_trip(&once);
+            assert_eq!(once, twice, "not idempotent for {sql}");
+        }
+    }
+
+    #[test]
+    fn parenthesises_or_under_and() {
+        let sql = "SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3";
+        let printed = round_trip(sql);
+        assert!(printed.contains("(x = 1 OR y = 2) AND"), "got: {printed}");
+        // Semantics preserved.
+        assert_eq!(round_trip(&printed), printed);
+    }
+
+    #[test]
+    fn string_escape_round_trips() {
+        assert_eq!(round_trip("SELECT 'it''s'"), "SELECT 'it''s'");
+    }
+
+    #[test]
+    fn float_keeps_decimal_point() {
+        assert_eq!(round_trip("SELECT 2.0"), "SELECT 2.0");
+    }
+
+    #[test]
+    fn normalises_double_equals() {
+        assert_eq!(round_trip("SELECT a FROM t WHERE x == 1"), "SELECT a FROM t WHERE x = 1");
+    }
+
+    #[test]
+    fn prints_offset_only_when_nonzero() {
+        assert_eq!(round_trip("SELECT a FROM t LIMIT 5 OFFSET 0"), "SELECT a FROM t LIMIT 5");
+        assert_eq!(
+            round_trip("SELECT a FROM t LIMIT 5 OFFSET 2"),
+            "SELECT a FROM t LIMIT 5 OFFSET 2"
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! SQL repair passes — `f1` (typo repair) and `f3` (table–column
+//! alignment) of the paper's Algorithm 1.
+//!
+//! The passes operate on the AST where possible and on raw text only for
+//! pre-parse normalisation. They never execute SQL: the whole point of the
+//! paper's calibration design is to avoid touching the (huge) production
+//! databases.
+
+use crate::ast::*;
+use crate::catalog::CatalogSchema;
+use crate::fuzzy::best_match;
+
+/// Minimum similarity for fuzzy identifier replacement.
+const FUZZY_THRESHOLD: f64 = 0.4;
+
+/// Pre-parse textual normalisation: `== → =`, stray trailing semicolons
+/// and markdown fences the model sometimes emits.
+pub fn normalize_text(sql: &str) -> String {
+    let mut s = sql.trim().to_string();
+    // Strip markdown code fences.
+    if s.starts_with("```") {
+        s = s.trim_start_matches("```sql").trim_start_matches("```").to_string();
+    }
+    if let Some(stripped) = s.strip_suffix("```") {
+        s = stripped.to_string();
+    }
+    let s = s.replace("==", "=");
+    s.trim().trim_end_matches(';').trim().to_string()
+}
+
+/// Applies every structural repair to a parsed statement in place:
+///
+/// 1. invalid table names → fuzzy-matched schema tables,
+/// 2. dangling `JOIN … ON` → the declared foreign key between the joined
+///    tables (the paper's "JOIN ON keyword used without specifying the
+///    corresponding foreign key"),
+/// 3. invalid column names → fuzzy-matched columns, preferring the
+///    columns of tables in scope.
+///
+/// Returns the number of individual fixes applied.
+pub fn repair_statement(stmt: &mut SelectStmt, schema: &CatalogSchema) -> usize {
+    let mut fixes = 0;
+    fixes += fix_table_names(stmt, schema);
+    fixes += fix_dangling_joins(stmt, schema);
+    fixes += fix_column_names(stmt, schema);
+    fixes
+}
+
+/// Replaces table names that do not exist in the schema with their fuzzy
+/// nearest neighbour.
+fn fix_table_names(stmt: &mut SelectStmt, schema: &CatalogSchema) -> usize {
+    let table_names: Vec<&str> = schema.tables.iter().map(|t| t.name.as_str()).collect();
+    let mut fixes = 0;
+    visit_selects_mut(&mut stmt.body, &mut |s| {
+        if let Some(from) = &mut s.from {
+            for t in std::iter::once(&mut from.base).chain(from.joins.iter_mut().map(|j| &mut j.table)) {
+                if schema.table(&t.name).is_none() {
+                    if let Some(m) = best_match(&t.name, table_names.iter().copied(), FUZZY_THRESHOLD)
+                    {
+                        t.name = m.to_string();
+                        fixes += 1;
+                    }
+                }
+            }
+        }
+    });
+    fixes
+}
+
+/// Fills in missing join conditions from declared foreign keys.
+fn fix_dangling_joins(stmt: &mut SelectStmt, schema: &CatalogSchema) -> usize {
+    let mut fixes = 0;
+    visit_selects_mut(&mut stmt.body, &mut |s| {
+        let Some(from) = &mut s.from else { return };
+        // Tables in scope before each join, in declaration order.
+        let mut prior: Vec<TableRef> = vec![from.base.clone()];
+        for join in &mut from.joins {
+            if join.on.is_none() && join.join_type != JoinType::Cross {
+                // Find an FK between the joined table and any prior table.
+                let mut found = None;
+                for p in &prior {
+                    if let Some(fk) = schema.foreign_key_between(&p.name, &join.table.name) {
+                        // Qualify with the in-query names (aliases win).
+                        let (pt, jt) = (p.effective_name(), join.table.effective_name());
+                        let (pc, jc) = if fk.from_table.eq_ignore_ascii_case(&p.name) {
+                            (&fk.from_column, &fk.to_column)
+                        } else {
+                            (&fk.to_column, &fk.from_column)
+                        };
+                        found = Some(Expr::Binary {
+                            op: BinaryOp::Eq,
+                            left: Box::new(Expr::Column(ColumnRef::qualified(pt, pc.clone()))),
+                            right: Box::new(Expr::Column(ColumnRef::qualified(jt, jc.clone()))),
+                        });
+                        break;
+                    }
+                }
+                if let Some(on) = found {
+                    join.on = Some(on);
+                    fixes += 1;
+                }
+            }
+            prior.push(join.table.clone());
+        }
+    });
+    fixes
+}
+
+/// Replaces hallucinated column names with their fuzzy nearest neighbour,
+/// preferring columns of the tables in the enclosing FROM clause.
+fn fix_column_names(stmt: &mut SelectStmt, schema: &CatalogSchema) -> usize {
+    let mut fixes = 0;
+    visit_selects_mut(&mut stmt.body, &mut |s| {
+        // Resolve which real tables are in scope (alias → table).
+        let mut scope: Vec<(String, String)> = Vec::new(); // (effective, real)
+        if let Some(from) = &s.from {
+            for t in std::iter::once(&from.base).chain(from.joins.iter().map(|j| &j.table)) {
+                scope.push((t.effective_name().to_ascii_lowercase(), t.name.clone()));
+            }
+        }
+        let scope_cols: Vec<String> = scope
+            .iter()
+            .filter_map(|(_, real)| schema.table(real))
+            .flat_map(|t| t.columns.iter().map(|c| c.name.clone()))
+            .collect();
+        let all_cols: Vec<&str> = schema.all_column_names();
+        let mut fix_col = |c: &mut ColumnRef| {
+            let exists = match &c.table {
+                Some(q) => {
+                    let real = scope
+                        .iter()
+                        .find(|(eff, _)| eff == &q.to_ascii_lowercase())
+                        .map(|(_, real)| real.clone())
+                        .unwrap_or_else(|| q.clone());
+                    schema.has_column(&real, &c.column)
+                }
+                None => scope_cols.iter().any(|sc| sc.eq_ignore_ascii_case(&c.column)),
+            };
+            if exists {
+                return;
+            }
+            // Prefer in-scope columns; fall back to the whole schema.
+            let replacement = best_match(
+                &c.column,
+                scope_cols.iter().map(|s| s.as_str()),
+                FUZZY_THRESHOLD,
+            )
+            .or_else(|| best_match(&c.column, all_cols.iter().copied(), FUZZY_THRESHOLD));
+            if let Some(r) = replacement {
+                if !r.eq_ignore_ascii_case(&c.column) {
+                    c.column = r.to_string();
+                    fixes += 1;
+                }
+            }
+        };
+        visit_select_columns_mut(s, &mut fix_col);
+    });
+    fixes
+}
+
+/// `f3` of Algorithm 1: makes every `table.column` qualification point at
+/// a FROM-clause table that really contains the column. Returns the number
+/// of re-qualifications.
+pub fn align_tables(stmt: &mut SelectStmt, schema: &CatalogSchema) -> usize {
+    let mut fixes = 0;
+    visit_selects_mut(&mut stmt.body, &mut |s| {
+        let mut scope: Vec<(String, String)> = Vec::new(); // (effective name, real table)
+        if let Some(from) = &s.from {
+            for t in std::iter::once(&from.base).chain(from.joins.iter().map(|j| &j.table)) {
+                scope.push((t.effective_name().to_string(), t.name.clone()));
+            }
+        }
+        if scope.is_empty() {
+            return;
+        }
+        let mut align = |c: &mut ColumnRef| {
+            let Some(q) = &c.table else {
+                // Unqualified: qualify it when exactly the FROM clause can
+                // disambiguate it (more than one table in scope).
+                if scope.len() > 1 {
+                    if let Some((eff, _)) = scope
+                        .iter()
+                        .find(|(_, real)| schema.has_column(real, &c.column))
+                    {
+                        c.table = Some(eff.clone());
+                        fixes += 1;
+                    }
+                }
+                return;
+            };
+            let resolved = scope.iter().find(|(eff, _)| eff.eq_ignore_ascii_case(q));
+            let ok = match resolved {
+                Some((_, real)) => schema.has_column(real, &c.column),
+                None => false,
+            };
+            if ok {
+                return;
+            }
+            // Search the FROM clause for a table that has this column.
+            if let Some((eff, _)) =
+                scope.iter().find(|(_, real)| schema.has_column(real, &c.column))
+            {
+                c.table = Some(eff.clone());
+                fixes += 1;
+            }
+        };
+        visit_select_columns_mut(s, &mut align);
+    });
+    fixes
+}
+
+/// Applies `f` to every SELECT block in the statement body, including
+/// blocks nested in subqueries.
+pub fn visit_selects_mut(body: &mut SetExpr, f: &mut impl FnMut(&mut Select)) {
+    match body {
+        SetExpr::Select(s) => {
+            f(s);
+            let mut visit_sub = |e: &mut Expr| visit_expr_subqueries_mut(e, f);
+            for item in &mut s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    visit_sub(expr);
+                }
+            }
+            if let Some(w) = &mut s.selection {
+                visit_sub(w);
+            }
+            if let Some(h) = &mut s.having {
+                visit_sub(h);
+            }
+            if let Some(from) = &mut s.from {
+                for j in &mut from.joins {
+                    if let Some(on) = &mut j.on {
+                        visit_sub(on);
+                    }
+                }
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            visit_selects_mut(left, f);
+            visit_selects_mut(right, f);
+        }
+    }
+}
+
+fn visit_expr_subqueries_mut(e: &mut Expr, f: &mut impl FnMut(&mut Select)) {
+    match e {
+        Expr::Unary { operand, .. } => visit_expr_subqueries_mut(operand, f),
+        Expr::Binary { left, right, .. } => {
+            visit_expr_subqueries_mut(left, f);
+            visit_expr_subqueries_mut(right, f);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                visit_expr_subqueries_mut(a, f);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            visit_expr_subqueries_mut(expr, f);
+            for v in list {
+                visit_expr_subqueries_mut(v, f);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            visit_expr_subqueries_mut(expr, f);
+            visit_selects_mut(&mut subquery.body, f);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            visit_expr_subqueries_mut(expr, f);
+            visit_expr_subqueries_mut(low, f);
+            visit_expr_subqueries_mut(high, f);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            visit_expr_subqueries_mut(expr, f);
+            visit_expr_subqueries_mut(pattern, f);
+        }
+        Expr::IsNull { expr, .. } => visit_expr_subqueries_mut(expr, f),
+        Expr::Exists { subquery, .. } | Expr::Subquery(subquery) => {
+            visit_selects_mut(&mut subquery.body, f);
+        }
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                visit_expr_subqueries_mut(op, f);
+            }
+            for (c, r) in branches {
+                visit_expr_subqueries_mut(c, f);
+                visit_expr_subqueries_mut(r, f);
+            }
+            if let Some(el) = else_result {
+                visit_expr_subqueries_mut(el, f);
+            }
+        }
+        Expr::Column(_) | Expr::Literal(_) | Expr::CountStar => {}
+    }
+}
+
+/// Applies `f` to every column reference in one SELECT block (not
+/// descending into subqueries — they have their own scopes).
+pub fn visit_select_columns_mut(s: &mut Select, f: &mut impl FnMut(&mut ColumnRef)) {
+    for item in &mut s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            visit_expr_columns_mut(expr, f);
+        }
+    }
+    if let Some(from) = &mut s.from {
+        for j in &mut from.joins {
+            if let Some(on) = &mut j.on {
+                visit_expr_columns_mut(on, f);
+            }
+        }
+    }
+    if let Some(w) = &mut s.selection {
+        visit_expr_columns_mut(w, f);
+    }
+    for g in &mut s.group_by {
+        visit_expr_columns_mut(g, f);
+    }
+    if let Some(h) = &mut s.having {
+        visit_expr_columns_mut(h, f);
+    }
+}
+
+fn visit_expr_columns_mut(e: &mut Expr, f: &mut impl FnMut(&mut ColumnRef)) {
+    match e {
+        Expr::Column(c) => f(c),
+        Expr::Unary { operand, .. } => visit_expr_columns_mut(operand, f),
+        Expr::Binary { left, right, .. } => {
+            visit_expr_columns_mut(left, f);
+            visit_expr_columns_mut(right, f);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                visit_expr_columns_mut(a, f);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            visit_expr_columns_mut(expr, f);
+            for v in list {
+                visit_expr_columns_mut(v, f);
+            }
+        }
+        Expr::InSubquery { expr, .. } => visit_expr_columns_mut(expr, f),
+        Expr::Between { expr, low, high, .. } => {
+            visit_expr_columns_mut(expr, f);
+            visit_expr_columns_mut(low, f);
+            visit_expr_columns_mut(high, f);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            visit_expr_columns_mut(expr, f);
+            visit_expr_columns_mut(pattern, f);
+        }
+        Expr::IsNull { expr, .. } => visit_expr_columns_mut(expr, f),
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                visit_expr_columns_mut(op, f);
+            }
+            for (c, r) in branches {
+                visit_expr_columns_mut(c, f);
+                visit_expr_columns_mut(r, f);
+            }
+            if let Some(el) = else_result {
+                visit_expr_columns_mut(el, f);
+            }
+        }
+        Expr::Literal(_) | Expr::CountStar | Expr::Exists { .. } | Expr::Subquery(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CatalogColumn, CatalogTable, ColType, ForeignKey};
+    use crate::parser::parse_statement;
+    use crate::printer::to_sql;
+
+    fn schema() -> CatalogSchema {
+        CatalogSchema {
+            db_id: "test".into(),
+            tables: vec![
+                CatalogTable {
+                    name: "lc_sharestru".into(),
+                    desc_en: "share structure".into(),
+                    desc_cn: "share structure".into(),
+                    columns: vec![
+                        CatalogColumn::new("compcode", ColType::Int, "company code", "cc"),
+                        CatalogColumn::new("chinameabbr", ColType::Text, "company abbr", "abbr"),
+                        CatalogColumn::new("aquireramount", ColType::Float, "acquirer amount", "aa"),
+                    ],
+                },
+                CatalogTable {
+                    name: "lc_exgindustry".into(),
+                    desc_en: "exchange industry".into(),
+                    desc_cn: "industry".into(),
+                    columns: vec![
+                        CatalogColumn::new("compcode", ColType::Int, "company code", "cc"),
+                        CatalogColumn::new("firstindustryname", ColType::Text, "industry", "ind"),
+                    ],
+                },
+            ],
+            foreign_keys: vec![ForeignKey {
+                from_table: "lc_exgindustry".into(),
+                from_column: "compcode".into(),
+                to_table: "lc_sharestru".into(),
+                to_column: "compcode".into(),
+            }],
+        }
+    }
+
+    fn roundtrip_repair(sql: &str) -> String {
+        let s = schema();
+        let Statement::Select(mut q) = parse_statement(&normalize_text(sql)).unwrap();
+        repair_statement(&mut q, &s);
+        to_sql(&Statement::Select(q))
+    }
+
+    #[test]
+    fn normalizes_double_equals_and_semicolon() {
+        assert_eq!(
+            normalize_text("SELECT a FROM t WHERE x == 1;"),
+            "SELECT a FROM t WHERE x = 1"
+        );
+    }
+
+    #[test]
+    fn strips_markdown_fences() {
+        assert_eq!(normalize_text("```sql\nSELECT 1\n```"), "SELECT 1");
+    }
+
+    #[test]
+    fn fixes_figure12_typo_column() {
+        // Paper Figure 12, example 2: `aquirementrium` is nonexistent; the
+        // true column is `aquireramount`.
+        let fixed = roundtrip_repair("SELECT aquirementrium FROM lc_sharestru");
+        assert!(fixed.contains("aquireramount"), "got: {fixed}");
+    }
+
+    #[test]
+    fn fixes_dangling_join_on_from_fk() {
+        let fixed =
+            roundtrip_repair("SELECT t1.chinameabbr FROM lc_sharestru AS t1 JOIN lc_exgindustry AS t2 ON WHERE t2.firstindustryname = 'Banks'");
+        assert!(
+            fixed.contains("ON t1.compcode = t2.compcode"),
+            "got: {fixed}"
+        );
+    }
+
+    #[test]
+    fn fixes_misspelled_table() {
+        let fixed = roundtrip_repair("SELECT chinameabbr FROM lc_sharestro");
+        assert!(fixed.contains("FROM lc_sharestru"), "got: {fixed}");
+    }
+
+    #[test]
+    fn alignment_requalifies_figure12_mixup() {
+        // Paper Figure 12, example 3: chinameabbr and firstindustryname were
+        // qualified with the wrong tables.
+        let s = schema();
+        let Statement::Select(mut q) = parse_statement(
+            "SELECT t2.chinameabbr FROM lc_sharestru AS t1 JOIN lc_exgindustry AS t2 ON t1.compcode = t2.compcode WHERE t1.firstindustryname = 'Banks'",
+        )
+        .unwrap();
+        let fixes = align_tables(&mut q, &s);
+        assert_eq!(fixes, 2);
+        let sql = to_sql(&Statement::Select(q));
+        assert!(sql.contains("t1.chinameabbr"), "got: {sql}");
+        assert!(sql.contains("t2.firstindustryname"), "got: {sql}");
+    }
+
+    #[test]
+    fn alignment_qualifies_ambiguous_bare_columns() {
+        let s = schema();
+        let Statement::Select(mut q) = parse_statement(
+            "SELECT chinameabbr FROM lc_sharestru AS t1 JOIN lc_exgindustry AS t2 ON t1.compcode = t2.compcode",
+        )
+        .unwrap();
+        align_tables(&mut q, &s);
+        let sql = to_sql(&Statement::Select(q));
+        assert!(sql.contains("t1.chinameabbr"), "got: {sql}");
+    }
+
+    #[test]
+    fn valid_sql_is_untouched() {
+        let sql = "SELECT chinameabbr FROM lc_sharestru WHERE compcode = 5";
+        let s = schema();
+        let Statement::Select(mut q) = parse_statement(sql).unwrap();
+        assert_eq!(repair_statement(&mut q, &s), 0);
+        assert_eq!(to_sql(&Statement::Select(q)), sql);
+    }
+
+    #[test]
+    fn cross_join_needs_no_on() {
+        let s = schema();
+        let Statement::Select(mut q) =
+            parse_statement("SELECT t1.chinameabbr FROM lc_sharestru t1 CROSS JOIN lc_exgindustry t2").unwrap();
+        assert_eq!(fix_dangling_joins(&mut q, &s), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! SQL-skeleton extraction.
+//!
+//! A skeleton keeps every SQL keyword and operator but replaces
+//! identifiers and literals with `_` placeholders — the representation
+//! used by the paper's rule-based augmentation (Figure 7) and by
+//! DAIL-SQL-style example selection, which matches queries by structural
+//! similarity.
+
+use crate::ast::*;
+use crate::parser::parse_statement;
+
+/// Extracts the skeleton of a SQL string. Returns `None` when the SQL does
+/// not parse.
+pub fn skeleton_of(sql: &str) -> Option<String> {
+    match parse_statement(sql).ok()? {
+        Statement::Select(q) => Some(query_skeleton(&q)),
+    }
+}
+
+/// Extracts the skeleton of an already-parsed query.
+pub fn query_skeleton(q: &SelectStmt) -> String {
+    let mut out = String::new();
+    set_expr_skeleton(&mut out, &q.body);
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY");
+        for (i, item) in q.order_by.iter().enumerate() {
+            out.push_str(if i > 0 { " , " } else { " " });
+            expr_skeleton(&mut out, &item.expr);
+            out.push_str(if item.desc { " DESC" } else { " ASC" });
+        }
+    }
+    if q.limit.is_some() {
+        out.push_str(" LIMIT _");
+    }
+    out
+}
+
+fn set_expr_skeleton(out: &mut String, body: &SetExpr) {
+    match body {
+        SetExpr::Select(s) => select_skeleton(out, s),
+        SetExpr::SetOp { op, all, left, right } => {
+            set_expr_skeleton(out, left);
+            out.push(' ');
+            out.push_str(match op {
+                SetOp::Union => "UNION",
+                SetOp::Intersect => "INTERSECT",
+                SetOp::Except => "EXCEPT",
+            });
+            if *all {
+                out.push_str(" ALL");
+            }
+            out.push(' ');
+            set_expr_skeleton(out, right);
+        }
+    }
+}
+
+fn select_skeleton(out: &mut String, s: &Select) {
+    out.push_str("SELECT");
+    if s.distinct {
+        out.push_str(" DISTINCT");
+    }
+    for (i, item) in s.items.iter().enumerate() {
+        out.push_str(if i > 0 { " , " } else { " " });
+        match item {
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => out.push('*'),
+            SelectItem::Expr { expr, .. } => expr_skeleton(out, expr),
+        }
+    }
+    if let Some(from) = &s.from {
+        out.push_str(" FROM _");
+        for j in &from.joins {
+            out.push_str(match j.join_type {
+                JoinType::Inner => " JOIN _",
+                JoinType::Left => " LEFT JOIN _",
+                JoinType::Right => " RIGHT JOIN _",
+                JoinType::Cross => " CROSS JOIN _",
+            });
+            if j.on.is_some() {
+                out.push_str(" ON _ = _");
+            }
+        }
+    }
+    if let Some(w) = &s.selection {
+        out.push_str(" WHERE ");
+        expr_skeleton(out, w);
+    }
+    if !s.group_by.is_empty() {
+        out.push_str(" GROUP BY");
+        for (i, _) in s.group_by.iter().enumerate() {
+            out.push_str(if i > 0 { " , _" } else { " _" });
+        }
+    }
+    if let Some(h) = &s.having {
+        out.push_str(" HAVING ");
+        expr_skeleton(out, h);
+    }
+}
+
+fn expr_skeleton(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Column(_) | Expr::Literal(_) => out.push('_'),
+        Expr::Unary { op, operand } => {
+            match op {
+                UnaryOp::Neg => out.push('-'),
+                UnaryOp::Not => out.push_str("NOT "),
+            }
+            expr_skeleton(out, operand);
+        }
+        Expr::Binary { op, left, right } => {
+            expr_skeleton(out, left);
+            out.push(' ');
+            out.push_str(op.sql());
+            out.push(' ');
+            expr_skeleton(out, right);
+        }
+        Expr::Function { name, distinct, args } => {
+            out.push_str(name);
+            out.push('(');
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            for (i, _) in args.iter().enumerate() {
+                out.push_str(if i > 0 { ", _" } else { "_" });
+            }
+            out.push(')');
+        }
+        Expr::CountStar => out.push_str("COUNT(*)"),
+        Expr::InList { expr, negated, .. } => {
+            expr_skeleton(out, expr);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (_)");
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            expr_skeleton(out, expr);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            out.push_str(&query_skeleton(subquery));
+            out.push(')');
+        }
+        Expr::Between { expr, negated, .. } => {
+            expr_skeleton(out, expr);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" BETWEEN _ AND _");
+        }
+        Expr::Like { expr, negated, .. } => {
+            expr_skeleton(out, expr);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" LIKE _");
+        }
+        Expr::IsNull { expr, negated } => {
+            expr_skeleton(out, expr);
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+        }
+        Expr::Exists { subquery, negated } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (");
+            out.push_str(&query_skeleton(subquery));
+            out.push(')');
+        }
+        Expr::Subquery(q) => {
+            out.push('(');
+            out.push_str(&query_skeleton(q));
+            out.push(')');
+        }
+        Expr::Case { branches, else_result, .. } => {
+            out.push_str("CASE");
+            for _ in branches {
+                out.push_str(" WHEN _ THEN _");
+            }
+            if else_result.is_some() {
+                out.push_str(" ELSE _");
+            }
+            out.push_str(" END");
+        }
+    }
+}
+
+/// Structural similarity between two skeletons in `[0, 1]`: token-level
+/// Jaccard similarity over skeleton token multisets combined with a
+/// normalised edit-distance term. Used by DAIL-style example selection.
+pub fn skeleton_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let ta: Vec<&str> = a.split_whitespace().collect();
+    let tb: Vec<&str> = b.split_whitespace().collect();
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    // Multiset intersection size.
+    let mut counts = std::collections::HashMap::new();
+    for t in &ta {
+        *counts.entry(*t).or_insert(0i64) += 1;
+    }
+    let mut inter = 0i64;
+    for t in &tb {
+        let c = counts.entry(*t).or_insert(0);
+        if *c > 0 {
+            inter += 1;
+            *c -= 1;
+        }
+    }
+    let jaccard = inter as f64 / (ta.len() + tb.len() - inter as usize) as f64;
+    // Token-level edit distance, normalised.
+    let dist = token_edit_distance(&ta, &tb);
+    let edit = 1.0 - dist as f64 / ta.len().max(tb.len()) as f64;
+    0.5 * jaccard + 0.5 * edit
+}
+
+/// Levenshtein distance over token sequences.
+fn token_edit_distance(a: &[&str], b: &[&str]) -> usize {
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ta) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, tb) in b.iter().enumerate() {
+            let cost = usize::from(ta != tb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_skeleton() {
+        assert_eq!(
+            skeleton_of("SELECT name FROM fund WHERE nav > 1.5").unwrap(),
+            "SELECT _ FROM _ WHERE _ > _"
+        );
+    }
+
+    #[test]
+    fn skeleton_with_join_group_order() {
+        let s = skeleton_of(
+            "SELECT a.x, COUNT(*) FROM a JOIN b ON a.id = b.id GROUP BY a.x ORDER BY COUNT(*) DESC LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(
+            s,
+            "SELECT _ , COUNT(*) FROM _ JOIN _ ON _ = _ GROUP BY _ ORDER BY COUNT(*) DESC LIMIT _"
+        );
+    }
+
+    #[test]
+    fn skeleton_hides_literals_and_identifiers() {
+        let a = skeleton_of("SELECT x FROM t WHERE y = 'abc'").unwrap();
+        let b = skeleton_of("SELECT z FROM u WHERE w = 'def'").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skeleton_of_subquery() {
+        let s = skeleton_of("SELECT a FROM t WHERE x IN (SELECT x FROM u)").unwrap();
+        assert_eq!(s, "SELECT _ FROM _ WHERE _ IN (SELECT _ FROM _)");
+    }
+
+    #[test]
+    fn invalid_sql_yields_none() {
+        assert!(skeleton_of("SELEC a FROM").is_none());
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        let a = "SELECT _ FROM _ WHERE _ > _";
+        let b = "SELECT _ FROM _ WHERE _ > _ ORDER BY _ DESC LIMIT _";
+        let s = skeleton_similarity(a, b);
+        assert!(s > 0.0 && s < 1.0);
+        assert_eq!(skeleton_similarity(a, a), 1.0);
+        assert!(skeleton_similarity(a, b) > skeleton_similarity(a, "UNION"));
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = "SELECT _ FROM _";
+        let b = "SELECT _ , _ FROM _ WHERE _ = _";
+        assert!((skeleton_similarity(a, b) - skeleton_similarity(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(token_edit_distance(&["a", "b"], &["a", "b"]), 0);
+        assert_eq!(token_edit_distance(&["a"], &["b"]), 1);
+        assert_eq!(token_edit_distance(&[], &["a", "b"]), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Token model for the SQL lexer.
+
+use std::fmt;
+
+/// A lexed token together with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub pos: usize,
+}
+
+/// The kinds of token the dialect distinguishes.
+///
+/// Keywords are lexed as [`TokenKind::Keyword`] with an upper-cased text so
+/// parsing is case-insensitive; everything else that looks like a word is an
+/// [`TokenKind::Ident`] preserving the original spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A reserved SQL keyword, stored upper-case (e.g. `SELECT`).
+    Keyword(String),
+    /// A bare identifier (table, column, alias), original case preserved.
+    Ident(String),
+    /// A double-quoted or back-quoted identifier.
+    QuotedIdent(String),
+    /// An integer or decimal literal, original text preserved.
+    Number(String),
+    /// A single-quoted string literal with quotes stripped and escapes
+    /// (`''`) resolved.
+    Str(String),
+    /// Punctuation and operators.
+    Symbol(Symbol),
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    /// `==` — not valid SQL, but emitted by LLMs; the lexer keeps it so the
+    /// repair pass can normalise it.
+    DoubleEq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Symbol::LParen => "(",
+            Symbol::RParen => ")",
+            Symbol::Comma => ",",
+            Symbol::Dot => ".",
+            Symbol::Semicolon => ";",
+            Symbol::Plus => "+",
+            Symbol::Minus => "-",
+            Symbol::Star => "*",
+            Symbol::Slash => "/",
+            Symbol::Percent => "%",
+            Symbol::Eq => "=",
+            Symbol::DoubleEq => "==",
+            Symbol::Neq => "!=",
+            Symbol::Lt => "<",
+            Symbol::Le => "<=",
+            Symbol::Gt => ">",
+            Symbol::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The reserved words of the dialect. Anything else lexes as an identifier.
+pub const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC",
+    "LIMIT", "OFFSET", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "AS", "AND",
+    "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL", "EXISTS", "UNION", "INTERSECT", "EXCEPT",
+    "ALL", "CASE", "WHEN", "THEN", "ELSE", "END", "TRUE", "FALSE",
+];
+
+/// Returns the canonical keyword spelling if `word` is reserved.
+pub fn keyword_of(word: &str) -> Option<&'static str> {
+    let upper = word.to_ascii_uppercase();
+    KEYWORDS.iter().copied().find(|k| *k == upper)
+}
+
+impl TokenKind {
+    /// True if this token is the given keyword (which must be upper-case).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Keyword(k) if k == kw)
+    }
+
+    /// True if this token is the given symbol.
+    pub fn is_symbol(&self, sym: Symbol) -> bool {
+        matches!(self, TokenKind::Symbol(s) if *s == sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(keyword_of("select"), Some("SELECT"));
+        assert_eq!(keyword_of("SeLeCt"), Some("SELECT"));
+        assert_eq!(keyword_of("revenue"), None);
+    }
+
+    #[test]
+    fn symbol_display_round_trips() {
+        assert_eq!(Symbol::Le.to_string(), "<=");
+        assert_eq!(Symbol::DoubleEq.to_string(), "==");
+    }
+
+    #[test]
+    fn token_kind_predicates() {
+        let t = TokenKind::Keyword("SELECT".into());
+        assert!(t.is_keyword("SELECT"));
+        assert!(!t.is_keyword("FROM"));
+        let s = TokenKind::Symbol(Symbol::Comma);
+        assert!(s.is_symbol(Symbol::Comma));
+        assert!(!s.is_symbol(Symbol::Dot));
+    }
+}

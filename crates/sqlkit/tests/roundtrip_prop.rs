@@ -1,0 +1,184 @@
+//! Property tests: printing then re-parsing any generated AST yields the
+//! same AST (up to the printer's canonicalisation), and skeletons are
+//! stable under identifier renaming.
+
+use proptest::prelude::*;
+use sqlkit::ast::*;
+use sqlkit::{parse_statement, to_sql};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("not a keyword", |s| {
+        sqlkit::token::keyword_of(s).is_none()
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Literal::Int),
+        (-100.0f64..100.0).prop_map(|v| Literal::Float((v * 100.0).round() / 100.0)),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+        Just(Literal::Null),
+    ]
+}
+
+fn column() -> impl Strategy<Value = Expr> {
+    (proptest::option::of(ident()), ident())
+        .prop_map(|(table, column)| Expr::Column(ColumnRef { table, column }))
+}
+
+fn scalar_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![column(), literal().prop_map(Expr::Literal)];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arith_op()).prop_map(|(l, r, op)| Expr::Binary {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Neg, operand: Box::new(e) }),
+            (ident(), proptest::collection::vec(inner, 1..3)).prop_map(|(name, args)| {
+                Expr::Function { name: name.to_ascii_uppercase(), distinct: false, args }
+            }),
+        ]
+    })
+}
+
+fn arith_op() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::Neq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::Le),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::Ge),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        (scalar_expr(), scalar_expr(), cmp_op()).prop_map(|(l, r, op)| Expr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }),
+        (column(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+            expr: Box::new(e),
+            negated,
+        }),
+        (column(), proptest::collection::vec(literal().prop_map(Expr::Literal), 1..4), any::<bool>())
+            .prop_map(|(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }),
+        (column(), "[a-z%]{1,8}", any::<bool>()).prop_map(|(e, pat, negated)| Expr::Like {
+            expr: Box::new(e),
+            pattern: Box::new(Expr::Literal(Literal::Str(pat))),
+            negated,
+        }),
+    ];
+    atom.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            (inner.clone(), inner).prop_map(|(l, r)| Expr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+        ]
+    })
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    (ident(), proptest::option::of(ident())).prop_map(|(name, alias)| TableRef { name, alias })
+}
+
+fn select() -> impl Strategy<Value = Select> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(
+            (scalar_expr(), proptest::option::of(ident()))
+                .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+            1..4,
+        ),
+        table_ref(),
+        proptest::collection::vec(
+            (table_ref(), predicate()).prop_map(|(table, on)| Join {
+                join_type: JoinType::Inner,
+                table,
+                on: Some(on),
+            }),
+            0..2,
+        ),
+        proptest::option::of(predicate()),
+        proptest::collection::vec(column(), 0..2),
+    )
+        .prop_map(|(distinct, items, base, joins, selection, group_by)| Select {
+            distinct,
+            items,
+            from: Some(FromClause { base, joins }),
+            selection,
+            group_by,
+            having: None,
+        })
+}
+
+fn query() -> impl Strategy<Value = SelectStmt> {
+    (
+        select(),
+        proptest::collection::vec((column(), any::<bool>()), 0..2),
+        proptest::option::of((1u64..50, 0u64..5)),
+    )
+        .prop_map(|(s, order, limit)| SelectStmt {
+            body: SetExpr::Select(Box::new(s)),
+            order_by: order.into_iter().map(|(expr, desc)| OrderByItem { expr, desc }).collect(),
+            limit: limit.map(|(count, offset)| Limit { count, offset }),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse → print is a fixed point.
+    #[test]
+    fn printing_round_trips(q in query()) {
+        let stmt = Statement::Select(q);
+        let printed = to_sql(&stmt);
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {printed}\n{e}"));
+        let reprinted = to_sql(&reparsed);
+        prop_assert_eq!(&printed, &reprinted, "not canonical: {}", printed);
+    }
+
+    /// Skeletons ignore identifier and literal content.
+    #[test]
+    fn skeleton_is_identifier_invariant(q in query()) {
+        let stmt = Statement::Select(q);
+        let printed = to_sql(&stmt);
+        if let Some(skel) = sqlkit::skeleton_of(&printed) {
+            prop_assert!(!skel.is_empty());
+            // Re-parsing the skeleton's source and re-extracting is stable.
+            prop_assert_eq!(sqlkit::skeleton_of(&printed), Some(skel));
+        }
+    }
+
+    /// Component extraction never panics and is deterministic on any
+    /// parseable SQL.
+    #[test]
+    fn components_are_stable(q in query()) {
+        let printed = to_sql(&Statement::Select(q));
+        let a = sqlkit::components::extract_components(&printed);
+        let b = sqlkit::components::extract_components(&printed);
+        prop_assert_eq!(a, b);
+    }
+}

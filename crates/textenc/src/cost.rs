@@ -1,0 +1,125 @@
+//! API-cost accounting — the paper's Table 2 price model.
+//!
+//! GPT-based baselines report a *Cost Per SQL* computed from input/output
+//! token counts at the published per-1K-token prices.
+
+use crate::tokenize::approx_token_count;
+
+/// Per-1K-token API prices in USD (paper, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApiPrice {
+    pub model: &'static str,
+    pub input_per_1k: f64,
+    pub output_per_1k: f64,
+    /// Context window in tokens; prompts beyond this are unservable (the
+    /// paper's DIN-SQL + GPT-4 row).
+    pub context_limit: usize,
+}
+
+/// GPT-4 with the 8k context window.
+pub const GPT_4_8K: ApiPrice =
+    ApiPrice { model: "GPT-4-8k", input_per_1k: 0.03, output_per_1k: 0.06, context_limit: 8192 };
+
+/// GPT-4 with the 32k context window.
+pub const GPT_4_32K: ApiPrice =
+    ApiPrice { model: "GPT-4-32k", input_per_1k: 0.06, output_per_1k: 0.12, context_limit: 32768 };
+
+/// GPT-3.5-turbo-1106.
+pub const GPT_35_TURBO: ApiPrice = ApiPrice {
+    model: "GPT-3.5-turbo-1106",
+    input_per_1k: 0.001,
+    output_per_1k: 0.002,
+    context_limit: 16385,
+};
+
+impl ApiPrice {
+    /// Cost in USD of a single call with the given token counts.
+    pub fn call_cost(&self, input_tokens: usize, output_tokens: usize) -> f64 {
+        input_tokens as f64 / 1000.0 * self.input_per_1k
+            + output_tokens as f64 / 1000.0 * self.output_per_1k
+    }
+}
+
+/// Accumulates token usage across calls and reports cost-per-query.
+#[derive(Debug, Clone, Default)]
+pub struct CostMeter {
+    pub input_tokens: usize,
+    pub output_tokens: usize,
+    pub calls: usize,
+    pub queries: usize,
+    /// Calls whose prompt exceeded the context limit.
+    pub over_limit: usize,
+}
+
+impl CostMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one API call given the raw prompt/completion text.
+    pub fn record_call(&mut self, price: &ApiPrice, prompt: &str, completion: &str) {
+        let it = approx_token_count(prompt);
+        if it > price.context_limit {
+            self.over_limit += 1;
+        }
+        self.input_tokens += it;
+        self.output_tokens += approx_token_count(completion);
+        self.calls += 1;
+    }
+
+    /// Marks the end of one user query (a query may involve several calls,
+    /// e.g. DIN-SQL's decomposed prompting).
+    pub fn finish_query(&mut self) {
+        self.queries += 1;
+    }
+
+    /// Average USD cost per query at the given prices.
+    pub fn cost_per_query(&self, price: &ApiPrice) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        price.call_cost(self.input_tokens, self.output_tokens) / self.queries as f64
+    }
+
+    /// True when any prompt exceeded the model's context window.
+    pub fn any_over_limit(&self) -> bool {
+        self.over_limit > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_prices() {
+        assert_eq!(GPT_4_8K.call_cost(1000, 1000), 0.09);
+        assert_eq!(GPT_4_32K.call_cost(1000, 0), 0.06);
+        assert!((GPT_35_TURBO.call_cost(1000, 500) - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_averages_over_queries() {
+        let mut m = CostMeter::new();
+        let prompt = vec!["word"; 70].join(" "); // ~100 tokens
+        m.record_call(&GPT_4_8K, &prompt, "SELECT one");
+        m.finish_query();
+        m.record_call(&GPT_4_8K, &prompt, "SELECT two");
+        m.finish_query();
+        assert_eq!(m.queries, 2);
+        let c = m.cost_per_query(&GPT_4_8K);
+        assert!(c > 0.0 && c < 0.01, "cost {c}");
+    }
+
+    #[test]
+    fn over_limit_detection() {
+        let mut m = CostMeter::new();
+        let huge = vec!["word"; 7000].join(" "); // ~10k tokens > 8192
+        m.record_call(&GPT_4_8K, &huge, "");
+        assert!(m.any_over_limit());
+        let mut ok = CostMeter::new();
+        ok.record_call(&GPT_4_32K, &huge, "");
+        assert!(!ok.any_over_limit());
+    }
+}

@@ -1,0 +1,197 @@
+//! Feature hashing: sparse bag-of-features vectors over a fixed-size
+//! hashed space, the input representation for both learned models.
+
+/// A sparse feature vector: sorted `(index, weight)` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(u32, f32)>,
+}
+
+impl SparseVec {
+    /// Builds a vector from unsorted (possibly duplicated) entries,
+    /// summing duplicates.
+    pub fn from_entries(mut raw: Vec<(u32, f32)>) -> Self {
+        raw.sort_unstable_by_key(|(i, _)| *i);
+        let mut entries: Vec<(u32, f32)> = Vec::with_capacity(raw.len());
+        for (i, w) in raw {
+            match entries.last_mut() {
+                Some((li, lw)) if *li == i => *lw += w,
+                _ => entries.push((i, w)),
+            }
+        }
+        SparseVec { entries }
+    }
+
+    /// The sorted (index, weight) pairs.
+    pub fn entries(&self) -> &[(u32, f32)] {
+        &self.entries
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Dot product with a dense weight vector.
+    pub fn dot(&self, dense: &[f32]) -> f32 {
+        self.entries.iter().map(|(i, w)| w * dense.get(*i as usize).copied().unwrap_or(0.0)).sum()
+    }
+
+    /// Dot product with another sparse vector.
+    pub fn dot_sparse(&self, other: &SparseVec) -> f32 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.entries[i].1 * other.entries[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.entries.iter().map(|(_, w)| w * w).sum::<f32>().sqrt()
+    }
+
+    /// L2-normalises in place (no-op for the zero vector).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for (_, w) in &mut self.entries {
+                *w /= n;
+            }
+        }
+    }
+}
+
+/// Hashes string features into a fixed-size index space (a power of two).
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureHasher {
+    mask: u32,
+}
+
+impl FeatureHasher {
+    /// Creates a hasher with `2^bits` buckets. `bits` must be ≤ 30.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=30).contains(&bits), "bits must be in 1..=30");
+        FeatureHasher { mask: (1u32 << bits) - 1 }
+    }
+
+    /// Dimensionality of the hashed space.
+    pub fn dim(&self) -> usize {
+        self.mask as usize + 1
+    }
+
+    /// Hash a single feature string to its bucket (FNV-1a).
+    pub fn bucket(&self, feature: &str) -> u32 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in feature.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // Fold high bits in before masking for better low-bit mixing.
+        ((h ^ (h >> 32)) as u32) & self.mask
+    }
+
+    /// Hashes a bag of features into a sparse vector (unit weight each).
+    pub fn hash_bag<I, S>(&self, features: I) -> SparseVec
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let raw: Vec<(u32, f32)> =
+            features.into_iter().map(|f| (self.bucket(f.as_ref()), 1.0)).collect();
+        SparseVec::from_entries(raw)
+    }
+
+    /// Hashes a bag of weighted features.
+    pub fn hash_weighted<I, S>(&self, features: I) -> SparseVec
+    where
+        I: IntoIterator<Item = (S, f32)>,
+        S: AsRef<str>,
+    {
+        let raw: Vec<(u32, f32)> =
+            features.into_iter().map(|(f, w)| (self.bucket(f.as_ref()), w)).collect();
+        SparseVec::from_entries(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn duplicates_sum() {
+        let v = SparseVec::from_entries(vec![(3, 1.0), (1, 2.0), (3, 1.5)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (3, 2.5)]);
+    }
+
+    #[test]
+    fn dot_products() {
+        let a = SparseVec::from_entries(vec![(0, 1.0), (2, 2.0)]);
+        let b = SparseVec::from_entries(vec![(2, 3.0), (5, 1.0)]);
+        assert_eq!(a.dot_sparse(&b), 6.0);
+        let dense = vec![1.0, 0.0, 0.5];
+        assert_eq!(a.dot(&dense), 2.0);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut v = SparseVec::from_entries(vec![(0, 3.0), (1, 4.0)]);
+        v.normalize();
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        // Zero vector stays zero.
+        let mut z = SparseVec::default();
+        z.normalize();
+        assert_eq!(z.nnz(), 0);
+    }
+
+    #[test]
+    fn hasher_is_deterministic_and_bounded() {
+        let h = FeatureHasher::new(10);
+        assert_eq!(h.dim(), 1024);
+        let b1 = h.bucket("nav");
+        let b2 = h.bucket("nav");
+        assert_eq!(b1, b2);
+        assert!(b1 < 1024);
+    }
+
+    #[test]
+    fn hash_bag_counts_repeats() {
+        let h = FeatureHasher::new(12);
+        let v = h.hash_bag(["a", "b", "a"]);
+        let wa = v
+            .entries()
+            .iter()
+            .find(|(i, _)| *i == h.bucket("a"))
+            .map(|(_, w)| *w)
+            .unwrap();
+        assert_eq!(wa, 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_sparse_is_symmetric(
+            a in proptest::collection::vec((0u32..64, -2.0f32..2.0), 0..20),
+            b in proptest::collection::vec((0u32..64, -2.0f32..2.0), 0..20),
+        ) {
+            let va = SparseVec::from_entries(a);
+            let vb = SparseVec::from_entries(b);
+            prop_assert!((va.dot_sparse(&vb) - vb.dot_sparse(&va)).abs() < 1e-4);
+        }
+
+        #[test]
+        fn buckets_stay_in_range(s in ".{0,40}", bits in 1u32..16) {
+            let h = FeatureHasher::new(bits);
+            prop_assert!((h.bucket(&s) as usize) < h.dim());
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Text-encoding substrate: tokenisation, n-gram extraction, feature
+//! hashing and token-cost accounting.
+//!
+//! Both learned components of the reproduction — the Cross-Encoder schema
+//! linker and the simulated LLM's embedding model — consume sparse
+//! feature vectors produced here. The cost module implements the paper's
+//! Table 2 price model for computing Cost-per-SQL of the GPT baselines.
+
+pub mod cost;
+pub mod hashing;
+pub mod ngram;
+pub mod tokenize;
+
+pub use cost::{ApiPrice, CostMeter, GPT_35_TURBO, GPT_4_32K, GPT_4_8K};
+pub use hashing::{FeatureHasher, SparseVec};
+pub use ngram::{char_ngrams, word_ngrams};
+pub use tokenize::{approx_token_count, tokenize, tokenize_identifier};

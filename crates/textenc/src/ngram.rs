@@ -1,0 +1,62 @@
+//! Character and word n-gram extraction.
+
+use crate::tokenize::tokenize;
+
+/// Character n-grams of a string, lower-cased, with `#` boundary padding
+/// (so prefixes/suffixes are distinguishable features).
+pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
+    assert!(n >= 1, "n-gram order must be positive");
+    let padded: Vec<char> = std::iter::once('#')
+        .chain(text.chars().flat_map(|c| c.to_lowercase()))
+        .chain(std::iter::once('#'))
+        .collect();
+    if padded.len() < n {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// Word n-grams over the tokenised text, joined with spaces.
+pub fn word_ngrams(text: &str, n: usize) -> Vec<String> {
+    assert!(n >= 1, "n-gram order must be positive");
+    let tokens = tokenize(text);
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    if tokens.len() < n {
+        return vec![tokens.join(" ")];
+    }
+    tokens.windows(n).map(|w| w.join(" ")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_trigrams() {
+        let grams = char_ngrams("nav", 3);
+        assert_eq!(grams, vec!["#na", "nav", "av#"]);
+    }
+
+    #[test]
+    fn short_strings_pad() {
+        assert_eq!(char_ngrams("a", 3), vec!["#a#"]);
+    }
+
+    #[test]
+    fn word_bigrams() {
+        assert_eq!(word_ngrams("show fund nav", 2), vec!["show fund", "fund nav"]);
+    }
+
+    #[test]
+    fn word_ngrams_of_short_text() {
+        assert_eq!(word_ngrams("nav", 2), vec!["nav"]);
+        assert!(word_ngrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(char_ngrams("NAV", 3), char_ngrams("nav", 3));
+    }
+}

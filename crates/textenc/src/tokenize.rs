@@ -1,0 +1,113 @@
+//! Word-level tokenisation and LLM-token estimation.
+
+/// Splits text into lower-cased word tokens: alphanumeric runs, with
+/// non-ASCII (e.g. CJK) characters emitted as single-character tokens —
+/// the standard character-granularity treatment for Chinese text.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            cur.push(ch.to_ascii_lowercase());
+        } else {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            if !ch.is_whitespace() && !ch.is_ascii_punctuation() {
+                // CJK and other non-ASCII symbols: one token per char.
+                out.push(ch.to_string());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Splits a database identifier into word parts: `lc_sharestru` →
+/// `["lc", "sharestru"]`, `tradingDay` → `["trading", "day"]`. This is the
+/// mechanism behind the Token-Preprocessing baseline, which inserts spaces
+/// to separate words within schema tokens.
+pub fn tokenize_identifier(ident: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = ident.chars().collect();
+    for (i, &ch) in chars.iter().enumerate() {
+        if ch == '_' || ch == '-' || ch == '.' {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        // camelCase boundary.
+        if ch.is_ascii_uppercase()
+            && i > 0
+            && chars[i - 1].is_ascii_lowercase()
+            && !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        cur.push(ch.to_ascii_lowercase());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Approximates the LLM token count of a text. The paper notes ~1000
+/// tokens ≈ 700 English words for the GPT tokenizers; we apply that ratio
+/// to word tokens, and count each CJK character as one token (roughly what
+/// GPT tokenizers do for Chinese).
+pub fn approx_token_count(text: &str) -> usize {
+    let mut words = 0usize;
+    let mut cjk = 0usize;
+    for t in tokenize(text) {
+        if t.chars().next().is_some_and(|c| c as u32 > 127) {
+            cjk += 1;
+        } else {
+            words += 1;
+        }
+    }
+    // 1000 tokens per 700 words → 10/7 tokens per word.
+    (words * 10).div_ceil(7) + cjk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_words() {
+        assert_eq!(tokenize("Show the NAV of fund 'Alpha'"), vec![
+            "show", "the", "nav", "of", "fund", "alpha"
+        ]);
+    }
+
+    #[test]
+    fn tokenizes_cjk_per_char() {
+        assert_eq!(tokenize("基金 nav"), vec!["基", "金", "nav"]);
+    }
+
+    #[test]
+    fn identifier_splitting() {
+        assert_eq!(tokenize_identifier("lc_sharestru"), vec!["lc", "sharestru"]);
+        assert_eq!(tokenize_identifier("tradingDay"), vec!["trading", "day"]);
+        assert_eq!(tokenize_identifier("NAV"), vec!["nav"]);
+        assert_eq!(tokenize_identifier("first_industry_name"), vec!["first", "industry", "name"]);
+    }
+
+    #[test]
+    fn token_count_matches_paper_ratio() {
+        // 700 words should be ~1000 tokens.
+        let text = vec!["word"; 700].join(" ");
+        let n = approx_token_count(&text);
+        assert!((990..=1010).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn empty_text_has_zero_tokens() {
+        assert_eq!(approx_token_count(""), 0);
+        assert!(tokenize("").is_empty());
+    }
+}

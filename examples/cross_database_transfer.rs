@@ -1,0 +1,69 @@
+//! Few-shot cross-database transfer via LoRA weights merging (the
+//! paper's §7.3 / Figure 13 scenario): a brand-new macro-economy
+//! database with only 25 annotated examples, bootstrapped from the fund
+//! and stock plugins.
+//!
+//! Run with: `cargo run --release --example cross_database_transfer`
+
+use augment::{build_training_mix, AugmentationFlags};
+use bull::{DbId, Lang, Split};
+use finsql_core::peft::{
+    fewshot_from_scratch, fewshot_with_merge, plugin_name, train_database_plugin,
+};
+use simllm::{EmbeddingModel, PluginHub, TrainOpts};
+
+fn main() {
+    let ds = bull::build(bull::DEFAULT_SEED);
+    let base = EmbeddingModel::pretrained(bull::DEFAULT_SEED);
+    let hub = PluginHub::new();
+
+    // Train source-domain plugins (fund and stock) and park them in the
+    // plugin hub.
+    println!("training source plugins …");
+    for db in [DbId::Fund, DbId::Stock] {
+        let plugin = train_database_plugin(
+            &base,
+            &hub,
+            &ds,
+            db,
+            Lang::En,
+            AugmentationFlags::default(),
+            TrainOpts::default(),
+        );
+        println!(
+            "  {}: {} skeleton prototypes from {} pairs ({} KiB serialized)",
+            plugin.name,
+            plugin.prototypes.len(),
+            plugin.n_examples,
+            plugin.to_bytes().len() / 1024
+        );
+    }
+
+    // A new low-resource database: only 25 macro shots.
+    let k = 25;
+    let pairs: Vec<(String, String)> = ds
+        .examples_for(DbId::Macro, Split::Train)
+        .into_iter()
+        .take(k)
+        .map(|e| (e.question(Lang::En).to_string(), e.sql.clone()))
+        .collect();
+    let shots = build_training_mix(ds.db(DbId::Macro), &pairs, Lang::En, AugmentationFlags::default());
+
+    // From scratch vs merged-then-continued.
+    let scratch = fewshot_from_scratch(&base, &hub, "macro-scratch", &shots, TrainOpts::default());
+    let merged = fewshot_with_merge(
+        &base,
+        &hub,
+        &[&plugin_name(DbId::Fund, Lang::En), &plugin_name(DbId::Stock, Lang::En)],
+        "macro-merged",
+        &shots,
+        TrainOpts::default(),
+    )
+    .expect("source plugins are in the hub");
+    println!(
+        "\nscratch plugin knows {} skeletons; merged plugin knows {}",
+        scratch.prototypes.len(),
+        merged.prototypes.len()
+    );
+    println!("(the merged plugin transfers query structures learned on fund/stock)");
+}

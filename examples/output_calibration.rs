@@ -1,0 +1,34 @@
+//! Output calibration (the paper's Algorithm 1) on exactly the invalid
+//! SQL of the paper's Figure 12: `==` typos, hallucinated columns,
+//! dangling JOIN ON, and wrong table-column bindings — repaired without
+//! executing a single query.
+//!
+//! Run with: `cargo run --release --example output_calibration`
+
+use finsql_core::{calibrate, CalibrationConfig};
+
+fn main() {
+    let schema = bull::DbId::Stock.schema();
+
+    // Five LLM samples for one question; each broken differently.
+    let candidates = vec![
+        // 1. Syntactic mistakes: `==` and a JOIN without its key.
+        "SELECT t1.chinameabbr FROM lc_sharestru AS t1 JOIN lc_exgindustry AS t2 ON WHERE t2.firstindustryname == 'Banks'".to_string(),
+        // 2. Hallucinated column (the paper's `aquirementrium`).
+        "SELECT t1.chinameabbr FROM lc_sharestru AS t1 JOIN lc_exgindustry AS t2 ON t1.compcode = t2.compcode WHERE t2.firstindustryname = 'Banks' AND t1.aquirementrium > 5".to_string(),
+        // 3. Wrong table-column binding (chinameabbr is in lc_sharestru).
+        "SELECT t2.chinameabbr FROM lc_sharestru AS t1 JOIN lc_exgindustry AS t2 ON t1.compcode = t2.compcode WHERE t1.firstindustryname = 'Banks'".to_string(),
+        // 4. A clean sample.
+        "SELECT t1.chinameabbr FROM lc_sharestru AS t1 JOIN lc_exgindustry AS t2 ON t1.compcode = t2.compcode WHERE t2.firstindustryname = 'Banks'".to_string(),
+        // 5. Unparseable garbage.
+        "SELECT FROM WHERE Banks".to_string(),
+    ];
+
+    println!("candidates:");
+    for c in &candidates {
+        println!("  {c}");
+    }
+    let fixed = calibrate(&candidates, &schema, &CalibrationConfig::default())
+        .expect("at least one candidate is repairable");
+    println!("\ncalibrated output:\n  {fixed}");
+}

@@ -1,0 +1,14 @@
+//! FinSQL reproduction workspace root.
+//!
+//! This crate only exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the functionality
+//! lives in the member crates, re-exported here for convenience.
+
+pub use augment;
+pub use bull;
+pub use crossenc;
+pub use finsql_core;
+pub use simllm;
+pub use sqlengine;
+pub use sqlkit;
+pub use textenc;

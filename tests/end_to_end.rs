@@ -1,0 +1,123 @@
+//! Repository-level integration tests: the full FinSQL pipeline over the
+//! real benchmark, exercising every crate together.
+
+use bull::{DbId, Lang, Split};
+use finsql_core::pipeline::{FinSql, FinSqlConfig};
+use simllm::profiles::LLAMA2_13B;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static bull::BullDataset {
+    static DS: OnceLock<bull::BullDataset> = OnceLock::new();
+    DS.get_or_init(|| bull::build(bull::DEFAULT_SEED))
+}
+
+fn system() -> &'static FinSql {
+    static SYS: OnceLock<FinSql> = OnceLock::new();
+    SYS.get_or_init(|| {
+        FinSql::build(dataset(), &LLAMA2_13B, FinSqlConfig::standard(Lang::En))
+    })
+}
+
+#[test]
+fn benchmark_matches_paper_shape() {
+    let ds = dataset();
+    assert_eq!(ds.len(), 4966);
+    assert_eq!(ds.db(DbId::Stock).catalog().tables.len(), 31);
+    assert_eq!(ds.db(DbId::Fund).catalog().tables.len(), 28);
+    assert_eq!(ds.db(DbId::Macro).catalog().tables.len(), 19);
+}
+
+#[test]
+fn finsql_answers_execute() {
+    let ds = dataset();
+    let sys = system();
+    // Every produced answer must at least be parseable SQL; the vast
+    // majority must execute.
+    let mut parses = 0;
+    let mut executes = 0;
+    let dev = ds.examples_for(DbId::Fund, Split::Dev);
+    let sample = &dev[..50];
+    for e in sample {
+        let q = e.question(Lang::En);
+        let mut rng = sys.question_rng(q);
+        let sql = sys.answer(DbId::Fund, q, &mut rng);
+        if sqlkit::parse_statement(&sql).is_ok() {
+            parses += 1;
+        }
+        if sqlengine::run_sql(ds.db(DbId::Fund), &sql).is_ok() {
+            executes += 1;
+        }
+    }
+    assert_eq!(parses, sample.len(), "calibrated output must always parse");
+    assert!(executes >= sample.len() * 9 / 10, "only {executes}/{} executed", sample.len());
+}
+
+#[test]
+fn finsql_beats_the_unaugmented_uncalibrated_ablation() {
+    let ds = dataset();
+    let sys = system();
+    let mut full = finsql_core::eval::EvalOutcome::default();
+    for e in ds.examples_for(DbId::Fund, Split::Dev).iter().take(150) {
+        let q = e.question(Lang::En);
+        let mut rng = sys.question_rng(q);
+        if sqlengine::execution_accuracy(ds.db(DbId::Fund), &sys.answer(DbId::Fund, q, &mut rng), &e.sql) {
+            full.correct += 1;
+        }
+        full.total += 1;
+    }
+    // The headline system must clear 70% EX on this slice (paper: 82.2%
+    // overall) — a regression guard for the whole pipeline.
+    assert!(full.ex() > 0.70, "EX regressed: {:.3}", full.ex());
+}
+
+#[test]
+fn answers_are_deterministic_per_question() {
+    let ds = dataset();
+    let sys = system();
+    let e = ds.examples_for(DbId::Stock, Split::Dev)[0];
+    let q = e.question(Lang::En);
+    let a = {
+        let mut rng = sys.question_rng(q);
+        sys.answer(DbId::Stock, q, &mut rng)
+    };
+    let b = {
+        let mut rng = sys.question_rng(q);
+        sys.answer(DbId::Stock, q, &mut rng)
+    };
+    assert_eq!(a, b);
+}
+
+#[test]
+fn plugin_roundtrip_through_hub_bytes() {
+    let sys = system();
+    let plugin = sys.hub.get("fund-en").expect("trained plugin registered");
+    let bytes = plugin.to_bytes();
+    let back = simllm::LoraPlugin::from_bytes(bytes).unwrap();
+    assert_eq!(*plugin, back);
+}
+
+#[test]
+fn calibration_repairs_noise_end_to_end() {
+    let ds = dataset();
+    let schema = ds.db(DbId::Stock).catalog();
+    let gold = "SELECT chinameabbr FROM lc_stockarchives WHERE listexchange = 'Shanghai Stock Exchange'";
+    // Corrupt heavily, then calibrate back.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let rates = simllm::noise::NoiseRates {
+        typo: 0.6,
+        double_eq: 0.6,
+        drop_on: 0.0,
+        misalign: 0.0,
+        value: 0.0,
+    };
+    let candidates: Vec<String> =
+        (0..7).map(|_| simllm::noise::corrupt(gold, &rates, 1.0, &mut rng)).collect();
+    let fixed =
+        finsql_core::calibrate(&candidates, schema, &finsql_core::CalibrationConfig::default())
+            .unwrap();
+    assert!(
+        sqlengine::execution_accuracy(ds.db(DbId::Stock), &fixed, gold),
+        "calibrated {fixed:?} must match gold"
+    );
+}
