@@ -12,7 +12,7 @@ fn main() {
     let mut by_arch: HashMap<&str, (usize, usize)> = HashMap::new();
     for e in ds.examples_for(DbId::Fund, Split::Dev) {
         let q = e.question(Lang::En);
-        let mut rng = tokenprep.question_rng(q);
+        let mut rng = tokenprep.question_rng(DbId::Fund, q);
         let sql = tokenprep.answer(DbId::Fund, q, &mut rng);
         let ok = sqlengine::execution_accuracy(ds.db(DbId::Fund), &sql, &e.sql);
         let unseen = e.phrasing >= bull::dataset::TRAIN_PHRASINGS;

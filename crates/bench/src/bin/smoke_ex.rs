@@ -12,7 +12,7 @@ fn main() {
         let mut pooled = (0usize, 0usize);
         for db in DbId::ALL {
             let out = evaluate_ex(&ds, db, lang, |q| {
-                let mut rng = system.question_rng(q);
+                let mut rng = system.question_rng(db, q);
                 system.answer(db, q, &mut rng)
             });
             pooled.0 += out.correct;

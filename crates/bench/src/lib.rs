@@ -3,12 +3,50 @@
 
 use bull::{BullDataset, DbId, Lang};
 use finsql_core::baselines::{FtBaseline, GptBaseline, GptMethod, GptModel};
-use finsql_core::eval::{evaluate_ex, EvalOutcome};
+use finsql_core::eval::{evaluate_ex_limit, evaluate_ex_parallel, EvalOutcome};
+use finsql_core::metrics::EvalMetrics;
 use finsql_core::pipeline::{FinSql, FinSqlConfig};
 use simllm::BaseModelProfile;
+use std::time::Instant;
 
 /// The seed every experiment uses (recorded in EXPERIMENTS.md).
 pub const SEED: u64 = bull::DEFAULT_SEED;
+
+/// Harness-wide evaluation options, parsed from the binary's CLI
+/// arguments: `--serial` forces the single-threaded evaluation path (the
+/// escape hatch; results are identical either way), `--workers N` sizes
+/// the worker pool (`0` = available parallelism).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessOpts {
+    pub serial: bool,
+    pub workers: usize,
+}
+
+impl HarnessOpts {
+    /// Parses the options from the process arguments. Unknown arguments
+    /// are ignored so binaries can layer their own flags.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = HarnessOpts::default();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--serial" => opts.serial = true,
+                "--workers" => {
+                    opts.workers = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--workers needs a number");
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+}
 
 /// Builds (or reuses) the benchmark dataset.
 pub fn dataset() -> BullDataset {
@@ -31,27 +69,60 @@ pub fn t5_profile(lang: Lang) -> &'static BaseModelProfile {
     }
 }
 
-/// Evaluates a built FinSQL system over all three dev sets, pooled.
+/// Evaluates a built FinSQL system over all three dev sets, pooled, on
+/// the parallel path with default options.
 pub fn finsql_ex(system: &FinSql, ds: &BullDataset) -> EvalOutcome {
+    finsql_ex_with(system, ds, HarnessOpts::default(), None)
+}
+
+/// [`finsql_ex`] with explicit harness options and an optional metrics
+/// sink fed by every answered question.
+pub fn finsql_ex_with(
+    system: &FinSql,
+    ds: &BullDataset,
+    opts: HarnessOpts,
+    metrics: Option<&EvalMetrics>,
+) -> EvalOutcome {
     let mut outcome = EvalOutcome::default();
     for db in DbId::ALL {
-        let per = evaluate_ex(ds, db, system.config.lang, |q| {
-            let mut rng = system.question_rng(q);
-            system.answer(db, q, &mut rng)
-        });
+        let predict = |q: &str| {
+            let mut rng = system.question_rng(db, q);
+            system.answer_with_metrics(db, q, &mut rng, metrics)
+        };
+        let per = if opts.serial {
+            evaluate_ex_limit(ds, db, system.config.lang, None, predict)
+        } else {
+            evaluate_ex_parallel(ds, db, system.config.lang, opts.workers, None, predict)
+        };
         outcome.absorb(&per);
     }
     outcome
 }
 
-/// Evaluates a fine-tuning baseline over all dev sets.
+/// Evaluates a fine-tuning baseline over all dev sets on the parallel
+/// path with default options.
 pub fn ft_ex(baseline: &FtBaseline, ds: &BullDataset, lang: Lang) -> EvalOutcome {
+    ft_ex_with(baseline, ds, lang, HarnessOpts::default())
+}
+
+/// [`ft_ex`] with explicit harness options.
+pub fn ft_ex_with(
+    baseline: &FtBaseline,
+    ds: &BullDataset,
+    lang: Lang,
+    opts: HarnessOpts,
+) -> EvalOutcome {
     let mut outcome = EvalOutcome::default();
     for db in DbId::ALL {
-        let per = evaluate_ex(ds, db, lang, |q| {
-            let mut rng = baseline.question_rng(q);
+        let predict = |q: &str| {
+            let mut rng = baseline.question_rng(db, q);
             baseline.answer(db, q, &mut rng)
-        });
+        };
+        let per = if opts.serial {
+            evaluate_ex_limit(ds, db, lang, None, predict)
+        } else {
+            evaluate_ex_parallel(ds, db, lang, opts.workers, None, predict)
+        };
         outcome.absorb(&per);
     }
     outcome
@@ -82,13 +153,17 @@ pub fn gpt_ex(
         let train_pairs = finsql_core::peft::training_pairs(ds, db, lang);
         let mut baseline =
             GptBaseline::new(method, model, lang, &base, &schema, &values, &train_pairs);
-        infeasible |= baseline.infeasible();
+        // Infeasibility (context overflow) is a per-database property:
+        // one database overflowing must not suppress correct-counting on
+        // the databases that fit. The pooled flag only marks the row.
+        let infeasible_db = baseline.infeasible();
+        infeasible |= infeasible_db;
         let dev = ds.examples_for(db, bull::Split::Dev);
         let mut rng = StdRng::seed_from_u64(seed ^ db as u64);
         for e in dev.iter().take(sample_per_db) {
             let q = e.question(lang);
             let sql = baseline.answer(q, &mut rng);
-            if !infeasible && sqlengine::execution_accuracy(ds.db(db), &sql, &e.sql) {
+            if !infeasible_db && sqlengine::execution_accuracy(ds.db(db), &sql, &e.sql) {
                 outcome.correct += 1;
             }
             outcome.total += 1;
@@ -111,7 +186,11 @@ pub fn pct(x: f64) -> String {
 }
 
 /// Regenerates Table 4 (en) / Table 5 (cn): overall EX and cost per SQL.
+/// Evaluation runs on the sharded parallel path (`--serial` for the
+/// single-threaded escape hatch, `--workers N` to size the pool); the
+/// FinSQL rows print questions/sec and a per-stage breakdown.
 pub fn run_overall_table(lang: Lang) {
+    let opts = HarnessOpts::from_args();
     let ds = dataset();
     let table_no = if lang == Lang::En { 4 } else { 5 };
     println!("Table {table_no}: Overall results on BULL-{}", lang.suffix());
@@ -140,38 +219,33 @@ pub fn run_overall_table(lang: Lang) {
     println!(
         "{:<36} {:>6.1} {:>18}",
         format!("RESDSQL* + {}", t5.name),
-        ft_ex(&resdsql, &ds, lang).ex_pct(),
+        ft_ex_with(&resdsql, &ds, lang, opts).ex_pct(),
         "-"
     );
     let tokenprep = FtBaseline::token_preprocessing(&ds, t5, lang);
     println!(
         "{:<36} {:>6.1} {:>18}",
         format!("Token Preprocessing* + {}", t5.name),
-        ft_ex(&tokenprep, &ds, lang).ex_pct(),
+        ft_ex_with(&tokenprep, &ds, lang, opts).ex_pct(),
         "-"
     );
     let picard = FtBaseline::picard(&ds, t5, lang);
     println!(
         "{:<36} {:>6.1} {:>18}",
         format!("Picard* + {}", t5.name),
-        ft_ex(&picard, &ds, lang).ex_pct(),
+        ft_ex_with(&picard, &ds, lang, opts).ex_pct(),
         "-"
     );
 
-    // FinSQL with the headline LLM and the T5-family model.
+    // FinSQL with the headline LLM and the T5-family model, instrumented.
     let head = headline_profile(lang);
-    let finsql_llm = FinSql::build(&ds, head, FinSqlConfig::standard(lang));
-    println!(
-        "{:<36} {:>6.1} {:>18}",
-        format!("FinSQL + {}", head.name),
-        finsql_ex(&finsql_llm, &ds).ex_pct(),
-        "-"
-    );
-    let finsql_t5 = FinSql::build(&ds, t5, FinSqlConfig::standard(lang));
-    println!(
-        "{:<36} {:>6.1} {:>18}",
-        format!("FinSQL + {}", t5.name),
-        finsql_ex(&finsql_t5, &ds).ex_pct(),
-        "-"
-    );
+    for profile in [head, t5] {
+        let finsql = FinSql::build(&ds, profile, FinSqlConfig::standard(lang));
+        let metrics = EvalMetrics::new();
+        let wall = Instant::now();
+        let out = finsql_ex_with(&finsql, &ds, opts, Some(&metrics));
+        let wall = wall.elapsed();
+        println!("{:<36} {:>6.1} {:>18}", format!("FinSQL + {}", profile.name), out.ex_pct(), "-");
+        print!("{}", metrics.snapshot().report(wall));
+    }
 }

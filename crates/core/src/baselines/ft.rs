@@ -139,8 +139,8 @@ impl FtBaseline {
     }
 
     /// A deterministic per-question RNG, mirroring [`FinSql`].
-    pub fn question_rng(&self, question: &str) -> StdRng {
-        self.system.question_rng(question)
+    pub fn question_rng(&self, db: DbId, question: &str) -> StdRng {
+        self.system.question_rng(db, question)
     }
 }
 

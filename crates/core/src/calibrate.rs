@@ -37,6 +37,25 @@ impl CalibrationConfig {
     }
 }
 
+/// What happened inside one [`calibrate_with_stats`] call — the per-stage
+/// tallies the evaluation metrics aggregate.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationStats {
+    /// Candidates given to the algorithm.
+    pub candidates: usize,
+    /// Candidates that failed to parse (after `f1` text normalisation
+    /// when repair is on).
+    pub parse_failures: usize,
+    /// Individual `f1` structural fixes applied (table names, dangling
+    /// joins, column names), summed over all candidates.
+    pub repairs: usize,
+    /// Parsed candidates dropped by the column-resolution gate.
+    pub dropped_unresolved: usize,
+    /// Whether every candidate was gated out and the first parseable one
+    /// was rescued without the gate.
+    pub rescued: bool,
+}
+
 /// Runs Algorithm 1 over candidate SQL strings. Returns the calibrated
 /// final SQL, or `None` when no candidate parses at all.
 pub fn calibrate(
@@ -44,21 +63,34 @@ pub fn calibrate(
     schema: &CatalogSchema,
     cfg: &CalibrationConfig,
 ) -> Option<String> {
+    calibrate_with_stats(candidates, schema, cfg).0
+}
+
+/// [`calibrate`], also reporting what the algorithm did. The returned SQL
+/// is byte-identical to `calibrate`'s — the stats ride along for free.
+pub fn calibrate_with_stats(
+    candidates: &[String],
+    schema: &CatalogSchema,
+    cfg: &CalibrationConfig,
+) -> (Option<String>, CalibrationStats) {
+    let mut stats = CalibrationStats { candidates: candidates.len(), ..Default::default() };
     // f1 + f2: repair and extract components, dropping candidates whose
     // columns cannot be resolved against the schema.
     let mut entries: Vec<(sqlkit::ast::SelectStmt, SqlComponents)> = Vec::new();
     for raw in candidates {
         let text = if cfg.repair { normalize_text(raw) } else { raw.clone() };
         let Ok(Statement::Select(mut q)) = parse_statement(&text) else {
+            stats.parse_failures += 1;
             continue;
         };
         if cfg.repair {
-            repair_statement(&mut q, schema);
+            stats.repairs += repair_statement(&mut q, schema);
         }
         let comps = components_of_query(&q);
         // "if columns of e_i in S": candidates referencing unresolvable
         // columns are dropped (when repair could not fix them).
         if cfg.repair && !columns_resolve(&q, schema) {
+            stats.dropped_unresolved += 1;
             continue;
         }
         entries.push((q, comps));
@@ -69,21 +101,23 @@ pub fn calibrate(
             if let Ok(Statement::Select(q)) = parse_statement(&normalize_text(raw)) {
                 let comps = components_of_query(&q);
                 entries.push((q, comps));
+                stats.rescued = true;
                 break;
             }
         }
     }
-    let (mut best, _) = if cfg.self_consistency {
-        largest_cluster(entries)?
+    let picked = if cfg.self_consistency {
+        largest_cluster(entries)
     } else {
-        let mut it = entries.into_iter();
-        let first = it.next()?;
-        (first.0, first.1)
+        entries.into_iter().next()
+    };
+    let Some((mut best, _)) = picked else {
+        return (None, stats);
     };
     if cfg.alignment {
         align_tables(&mut best, schema);
     }
-    Some(to_sql(&Statement::Select(best)))
+    (Some(to_sql(&Statement::Select(best))), stats)
 }
 
 /// Clusters candidates by component compatibility; returns the first
@@ -229,6 +263,49 @@ mod tests {
     fn all_unparseable_yields_none() {
         let candidates = vec!["???".to_string(), "".to_string()];
         assert!(calibrate(&candidates, &schema(), &CalibrationConfig::default()).is_none());
+    }
+
+    #[test]
+    fn stats_match_hand_counted_run() {
+        // One unparseable candidate, one needing exactly one column
+        // repair, one clean — the tallies are checked against this count
+        // by hand.
+        let candidates = vec![
+            "totally not sql".to_string(),
+            "SELECT aquirementrium FROM lc_sharestru WHERE compcode == 5;".to_string(),
+            "SELECT chinameabbr FROM lc_sharestru".to_string(),
+        ];
+        let (out, stats) =
+            calibrate_with_stats(&candidates, &schema(), &CalibrationConfig::default());
+        assert!(out.is_some());
+        assert_eq!(stats.candidates, 3);
+        assert_eq!(stats.parse_failures, 1);
+        assert_eq!(stats.repairs, 1, "exactly the aquirementrium column fix");
+        assert_eq!(stats.dropped_unresolved, 0);
+        assert!(!stats.rescued);
+    }
+
+    #[test]
+    fn stats_report_all_unparseable() {
+        let candidates = vec!["???".to_string(), "".to_string()];
+        let (out, stats) =
+            calibrate_with_stats(&candidates, &schema(), &CalibrationConfig::default());
+        assert!(out.is_none());
+        assert_eq!(stats.parse_failures, 2);
+        assert!(!stats.rescued);
+    }
+
+    #[test]
+    fn stats_agree_with_calibrate() {
+        let candidates = vec![
+            "SELECT chinameabbr FROM lc_sharestru WHERE compcode = 5".to_string(),
+            "SELECT aquireramount FROM lc_sharestru WHERE compcode == 5".to_string(),
+            "not sql at all".to_string(),
+        ];
+        let cfg = CalibrationConfig::default();
+        let direct = calibrate(&candidates, &schema(), &cfg);
+        let (with_stats, _) = calibrate_with_stats(&candidates, &schema(), &cfg);
+        assert_eq!(direct, with_stats, "the two entry points must produce identical SQL");
     }
 
     #[test]

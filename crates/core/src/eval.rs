@@ -39,16 +39,101 @@ pub fn evaluate_ex(
     ds: &BullDataset,
     db: DbId,
     lang: Lang,
+    predict: impl FnMut(&str) -> String,
+) -> EvalOutcome {
+    evaluate_ex_limit(ds, db, lang, None, predict)
+}
+
+/// [`evaluate_ex`] restricted to the first `limit` dev examples (`None`
+/// means all) — the serial reference the parallel path is checked
+/// against on small slices.
+pub fn evaluate_ex_limit(
+    ds: &BullDataset,
+    db: DbId,
+    lang: Lang,
+    limit: Option<usize>,
     mut predict: impl FnMut(&str) -> String,
 ) -> EvalOutcome {
     let database = ds.db(db);
+    let dev = ds.examples_for(db, Split::Dev);
+    let n = limit.unwrap_or(dev.len()).min(dev.len());
     let mut outcome = EvalOutcome::default();
-    for e in ds.examples_for(db, Split::Dev) {
+    for e in &dev[..n] {
         let predicted = predict(e.question(lang));
         if execution_accuracy(database, &predicted, &e.sql) {
             outcome.correct += 1;
         }
         outcome.total += 1;
+    }
+    outcome
+}
+
+/// Sharded evaluation: fans the dev examples of one database over a pool
+/// of scoped worker threads pulling from a shared work index. `predict`
+/// must be deterministic per question (seed the RNG from the question, as
+/// [`crate::pipeline::FinSql::question_rng`] does); correctness is then
+/// order-independent and the pooled counts equal the serial path's
+/// exactly. `workers == 0` sizes the pool to the available parallelism.
+pub fn evaluate_ex_parallel(
+    ds: &BullDataset,
+    db: DbId,
+    lang: Lang,
+    workers: usize,
+    limit: Option<usize>,
+    predict: impl Fn(&str) -> String + Sync,
+) -> EvalOutcome {
+    let database = ds.db(db);
+    let dev = ds.examples_for(db, Split::Dev);
+    let n = limit.unwrap_or(dev.len()).min(dev.len());
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        workers
+    }
+    .min(n.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (dev, predict, next) = (&dev, &predict, &next);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut local = EvalOutcome::default();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break local;
+                        }
+                        let e = &dev[i];
+                        let predicted = predict(e.question(lang));
+                        if execution_accuracy(database, &predicted, &e.sql) {
+                            local.correct += 1;
+                        }
+                        local.total += 1;
+                    }
+                })
+            })
+            .collect();
+        let mut outcome = EvalOutcome::default();
+        for h in handles {
+            outcome.absorb(&h.join().expect("evaluation worker panicked"));
+        }
+        outcome
+    })
+    .expect("evaluation pool panicked")
+}
+
+/// Parallel pooled evaluation over every database, the counterpart of
+/// [`evaluate_ex_all`].
+pub fn evaluate_ex_all_parallel(
+    ds: &BullDataset,
+    lang: Lang,
+    workers: usize,
+    predict: impl Fn(DbId, &str) -> String + Sync,
+) -> EvalOutcome {
+    let mut outcome = EvalOutcome::default();
+    for db in DbId::ALL {
+        let per = evaluate_ex_parallel(ds, db, lang, workers, None, |q| predict(db, q));
+        outcome.absorb(&per);
     }
     outcome
 }

@@ -20,11 +20,13 @@
 pub mod baselines;
 pub mod calibrate;
 pub mod eval;
+pub mod metrics;
 pub mod peft;
 pub mod pipeline;
 pub mod prompt;
 
-pub use calibrate::{calibrate, CalibrationConfig};
-pub use eval::{evaluate_ex, EvalOutcome};
+pub use calibrate::{calibrate, calibrate_with_stats, CalibrationConfig, CalibrationStats};
+pub use eval::{evaluate_ex, evaluate_ex_parallel, EvalOutcome};
+pub use metrics::{EvalMetrics, MetricsSnapshot};
 pub use pipeline::{FinSql, FinSqlConfig};
 pub use prompt::{render_prompt, render_schema};

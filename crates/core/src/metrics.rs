@@ -1,0 +1,239 @@
+//! Per-stage instrumentation for evaluation runs.
+//!
+//! [`EvalMetrics`] is a lock-free sink of counters and stage timers that
+//! [`crate::pipeline::FinSql::answer_with_metrics`] feeds while answering:
+//! schema-linking / generation / calibration wall time, candidate counts,
+//! calibration repair activity, and parse failures. One sink is shared by
+//! every evaluation worker (all fields are atomic), and a [`MetricsSnapshot`]
+//! renders the totals — the bench binaries print it after each table row,
+//! including questions/sec against the measured wall time.
+
+use crate::calibrate::CalibrationStats;
+use simllm::GenCounters;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared counters for one evaluation run. All updates are `Relaxed`
+/// atomics: the totals are only read after the worker pool has joined.
+#[derive(Debug, Default)]
+pub struct EvalMetrics {
+    questions: AtomicU64,
+    link_nanos: AtomicU64,
+    gen_nanos: AtomicU64,
+    calibrate_nanos: AtomicU64,
+    candidates: AtomicU64,
+    parse_failures: AtomicU64,
+    repairs: AtomicU64,
+    dropped_unresolved: AtomicU64,
+    calibration_fallbacks: AtomicU64,
+    generator_fallbacks: AtomicU64,
+    skeleton_slips: AtomicU64,
+}
+
+impl EvalMetrics {
+    pub fn new() -> Self {
+        EvalMetrics::default()
+    }
+
+    /// Records one answered question.
+    pub fn record_question(&self) {
+        self.questions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the schema-linking stage of one question.
+    pub fn record_link(&self, elapsed: Duration) {
+        self.link_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records the generation stage of one question.
+    pub fn record_generation(&self, elapsed: Duration, counters: &GenCounters) {
+        self.gen_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.candidates.fetch_add(counters.samples, Ordering::Relaxed);
+        self.generator_fallbacks.fetch_add(counters.fallbacks, Ordering::Relaxed);
+        self.skeleton_slips.fetch_add(counters.skeleton_slips, Ordering::Relaxed);
+    }
+
+    /// Records the calibration stage of one question. `fell_back` marks a
+    /// question whose calibration produced nothing and the raw first
+    /// candidate was returned instead.
+    pub fn record_calibration(&self, elapsed: Duration, stats: &CalibrationStats, fell_back: bool) {
+        self.calibrate_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.parse_failures.fetch_add(stats.parse_failures as u64, Ordering::Relaxed);
+        self.repairs.fetch_add(stats.repairs as u64, Ordering::Relaxed);
+        self.dropped_unresolved.fetch_add(stats.dropped_unresolved as u64, Ordering::Relaxed);
+        if fell_back {
+            self.calibration_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent copy of the totals.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            questions: self.questions.load(Ordering::Relaxed),
+            link_time: Duration::from_nanos(self.link_nanos.load(Ordering::Relaxed)),
+            gen_time: Duration::from_nanos(self.gen_nanos.load(Ordering::Relaxed)),
+            calibrate_time: Duration::from_nanos(self.calibrate_nanos.load(Ordering::Relaxed)),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            parse_failures: self.parse_failures.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            dropped_unresolved: self.dropped_unresolved.load(Ordering::Relaxed),
+            calibration_fallbacks: self.calibration_fallbacks.load(Ordering::Relaxed),
+            generator_fallbacks: self.generator_fallbacks.load(Ordering::Relaxed),
+            skeleton_slips: self.skeleton_slips.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain totals of one evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub questions: u64,
+    pub link_time: Duration,
+    pub gen_time: Duration,
+    pub calibrate_time: Duration,
+    /// Candidate SQL strings sampled across all questions.
+    pub candidates: u64,
+    /// Candidates that failed to parse during calibration.
+    pub parse_failures: u64,
+    /// Individual `f1` repairs applied (table/join/column fixes).
+    pub repairs: u64,
+    /// Candidates dropped by the column-resolution gate.
+    pub dropped_unresolved: u64,
+    /// Questions where calibration yielded nothing and the raw first
+    /// candidate was used.
+    pub calibration_fallbacks: u64,
+    /// Samples that fell back to the unadapted template generator.
+    pub generator_fallbacks: u64,
+    /// Samples whose skeleton slipped to the runner-up prototype.
+    pub skeleton_slips: u64,
+}
+
+impl MetricsSnapshot {
+    /// Questions per second of wall time.
+    pub fn questions_per_sec(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            0.0
+        } else {
+            self.questions as f64 / wall.as_secs_f64()
+        }
+    }
+
+    /// Mean per-question time of one stage.
+    fn per_question(&self, stage: Duration) -> Duration {
+        stage.checked_div(u32::try_from(self.questions.max(1)).unwrap_or(u32::MAX))
+            .unwrap_or_default()
+    }
+
+    /// Multi-line report, the format the bench binaries print:
+    /// a throughput line plus one line per stage and counter.
+    pub fn report(&self, wall: Duration) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {} questions in {:.2?}  ({:.1} questions/sec)\n",
+            self.questions,
+            wall,
+            self.questions_per_sec(wall)
+        ));
+        for (name, stage) in [
+            ("linking", self.link_time),
+            ("generation", self.gen_time),
+            ("calibration", self.calibrate_time),
+        ] {
+            out.push_str(&format!(
+                "  {name:<22} {:>10.2?}  ({:.2?}/q)\n",
+                stage,
+                self.per_question(stage)
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<22} {:>10}  ({:.1}/q)\n",
+            "candidates",
+            self.candidates,
+            self.candidates as f64 / self.questions.max(1) as f64
+        ));
+        for (name, count) in [
+            ("parse failures", self.parse_failures),
+            ("repairs applied", self.repairs),
+            ("dropped (unresolved)", self.dropped_unresolved),
+            ("calibration fallbacks", self.calibration_fallbacks),
+            ("generator fallbacks", self.generator_fallbacks),
+            ("skeleton slips", self.skeleton_slips),
+        ] {
+            out.push_str(&format!("  {name:<22} {count:>10}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_stages() {
+        let m = EvalMetrics::new();
+        for _ in 0..3 {
+            m.record_question();
+        }
+        m.record_link(Duration::from_millis(4));
+        m.record_link(Duration::from_millis(6));
+        m.record_generation(
+            Duration::from_millis(20),
+            &GenCounters { samples: 5, fallbacks: 1, skeleton_slips: 2 },
+        );
+        m.record_generation(
+            Duration::from_millis(10),
+            &GenCounters { samples: 5, fallbacks: 0, skeleton_slips: 0 },
+        );
+        m.record_calibration(
+            Duration::from_millis(2),
+            &CalibrationStats { candidates: 5, parse_failures: 2, repairs: 3, dropped_unresolved: 1, rescued: false },
+            true,
+        );
+        let s = m.snapshot();
+        assert_eq!(s.questions, 3);
+        assert_eq!(s.link_time, Duration::from_millis(10));
+        assert_eq!(s.gen_time, Duration::from_millis(30));
+        assert_eq!(s.calibrate_time, Duration::from_millis(2));
+        assert_eq!(s.candidates, 10);
+        assert_eq!(s.parse_failures, 2);
+        assert_eq!(s.repairs, 3);
+        assert_eq!(s.dropped_unresolved, 1);
+        assert_eq!(s.calibration_fallbacks, 1);
+        assert_eq!(s.generator_fallbacks, 1);
+        assert_eq!(s.skeleton_slips, 2);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = EvalMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..250 {
+                        m.record_question();
+                        m.record_link(Duration::from_nanos(100));
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.questions, 1000);
+        assert_eq!(snap.link_time, Duration::from_nanos(100_000));
+    }
+
+    #[test]
+    fn throughput_and_report_shape() {
+        let m = EvalMetrics::new();
+        for _ in 0..10 {
+            m.record_question();
+        }
+        let s = m.snapshot();
+        assert!((s.questions_per_sec(Duration::from_secs(2)) - 5.0).abs() < 1e-9);
+        assert_eq!(s.questions_per_sec(Duration::ZERO), 0.0);
+        let report = s.report(Duration::from_secs(2));
+        assert!(report.contains("questions/sec"));
+        assert!(report.contains("calibration"));
+        assert!(report.contains("parse failures"));
+    }
+}

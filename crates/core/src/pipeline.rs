@@ -1,7 +1,8 @@
 //! The end-to-end FinSQL system (paper Figure 1, inference path):
 //! schema linking → concise prompt → LLM sampling → output calibration.
 
-use crate::calibrate::{calibrate, CalibrationConfig};
+use crate::calibrate::{calibrate_with_stats, CalibrationConfig};
+use crate::metrics::EvalMetrics;
 use crate::peft::train_database_plugin;
 use augment::AugmentationFlags;
 use bull::{BullDataset, DbId, Lang, Split};
@@ -74,7 +75,59 @@ impl FinSql {
     /// Trains the full system on the dataset's training splits: the
     /// Cross-Encoder linker jointly over the three databases, and one
     /// LoRA plugin per database on the augmented mix.
+    ///
+    /// The linker and the three plugins are independent training jobs
+    /// with their own seeds, so they run concurrently on scoped worker
+    /// threads; the result is identical to [`FinSql::build_serial`].
     pub fn build(
+        ds: &BullDataset,
+        profile: &'static BaseModelProfile,
+        config: FinSqlConfig,
+    ) -> Self {
+        let base = EmbeddingModel::pretrained(config.seed);
+        let hub = PluginHub::new();
+        let (linker, plugins) = crossbeam::scope(|scope| {
+            let linker_job =
+                scope.spawn(|_| train_linker(ds, config.lang, &DbId::ALL, config.seed));
+            let plugin_jobs: Vec<_> = DbId::ALL
+                .into_iter()
+                .map(|db| {
+                    let (base, hub) = (&base, &hub);
+                    scope.spawn(move |_| {
+                        train_database_plugin(
+                            base,
+                            hub,
+                            ds,
+                            db,
+                            config.lang,
+                            config.augmentation,
+                            TrainOpts { seed: config.seed ^ db as u64, ..Default::default() },
+                        )
+                    })
+                })
+                .collect();
+            let plugins: Vec<Arc<LoraPlugin>> =
+                plugin_jobs.into_iter().map(|j| j.join().expect("plugin training panicked")).collect();
+            (linker_job.join().expect("linker training panicked"), plugins)
+        })
+        .expect("training thread panicked");
+        let runtimes = DbId::ALL
+            .into_iter()
+            .zip(plugins)
+            .map(|(db, plugin)| DbRuntime {
+                db,
+                schema: ds.db(db).catalog().clone(),
+                views: crossenc::model::SchemaViews::build(ds.db(db).catalog(), config.lang),
+                values: ValueIndex::build(ds.db(db)),
+                plugin,
+            })
+            .collect();
+        FinSql { config, profile, base, linker, hub, runtimes }
+    }
+
+    /// [`FinSql::build`] without the training-job concurrency — the
+    /// reference path the parallel build is checked against.
+    pub fn build_serial(
         ds: &BullDataset,
         profile: &'static BaseModelProfile,
         config: FinSqlConfig,
@@ -119,13 +172,28 @@ impl FinSql {
     /// Answers a question against one database: the paper's full
     /// inference path.
     pub fn answer(&self, db: DbId, question: &str, rng: &mut StdRng) -> String {
+        self.answer_with_metrics(db, question, rng, None)
+    }
+
+    /// [`FinSql::answer`], feeding per-stage timings and counters into a
+    /// shared metrics sink. The produced SQL is byte-identical to
+    /// `answer`'s; passing `None` skips all instrumentation.
+    pub fn answer_with_metrics(
+        &self,
+        db: DbId,
+        question: &str,
+        rng: &mut StdRng,
+        metrics: Option<&EvalMetrics>,
+    ) -> String {
         let rt = self.runtime(db);
         // 1. Parallel schema linking → concise prompt schema.
-        let linked = self.linker.link(question, &rt.views, InferenceMode::Parallel);
+        let (linked, link_time) =
+            self.linker.link_timed(question, &rt.views, InferenceMode::Parallel);
         let prompt_schema = linked.project(&rt.schema, self.config.k_tables, self.config.k_columns);
         // 2. Sample n candidates from the adapted model.
         let generator = SqlGenerator::new(&self.base, Some(&rt.plugin), self.profile);
-        let candidates = generator.generate(
+        let gen_start = std::time::Instant::now();
+        let (candidates, counters) = generator.generate_with_counters(
             question,
             &prompt_schema,
             &rt.values,
@@ -136,15 +204,26 @@ impl FinSql {
             },
             rng,
         );
+        let gen_time = gen_start.elapsed();
         // 3. Output calibration against the full schema.
-        calibrate(&candidates, &rt.schema, &self.config.calibration)
-            .unwrap_or_else(|| candidates.first().cloned().unwrap_or_default())
+        let calib_start = std::time::Instant::now();
+        let (calibrated, stats) =
+            calibrate_with_stats(&candidates, &rt.schema, &self.config.calibration);
+        let calib_time = calib_start.elapsed();
+        if let Some(m) = metrics {
+            m.record_question();
+            m.record_link(link_time);
+            m.record_generation(gen_time, &counters);
+            m.record_calibration(calib_time, &stats, calibrated.is_none());
+        }
+        calibrated.unwrap_or_else(|| candidates.first().cloned().unwrap_or_default())
     }
 
-    /// A deterministic per-question RNG (seeded from the system seed and
-    /// the question), so evaluation order does not matter.
-    pub fn question_rng(&self, question: &str) -> StdRng {
-        let mut h = self.config.seed;
+    /// A deterministic per-question RNG (seeded from the system seed, the
+    /// database, and the question), so evaluation order does not matter
+    /// and the same phrasing hitting two databases draws independently.
+    pub fn question_rng(&self, db: DbId, question: &str) -> StdRng {
+        let mut h = self.config.seed ^ (db as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         for b in question.as_bytes() {
             h = h.wrapping_mul(0x100000001B3).wrapping_add(u64::from(*b));
         }

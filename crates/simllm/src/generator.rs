@@ -43,6 +43,19 @@ impl Default for GenConfig {
     }
 }
 
+/// What happened while sampling one question's candidates — fed into the
+/// evaluation-side metrics sink.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GenCounters {
+    /// Candidates produced.
+    pub samples: u64,
+    /// Samples that fell back to the unadapted template generator (no
+    /// plugin, no prototypes, or slot filling failed).
+    pub fallbacks: u64,
+    /// Samples whose skeleton slipped to the runner-up prototype.
+    pub skeleton_slips: u64,
+}
+
 /// A ready-to-run generator: frozen base + optional plugin + profile.
 pub struct SqlGenerator<'a> {
     pub base: &'a EmbeddingModel,
@@ -73,6 +86,29 @@ impl<'a> SqlGenerator<'a> {
         self.generate_with_retrieval_text(question, question, prompt_schema, values, cfg, rng)
     }
 
+    /// [`SqlGenerator::generate`], also reporting sampling counters. The
+    /// candidates are byte-identical to `generate`'s.
+    pub fn generate_with_counters(
+        &self,
+        question: &str,
+        prompt_schema: &CatalogSchema,
+        values: &ValueIndex,
+        cfg: GenConfig,
+        rng: &mut StdRng,
+    ) -> (Vec<String>, GenCounters) {
+        let mut counters = GenCounters::default();
+        let out = self.generate_impl(
+            question,
+            question,
+            prompt_schema,
+            values,
+            cfg,
+            rng,
+            &mut counters,
+        );
+        (out, counters)
+    }
+
     /// Like [`SqlGenerator::generate`], but retrieves skeleton prototypes
     /// with a different text than the one used for slot filling. DAIL-SQL
     /// style masked-question matching uses this: structure is matched on
@@ -85,6 +121,29 @@ impl<'a> SqlGenerator<'a> {
         values: &ValueIndex,
         cfg: GenConfig,
         rng: &mut StdRng,
+    ) -> Vec<String> {
+        let mut counters = GenCounters::default();
+        self.generate_impl(
+            question,
+            retrieval_text,
+            prompt_schema,
+            values,
+            cfg,
+            rng,
+            &mut counters,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_impl(
+        &self,
+        question: &str,
+        retrieval_text: &str,
+        prompt_schema: &CatalogSchema,
+        values: &ValueIndex,
+        cfg: GenConfig,
+        rng: &mut StdRng,
+        counters: &mut GenCounters,
     ) -> Vec<String> {
         let filler = SlotFiller::new(prompt_schema, values, question);
         // Rank skeleton prototypes once.
@@ -100,7 +159,8 @@ impl<'a> SqlGenerator<'a> {
         let mut out = Vec::with_capacity(cfg.n_samples);
         for _ in 0..cfg.n_samples.max(1) {
             let mut slot_rng = StdRng::seed_from_u64(slot_seed);
-            let sql = self.sample_once(&filler, &ranked, cfg, &mut slot_rng, rng);
+            let sql = self.sample_once(&filler, &ranked, cfg, &mut slot_rng, rng, counters);
+            counters.samples += 1;
             out.push(sql);
         }
         out
@@ -121,6 +181,7 @@ impl<'a> SqlGenerator<'a> {
         ranked
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn sample_once(
         &self,
         filler: &SlotFiller<'_>,
@@ -128,12 +189,15 @@ impl<'a> SqlGenerator<'a> {
         cfg: GenConfig,
         slot_rng: &mut StdRng,
         rng: &mut StdRng,
+        counters: &mut GenCounters,
     ) -> String {
         let Some(plugin) = self.plugin else {
             // No adaptation at all: the base model free-associates.
+            counters.fallbacks += 1;
             return filler.fallback_sql();
         };
         if ranked.is_empty() {
+            counters.fallbacks += 1;
             return filler.fallback_sql();
         }
         // Skeleton choice: best prototype, with a margin- and
@@ -144,6 +208,7 @@ impl<'a> SqlGenerator<'a> {
             let p_slip = (self.profile.skel_slip * skel_temp * (1.0 - margin * 4.0))
                 .clamp(0.0, 0.9);
             if p_slip > 0.0 && rng.gen_bool(p_slip) {
+                counters.skeleton_slips += 1;
                 ranked[1].0
             } else {
                 ranked[0].0
@@ -157,9 +222,10 @@ impl<'a> SqlGenerator<'a> {
             slot_skill: self.profile.slot_skill,
             join_skill: self.profile.join_skill,
         };
-        let sql = filler
-            .fill(proto.shape, &opts, slot_rng)
-            .unwrap_or_else(|| filler.fallback_sql());
+        let sql = filler.fill(proto.shape, &opts, slot_rng).unwrap_or_else(|| {
+            counters.fallbacks += 1;
+            filler.fallback_sql()
+        });
         corrupt(&sql, &self.profile.noise, cfg.temperature, rng)
     }
 }

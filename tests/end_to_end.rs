@@ -39,7 +39,7 @@ fn finsql_answers_execute() {
     let sample = &dev[..50];
     for e in sample {
         let q = e.question(Lang::En);
-        let mut rng = sys.question_rng(q);
+        let mut rng = sys.question_rng(DbId::Fund, q);
         let sql = sys.answer(DbId::Fund, q, &mut rng);
         if sqlkit::parse_statement(&sql).is_ok() {
             parses += 1;
@@ -59,7 +59,7 @@ fn finsql_beats_the_unaugmented_uncalibrated_ablation() {
     let mut full = finsql_core::eval::EvalOutcome::default();
     for e in ds.examples_for(DbId::Fund, Split::Dev).iter().take(150) {
         let q = e.question(Lang::En);
-        let mut rng = sys.question_rng(q);
+        let mut rng = sys.question_rng(DbId::Fund, q);
         if sqlengine::execution_accuracy(ds.db(DbId::Fund), &sys.answer(DbId::Fund, q, &mut rng), &e.sql) {
             full.correct += 1;
         }
@@ -77,14 +77,68 @@ fn answers_are_deterministic_per_question() {
     let e = ds.examples_for(DbId::Stock, Split::Dev)[0];
     let q = e.question(Lang::En);
     let a = {
-        let mut rng = sys.question_rng(q);
+        let mut rng = sys.question_rng(DbId::Stock, q);
         sys.answer(DbId::Stock, q, &mut rng)
     };
     let b = {
-        let mut rng = sys.question_rng(q);
+        let mut rng = sys.question_rng(DbId::Stock, q);
         sys.answer(DbId::Stock, q, &mut rng)
     };
     assert_eq!(a, b);
+}
+
+#[test]
+fn question_rng_differs_between_databases() {
+    use rand::RngCore;
+    let sys = system();
+    let q = "what is the total value";
+    let mut fund = sys.question_rng(DbId::Fund, q);
+    let mut stock = sys.question_rng(DbId::Stock, q);
+    assert_ne!(
+        (0..4).map(|_| fund.next_u64()).collect::<Vec<_>>(),
+        (0..4).map(|_| stock.next_u64()).collect::<Vec<_>>(),
+        "the same phrasing on two databases must draw independently"
+    );
+}
+
+#[test]
+fn parallel_eval_matches_serial_exactly() {
+    let ds = dataset();
+    let sys = system();
+    let predict = |q: &str| {
+        let mut rng = sys.question_rng(DbId::Fund, q);
+        sys.answer(DbId::Fund, q, &mut rng)
+    };
+    let serial =
+        finsql_core::eval::evaluate_ex_limit(ds, DbId::Fund, Lang::En, Some(40), predict);
+    let parallel = finsql_core::eval::evaluate_ex_parallel(
+        ds,
+        DbId::Fund,
+        Lang::En,
+        4,
+        Some(40),
+        predict,
+    );
+    assert_eq!(serial, parallel, "sharded evaluation must reproduce the serial counts exactly");
+    assert_eq!(parallel.total, 40);
+}
+
+#[test]
+fn metrics_count_questions_and_candidates() {
+    let ds = dataset();
+    let sys = system();
+    let metrics = finsql_core::EvalMetrics::new();
+    let n = 10;
+    finsql_core::eval::evaluate_ex_parallel(ds, DbId::Fund, Lang::En, 2, Some(n), |q| {
+        let mut rng = sys.question_rng(DbId::Fund, q);
+        sys.answer_with_metrics(DbId::Fund, q, &mut rng, Some(&metrics))
+    });
+    let snap = metrics.snapshot();
+    assert_eq!(snap.questions, n as u64);
+    // Every question samples exactly n_candidates candidates.
+    assert_eq!(snap.candidates, (n * sys.config.n_candidates) as u64);
+    assert!(snap.link_time > std::time::Duration::ZERO);
+    assert!(snap.gen_time > std::time::Duration::ZERO);
 }
 
 #[test]

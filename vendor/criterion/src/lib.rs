@@ -1,0 +1,187 @@
+//! Offline vendored subset of the `criterion` bench API.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! surface the workspace's `harness = false` benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a plain wall-clock measurement loop instead of upstream's
+//! statistical machinery. Each benchmark warms up briefly, then reports
+//! the mean iteration time over a fixed measurement window.
+//!
+//! `--bench` (passed by `cargo bench`) is accepted and ignored; any other
+//! CLI argument is treated as a substring filter on benchmark names, like
+//! upstream.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_secs(1);
+
+/// Entry point handed to each `criterion_group!` target.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&self.filter, name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+}
+
+/// A named set of benchmarks reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&self.parent.filter, &full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&self.parent.filter, &full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. Reporting is immediate, so this is a no-op kept for
+    /// API compatibility.
+    pub fn finish(self) {}
+}
+
+/// A benchmark label of the form `function/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm up for a fixed window, then time batches
+    /// until the measurement window elapses and record the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        let mut batch = 1u64;
+        while warm_start.elapsed() < WARMUP {
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            iters += batch;
+        }
+        let total = start.elapsed();
+        self.mean = Some(total / u32::try_from(iters.max(1)).unwrap_or(u32::MAX));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(filter: &Option<String>, name: &str, mut f: F) {
+    if let Some(needle) = filter {
+        if !name.contains(needle.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher { mean: None };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!("{name:<40} time: [{}]", fmt_duration(mean)),
+        None => println!("{name:<40} time: [no iter() call]"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    let mut out = String::new();
+    if nanos >= 1_000_000_000 {
+        let _ = write!(out, "{:.4} s", nanos as f64 / 1e9);
+    } else if nanos >= 1_000_000 {
+        let _ = write!(out, "{:.4} ms", nanos as f64 / 1e6);
+    } else if nanos >= 1_000 {
+        let _ = write!(out, "{:.4} µs", nanos as f64 / 1e3);
+    } else {
+        let _ = write!(out, "{nanos} ns");
+    }
+    out
+}
+
+/// Binds a group name to a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        assert_eq!(BenchmarkId::new("serial", 31).0, "serial/31");
+    }
+
+    #[test]
+    fn duration_formatting_picks_unit() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.5000 ms");
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

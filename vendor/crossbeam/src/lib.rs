@@ -1,0 +1,97 @@
+//! Offline vendored subset of the `crossbeam` API.
+//!
+//! Only the scoped-thread entry point is provided, implemented on top of
+//! `std::thread::scope` (stabilised in Rust 1.63, long after crossbeam's
+//! scoped threads were designed). The call-site API is identical:
+//! `crossbeam::scope(|s| { s.spawn(|_| ...); }).expect("...")`.
+
+use std::any::Any;
+
+pub mod thread {
+    use super::Any;
+
+    /// A scope handle passed to the closure and to every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope again so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope; every thread spawned in the scope is joined
+    /// before `scope` returns. Unlike crossbeam, a panicking child thread
+    /// propagates its panic here (after all threads joined) instead of
+    /// surfacing as `Err` — callers `.expect()` the result either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_see_stack_data_and_join() {
+        let data = [1, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        let out = super::scope(|s| s.spawn(|_| 6 * 7).join().unwrap()).unwrap();
+        assert_eq!(out, 42);
+    }
+}

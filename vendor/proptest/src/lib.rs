@@ -1,0 +1,243 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the slice of proptest its property tests use: the [`strategy::Strategy`]
+//! trait with `prop_map`/`prop_filter`/`prop_recursive`, tuple/range/
+//! string-pattern strategies, `collection::vec`, `option::of`, `Just`,
+//! `any::<bool>()`, `prop_oneof!`, and the `proptest!` test macro with
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (reproducible across runs), and there is **no shrinking**
+//! — a failing case reports its index and message directly. String
+//! strategies support the regex subset the tests use: character classes
+//! with ranges, `.`, and `{m,n}`/`{n}` repetition.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, 1..25)`: vectors of 1..25 elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Some` three times out of four.
+    pub struct OptionStrategy<S>(S);
+
+    /// `of(inner)`: `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_bool(0.75) {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point for types with a canonical strategy.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy of `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Fair coin.
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty => $name:ident),* $(,)?) => {$(
+            /// Full-range integer strategy.
+            pub struct $name;
+            impl Strategy for $name {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = $name;
+                fn arbitrary() -> $name { $name }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64,
+                        i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64);
+}
+
+mod string;
+
+pub mod prelude {
+    //! The glob import the tests use.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+use rand::SeedableRng;
+
+/// Deterministic per-(test, case) generator. Public for the macro only.
+#[doc(hidden)]
+pub fn __new_case_rng(test_path: &str, case: u32) -> rand::rngs::StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr;
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::__new_case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            return ::std::result::Result::Ok(());
+                        })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!("proptest case {}/{} failed: {}", __case, __config.cases, __msg);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure reports the case instead of
+/// panicking at the assertion site.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: `{:?}` != `{:?}`", __l, __r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}: `{:?}` != `{:?}`", ::std::format!($($fmt)+), __l, __r));
+        }
+    }};
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

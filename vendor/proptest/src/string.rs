@@ -1,0 +1,176 @@
+//! Regex-subset sampler backing `&str` strategies.
+//!
+//! Supported syntax: literal characters, `.` (printable ASCII), character
+//! classes `[...]` with ranges and literal members, and `{n}` / `{m,n}`
+//! quantifiers on the preceding atom. This covers every pattern in the
+//! workspace's property tests; anything else panics loudly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+enum Atom {
+    /// Choice among explicit characters.
+    Class(Vec<char>),
+    /// Any printable ASCII character (`.`).
+    AnyPrintable,
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+pub(crate) fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let reps = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..reps {
+            out.push(match &piece.atom {
+                Atom::Class(chars) => chars[rng.gen_range(0..chars.len())],
+                Atom::AnyPrintable => char::from(rng.gen_range(0x20u8..=0x7e)),
+            });
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let members = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                Atom::Class(members)
+            }
+            '.' => {
+                i += 1;
+                Atom::AnyPrintable
+            }
+            '\\' => {
+                i += 2;
+                Atom::Class(vec![*chars
+                    .get(i - 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))])
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().unwrap_or_else(|_| panic!("bad bound in {pattern:?}")),
+                    hi.parse().unwrap_or_else(|_| panic!("bad bound in {pattern:?}")),
+                ),
+                None => {
+                    let n = body.parse().unwrap_or_else(|_| panic!("bad bound in {pattern:?}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if body[i] == '\\' {
+            i += 1;
+            members.push(*body.get(i).unwrap_or_else(|| panic!("dangling escape in {pattern:?}")));
+            i += 1;
+        } else if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range in class of pattern {pattern:?}");
+            members.extend((lo..=hi).filter(|c| c.is_ascii() || lo == hi));
+            i += 3;
+        } else {
+            members.push(body[i]);
+            i += 1;
+        }
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn identifier_pattern_respects_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z][a-z0-9_]{0,10}", &mut r);
+            assert!((1..=11).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_space() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_pattern("[a-zA-Z0-9 ']{0,12}", &mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '\''));
+        }
+    }
+
+    #[test]
+    fn dot_is_printable_ascii() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_pattern(".{0,40}", &mut r);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| ('\u{20}'..='\u{7e}').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_count_and_bare_class() {
+        let mut r = rng();
+        let s = sample_pattern("[a-c]", &mut r);
+        assert_eq!(s.len(), 1);
+        let t = sample_pattern("x{3}", &mut r);
+        assert_eq!(t, "xxx");
+    }
+
+    #[test]
+    fn nonzero_minimum_is_respected() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_pattern("[a-z%]{1,8}", &mut r);
+            assert!((1..=8).contains(&s.len()));
+        }
+    }
+}

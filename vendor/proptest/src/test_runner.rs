@@ -1,0 +1,22 @@
+//! Runner configuration consumed by the `proptest!` macro.
+
+/// Controls how many cases each property test runs. `Copy` so the macro's
+/// move-closure body can capture it while the harness keeps using it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the small slice of `rand` it actually uses: a seedable deterministic
+//! generator (`rngs::StdRng`), the `Rng`/`RngCore`/`SeedableRng` traits
+//! with `gen_range`/`gen_bool`, and `seq::SliceRandom`.
+//!
+//! `StdRng` here is xoshiro256** seeded through SplitMix64. The upstream
+//! crate documents `StdRng` streams as unstable across versions, and
+//! nothing in the workspace depends on exact draw values — only on
+//! determinism for a fixed seed, which this implementation provides.
+
+/// The core of every generator: uniformly distributed raw words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range. The output type
+    /// is a free parameter (as upstream) so the caller's expected type can
+    /// drive inference of the range's element type.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        // 53-bit uniform in [0, 1).
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn unit_f32(word: u64) -> f32 {
+    ((word >> 40) as u32) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic standard generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&word[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Range sampling, the subset of `rand`'s `SampleRange`/`SampleUniform`
+/// machinery the workspace uses. Implemented for half-open and inclusive
+/// ranges over the primitive integer and float types.
+pub trait SampleRange<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+/// Types uniformly sampleable from a range. The blanket `SampleRange`
+/// impls below are generic over this trait (one impl per range shape, as
+/// upstream) so type inference can unify an integer literal's type with
+/// `gen_range`'s output type before integer fallback kicks in.
+pub trait SampleUniform: Sized {
+    fn sample_half_open<G: RngCore>(rng: &mut G, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive<G: RngCore>(rng: &mut G, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Unbiased integer sampling in `[0, bound)` by rejection.
+fn uniform_u64<G: RngCore>(rng: &mut G, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty => $unsigned:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: RngCore>(rng: &mut G, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as $unsigned).wrapping_sub(lo as $unsigned) as u64;
+                let off = uniform_u64(rng, span);
+                (lo as $unsigned).wrapping_add(off as $unsigned) as $t
+            }
+            fn sample_inclusive<G: RngCore>(rng: &mut G, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $unsigned).wrapping_sub(lo as $unsigned) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_u64(rng, span + 1);
+                (lo as $unsigned).wrapping_add(off as $unsigned) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<G: RngCore>(rng: &mut G, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+    fn sample_inclusive<G: RngCore>(rng: &mut G, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<G: RngCore>(rng: &mut G, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + (hi - lo) * unit_f32(rng.next_u64())
+    }
+    fn sample_inclusive<G: RngCore>(rng: &mut G, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + (hi - lo) * unit_f32(rng.next_u64())
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers: Fisher–Yates shuffle and uniform choice.
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        use super::RngCore;
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let u = rng.gen_range(0usize..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.7)).count();
+        assert!((65_000..75_000).contains(&hits), "p=0.7 gave {hits}/100000");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should not stay in place");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = [1, 2, 3];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*v.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace only uses serde as a derive decoration (no serde_json or
+//! other format crate is in the graph), so this facade provides the two
+//! trait names for imports plus no-op derive macros behind the same
+//! `derive` feature flag as upstream.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}

@@ -1,0 +1,20 @@
+//! Offline vendored no-op `serde` derive macros.
+//!
+//! The workspace decorates types with `#[derive(Serialize, Deserialize)]`
+//! for forward compatibility but never invokes serde serialisation (the
+//! plugin codec is hand-rolled over `bytes`). With no crates.io access,
+//! these derives expand to nothing: the annotation stays legal and costs
+//! nothing. If real serialisation is ever needed, swap the vendored
+//! `serde`/`serde_derive` pair for the upstream crates.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
