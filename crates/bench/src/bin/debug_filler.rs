@@ -4,7 +4,6 @@ use bench::{dataset, headline_profile};
 use bull::{DbId, Lang, Split};
 use crossenc::InferenceMode;
 use finsql_core::pipeline::{FinSql, FinSqlConfig};
-use rand::SeedableRng;
 use simllm::slots::{FillOptions, SlotFiller};
 use std::collections::HashMap;
 
@@ -20,7 +19,9 @@ fn main() {
         let linked = system.linker.link(q, &rt.views, InferenceMode::Parallel);
         let prompt_schema = linked.project(&rt.schema, 4, 8);
         let filler = SlotFiller::new(&prompt_schema, &rt.values, q);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // The shared per-question stream, so this probe's draws line up
+        // with what the same question sees under evaluation.
+        let mut rng = system.question_rng(DbId::Fund, q);
         let opts = FillOptions { cot: true, slot_skill: 1.0, join_skill: 1.0 };
         let sql = filler.fill(shape, &opts, &mut rng).unwrap_or_else(|| filler.fallback_sql());
         let ok = sqlengine::execution_accuracy(ds.db(DbId::Fund), &sql, &e.sql);

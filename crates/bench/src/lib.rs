@@ -2,8 +2,9 @@
 //! and figure of the paper.
 
 use bull::{BullDataset, DbId, Lang};
-use finsql_core::baselines::{FtBaseline, GptBaseline, GptMethod, GptModel};
-use finsql_core::eval::{evaluate_ex_limit, evaluate_ex_parallel, EvalOutcome};
+use finsql_core::baselines::{FtBaseline, GptBaseline, GptMethod, GptModel, SharedGptBaseline};
+use finsql_core::cache::{Answerer, AnswerCache};
+use finsql_core::eval::{evaluate_ex_all_interleaved, evaluate_ex_all_limit, EvalOutcome};
 use finsql_core::metrics::EvalMetrics;
 use finsql_core::pipeline::{FinSql, FinSqlConfig};
 use simllm::BaseModelProfile;
@@ -15,11 +16,15 @@ pub const SEED: u64 = bull::DEFAULT_SEED;
 /// Harness-wide evaluation options, parsed from the binary's CLI
 /// arguments: `--serial` forces the single-threaded evaluation path (the
 /// escape hatch; results are identical either way), `--workers N` sizes
-/// the worker pool (`0` = available parallelism).
+/// the worker pool (`0` = available parallelism), `--no-cache` disables
+/// the keyed answer cache, and `--cache-cap N` caps the cache at `N`
+/// entries (`0` = unbounded, the default).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct HarnessOpts {
     pub serial: bool,
     pub workers: usize,
+    pub no_cache: bool,
+    pub cache_cap: usize,
 }
 
 impl HarnessOpts {
@@ -41,10 +46,27 @@ impl HarnessOpts {
                         .and_then(|v| v.parse().ok())
                         .expect("--workers needs a number");
                 }
+                "--no-cache" => opts.no_cache = true,
+                "--cache-cap" => {
+                    opts.cache_cap = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--cache-cap needs a number");
+                }
                 _ => {}
             }
         }
         opts
+    }
+
+    /// The answer cache these options call for: `None` under
+    /// `--no-cache`, otherwise a cache capped at `--cache-cap` entries.
+    pub fn cache(&self) -> Option<AnswerCache> {
+        if self.no_cache {
+            None
+        } else {
+            Some(AnswerCache::with_capacity(self.cache_cap))
+        }
     }
 }
 
@@ -69,6 +91,27 @@ pub fn t5_profile(lang: Lang) -> &'static BaseModelProfile {
     }
 }
 
+/// Evaluates any [`Answerer`] over all three dev sets on the interleaved
+/// cross-database queue (or serially under `--serial`), threading an
+/// optional answer cache and metrics sink through every question. This
+/// is the one evaluation path the FinSQL rows and both baseline families
+/// share.
+pub fn answerer_ex(
+    answerer: &(impl Answerer + ?Sized),
+    ds: &BullDataset,
+    lang: Lang,
+    opts: HarnessOpts,
+    metrics: Option<&EvalMetrics>,
+    cache: Option<&AnswerCache>,
+) -> EvalOutcome {
+    let predict = |db: DbId, q: &str| answerer.answer_maybe_cached(cache, db, q, metrics);
+    if opts.serial {
+        evaluate_ex_all_limit(ds, lang, None, predict).pooled()
+    } else {
+        evaluate_ex_all_interleaved(ds, lang, opts.workers, None, predict).pooled()
+    }
+}
+
 /// Evaluates a built FinSQL system over all three dev sets, pooled, on
 /// the parallel path with default options.
 pub fn finsql_ex(system: &FinSql, ds: &BullDataset) -> EvalOutcome {
@@ -76,27 +119,17 @@ pub fn finsql_ex(system: &FinSql, ds: &BullDataset) -> EvalOutcome {
 }
 
 /// [`finsql_ex`] with explicit harness options and an optional metrics
-/// sink fed by every answered question.
+/// sink fed by every answered question. The answer cache the options
+/// call for lives only for this run; use [`answerer_ex`] directly to
+/// keep a cache warm across runs.
 pub fn finsql_ex_with(
     system: &FinSql,
     ds: &BullDataset,
     opts: HarnessOpts,
     metrics: Option<&EvalMetrics>,
 ) -> EvalOutcome {
-    let mut outcome = EvalOutcome::default();
-    for db in DbId::ALL {
-        let predict = |q: &str| {
-            let mut rng = system.question_rng(db, q);
-            system.answer_with_metrics(db, q, &mut rng, metrics)
-        };
-        let per = if opts.serial {
-            evaluate_ex_limit(ds, db, system.config.lang, None, predict)
-        } else {
-            evaluate_ex_parallel(ds, db, system.config.lang, opts.workers, None, predict)
-        };
-        outcome.absorb(&per);
-    }
-    outcome
+    let cache = opts.cache();
+    answerer_ex(system, ds, system.config.lang, opts, metrics, cache.as_ref())
 }
 
 /// Evaluates a fine-tuning baseline over all dev sets on the parallel
@@ -112,20 +145,8 @@ pub fn ft_ex_with(
     lang: Lang,
     opts: HarnessOpts,
 ) -> EvalOutcome {
-    let mut outcome = EvalOutcome::default();
-    for db in DbId::ALL {
-        let predict = |q: &str| {
-            let mut rng = baseline.question_rng(db, q);
-            baseline.answer(db, q, &mut rng)
-        };
-        let per = if opts.serial {
-            evaluate_ex_limit(ds, db, lang, None, predict)
-        } else {
-            evaluate_ex_parallel(ds, db, lang, opts.workers, None, predict)
-        };
-        outcome.absorb(&per);
-    }
-    outcome
+    let cache = opts.cache();
+    answerer_ex(baseline, ds, lang, opts, None, cache.as_ref())
 }
 
 /// Evaluates a GPT baseline over a sampled subset of the dev sets (the
@@ -140,8 +161,23 @@ pub fn gpt_ex(
     sample_per_db: usize,
     seed: u64,
 ) -> (EvalOutcome, f64, bool) {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    gpt_ex_cached(ds, lang, method, model, sample_per_db, seed, None)
+}
+
+/// [`gpt_ex`] threading an optional answer cache: repeated questions are
+/// served from the cache without paying another (simulated) API call —
+/// the serving-side saving caching exists for. Randomness is drawn from
+/// the shared per-question stream, so answers (and hence EX counts) are
+/// identical with or without the cache.
+pub fn gpt_ex_cached(
+    ds: &BullDataset,
+    lang: Lang,
+    method: GptMethod,
+    model: GptModel,
+    sample_per_db: usize,
+    seed: u64,
+    cache: Option<&AnswerCache>,
+) -> (EvalOutcome, f64, bool) {
     let base = simllm::EmbeddingModel::pretrained(seed);
     let mut outcome = EvalOutcome::default();
     let mut total_cost = 0.0;
@@ -151,26 +187,28 @@ pub fn gpt_ex(
         let schema = ds.db(db).catalog().clone();
         let values = simllm::ValueIndex::build(ds.db(db));
         let train_pairs = finsql_core::peft::training_pairs(ds, db, lang);
-        let mut baseline =
-            GptBaseline::new(method, model, lang, &base, &schema, &values, &train_pairs);
+        let baseline = SharedGptBaseline::new(
+            GptBaseline::new(method, model, lang, &base, &schema, &values, &train_pairs),
+            db,
+            seed,
+        );
         // Infeasibility (context overflow) is a per-database property:
         // one database overflowing must not suppress correct-counting on
         // the databases that fit. The pooled flag only marks the row.
-        let infeasible_db = baseline.infeasible();
+        let infeasible_db = baseline.with_inner(|b| b.infeasible());
         infeasible |= infeasible_db;
         let dev = ds.examples_for(db, bull::Split::Dev);
-        let mut rng = StdRng::seed_from_u64(seed ^ db as u64);
         for e in dev.iter().take(sample_per_db) {
             let q = e.question(lang);
-            let sql = baseline.answer(q, &mut rng);
+            let sql = baseline.answer_maybe_cached(cache, db, q, None);
             if !infeasible_db && sqlengine::execution_accuracy(ds.db(db), &sql, &e.sql) {
                 outcome.correct += 1;
             }
             outcome.total += 1;
         }
-        total_cost +=
-            baseline.meter.cost_per_query(&baseline.price()) * baseline.meter.queries as f64;
-        queries += baseline.meter.queries;
+        total_cost += baseline
+            .with_inner(|b| b.meter.cost_per_query(&b.price()) * b.meter.queries as f64);
+        queries += baseline.with_inner(|b| b.meter.queries);
     }
     (outcome, total_cost / queries.max(1) as f64, infeasible)
 }
@@ -186,9 +224,12 @@ pub fn pct(x: f64) -> String {
 }
 
 /// Regenerates Table 4 (en) / Table 5 (cn): overall EX and cost per SQL.
-/// Evaluation runs on the sharded parallel path (`--serial` for the
-/// single-threaded escape hatch, `--workers N` to size the pool); the
-/// FinSQL rows print questions/sec and a per-stage breakdown.
+/// Evaluation runs on the interleaved cross-database queue (`--serial`
+/// for the single-threaded escape hatch, `--workers N` to size the
+/// pool), with the keyed answer cache in front of the pipeline
+/// (`--no-cache` to disable, `--cache-cap N` to bound it). The FinSQL
+/// rows print questions/sec and a per-stage breakdown, then re-evaluate
+/// against the warm cache to report the serving-side speedup.
 pub fn run_overall_table(lang: Lang) {
     let opts = HarnessOpts::from_args();
     let ds = dataset();
@@ -241,11 +282,23 @@ pub fn run_overall_table(lang: Lang) {
     let head = headline_profile(lang);
     for profile in [head, t5] {
         let finsql = FinSql::build(&ds, profile, FinSqlConfig::standard(lang));
+        let cache = opts.cache();
         let metrics = EvalMetrics::new();
         let wall = Instant::now();
-        let out = finsql_ex_with(&finsql, &ds, opts, Some(&metrics));
+        let out = answerer_ex(&finsql, &ds, lang, opts, Some(&metrics), cache.as_ref());
         let wall = wall.elapsed();
         println!("{:<36} {:>6.1} {:>18}", format!("FinSQL + {}", profile.name), out.ex_pct(), "-");
         print!("{}", metrics.snapshot().report(wall));
+        // Re-evaluate against the warm cache: identical EX, served from
+        // the keyed cache instead of the pipeline.
+        if let Some(cache) = &cache {
+            let warm_metrics = EvalMetrics::new();
+            let warm_wall = Instant::now();
+            let warm = answerer_ex(&finsql, &ds, lang, opts, Some(&warm_metrics), Some(cache));
+            let warm_wall = warm_wall.elapsed();
+            assert_eq!(out, warm, "a warm cache must reproduce the cold EX counts exactly");
+            println!("  warm-cache re-evaluation (identical EX):");
+            print!("{}", warm_metrics.snapshot().report(warm_wall));
+        }
     }
 }

@@ -14,6 +14,8 @@
 //!   decoding — candidates that cannot parse into schema-valid SQL are
 //!   rejected and the decoder retries.
 
+use crate::cache::{Answerer, ConfigFingerprint};
+use crate::metrics::EvalMetrics;
 use crate::pipeline::{FinSql, FinSqlConfig};
 use crate::CalibrationConfig;
 use augment::AugmentationFlags;
@@ -141,6 +143,28 @@ impl FtBaseline {
     /// A deterministic per-question RNG, mirroring [`FinSql`].
     pub fn question_rng(&self, db: DbId, question: &str) -> StdRng {
         self.system.question_rng(db, question)
+    }
+}
+
+impl Answerer for FtBaseline {
+    /// The wrapped system's fingerprint extended with the baseline's
+    /// identity and decoding mode — two baselines over identically
+    /// configured systems must never share cache entries.
+    fn fingerprint(&self) -> ConfigFingerprint {
+        let mut b = crate::cache::FingerprintBuilder::new("ft-baseline")
+            .push_u64(self.system.config_fingerprint().0)
+            .push_str(self.name);
+        b = match self.mode {
+            FtMode::Greedy => b.push_u64(0),
+            FtMode::SkeletonAware => b.push_u64(1),
+            FtMode::Constrained { n } => b.push_u64(2).push_usize(n),
+        };
+        b.finish()
+    }
+
+    fn answer_fresh(&self, db: DbId, question: &str, _metrics: Option<&EvalMetrics>) -> String {
+        let mut rng = self.question_rng(db, question);
+        self.answer(db, question, &mut rng)
     }
 }
 

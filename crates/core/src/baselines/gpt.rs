@@ -9,8 +9,10 @@
 //! is), under a GPT-specific capability profile. Cost-per-SQL is metered
 //! from real prompt text at the paper's Table 2 prices.
 
+use crate::cache::{Answerer, ConfigFingerprint, FingerprintBuilder};
+use crate::metrics::EvalMetrics;
 use crate::prompt::{render_icl_prompt, render_prompt};
-use bull::Lang;
+use bull::{DbId, Lang};
 use rand::rngs::StdRng;
 use simllm::hub::Prototype;
 use simllm::noise::NoiseRates;
@@ -206,6 +208,57 @@ impl<'a> GptBaseline<'a> {
             }
         }
         out
+    }
+}
+
+/// A [`GptBaseline`] pinned to its database and made shareable across
+/// evaluation threads: the inner baseline sits behind a mutex (its cost
+/// meter mutates on every call), randomness is drawn from the shared
+/// per-question stream, and the configuration fingerprint covers the
+/// method, model, register, seed and database so the answer cache can
+/// never serve one configuration's SQL to another.
+pub struct SharedGptBaseline<'a> {
+    inner: parking_lot::Mutex<GptBaseline<'a>>,
+    db: DbId,
+    seed: u64,
+}
+
+impl<'a> SharedGptBaseline<'a> {
+    /// Wraps a baseline built for `db`, with the evaluation seed the
+    /// per-question RNG derives from.
+    pub fn new(baseline: GptBaseline<'a>, db: DbId, seed: u64) -> Self {
+        SharedGptBaseline { inner: parking_lot::Mutex::new(baseline), db, seed }
+    }
+
+    /// Runs a closure over the inner baseline (cost-meter reads).
+    pub fn with_inner<T>(&self, f: impl FnOnce(&GptBaseline<'a>) -> T) -> T {
+        f(&self.inner.lock())
+    }
+}
+
+impl Answerer for SharedGptBaseline<'_> {
+    fn fingerprint(&self) -> ConfigFingerprint {
+        let inner = self.inner.lock();
+        let mut b = FingerprintBuilder::new("gpt-baseline");
+        b = match inner.method {
+            GptMethod::DailSql { shots } => b.push_u64(0).push_usize(shots),
+            GptMethod::DinSql => b.push_u64(1),
+            GptMethod::C3 => b.push_u64(2),
+        };
+        b = match inner.model {
+            GptModel::Gpt4 => b.push_u64(0),
+            GptModel::ChatGpt => b.push_u64(1),
+        };
+        b.push_str(inner.lang.suffix())
+            .push_u64(self.seed)
+            .push_str(self.db.as_str())
+            .finish()
+    }
+
+    fn answer_fresh(&self, db: DbId, question: &str, _metrics: Option<&EvalMetrics>) -> String {
+        debug_assert_eq!(db, self.db, "baseline built for one database");
+        let mut rng = crate::pipeline::question_rng(self.seed, db, question);
+        self.inner.lock().answer(question, &mut rng)
     }
 }
 

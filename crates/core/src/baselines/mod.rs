@@ -10,4 +10,4 @@ pub mod ft;
 pub mod gpt;
 
 pub use ft::{FtBaseline, FtMode};
-pub use gpt::{GptBaseline, GptMethod, GptModel};
+pub use gpt::{GptBaseline, GptMethod, GptModel, SharedGptBaseline};

@@ -1,0 +1,418 @@
+//! Keyed answer caching — the serving layer in front of the pipeline.
+//!
+//! [`FinSql::answer`](crate::pipeline::FinSql::answer) is deterministic
+//! per `(database, question)` because every RNG draw is seeded from
+//! [`question_rng`](crate::pipeline::FinSql::question_rng); a cached
+//! answer is therefore *exactly* the answer a recomputation would
+//! produce. What can silently change an answer is configuration: linker
+//! top-k, candidate count, calibration steps, the base-model profile or
+//! the plugins loaded per database. [`ConfigFingerprint`] hashes every
+//! one of those knobs into the cache key, so a stale-config hit is
+//! structurally impossible — a changed knob changes the key and the old
+//! entry is simply never found.
+//!
+//! [`AnswerCache`] is sharded and lock-striped: keys are spread over
+//! independently-locked shards so evaluation workers rarely contend, and
+//! each shard evicts in insertion (FIFO) order once a capacity cap is
+//! reached. [`Answerer`] is the trait the FinSQL system and the
+//! fine-tuning/GPT baselines share so the bench harness can thread one
+//! cache through any of them.
+
+use crate::metrics::EvalMetrics;
+use bull::DbId;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A stable hash of every configuration knob that can change an answer.
+///
+/// Two systems with equal fingerprints produce byte-identical answers
+/// for the same `(db, question)`; any single knob mutation yields a
+/// different fingerprint (each field occupies a fixed-width slot in the
+/// underlying FNV-1a stream, and FNV-1a's per-byte step `h = (h ^ b) * p`
+/// is injective in `h` for odd `p`, so a difference introduced at one
+/// slot can never be cancelled by identical later slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigFingerprint(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental builder for a [`ConfigFingerprint`]. Fields must be
+/// pushed in a fixed order; strings are length-prefixed so the byte
+/// stream stays prefix-free.
+#[derive(Debug, Clone, Copy)]
+pub struct FingerprintBuilder {
+    h: u64,
+}
+
+impl FingerprintBuilder {
+    /// Starts a fingerprint under a domain label (so e.g. a FinSQL
+    /// system and a baseline with coincidentally equal knobs can never
+    /// share keys).
+    pub fn new(domain: &str) -> Self {
+        FingerprintBuilder { h: FNV_OFFSET }.push_str(domain)
+    }
+
+    fn push_byte(mut self, b: u8) -> Self {
+        self.h = (self.h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        self
+    }
+
+    /// Pushes a 64-bit value as a fixed-width little-endian slot.
+    pub fn push_u64(mut self, v: u64) -> Self {
+        for b in v.to_le_bytes() {
+            self = self.push_byte(b);
+        }
+        self
+    }
+
+    pub fn push_usize(self, v: usize) -> Self {
+        self.push_u64(v as u64)
+    }
+
+    pub fn push_bool(self, v: bool) -> Self {
+        self.push_u64(u64::from(v))
+    }
+
+    /// Pushes a float by bit pattern (`-0.0` and `0.0` differ, NaNs are
+    /// stable — fine for configuration knobs that are never computed).
+    pub fn push_f64(self, v: f64) -> Self {
+        self.push_u64(v.to_bits())
+    }
+
+    /// Pushes a length-prefixed string.
+    pub fn push_str(mut self, s: &str) -> Self {
+        self = self.push_u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self = self.push_byte(*b);
+        }
+        self
+    }
+
+    pub fn finish(self) -> ConfigFingerprint {
+        ConfigFingerprint(self.h)
+    }
+}
+
+/// One cache key: the question pinned to its database and the full
+/// configuration fingerprint of the system that answers it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    db: DbId,
+    question: String,
+    fingerprint: ConfigFingerprint,
+}
+
+impl CacheKey {
+    /// The shard a key lives in — FNV over the parts, independent of the
+    /// `HashMap` hasher.
+    fn shard_index(db: DbId, question: &str, fingerprint: ConfigFingerprint, shards: usize) -> usize {
+        let h = FingerprintBuilder::new(db.as_str())
+            .push_str(question)
+            .push_u64(fingerprint.0)
+            .finish()
+            .0;
+        (h % shards as u64) as usize
+    }
+}
+
+/// One lock-striped shard: the entry map plus FIFO insertion order for
+/// capacity eviction.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, String>,
+    order: VecDeque<CacheKey>,
+}
+
+/// Monotonic counters of one cache's lifetime, snapshot by
+/// [`AnswerCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Sharded, lock-striped answer cache keyed by
+/// `(DbId, question, ConfigFingerprint)`.
+#[derive(Debug)]
+pub struct AnswerCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Max entries per shard; `None` = unbounded.
+    shard_cap: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Shard count: enough stripes that a worker pool sized to typical core
+/// counts rarely contends, cheap enough to iterate for stats.
+const SHARDS: usize = 16;
+
+impl Default for AnswerCache {
+    fn default() -> Self {
+        AnswerCache::unbounded()
+    }
+}
+
+impl AnswerCache {
+    /// A cache that never evicts.
+    pub fn unbounded() -> Self {
+        Self::build(None)
+    }
+
+    /// A cache holding at most `capacity` entries in total (rounded up
+    /// to the shard granularity). `capacity == 0` means unbounded — the
+    /// `--cache-cap 0` CLI convention.
+    pub fn with_capacity(capacity: usize) -> Self {
+        if capacity == 0 {
+            Self::unbounded()
+        } else {
+            Self::build(Some(capacity.div_ceil(SHARDS)))
+        }
+    }
+
+    fn build(shard_cap: Option<usize>) -> Self {
+        AnswerCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up an answer, counting the hit or miss.
+    pub fn get(&self, db: DbId, question: &str, fingerprint: ConfigFingerprint) -> Option<String> {
+        let idx = CacheKey::shard_index(db, question, fingerprint, self.shards.len());
+        let key = CacheKey { db, question: question.to_string(), fingerprint };
+        let found = self.shards[idx].lock().map.get(&key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Inserts an answer, evicting the shard's oldest entries beyond the
+    /// capacity cap. Returns the number of evictions performed. Racing
+    /// inserts of the same key are idempotent (answers are deterministic,
+    /// so both writers carry the same value).
+    pub fn insert(
+        &self,
+        db: DbId,
+        question: &str,
+        fingerprint: ConfigFingerprint,
+        answer: String,
+    ) -> u64 {
+        let key = CacheKey { db, question: question.to_string(), fingerprint };
+        let idx = CacheKey::shard_index(db, question, fingerprint, self.shards.len());
+        let mut shard = self.shards[idx].lock();
+        if shard.map.insert(key.clone(), answer).is_none() {
+            shard.order.push_back(key);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut evicted = 0;
+        if let Some(cap) = self.shard_cap {
+            while shard.map.len() > cap {
+                let Some(oldest) = shard.order.pop_front() else { break };
+                if shard.map.remove(&oldest).is_some() {
+                    evicted += 1;
+                }
+            }
+        }
+        drop(shard);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Anything that answers questions deterministically per
+/// `(db, question)` under a fingerprinted configuration: the FinSQL
+/// system and both baseline families. The provided [`Answerer::answer_cached`]
+/// is the single cache read/compute/fill path every caller shares.
+pub trait Answerer: Sync {
+    /// The fingerprint of every answer-affecting knob of this system.
+    fn fingerprint(&self) -> ConfigFingerprint;
+
+    /// Computes an answer from scratch (no cache involvement). Must be
+    /// deterministic per `(db, question)` — seed any randomness from the
+    /// question, as [`crate::pipeline::FinSql::question_rng`] does.
+    fn answer_fresh(&self, db: DbId, question: &str, metrics: Option<&EvalMetrics>) -> String;
+
+    /// Answers through the cache: hit returns the stored answer, miss
+    /// computes outside the lock and fills. Cache traffic is recorded in
+    /// the metrics sink when one is given.
+    fn answer_cached(
+        &self,
+        cache: &AnswerCache,
+        db: DbId,
+        question: &str,
+        metrics: Option<&EvalMetrics>,
+    ) -> String {
+        let fingerprint = self.fingerprint();
+        if let Some(hit) = cache.get(db, question, fingerprint) {
+            if let Some(m) = metrics {
+                m.record_cache_hit();
+            }
+            return hit;
+        }
+        let answer = self.answer_fresh(db, question, metrics);
+        let evicted = cache.insert(db, question, fingerprint, answer.clone());
+        if let Some(m) = metrics {
+            m.record_cache_miss(evicted);
+        }
+        answer
+    }
+
+    /// [`Answerer::answer_cached`] with an optional cache — the shape the
+    /// bench harness uses under its `--no-cache` flag.
+    fn answer_maybe_cached(
+        &self,
+        cache: Option<&AnswerCache>,
+        db: DbId,
+        question: &str,
+        metrics: Option<&EvalMetrics>,
+    ) -> String {
+        match cache {
+            Some(c) => self.answer_cached(c, db, question, metrics),
+            None => self.answer_fresh(db, question, metrics),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(v: u64) -> ConfigFingerprint {
+        ConfigFingerprint(v)
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = AnswerCache::unbounded();
+        assert_eq!(cache.get(DbId::Fund, "q", fp(1)), None);
+        cache.insert(DbId::Fund, "q", fp(1), "SELECT 1".into());
+        assert_eq!(cache.get(DbId::Fund, "q", fp(1)).as_deref(), Some("SELECT 1"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn fingerprint_partitions_the_key_space() {
+        let cache = AnswerCache::unbounded();
+        cache.insert(DbId::Fund, "q", fp(1), "old".into());
+        // Same db+question under a different config must miss.
+        assert_eq!(cache.get(DbId::Fund, "q", fp(2)), None);
+        // And the same fingerprint on another db must miss too.
+        assert_eq!(cache.get(DbId::Stock, "q", fp(1)), None);
+    }
+
+    #[test]
+    fn capacity_caps_entries_and_counts_evictions() {
+        let cache = AnswerCache::with_capacity(SHARDS); // one entry per shard
+        for i in 0..200 {
+            cache.insert(DbId::Fund, &format!("q{i}"), fp(0), format!("a{i}"));
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= SHARDS, "{} entries resident", stats.entries);
+        assert_eq!(stats.inserts, 200);
+        assert_eq!(stats.evictions, 200 - stats.entries as u64);
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let cache = AnswerCache::with_capacity(0);
+        for i in 0..100 {
+            cache.insert(DbId::Macro, &format!("q{i}"), fp(0), String::new());
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let cache = AnswerCache::unbounded();
+        cache.insert(DbId::Fund, "q", fp(1), "a".into());
+        cache.insert(DbId::Fund, "q", fp(1), "a".into());
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn builder_slots_are_order_sensitive() {
+        let a = FingerprintBuilder::new("t").push_u64(1).push_u64(2).finish();
+        let b = FingerprintBuilder::new("t").push_u64(2).push_u64(1).finish();
+        assert_ne!(a, b);
+        let c = FingerprintBuilder::new("t").push_str("ab").push_str("c").finish();
+        let d = FingerprintBuilder::new("t").push_str("a").push_str("bc").finish();
+        assert_ne!(c, d, "length prefixing keeps the stream prefix-free");
+    }
+
+    struct Upper;
+    impl Answerer for Upper {
+        fn fingerprint(&self) -> ConfigFingerprint {
+            FingerprintBuilder::new("upper").finish()
+        }
+        fn answer_fresh(&self, _db: DbId, q: &str, _m: Option<&EvalMetrics>) -> String {
+            q.to_ascii_uppercase()
+        }
+    }
+
+    #[test]
+    fn answerer_default_path_fills_and_hits() {
+        let cache = AnswerCache::unbounded();
+        let m = EvalMetrics::new();
+        let a = Upper.answer_cached(&cache, DbId::Fund, "select x", Some(&m));
+        let b = Upper.answer_cached(&cache, DbId::Fund, "select x", Some(&m));
+        assert_eq!(a, "SELECT X");
+        assert_eq!(a, b);
+        let snap = m.snapshot();
+        assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
+        assert_eq!(Upper.answer_maybe_cached(None, DbId::Fund, "y", None), "Y");
+        assert_eq!(cache.len(), 1, "uncached path must not touch the cache");
+    }
+}

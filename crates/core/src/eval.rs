@@ -122,20 +122,133 @@ pub fn evaluate_ex_parallel(
     .expect("evaluation pool panicked")
 }
 
+/// Per-database EX counts of one cross-database run, in [`DbId::ALL`]
+/// order. The pooled headline number is [`MultiDbOutcome::pooled`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiDbOutcome {
+    pub per_db: [EvalOutcome; DbId::ALL.len()],
+}
+
+impl MultiDbOutcome {
+    /// The outcome of one database.
+    pub fn outcome(&self, db: DbId) -> &EvalOutcome {
+        let idx = DbId::ALL.iter().position(|&d| d == db).expect("db in canonical order");
+        &self.per_db[idx]
+    }
+
+    /// Counts pooled over every database (the headline EX of Tables 4/5).
+    pub fn pooled(&self) -> EvalOutcome {
+        let mut pooled = EvalOutcome::default();
+        for per in &self.per_db {
+            pooled.absorb(per);
+        }
+        pooled
+    }
+}
+
+/// Cross-database sharded evaluation over **one** work queue: the dev
+/// examples of all three databases are interleaved and a single worker
+/// pool drains them, so no worker idles at a database boundary (the tail
+/// barrier the per-database loop of [`evaluate_ex_all`] pays three
+/// times). `predict` must be deterministic per `(db, question)`;
+/// correctness is then order-independent and the per-database counts
+/// equal the serial path's exactly. `limit_per_db` truncates each dev
+/// set (for tests); `workers == 0` sizes the pool to the available
+/// parallelism.
+pub fn evaluate_ex_all_interleaved(
+    ds: &BullDataset,
+    lang: Lang,
+    workers: usize,
+    limit_per_db: Option<usize>,
+    predict: impl Fn(DbId, &str) -> String + Sync,
+) -> MultiDbOutcome {
+    // One flat work list: (database index, example), the three dev sets
+    // round-robin interleaved so the queue mixes databases end to end.
+    let per_db: Vec<Vec<_>> = DbId::ALL
+        .into_iter()
+        .map(|db| {
+            let dev = ds.examples_for(db, Split::Dev);
+            let n = limit_per_db.unwrap_or(dev.len()).min(dev.len());
+            dev.into_iter().take(n).collect()
+        })
+        .collect();
+    let longest = per_db.iter().map(|d| d.len()).max().unwrap_or(0);
+    let mut work = Vec::with_capacity(per_db.iter().map(|d| d.len()).sum());
+    for i in 0..longest {
+        for (di, dev) in per_db.iter().enumerate() {
+            if let Some(e) = dev.get(i) {
+                work.push((di, *e));
+            }
+        }
+    }
+    let n = work.len();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        workers
+    }
+    .min(n.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (work, predict, next) = (&work, &predict, &next);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut local = MultiDbOutcome::default();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break local;
+                        }
+                        let (di, e) = &work[i];
+                        let db = DbId::ALL[*di];
+                        let predicted = predict(db, e.question(lang));
+                        if execution_accuracy(ds.db(db), &predicted, &e.sql) {
+                            local.per_db[*di].correct += 1;
+                        }
+                        local.per_db[*di].total += 1;
+                    }
+                })
+            })
+            .collect();
+        let mut outcome = MultiDbOutcome::default();
+        for h in handles {
+            let local = h.join().expect("evaluation worker panicked");
+            for (acc, per) in outcome.per_db.iter_mut().zip(&local.per_db) {
+                acc.absorb(per);
+            }
+        }
+        outcome
+    })
+    .expect("evaluation pool panicked")
+}
+
+/// The serial per-database reference for [`evaluate_ex_all_interleaved`]
+/// — identical counts, one thread, databases walked in canonical order.
+pub fn evaluate_ex_all_limit(
+    ds: &BullDataset,
+    lang: Lang,
+    limit_per_db: Option<usize>,
+    mut predict: impl FnMut(DbId, &str) -> String,
+) -> MultiDbOutcome {
+    let mut outcome = MultiDbOutcome::default();
+    for (di, db) in DbId::ALL.into_iter().enumerate() {
+        outcome.per_db[di] =
+            evaluate_ex_limit(ds, db, lang, limit_per_db, |q| predict(db, q));
+    }
+    outcome
+}
+
 /// Parallel pooled evaluation over every database, the counterpart of
-/// [`evaluate_ex_all`].
+/// [`evaluate_ex_all`]. Runs on the interleaved cross-database queue —
+/// one worker pool over all three dev sets, no per-database tail.
 pub fn evaluate_ex_all_parallel(
     ds: &BullDataset,
     lang: Lang,
     workers: usize,
     predict: impl Fn(DbId, &str) -> String + Sync,
 ) -> EvalOutcome {
-    let mut outcome = EvalOutcome::default();
-    for db in DbId::ALL {
-        let per = evaluate_ex_parallel(ds, db, lang, workers, None, |q| predict(db, q));
-        outcome.absorb(&per);
-    }
-    outcome
+    evaluate_ex_all_interleaved(ds, lang, workers, None, predict).pooled()
 }
 
 /// Evaluates over every database and pools the counts (the headline EX of

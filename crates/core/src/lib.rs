@@ -15,9 +15,12 @@
 //!
 //! [`pipeline`] wires them into the runnable [`pipeline::FinSql`]
 //! system; [`eval`] measures execution accuracy; [`baselines`] implements
-//! the six comparison systems of the paper's Tables 4–5.
+//! the six comparison systems of the paper's Tables 4–5; [`cache`] is the
+//! serving layer — a config-fingerprinted answer cache shared by the
+//! system and the baselines through the [`cache::Answerer`] trait.
 
 pub mod baselines;
+pub mod cache;
 pub mod calibrate;
 pub mod eval;
 pub mod metrics;
@@ -25,8 +28,9 @@ pub mod peft;
 pub mod pipeline;
 pub mod prompt;
 
+pub use cache::{Answerer, AnswerCache, CacheStats, ConfigFingerprint, FingerprintBuilder};
 pub use calibrate::{calibrate, calibrate_with_stats, CalibrationConfig, CalibrationStats};
-pub use eval::{evaluate_ex, evaluate_ex_parallel, EvalOutcome};
+pub use eval::{evaluate_ex, evaluate_ex_parallel, EvalOutcome, MultiDbOutcome};
 pub use metrics::{EvalMetrics, MetricsSnapshot};
 pub use pipeline::{FinSql, FinSqlConfig};
 pub use prompt::{render_prompt, render_schema};

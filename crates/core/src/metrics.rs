@@ -28,6 +28,9 @@ pub struct EvalMetrics {
     calibration_fallbacks: AtomicU64,
     generator_fallbacks: AtomicU64,
     skeleton_slips: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl EvalMetrics {
@@ -66,6 +69,19 @@ impl EvalMetrics {
         }
     }
 
+    /// Records one question served straight from the answer cache (no
+    /// pipeline stage ran).
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cache miss (the question was computed and the cache
+    /// filled), with the evictions that fill performed.
+    pub fn record_cache_miss(&self, evictions: u64) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_evictions.fetch_add(evictions, Ordering::Relaxed);
+    }
+
     /// A consistent copy of the totals.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -80,6 +96,9 @@ impl EvalMetrics {
             calibration_fallbacks: self.calibration_fallbacks.load(Ordering::Relaxed),
             generator_fallbacks: self.generator_fallbacks.load(Ordering::Relaxed),
             skeleton_slips: self.skeleton_slips.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -106,15 +125,37 @@ pub struct MetricsSnapshot {
     pub generator_fallbacks: u64,
     /// Samples whose skeleton slipped to the runner-up prototype.
     pub skeleton_slips: u64,
+    /// Questions served straight from the answer cache.
+    pub cache_hits: u64,
+    /// Questions that missed the cache and were computed (and filled).
+    pub cache_misses: u64,
+    /// Cache entries evicted by capacity pressure during this run.
+    pub cache_evictions: u64,
 }
 
 impl MetricsSnapshot {
-    /// Questions per second of wall time.
+    /// Questions served: computed through the pipeline plus answered
+    /// straight from the cache.
+    pub fn served(&self) -> u64 {
+        self.questions + self.cache_hits
+    }
+
+    /// Questions served per second of wall time.
     pub fn questions_per_sec(&self, wall: Duration) -> f64 {
         if wall.is_zero() {
             0.0
         } else {
-            self.questions as f64 / wall.as_secs_f64()
+            self.served() as f64 / wall.as_secs_f64()
+        }
+    }
+
+    /// Fraction of served questions answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
         }
     }
 
@@ -130,10 +171,20 @@ impl MetricsSnapshot {
         let mut out = String::new();
         out.push_str(&format!(
             "  {} questions in {:.2?}  ({:.1} questions/sec)\n",
-            self.questions,
+            self.served(),
             wall,
             self.questions_per_sec(wall)
         ));
+        if self.cache_hits + self.cache_misses > 0 {
+            out.push_str(&format!(
+                "  {:<22} {:>10}  (hit rate {:.1}%)\n",
+                "cache hits",
+                self.cache_hits,
+                self.cache_hit_rate() * 100.0
+            ));
+            out.push_str(&format!("  {:<22} {:>10}\n", "cache misses", self.cache_misses));
+            out.push_str(&format!("  {:<22} {:>10}\n", "cache evictions", self.cache_evictions));
+        }
         for (name, stage) in [
             ("linking", self.link_time),
             ("generation", self.gen_time),
@@ -220,6 +271,36 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.questions, 1000);
         assert_eq!(snap.link_time, Duration::from_nanos(100_000));
+    }
+
+    #[test]
+    fn cache_counters_feed_served_and_hit_rate() {
+        let m = EvalMetrics::new();
+        for _ in 0..2 {
+            m.record_question();
+        }
+        for _ in 0..6 {
+            m.record_cache_hit();
+        }
+        m.record_cache_miss(3);
+        m.record_cache_miss(0);
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 6);
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.cache_evictions, 3);
+        assert_eq!(s.served(), 8);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-9);
+        let report = s.report(Duration::from_secs(1));
+        assert!(report.contains("cache hits"));
+        assert!(report.contains("hit rate 75.0%"));
+    }
+
+    #[test]
+    fn report_omits_cache_lines_without_cache_traffic() {
+        let m = EvalMetrics::new();
+        m.record_question();
+        let report = m.snapshot().report(Duration::from_secs(1));
+        assert!(!report.contains("cache hits"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The end-to-end FinSQL system (paper Figure 1, inference path):
 //! schema linking → concise prompt → LLM sampling → output calibration.
 
+use crate::cache::{Answerer, ConfigFingerprint, FingerprintBuilder};
 use crate::calibrate::{calibrate_with_stats, CalibrationConfig};
 use crate::metrics::EvalMetrics;
 use crate::peft::train_database_plugin;
@@ -223,12 +224,84 @@ impl FinSql {
     /// database, and the question), so evaluation order does not matter
     /// and the same phrasing hitting two databases draws independently.
     pub fn question_rng(&self, db: DbId, question: &str) -> StdRng {
-        let mut h = self.config.seed ^ (db as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        for b in question.as_bytes() {
-            h = h.wrapping_mul(0x100000001B3).wrapping_add(u64::from(*b));
-        }
-        StdRng::seed_from_u64(h)
+        question_rng(self.config.seed, db, question)
     }
+
+    /// Hashes every configuration knob that can change an answer into one
+    /// [`ConfigFingerprint`]: the full [`FinSqlConfig`], the base-model
+    /// profile, and the identity of the plugin loaded per database. Two
+    /// systems with equal fingerprints answer identically, so the
+    /// fingerprint keys the [`crate::cache::AnswerCache`].
+    pub fn config_fingerprint(&self) -> ConfigFingerprint {
+        let mut b = fingerprint_config(FingerprintBuilder::new("finsql"), &self.config);
+        b = fingerprint_profile(b, self.profile);
+        for rt in &self.runtimes {
+            b = b
+                .push_str(rt.db.as_str())
+                .push_str(&rt.plugin.name)
+                .push_usize(rt.plugin.n_examples)
+                .push_usize(rt.plugin.prototypes.len())
+                .push_bool(rt.plugin.cot_trained);
+        }
+        b.finish()
+    }
+}
+
+impl Answerer for FinSql {
+    fn fingerprint(&self) -> ConfigFingerprint {
+        self.config_fingerprint()
+    }
+
+    fn answer_fresh(&self, db: DbId, question: &str, metrics: Option<&EvalMetrics>) -> String {
+        let mut rng = self.question_rng(db, question);
+        self.answer_with_metrics(db, question, &mut rng, metrics)
+    }
+}
+
+/// The deterministic per-question seed stream every answering system
+/// shares: FNV over the question bytes on top of the system seed mixed
+/// with the database id, exactly [`FinSql::question_rng`]'s derivation.
+pub fn question_rng(seed: u64, db: DbId, question: &str) -> StdRng {
+    let mut h = seed ^ (db as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in question.as_bytes() {
+        h = h.wrapping_mul(0x100000001B3).wrapping_add(u64::from(*b));
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Pushes every [`FinSqlConfig`] knob into a fingerprint, each in its own
+/// fixed-width slot so any single mutation changes the result.
+pub fn fingerprint_config(b: FingerprintBuilder, config: &FinSqlConfig) -> FingerprintBuilder {
+    b.push_str(config.lang.suffix())
+        .push_bool(config.augmentation.cot)
+        .push_bool(config.augmentation.synonyms)
+        .push_bool(config.augmentation.skeleton)
+        .push_usize(config.augmentation.synonyms_per_question)
+        .push_u64(config.augmentation.seed)
+        .push_bool(config.calibration.repair)
+        .push_bool(config.calibration.self_consistency)
+        .push_bool(config.calibration.alignment)
+        .push_usize(config.k_tables)
+        .push_usize(config.k_columns)
+        .push_usize(config.n_candidates)
+        .push_f64(config.temperature)
+        .push_u64(config.seed)
+}
+
+/// Pushes a base-model profile's behavioural knobs into a fingerprint.
+pub fn fingerprint_profile(
+    b: FingerprintBuilder,
+    profile: &BaseModelProfile,
+) -> FingerprintBuilder {
+    b.push_str(profile.name)
+        .push_f64(profile.slot_skill)
+        .push_f64(profile.join_skill)
+        .push_f64(profile.skel_slip)
+        .push_f64(profile.noise.typo)
+        .push_f64(profile.noise.double_eq)
+        .push_f64(profile.noise.drop_on)
+        .push_f64(profile.noise.misalign)
+        .push_f64(profile.noise.value)
 }
 
 /// Trains the Cross-Encoder on the training splits of the given

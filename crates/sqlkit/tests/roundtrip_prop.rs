@@ -1,9 +1,13 @@
 //! Property tests: printing then re-parsing any generated AST yields the
-//! same AST (up to the printer's canonicalisation), and skeletons are
-//! stable under identifier renaming.
+//! same AST (up to the printer's canonicalisation), skeletons are
+//! invariant under literal and identifier renaming, and the repair path
+//! (`normalize_text` / `repair_statement`) neither panics nor breaks
+//! parseability on any generated query.
 
 use proptest::prelude::*;
 use sqlkit::ast::*;
+use sqlkit::catalog::{CatalogColumn, CatalogSchema, CatalogTable, ColType};
+use sqlkit::repair::{normalize_text, repair_statement};
 use sqlkit::{parse_statement, to_sql};
 
 fn ident() -> impl Strategy<Value = String> {
@@ -146,6 +150,175 @@ fn query() -> impl Strategy<Value = SelectStmt> {
         })
 }
 
+/// Rewrites a literal to a *different* literal of the same kind and
+/// sign — a negative number prints with a leading `-` that re-parses as
+/// unary negation, so crossing zero would change structure, not just
+/// content (`NULL` has no content to rename and stays put).
+fn rename_literal(l: &mut Literal) {
+    match l {
+        Literal::Int(i) => *i = if *i >= 0 { i.saturating_add(1) } else { i.saturating_sub(1) },
+        Literal::Float(f) => *f += f.signum(),
+        Literal::Str(s) => s.push('x'),
+        Literal::Bool(b) => *b = !*b,
+        Literal::Null => {}
+    }
+}
+
+/// Appends a suffix to every table/alias/column identifier. Function
+/// names are left alone — they are part of the skeleton, not content.
+fn rename_identifiers_expr(e: &mut Expr, f: &mut impl FnMut(&mut String)) {
+    walk_expr(e, &mut |expr| {
+        if let Expr::Column(c) = expr {
+            if let Some(t) = &mut c.table {
+                f(t);
+            }
+            f(&mut c.column);
+        }
+    });
+}
+
+/// Applies `f` to every expression of a statement, recursively.
+fn walk_stmt(q: &mut SelectStmt, f: &mut impl FnMut(&mut Expr)) {
+    walk_set_expr(&mut q.body, f);
+    for item in &mut q.order_by {
+        walk_expr(&mut item.expr, f);
+    }
+}
+
+fn walk_set_expr(body: &mut SetExpr, f: &mut impl FnMut(&mut Expr)) {
+    match body {
+        SetExpr::Select(s) => {
+            for item in &mut s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    walk_expr(expr, f);
+                }
+            }
+            if let Some(from) = &mut s.from {
+                for j in &mut from.joins {
+                    if let Some(on) = &mut j.on {
+                        walk_expr(on, f);
+                    }
+                }
+            }
+            if let Some(w) = &mut s.selection {
+                walk_expr(w, f);
+            }
+            for g in &mut s.group_by {
+                walk_expr(g, f);
+            }
+            if let Some(h) = &mut s.having {
+                walk_expr(h, f);
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            walk_set_expr(left, f);
+            walk_set_expr(right, f);
+        }
+    }
+}
+
+fn walk_expr(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    f(e);
+    match e {
+        Expr::Column(_) | Expr::Literal(_) | Expr::CountStar => {}
+        Expr::Unary { operand, .. } => walk_expr(operand, f),
+        Expr::Binary { left, right, .. } => {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_expr(expr, f);
+            for l in list {
+                walk_expr(l, f);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            walk_expr(expr, f);
+            walk_stmt(subquery, f);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            walk_expr(expr, f);
+            walk_expr(low, f);
+            walk_expr(high, f);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            walk_expr(expr, f);
+            walk_expr(pattern, f);
+        }
+        Expr::IsNull { expr, .. } => walk_expr(expr, f),
+        Expr::Exists { subquery, .. } | Expr::Subquery(subquery) => walk_stmt(subquery, f),
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                walk_expr(op, f);
+            }
+            for (when, then) in branches {
+                walk_expr(when, f);
+                walk_expr(then, f);
+            }
+            if let Some(el) = else_result {
+                walk_expr(el, f);
+            }
+        }
+    }
+}
+
+/// Renames every table reference (and alias) of a statement.
+fn rename_tables(q: &mut SelectStmt, f: &mut impl FnMut(&mut String)) {
+    fn in_set_expr(body: &mut SetExpr, f: &mut impl FnMut(&mut String)) {
+        match body {
+            SetExpr::Select(s) => {
+                if let Some(from) = &mut s.from {
+                    f(&mut from.base.name);
+                    if let Some(a) = &mut from.base.alias {
+                        f(a);
+                    }
+                    for j in &mut from.joins {
+                        f(&mut j.table.name);
+                        if let Some(a) = &mut j.table.alias {
+                            f(a);
+                        }
+                    }
+                }
+            }
+            SetExpr::SetOp { left, right, .. } => {
+                in_set_expr(left, f);
+                in_set_expr(right, f);
+            }
+        }
+    }
+    in_set_expr(&mut q.body, f);
+}
+
+/// A small arbitrary schema for repair coverage: 1–3 tables of 1–4 text
+/// columns each, names drawn from the same identifier space as queries.
+fn schema() -> impl Strategy<Value = CatalogSchema> {
+    proptest::collection::vec(
+        (ident(), proptest::collection::vec(ident(), 1..4)),
+        1..3,
+    )
+    .prop_map(|tables| CatalogSchema {
+        db_id: "prop".into(),
+        tables: tables
+            .into_iter()
+            .map(|(name, columns)| CatalogTable {
+                name,
+                desc_en: "generated".into(),
+                desc_cn: "generated".into(),
+                columns: columns
+                    .into_iter()
+                    .map(|c| CatalogColumn::new(&c, ColType::Text, "generated", "generated"))
+                    .collect(),
+            })
+            .collect(),
+        foreign_keys: vec![],
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -160,9 +333,9 @@ proptest! {
         prop_assert_eq!(&printed, &reprinted, "not canonical: {}", printed);
     }
 
-    /// Skeletons ignore identifier and literal content.
+    /// Skeleton extraction is deterministic on any printed query.
     #[test]
-    fn skeleton_is_identifier_invariant(q in query()) {
+    fn skeleton_is_stable_on_reparse(q in query()) {
         let stmt = Statement::Select(q);
         let printed = to_sql(&stmt);
         if let Some(skel) = sqlkit::skeleton_of(&printed) {
@@ -180,5 +353,95 @@ proptest! {
         let a = sqlkit::components::extract_components(&printed);
         let b = sqlkit::components::extract_components(&printed);
         prop_assert_eq!(a, b);
+    }
+
+    /// The skeleton is invariant under renaming every literal: it
+    /// abstracts content, so changing values must never change structure.
+    #[test]
+    fn skeleton_is_literal_invariant(q in query()) {
+        let original = to_sql(&Statement::Select(q.clone()));
+        let mut renamed = q;
+        walk_stmt(&mut renamed, &mut |e| {
+            if let Expr::Literal(l) = e {
+                rename_literal(l);
+            }
+        });
+        let renamed = to_sql(&Statement::Select(renamed));
+        prop_assert_eq!(
+            sqlkit::skeleton_of(&original),
+            sqlkit::skeleton_of(&renamed),
+            "literal renaming changed the skeleton: {} vs {}",
+            original,
+            renamed
+        );
+        prop_assert!(sqlkit::skeleton_of(&original).is_some(), "printed SQL must skeletonise");
+    }
+
+    /// The skeleton is likewise invariant under renaming every table and
+    /// column identifier (function names stay — they are structure).
+    #[test]
+    fn skeleton_is_identifier_invariant(q in query()) {
+        let original = to_sql(&Statement::Select(q.clone()));
+        let mut renamed = q;
+        let mut rename = |s: &mut String| s.push_str("zz");
+        rename_tables(&mut renamed, &mut rename);
+        walk_stmt(&mut renamed, &mut |e| rename_identifiers_expr(e, &mut |s| s.push_str("zz")));
+        let renamed = to_sql(&Statement::Select(renamed));
+        prop_assert_eq!(
+            sqlkit::skeleton_of(&original),
+            sqlkit::skeleton_of(&renamed),
+            "identifier renaming changed the skeleton: {} vs {}",
+            original,
+            renamed
+        );
+    }
+
+    /// `normalize_text` undoes the `==` decoder noise exactly: the
+    /// printer never emits `==`, so doubling every `=` and normalising
+    /// restores the original text.
+    #[test]
+    fn normalize_text_undoes_double_eq(q in query()) {
+        let printed = to_sql(&Statement::Select(q));
+        let corrupted = printed.replace('=', "==");
+        prop_assert_eq!(normalize_text(&corrupted), printed.trim().trim_end_matches(';').trim());
+    }
+
+    /// `normalize_text` strips markdown fences and trailing semicolons
+    /// without disturbing the SQL inside.
+    #[test]
+    fn normalize_text_strips_fences(q in query()) {
+        let printed = to_sql(&Statement::Select(q.clone()));
+        let fenced = format!("```sql\n{printed};\n```");
+        let cleaned = normalize_text(&fenced);
+        let reparsed = parse_statement(&cleaned)
+            .unwrap_or_else(|e| panic!("normalised SQL failed to parse: {cleaned}\n{e}"));
+        prop_assert_eq!(reparsed, parse_statement(&printed).unwrap());
+    }
+
+    /// The `f1` repair pass never panics on an arbitrary query against an
+    /// arbitrary schema, and whatever it produces still prints to
+    /// parseable (canonical) SQL — randomized coverage for the repair
+    /// path the calibration algorithm leans on.
+    #[test]
+    fn repair_preserves_printability(q in query(), schema in schema()) {
+        let mut repaired = q;
+        let fixes = repair_statement(&mut repaired, &schema);
+        let _ = fixes;
+        let printed = to_sql(&Statement::Select(repaired));
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("repaired SQL failed to parse: {printed}\n{e}"));
+        prop_assert_eq!(&printed, &to_sql(&reparsed), "repair broke canonical form: {}", printed);
+    }
+
+    /// Repair is idempotent on its own output: a second pass finds
+    /// nothing left to fix and changes nothing.
+    #[test]
+    fn repair_is_idempotent(q in query(), schema in schema()) {
+        let mut once = q;
+        repair_statement(&mut once, &schema);
+        let mut twice = once.clone();
+        let second_fixes = repair_statement(&mut twice, &schema);
+        prop_assert_eq!(second_fixes, 0, "second repair pass still fixed something");
+        prop_assert_eq!(to_sql(&Statement::Select(once)), to_sql(&Statement::Select(twice)));
     }
 }

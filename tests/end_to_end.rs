@@ -124,6 +124,111 @@ fn parallel_eval_matches_serial_exactly() {
 }
 
 #[test]
+fn interleaved_eval_matches_serial_per_db_at_any_worker_count() {
+    let ds = dataset();
+    let sys = system();
+    let predict = |db: DbId, q: &str| {
+        let mut rng = sys.question_rng(db, q);
+        sys.answer(db, q, &mut rng)
+    };
+    let serial = finsql_core::eval::evaluate_ex_all_limit(ds, Lang::En, Some(20), predict);
+    for workers in [1, 3, 8] {
+        let interleaved = finsql_core::eval::evaluate_ex_all_interleaved(
+            ds,
+            Lang::En,
+            workers,
+            Some(20),
+            predict,
+        );
+        for db in DbId::ALL {
+            assert_eq!(
+                serial.outcome(db),
+                interleaved.outcome(db),
+                "per-database counts diverged on {db:?} with {workers} workers"
+            );
+        }
+        assert_eq!(serial.pooled(), interleaved.pooled());
+    }
+}
+
+#[test]
+fn cached_eval_matches_uncached_and_warm_pass_hits() {
+    use finsql_core::{Answerer, AnswerCache};
+    let ds = dataset();
+    let sys = system();
+    let uncached = finsql_core::eval::evaluate_ex_all_interleaved(
+        ds,
+        Lang::En,
+        4,
+        Some(20),
+        |db, q| {
+            let mut rng = sys.question_rng(db, q);
+            sys.answer(db, q, &mut rng)
+        },
+    );
+    let cache = AnswerCache::unbounded();
+    for pass in 0..2 {
+        let cached = finsql_core::eval::evaluate_ex_all_interleaved(
+            ds,
+            Lang::En,
+            4,
+            Some(20),
+            |db, q| sys.answer_cached(&cache, db, q, None),
+        );
+        for db in DbId::ALL {
+            assert_eq!(
+                uncached.outcome(db),
+                cached.outcome(db),
+                "cached pass {pass} diverged from uncached on {db:?}"
+            );
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 60, "20 questions per database must be resident");
+    assert!(stats.hits >= 60, "the warm pass must be served from the cache");
+    assert_eq!(stats.evictions, 0);
+}
+
+mod cached_answer_property {
+    use super::*;
+    use finsql_core::{Answerer, AnswerCache};
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    /// One cache shared across all sampled cases, capped small so the
+    /// draw sequence also exercises eviction and re-computation.
+    fn shared_cache() -> &'static AnswerCache {
+        static CACHE: OnceLock<AnswerCache> = OnceLock::new();
+        CACHE.get_or_init(|| AnswerCache::with_capacity(32))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(
+            if cfg!(debug_assertions) { 24 } else { 96 }
+        ))]
+
+        /// Arbitrary (database, dev-set index) draws: serving through the
+        /// cache must never change an answer.
+        #[test]
+        fn cached_answer_equals_uncached_answer(
+            db_idx in 0usize..3,
+            ex_idx in 0usize..40,
+        ) {
+            let ds = dataset();
+            let sys = system();
+            let db = DbId::ALL[db_idx];
+            let q = ds.examples_for(db, Split::Dev)[ex_idx].question(Lang::En);
+            let fresh = {
+                let mut rng = sys.question_rng(db, q);
+                sys.answer(db, q, &mut rng)
+            };
+            let cached = sys.answer_cached(shared_cache(), db, q, None);
+            prop_assert_eq!(fresh, cached, "cache changed the answer for {:?}", db);
+        }
+    }
+}
+
+#[test]
 fn metrics_count_questions_and_candidates() {
     let ds = dataset();
     let sys = system();
