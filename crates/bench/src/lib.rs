@@ -4,7 +4,10 @@
 use bull::{BullDataset, DbId, Lang};
 use finsql_core::baselines::{FtBaseline, GptBaseline, GptMethod, GptModel, SharedGptBaseline};
 use finsql_core::cache::{Answerer, AnswerCache};
-use finsql_core::eval::{evaluate_ex_all_interleaved, evaluate_ex_all_limit, EvalOutcome};
+use finsql_core::eval::{
+    evaluate_ex_all_interleaved, evaluate_ex_all_interleaved_batched, evaluate_ex_all_limit,
+    EvalOutcome,
+};
 use finsql_core::metrics::EvalMetrics;
 use finsql_core::pipeline::{FinSql, FinSqlConfig};
 use simllm::BaseModelProfile;
@@ -17,14 +20,21 @@ pub const SEED: u64 = bull::DEFAULT_SEED;
 /// arguments: `--serial` forces the single-threaded evaluation path (the
 /// escape hatch; results are identical either way), `--workers N` sizes
 /// the worker pool (`0` = available parallelism), `--no-cache` disables
-/// the keyed answer cache, and `--cache-cap N` caps the cache at `N`
-/// entries (`0` = unbounded, the default).
+/// the keyed answer cache, `--cache-cap N` caps the cache at `N` entries
+/// (`0` = unbounded, the default), and `--batch N` / `--no-batch` set the
+/// micro-batch size of the batched FinSQL answer engine (CLI default 8;
+/// `--no-batch` or `--batch 0` falls back to per-question answering —
+/// answers are byte-identical either way).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct HarnessOpts {
     pub serial: bool,
     pub workers: usize,
     pub no_cache: bool,
     pub cache_cap: usize,
+    /// Micro-batch size for the batched FinSQL engine; `0` = unbatched.
+    /// `Default::default()` is unbatched, [`HarnessOpts::from_args`]
+    /// defaults to 8.
+    pub batch: usize,
 }
 
 impl HarnessOpts {
@@ -35,7 +45,7 @@ impl HarnessOpts {
     }
 
     fn parse(args: impl IntoIterator<Item = String>) -> Self {
-        let mut opts = HarnessOpts::default();
+        let mut opts = HarnessOpts { batch: 8, ..HarnessOpts::default() };
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -53,6 +63,13 @@ impl HarnessOpts {
                         .and_then(|v| v.parse().ok())
                         .expect("--cache-cap needs a number");
                 }
+                "--batch" => {
+                    opts.batch = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--batch needs a number");
+                }
+                "--no-batch" => opts.batch = 0,
                 _ => {}
             }
         }
@@ -109,6 +126,49 @@ pub fn answerer_ex(
         evaluate_ex_all_limit(ds, lang, None, predict).pooled()
     } else {
         evaluate_ex_all_interleaved(ds, lang, opts.workers, None, predict).pooled()
+    }
+}
+
+/// Evaluates a FinSQL system through the batched answer engine: each
+/// database's dev set is chunked into micro-batches of `opts.batch`
+/// questions, interleaved across databases, and answered with
+/// [`FinSql::answer_batch`] (cache-first when a cache is given). EX
+/// counts are identical to [`answerer_ex`]'s at every batch size —
+/// batching cannot change an answer — the difference is throughput.
+pub fn finsql_batched_ex(
+    system: &FinSql,
+    ds: &BullDataset,
+    opts: HarnessOpts,
+    metrics: Option<&EvalMetrics>,
+    cache: Option<&AnswerCache>,
+) -> EvalOutcome {
+    let predict =
+        |db: DbId, qs: &[&str]| system.answer_batch_maybe_cached(cache, db, qs, metrics);
+    evaluate_ex_all_interleaved_batched(
+        ds,
+        system.config.lang,
+        opts.workers,
+        None,
+        opts.batch,
+        predict,
+    )
+    .pooled()
+}
+
+/// The FinSQL evaluation path the harness options select: the batched
+/// engine when `--batch` is active (and `--serial` is not), the shared
+/// per-question [`answerer_ex`] path otherwise.
+pub fn finsql_opts_ex(
+    system: &FinSql,
+    ds: &BullDataset,
+    opts: HarnessOpts,
+    metrics: Option<&EvalMetrics>,
+    cache: Option<&AnswerCache>,
+) -> EvalOutcome {
+    if opts.batch > 0 && !opts.serial {
+        finsql_batched_ex(system, ds, opts, metrics, cache)
+    } else {
+        answerer_ex(system, ds, system.config.lang, opts, metrics, cache)
     }
 }
 
@@ -228,8 +288,11 @@ pub fn pct(x: f64) -> String {
 /// for the single-threaded escape hatch, `--workers N` to size the
 /// pool), with the keyed answer cache in front of the pipeline
 /// (`--no-cache` to disable, `--cache-cap N` to bound it). The FinSQL
-/// rows print questions/sec and a per-stage breakdown, then re-evaluate
-/// against the warm cache to report the serving-side speedup.
+/// rows answer through the batched engine in micro-batches of `--batch`
+/// questions (default 8, `--no-batch` for the per-question path; EX is
+/// identical either way), print questions/sec, the per-stage breakdown
+/// and the batch-shape counters, then re-evaluate against the warm cache
+/// to report the serving-side speedup.
 pub fn run_overall_table(lang: Lang) {
     let opts = HarnessOpts::from_args();
     let ds = dataset();
@@ -285,7 +348,7 @@ pub fn run_overall_table(lang: Lang) {
         let cache = opts.cache();
         let metrics = EvalMetrics::new();
         let wall = Instant::now();
-        let out = answerer_ex(&finsql, &ds, lang, opts, Some(&metrics), cache.as_ref());
+        let out = finsql_opts_ex(&finsql, &ds, opts, Some(&metrics), cache.as_ref());
         let wall = wall.elapsed();
         println!("{:<36} {:>6.1} {:>18}", format!("FinSQL + {}", profile.name), out.ex_pct(), "-");
         print!("{}", metrics.snapshot().report(wall));
@@ -294,7 +357,7 @@ pub fn run_overall_table(lang: Lang) {
         if let Some(cache) = &cache {
             let warm_metrics = EvalMetrics::new();
             let warm_wall = Instant::now();
-            let warm = answerer_ex(&finsql, &ds, lang, opts, Some(&warm_metrics), Some(cache));
+            let warm = finsql_opts_ex(&finsql, &ds, opts, Some(&warm_metrics), Some(cache));
             let warm_wall = warm_wall.elapsed();
             assert_eq!(out, warm, "a warm cache must reproduce the cold EX counts exactly");
             println!("  warm-cache re-evaluation (identical EX):");

@@ -57,6 +57,12 @@ impl DbId {
     /// All database ids in canonical order.
     pub const ALL: [DbId; 3] = [DbId::Fund, DbId::Stock, DbId::Macro];
 
+    /// This database's position in [`DbId::ALL`] — the canonical dense
+    /// index used for O(1) per-database runtime lookup.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The string id used in `CatalogSchema::db_id`.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -85,6 +91,13 @@ impl std::fmt::Display for DbId {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_agrees_with_canonical_order() {
+        for (i, db) in DbId::ALL.into_iter().enumerate() {
+            assert_eq!(db.index(), i, "{db} index must match its position in ALL");
+        }
+    }
 
     #[test]
     fn table_counts_match_paper_figure2() {

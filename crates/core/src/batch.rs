@@ -1,0 +1,447 @@
+//! The batched answer engine: micro-batched inference plus a request
+//! scheduler.
+//!
+//! [`FinSql::answer_batch`] answers a slice of questions against one
+//! database in a single pass that amortises the per-question setup the
+//! serial path pays every time: the questions are embedded in one
+//! [`simllm::EmbeddingModel::embed_batch`] sweep and ranked against the
+//! runtime's contiguous [`simllm::PrototypeMatrix`], questions whose
+//! schema linking selects the same top-k tables and columns share one
+//! projected prompt schema (built once per distinct projection instead of
+//! once per question), and linking runs in serial mode inside the batch —
+//! no per-question thread scope.
+//!
+//! **Why batching cannot change an answer.** Every source of randomness
+//! in the pipeline is derived from the question itself, never from batch
+//! shape: the sampling RNG is [`FinSql::question_rng`] (seeded from
+//! system seed, database and question bytes), and slot decisions come
+//! from a per-question slot seed that is re-derived identically inside
+//! [`simllm::SqlGenerator::generate_batch`]. Linking is a pure function
+//! of `(question, schema views)` and serial/parallel modes agree exactly;
+//! the shared projected schema is a pure function of the linker's top-k
+//! selection, so sharing it is sharing an identical value; batch
+//! embedding computes each row with the very code the single-question
+//! path uses. Calibration is deterministic per candidate list. Therefore
+//! `answer_batch(db, qs)[i] == answer(db, qs[i])` byte for byte, at every
+//! batch size and in every grouping — which is what makes the
+//! [`BatchScheduler`]'s coalescing safe and keeps cached answers exact.
+//!
+//! [`BatchScheduler`] is the serving front-end: a bounded MPMC queue and
+//! a worker pool that coalesces concurrent requests into same-database
+//! micro-batches (up to a configurable size, holding an underfull batch
+//! open for a short flush deadline), routes questions through the answer
+//! cache first so only misses reach the engine, and implements the
+//! [`Answerer`] trait.
+
+use crate::cache::{Answerer, AnswerCache, ConfigFingerprint};
+use crate::calibrate::calibrate_with_stats;
+use crate::metrics::EvalMetrics;
+use crate::pipeline::FinSql;
+use bull::DbId;
+use crossenc::InferenceMode;
+use rand::rngs::StdRng;
+use simllm::{BatchItem, GenConfig, GenCounters, SqlGenerator};
+use sqlkit::catalog::CatalogSchema;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The linker's top-k selection for one question: the kept table indices
+/// in rank order, each with its kept column indices in rank order. Two
+/// questions with equal keys project to identical prompt schemas.
+type ProjectionKey = Vec<(usize, Vec<usize>)>;
+
+impl FinSql {
+    /// Answers a batch of questions against one database. Each returned
+    /// answer is byte-identical to what [`FinSql::answer`] produces for
+    /// that question alone (see the module docs for why), but the batch
+    /// shares one embedding sweep and one projected prompt schema per
+    /// distinct linker selection.
+    pub fn answer_batch(&self, db: DbId, questions: &[&str]) -> Vec<String> {
+        self.answer_batch_with_metrics(db, questions, None)
+    }
+
+    /// [`FinSql::answer_batch`], feeding stage timings, counters and the
+    /// batch-shape counters into a shared metrics sink.
+    pub fn answer_batch_with_metrics(
+        &self,
+        db: DbId,
+        questions: &[&str],
+        metrics: Option<&EvalMetrics>,
+    ) -> Vec<String> {
+        if questions.is_empty() {
+            return Vec::new();
+        }
+        let rt = self.runtime(db);
+        // 1. Schema linking per question — serial mode inside the batch
+        // (serial and parallel linking agree exactly; the batch is the
+        // parallelism). Questions whose top-k selection coincides share
+        // one projected prompt schema.
+        let mut schema_of_key: HashMap<ProjectionKey, usize> = HashMap::new();
+        let mut schemas: Vec<CatalogSchema> = Vec::new();
+        let mut schema_idx: Vec<usize> = Vec::with_capacity(questions.len());
+        for q in questions {
+            let (linked, link_time) = self.linker.link_timed(q, &rt.views, InferenceMode::Serial);
+            if let Some(m) = metrics {
+                m.record_link(link_time);
+            }
+            let key: ProjectionKey = linked
+                .tables
+                .iter()
+                .take(self.config.k_tables)
+                .map(|(ti, _)| {
+                    let cols = linked.columns[*ti]
+                        .iter()
+                        .take(self.config.k_columns)
+                        .map(|(ci, _)| *ci)
+                        .collect();
+                    (*ti, cols)
+                })
+                .collect();
+            let idx = *schema_of_key.entry(key).or_insert_with(|| {
+                schemas
+                    .push(linked.project(&rt.schema, self.config.k_tables, self.config.k_columns));
+                schemas.len() - 1
+            });
+            schema_idx.push(idx);
+        }
+        // 2. One batched generation pass: a single embed-and-rank sweep,
+        // then the exact per-question sampling loop under each question's
+        // own deterministic RNG.
+        let items: Vec<BatchItem<'_>> = questions
+            .iter()
+            .zip(&schema_idx)
+            .map(|(q, &si)| BatchItem { question: q, prompt_schema: &schemas[si] })
+            .collect();
+        let mut rngs: Vec<StdRng> =
+            questions.iter().map(|q| self.question_rng(db, q)).collect();
+        let generator = SqlGenerator::with_matrix(&self.base, &rt.plugin, &rt.matrix, self.profile);
+        let gen_start = Instant::now();
+        let sampled = generator.generate_batch(
+            &items,
+            &rt.values,
+            GenConfig {
+                n_samples: self.config.n_candidates,
+                temperature: self.config.temperature,
+                skeleton_temperature: None,
+            },
+            &mut rngs,
+        );
+        let gen_time = gen_start.elapsed();
+        if let Some(m) = metrics {
+            let mut merged = GenCounters::default();
+            for (_, c) in &sampled {
+                merged.samples += c.samples;
+                merged.fallbacks += c.fallbacks;
+                merged.skeleton_slips += c.skeleton_slips;
+            }
+            m.record_generation(gen_time, &merged);
+        }
+        // 3. Calibration per question, exactly as the serial path.
+        let out: Vec<String> = sampled
+            .into_iter()
+            .map(|(candidates, _)| {
+                let calib_start = Instant::now();
+                let (calibrated, stats) =
+                    calibrate_with_stats(&candidates, &rt.schema, &self.config.calibration);
+                if let Some(m) = metrics {
+                    m.record_question();
+                    m.record_calibration(calib_start.elapsed(), &stats, calibrated.is_none());
+                }
+                calibrated.unwrap_or_else(|| candidates.first().cloned().unwrap_or_default())
+            })
+            .collect();
+        if let Some(m) = metrics {
+            m.record_batch(questions.len());
+        }
+        out
+    }
+
+    /// Cache-first batched answering: questions already cached are served
+    /// without touching the engine, the misses are answered in one
+    /// [`FinSql::answer_batch_with_metrics`] call and fill the cache.
+    pub fn answer_batch_cached(
+        &self,
+        cache: &AnswerCache,
+        db: DbId,
+        questions: &[&str],
+        metrics: Option<&EvalMetrics>,
+    ) -> Vec<String> {
+        let fingerprint = self.config_fingerprint();
+        let mut out: Vec<Option<String>> = vec![None; questions.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, q) in questions.iter().enumerate() {
+            match cache.get(db, q, fingerprint) {
+                Some(hit) => {
+                    if let Some(m) = metrics {
+                        m.record_cache_hit();
+                    }
+                    out[i] = Some(hit);
+                }
+                None => misses.push(i),
+            }
+        }
+        if !misses.is_empty() {
+            let miss_questions: Vec<&str> = misses.iter().map(|&i| questions[i]).collect();
+            let computed = self.answer_batch_with_metrics(db, &miss_questions, metrics);
+            for (&i, answer) in misses.iter().zip(computed) {
+                let evicted = cache.insert(db, questions[i], fingerprint, answer.clone());
+                if let Some(m) = metrics {
+                    m.record_cache_miss(evicted);
+                }
+                out[i] = Some(answer);
+            }
+        }
+        out.into_iter().map(|a| a.expect("every slot filled")).collect()
+    }
+
+    /// [`FinSql::answer_batch_cached`] with an optional cache — the shape
+    /// the bench harness uses under its `--no-cache` flag.
+    pub fn answer_batch_maybe_cached(
+        &self,
+        cache: Option<&AnswerCache>,
+        db: DbId,
+        questions: &[&str],
+        metrics: Option<&EvalMetrics>,
+    ) -> Vec<String> {
+        match cache {
+            Some(c) => self.answer_batch_cached(c, db, questions, metrics),
+            None => self.answer_batch_with_metrics(db, questions, metrics),
+        }
+    }
+}
+
+/// Knobs of the [`BatchScheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Most questions coalesced into one micro-batch.
+    pub max_batch: usize,
+    /// How long a worker holds an underfull batch open waiting for more
+    /// same-database requests before flushing it.
+    pub flush: Duration,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions block while the queue is full.
+    pub queue_cap: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 8,
+            flush: Duration::from_millis(2),
+            workers: 2,
+            queue_cap: 256,
+        }
+    }
+}
+
+/// One pending request's answer slot: filled by a worker, awaited by the
+/// submitter.
+#[derive(Default)]
+struct ResponseSlot {
+    answer: Mutex<Option<String>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn put(&self, answer: String) {
+        *self.answer.lock().expect("slot lock poisoned") = Some(answer);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> String {
+        let mut guard = self.answer.lock().expect("slot lock poisoned");
+        loop {
+            if let Some(answer) = guard.take() {
+                return answer;
+            }
+            guard = self.ready.wait(guard).expect("slot lock poisoned");
+        }
+    }
+}
+
+/// One queued question.
+struct Request {
+    db: DbId,
+    question: String,
+    slot: Arc<ResponseSlot>,
+}
+
+/// The bounded MPMC queue the scheduler's workers drain.
+#[derive(Default)]
+struct QueueState {
+    items: VecDeque<Request>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Queue {
+    state: Mutex<QueueState>,
+    /// Signalled on push and on shutdown.
+    not_empty: Condvar,
+    /// Signalled on pop.
+    not_full: Condvar,
+}
+
+/// Everything a worker thread needs, shared behind one `Arc`.
+struct Shared {
+    engine: Arc<FinSql>,
+    cache: Option<Arc<AnswerCache>>,
+    metrics: Option<Arc<EvalMetrics>>,
+    config: BatchConfig,
+    queue: Queue,
+}
+
+/// A micro-batching request scheduler in front of a [`FinSql`] engine.
+///
+/// Requests from any thread are pushed onto one bounded queue; workers
+/// pop a request, then coalesce further *same-database* requests into a
+/// micro-batch — up to [`BatchConfig::max_batch`], holding an underfull
+/// batch open for at most [`BatchConfig::flush`] — and answer the whole
+/// batch through the cache-first batched engine. Because batching cannot
+/// change an answer (module docs), coalescing is invisible to callers:
+/// every request gets exactly the answer a lone [`FinSql::answer`] call
+/// would have produced.
+///
+/// Dropping the scheduler shuts the pool down after draining every
+/// request already queued.
+pub struct BatchScheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BatchScheduler {
+    /// Starts a scheduler over an engine, an optional answer cache for
+    /// cache-first routing, and an optional metrics sink the workers
+    /// record into (per-call sinks cannot cross the queue, so the sink is
+    /// fixed at construction).
+    pub fn new(
+        engine: Arc<FinSql>,
+        cache: Option<Arc<AnswerCache>>,
+        metrics: Option<Arc<EvalMetrics>>,
+        config: BatchConfig,
+    ) -> Self {
+        let config = BatchConfig {
+            max_batch: config.max_batch.max(1),
+            workers: config.workers.max(1),
+            queue_cap: config.queue_cap.max(1),
+            ..config
+        };
+        let shared = Arc::new(Shared { engine, cache, metrics, config, queue: Queue::default() });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        BatchScheduler { shared, workers }
+    }
+
+    /// Submits one question and blocks until its answer is ready. Safe to
+    /// call from many threads at once — concurrency is what gives the
+    /// workers batches to coalesce.
+    pub fn answer(&self, db: DbId, question: &str) -> String {
+        let slot = Arc::new(ResponseSlot::default());
+        {
+            let mut state = self.shared.queue.state.lock().expect("queue lock poisoned");
+            while state.items.len() >= self.shared.config.queue_cap {
+                state = self.shared.queue.not_full.wait(state).expect("queue lock poisoned");
+            }
+            state.items.push_back(Request {
+                db,
+                question: question.to_string(),
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.shared.queue.not_empty.notify_one();
+        slot.wait()
+    }
+}
+
+impl Answerer for BatchScheduler {
+    fn fingerprint(&self) -> ConfigFingerprint {
+        self.shared.engine.config_fingerprint()
+    }
+
+    /// Submits through the queue. The scheduler already routes through
+    /// its own cache (when given one) before computing, and records into
+    /// its construction-time metrics sink; the per-call `metrics`
+    /// argument cannot cross the queue and is ignored.
+    fn answer_fresh(&self, db: DbId, question: &str, _metrics: Option<&EvalMetrics>) -> String {
+        self.answer(db, question)
+    }
+}
+
+impl Drop for BatchScheduler {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.queue.state.lock().expect("queue lock poisoned");
+            state.shutdown = true;
+        }
+        self.shared.queue.not_empty.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: pop a request, coalesce same-database followers up to the
+/// batch cap or the flush deadline, answer the batch, fill the slots.
+/// On shutdown the queue is drained completely before the worker exits,
+/// so no submitted request is ever dropped.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let first = {
+            let mut state = shared.queue.state.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(request) = state.items.pop_front() {
+                    shared.queue.not_full.notify_all();
+                    break request;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.queue.not_empty.wait(state).expect("queue lock poisoned");
+            }
+        };
+        let db = first.db;
+        let mut batch = vec![first];
+        let deadline = Instant::now() + shared.config.flush;
+        {
+            let mut state = shared.queue.state.lock().expect("queue lock poisoned");
+            while batch.len() < shared.config.max_batch {
+                if let Some(pos) = state.items.iter().position(|r| r.db == db) {
+                    batch.push(state.items.remove(pos).expect("position just found"));
+                    shared.queue.not_full.notify_all();
+                    continue;
+                }
+                if state.shutdown {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = shared
+                    .queue
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .expect("queue lock poisoned");
+                state = guard;
+            }
+        }
+        let questions: Vec<&str> = batch.iter().map(|r| r.question.as_str()).collect();
+        let metrics = shared.metrics.as_deref();
+        let answers = shared.engine.answer_batch_maybe_cached(
+            shared.cache.as_deref(),
+            db,
+            &questions,
+            metrics,
+        );
+        for (request, answer) in batch.iter().zip(answers) {
+            request.slot.put(answer);
+        }
+    }
+}

@@ -223,6 +223,95 @@ pub fn evaluate_ex_all_interleaved(
     .expect("evaluation pool panicked")
 }
 
+/// [`evaluate_ex_all_interleaved`] over micro-batches: each database's
+/// dev set is chunked into batches of `batch` questions, the chunks of
+/// all three databases are round-robin interleaved into one work queue,
+/// and the worker pool drains it calling `predict_batch` once per chunk.
+/// `predict_batch` must return one answer per question, each
+/// deterministic per `(db, question)` and independent of batch shape —
+/// exactly what [`crate::pipeline::FinSql::answer_batch`] guarantees —
+/// so the per-database counts equal the serial path's at every batch
+/// size and worker count. `batch == 0` is treated as 1.
+pub fn evaluate_ex_all_interleaved_batched(
+    ds: &BullDataset,
+    lang: Lang,
+    workers: usize,
+    limit_per_db: Option<usize>,
+    batch: usize,
+    predict_batch: impl Fn(DbId, &[&str]) -> Vec<String> + Sync,
+) -> MultiDbOutcome {
+    let batch = batch.max(1);
+    // One flat work list of (database index, chunk of examples), the
+    // three databases' chunk sequences round-robin interleaved.
+    let per_db: Vec<Vec<_>> = DbId::ALL
+        .into_iter()
+        .map(|db| {
+            let dev = ds.examples_for(db, Split::Dev);
+            let n = limit_per_db.unwrap_or(dev.len()).min(dev.len());
+            dev.into_iter().take(n).collect::<Vec<_>>()
+        })
+        .collect();
+    let mut work: Vec<(usize, &[&bull::BullExample])> = Vec::new();
+    let longest_chunks = per_db.iter().map(|d| d.len().div_ceil(batch)).max().unwrap_or(0);
+    for c in 0..longest_chunks {
+        for (di, dev) in per_db.iter().enumerate() {
+            let start = c * batch;
+            if start < dev.len() {
+                work.push((di, &dev[start..(start + batch).min(dev.len())]));
+            }
+        }
+    }
+    let n = work.len();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        workers
+    }
+    .min(n.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (work, predict_batch, next) = (&work, &predict_batch, &next);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut local = MultiDbOutcome::default();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break local;
+                        }
+                        let (di, chunk) = &work[i];
+                        let db = DbId::ALL[*di];
+                        let questions: Vec<&str> =
+                            chunk.iter().map(|e| e.question(lang)).collect();
+                        let predicted = predict_batch(db, &questions);
+                        assert_eq!(
+                            predicted.len(),
+                            chunk.len(),
+                            "predict_batch must answer every question"
+                        );
+                        for (e, p) in chunk.iter().zip(&predicted) {
+                            if execution_accuracy(ds.db(db), p, &e.sql) {
+                                local.per_db[*di].correct += 1;
+                            }
+                            local.per_db[*di].total += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut outcome = MultiDbOutcome::default();
+        for h in handles {
+            let local = h.join().expect("evaluation worker panicked");
+            for (acc, per) in outcome.per_db.iter_mut().zip(&local.per_db) {
+                acc.absorb(per);
+            }
+        }
+        outcome
+    })
+    .expect("evaluation pool panicked")
+}
+
 /// The serial per-database reference for [`evaluate_ex_all_interleaved`]
 /// — identical counts, one thread, databases walked in canonical order.
 pub fn evaluate_ex_all_limit(

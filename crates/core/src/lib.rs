@@ -17,9 +17,13 @@
 //! system; [`eval`] measures execution accuracy; [`baselines`] implements
 //! the six comparison systems of the paper's Tables 4–5; [`cache`] is the
 //! serving layer — a config-fingerprinted answer cache shared by the
-//! system and the baselines through the [`cache::Answerer`] trait.
+//! system and the baselines through the [`cache::Answerer`] trait;
+//! [`batch`] is the batched answer engine (micro-batched inference that
+//! is byte-identical to the per-question path) plus the coalescing
+//! [`batch::BatchScheduler`] front-end.
 
 pub mod baselines;
+pub mod batch;
 pub mod cache;
 pub mod calibrate;
 pub mod eval;
@@ -28,6 +32,7 @@ pub mod peft;
 pub mod pipeline;
 pub mod prompt;
 
+pub use batch::{BatchConfig, BatchScheduler};
 pub use cache::{Answerer, AnswerCache, CacheStats, ConfigFingerprint, FingerprintBuilder};
 pub use calibrate::{calibrate, calibrate_with_stats, CalibrationConfig, CalibrationStats};
 pub use eval::{evaluate_ex, evaluate_ex_parallel, EvalOutcome, MultiDbOutcome};

@@ -31,6 +31,9 @@ pub struct EvalMetrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    batches: AtomicU64,
+    batched_questions: AtomicU64,
+    max_batch: AtomicU64,
 }
 
 impl EvalMetrics {
@@ -82,6 +85,15 @@ impl EvalMetrics {
         self.cache_evictions.fetch_add(evictions, Ordering::Relaxed);
     }
 
+    /// Records one micro-batch of `size` questions answered through the
+    /// batched engine (the per-question counters are recorded separately
+    /// by the stages themselves).
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_questions.fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
     /// A consistent copy of the totals.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -99,6 +111,9 @@ impl EvalMetrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_questions: self.batched_questions.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
         }
     }
 }
@@ -131,6 +146,12 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Cache entries evicted by capacity pressure during this run.
     pub cache_evictions: u64,
+    /// Micro-batches answered through the batched engine.
+    pub batches: u64,
+    /// Questions answered inside those micro-batches.
+    pub batched_questions: u64,
+    /// Largest micro-batch seen.
+    pub max_batch: u64,
 }
 
 impl MetricsSnapshot {
@@ -159,6 +180,22 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Mean questions per micro-batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_questions as f64 / self.batches as f64
+        }
+    }
+
+    /// Embedding passes amortised away by batching: every question of a
+    /// micro-batch beyond the first shares the batch's single
+    /// embed-and-rank sweep instead of paying its own.
+    pub fn amortised_embeds(&self) -> u64 {
+        self.batched_questions.saturating_sub(self.batches)
+    }
+
     /// Mean per-question time of one stage.
     fn per_question(&self, stage: Duration) -> Duration {
         stage.checked_div(u32::try_from(self.questions.max(1)).unwrap_or(u32::MAX))
@@ -184,6 +221,20 @@ impl MetricsSnapshot {
             ));
             out.push_str(&format!("  {:<22} {:>10}\n", "cache misses", self.cache_misses));
             out.push_str(&format!("  {:<22} {:>10}\n", "cache evictions", self.cache_evictions));
+        }
+        if self.batches > 0 {
+            out.push_str(&format!(
+                "  {:<22} {:>10}  (mean size {:.1}, max {})\n",
+                "micro-batches",
+                self.batches,
+                self.mean_batch_size(),
+                self.max_batch
+            ));
+            out.push_str(&format!(
+                "  {:<22} {:>10}\n",
+                "amortised embeds",
+                self.amortised_embeds()
+            ));
         }
         for (name, stage) in [
             ("linking", self.link_time),
@@ -301,6 +352,26 @@ mod tests {
         m.record_question();
         let report = m.snapshot().report(Duration::from_secs(1));
         assert!(!report.contains("cache hits"));
+    }
+
+    #[test]
+    fn batch_counters_and_report_lines() {
+        let m = EvalMetrics::new();
+        m.record_batch(4);
+        m.record_batch(8);
+        m.record_batch(1);
+        let s = m.snapshot();
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.batched_questions, 13);
+        assert_eq!(s.max_batch, 8);
+        assert!((s.mean_batch_size() - 13.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.amortised_embeds(), 10);
+        let report = s.report(Duration::from_secs(1));
+        assert!(report.contains("micro-batches"));
+        assert!(report.contains("amortised embeds"));
+        let plain = EvalMetrics::new();
+        plain.record_question();
+        assert!(!plain.snapshot().report(Duration::from_secs(1)).contains("micro-batches"));
     }
 
     #[test]

@@ -11,8 +11,8 @@ use crossenc::{CrossEncoder, InferenceMode, LinkExample, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simllm::{
-    BaseModelProfile, EmbeddingModel, GenConfig, LoraPlugin, PluginHub, SqlGenerator, TrainOpts,
-    ValueIndex,
+    BaseModelProfile, EmbeddingModel, GenConfig, LoraPlugin, PluginHub, PrototypeMatrix,
+    SqlGenerator, TrainOpts, ValueIndex,
 };
 use sqlkit::catalog::CatalogSchema;
 use std::sync::Arc;
@@ -59,6 +59,24 @@ pub struct DbRuntime {
     pub views: crossenc::model::SchemaViews,
     pub values: ValueIndex,
     pub plugin: Arc<LoraPlugin>,
+    /// The plugin's prototype centroids flattened into one contiguous
+    /// scoring matrix, built once here so every generator borrows it
+    /// instead of re-reading scattered centroid vectors per question.
+    pub matrix: PrototypeMatrix,
+}
+
+impl DbRuntime {
+    fn new(ds: &BullDataset, db: DbId, lang: Lang, plugin: Arc<LoraPlugin>) -> Self {
+        let matrix = PrototypeMatrix::build(&plugin.prototypes);
+        DbRuntime {
+            db,
+            schema: ds.db(db).catalog().clone(),
+            views: crossenc::model::SchemaViews::build(ds.db(db).catalog(), lang),
+            values: ValueIndex::build(ds.db(db)),
+            plugin,
+            matrix,
+        }
+    }
 }
 
 /// A fully-built FinSQL system for one register, covering all three
@@ -69,7 +87,19 @@ pub struct FinSql {
     pub base: EmbeddingModel,
     pub linker: CrossEncoder,
     pub hub: PluginHub,
-    runtimes: Vec<DbRuntime>,
+    /// One runtime per database, stored dense at [`DbId::index`] so the
+    /// hot-path lookup is a bounds-free array index, not a scan.
+    runtimes: [DbRuntime; 3],
+}
+
+/// Collects exactly one runtime per database, in [`DbId::ALL`] order,
+/// into the dense array [`FinSql::runtime`] indexes into.
+fn into_runtime_array(runtimes: Vec<DbRuntime>) -> [DbRuntime; 3] {
+    debug_assert!(runtimes.iter().zip(DbId::ALL).all(|(r, db)| r.db == db));
+    match runtimes.try_into() {
+        Ok(arr) => arr,
+        Err(_) => unreachable!("one runtime is built per database"),
+    }
 }
 
 impl FinSql {
@@ -115,15 +145,9 @@ impl FinSql {
         let runtimes = DbId::ALL
             .into_iter()
             .zip(plugins)
-            .map(|(db, plugin)| DbRuntime {
-                db,
-                schema: ds.db(db).catalog().clone(),
-                views: crossenc::model::SchemaViews::build(ds.db(db).catalog(), config.lang),
-                values: ValueIndex::build(ds.db(db)),
-                plugin,
-            })
+            .map(|(db, plugin)| DbRuntime::new(ds, db, config.lang, plugin))
             .collect();
-        FinSql { config, profile, base, linker, hub, runtimes }
+        FinSql { config, profile, base, linker, hub, runtimes: into_runtime_array(runtimes) }
     }
 
     /// [`FinSql::build`] without the training-job concurrency — the
@@ -147,27 +171,24 @@ impl FinSql {
                 config.augmentation,
                 TrainOpts { seed: config.seed ^ db as u64, ..Default::default() },
             );
-            runtimes.push(DbRuntime {
-                db,
-                schema: ds.db(db).catalog().clone(),
-                views: crossenc::model::SchemaViews::build(ds.db(db).catalog(), config.lang),
-                values: ValueIndex::build(ds.db(db)),
-                plugin,
-            });
+            runtimes.push(DbRuntime::new(ds, db, config.lang, plugin));
         }
-        FinSql { config, profile, base, linker, hub, runtimes }
+        FinSql { config, profile, base, linker, hub, runtimes: into_runtime_array(runtimes) }
     }
 
-    /// The runtime artifacts of one database.
+    /// The runtime artifacts of one database: an O(1) indexed lookup
+    /// (runtimes are stored dense at [`DbId::index`], so no scan and no
+    /// failure path).
     pub fn runtime(&self, db: DbId) -> &DbRuntime {
-        self.runtimes.iter().find(|r| r.db == db).expect("runtime built for every database")
+        &self.runtimes[db.index()]
     }
 
-    /// Replaces a database's plugin (used by the few-shot experiments).
+    /// Replaces a database's plugin (used by the few-shot experiments)
+    /// and rebuilds its prototype scoring matrix to match.
     pub fn set_plugin(&mut self, db: DbId, plugin: Arc<LoraPlugin>) {
-        if let Some(r) = self.runtimes.iter_mut().find(|r| r.db == db) {
-            r.plugin = plugin;
-        }
+        let r = &mut self.runtimes[db.index()];
+        r.matrix = PrototypeMatrix::build(&plugin.prototypes);
+        r.plugin = plugin;
     }
 
     /// Answers a question against one database: the paper's full
@@ -191,8 +212,10 @@ impl FinSql {
         let (linked, link_time) =
             self.linker.link_timed(question, &rt.views, InferenceMode::Parallel);
         let prompt_schema = linked.project(&rt.schema, self.config.k_tables, self.config.k_columns);
-        // 2. Sample n candidates from the adapted model.
-        let generator = SqlGenerator::new(&self.base, Some(&rt.plugin), self.profile);
+        // 2. Sample n candidates from the adapted model, scoring against
+        // the runtime's prebuilt prototype matrix.
+        let generator =
+            SqlGenerator::with_matrix(&self.base, &rt.plugin, &rt.matrix, self.profile);
         let gen_start = std::time::Instant::now();
         let (candidates, counters) = generator.generate_with_counters(
             question,

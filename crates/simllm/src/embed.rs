@@ -67,28 +67,34 @@ impl EmbeddingModel {
     pub fn features(&self, text: &str) -> SparseVec {
         // Numeric tokens are normalised to a "#num" symbol: the presence
         // and count of literals is a strong structural signal, their
-        // values are noise.
-        let tokens: Vec<String> = tokenize(text)
-            .into_iter()
+        // values are noise. Tokens are borrowed, not cloned — each one is
+        // hashed to its bucket directly, and bigrams are assembled in one
+        // reused buffer.
+        let raw_tokens = tokenize(text);
+        let tokens: Vec<&str> = raw_tokens
+            .iter()
             .map(|t| {
                 if t.bytes().all(|b| b.is_ascii_digit()) {
-                    "#num".to_string()
+                    "#num"
                 } else {
-                    t
+                    t.as_str()
                 }
             })
             .collect();
-        let mut feats: Vec<(String, f32)> = tokens
-            .iter()
-            .map(|t| {
-                let w = if is_structure_word(t) { 2.5 } else { 1.0 };
-                (t.clone(), w)
-            })
-            .collect();
-        for w in tokens.windows(2) {
-            feats.push((format!("{} {}", w[0], w[1]), 1.0));
+        let mut raw: Vec<(u32, f32)> = Vec::with_capacity(tokens.len().saturating_mul(2));
+        for t in &tokens {
+            let w = if is_structure_word(t) { 2.5 } else { 1.0 };
+            raw.push((self.hasher.bucket(t), w));
         }
-        let mut v = self.hasher.hash_weighted(feats);
+        let mut bigram = String::new();
+        for w in tokens.windows(2) {
+            bigram.clear();
+            bigram.push_str(w[0]);
+            bigram.push(' ');
+            bigram.push_str(w[1]);
+            raw.push((self.hasher.bucket(&bigram), 1.0));
+        }
+        let mut v = SparseVec::from_entries(raw);
         v.normalize();
         v
     }
@@ -131,6 +137,21 @@ impl EmbeddingModel {
         }
         h
     }
+
+    /// Embeds a whole micro-batch: extracts features for every question
+    /// and projects them through `W0` (plus the optional LoRA delta) in
+    /// one pass over the batch. Each row is byte-identical to what
+    /// [`EmbeddingModel::embed`] produces for that question alone — the
+    /// win is amortisation (one call, one output allocation, no per-call
+    /// setup), not a different computation.
+    pub fn embed_batch(&self, texts: &[&str], lora: Option<&LoraModule>) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(texts.len());
+        for text in texts {
+            let x = self.features(text);
+            out.push(self.embed_features(&x, lora));
+        }
+        out
+    }
 }
 
 /// Query-structure cue words (en word tokens and cn character tokens).
@@ -156,6 +177,14 @@ pub fn normalize(v: &mut [f32]) {
             *x /= n;
         }
     }
+}
+
+/// Plain dot product of two equal-length vectors — the fast path for
+/// scoring when both sides are already unit-norm (embeddings and
+/// prototype centroids are), where it equals cosine similarity without
+/// paying two sqrt-norm reductions per call.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 /// Cosine similarity of two equal-length vectors.

@@ -1,8 +1,8 @@
 //! The end-to-end SQL generator: retrieve skeleton → fill slots → decode
 //! with noise.
 
-use crate::embed::{cosine, EmbeddingModel};
-use crate::hub::LoraPlugin;
+use crate::embed::{dot, normalize, EmbeddingModel, EMBED_DIM};
+use crate::hub::{LoraPlugin, Prototype};
 use crate::noise::corrupt;
 use crate::profiles::BaseModelProfile;
 use crate::slots::{FillOptions, SlotFiller};
@@ -10,6 +10,8 @@ use crate::values::ValueIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlkit::catalog::CatalogSchema;
+use std::borrow::Cow;
+use std::collections::HashMap;
 
 /// FNV-1a fingerprint used to derive per-question slot seeds.
 fn fingerprint(text: &str) -> u64 {
@@ -56,21 +58,105 @@ pub struct GenCounters {
     pub skeleton_slips: u64,
 }
 
+/// Plugin prototype centroids flattened into one contiguous row-major
+/// matrix with pre-normalised rows.
+///
+/// Ranking prototypes for a question is then a single cache-friendly
+/// dot-product sweep over consecutive rows: embeddings are unit-norm and
+/// the rows are re-normalised once at build time, so the dot product *is*
+/// the cosine similarity — without recomputing both vector norms for
+/// every prototype on every question, and without chasing one heap
+/// allocation per centroid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrototypeMatrix {
+    /// `n × EMBED_DIM` row-major, one unit-norm row per prototype.
+    rows: Vec<f32>,
+}
+
+impl PrototypeMatrix {
+    /// Flattens (and re-normalises) a plugin's prototype centroids.
+    pub fn build(prototypes: &[Prototype]) -> Self {
+        let mut rows = Vec::with_capacity(prototypes.len() * EMBED_DIM);
+        for p in prototypes {
+            let start = rows.len();
+            rows.extend_from_slice(&p.centroid);
+            rows.resize(start + EMBED_DIM, 0.0);
+            normalize(&mut rows[start..start + EMBED_DIM]);
+        }
+        PrototypeMatrix { rows }
+    }
+
+    /// Number of prototype rows.
+    pub fn len(&self) -> usize {
+        self.rows.len() / EMBED_DIM
+    }
+
+    /// True when the matrix holds no prototypes.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Scores a unit-norm embedding against every row (cosine, computed
+    /// as a plain dot product), appending into `out`.
+    pub fn scores_into(&self, emb: &[f32], out: &mut Vec<f32>) {
+        out.reserve(self.len());
+        for row in self.rows.chunks_exact(EMBED_DIM) {
+            out.push(dot(emb, row));
+        }
+    }
+
+    /// Prototype indices sorted by descending similarity to a unit-norm
+    /// embedding, ties broken by index.
+    pub fn ranked(&self, emb: &[f32]) -> Vec<(usize, f32)> {
+        let mut scores = Vec::new();
+        self.scores_into(emb, &mut scores);
+        let mut ranked: Vec<(usize, f32)> = scores.into_iter().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+/// One question of a generation micro-batch: the question text and the
+/// (typically schema-linked) prompt schema it is answered against.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchItem<'q> {
+    pub question: &'q str,
+    pub prompt_schema: &'q CatalogSchema,
+}
+
 /// A ready-to-run generator: frozen base + optional plugin + profile.
 pub struct SqlGenerator<'a> {
     pub base: &'a EmbeddingModel,
     pub plugin: Option<&'a LoraPlugin>,
     pub profile: &'a BaseModelProfile,
+    /// The plugin's prototype matrix — borrowed when the caller keeps one
+    /// per runtime, owned (built on the spot) otherwise.
+    matrix: Option<Cow<'a, PrototypeMatrix>>,
 }
 
 impl<'a> SqlGenerator<'a> {
-    /// Creates a generator.
+    /// Creates a generator, flattening the plugin's prototypes into a
+    /// fresh [`PrototypeMatrix`]. Callers that answer many questions
+    /// against the same plugin should build the matrix once and use
+    /// [`SqlGenerator::with_matrix`] instead.
     pub fn new(
         base: &'a EmbeddingModel,
         plugin: Option<&'a LoraPlugin>,
         profile: &'a BaseModelProfile,
     ) -> Self {
-        SqlGenerator { base, plugin, profile }
+        let matrix = plugin.map(|p| Cow::Owned(PrototypeMatrix::build(&p.prototypes)));
+        SqlGenerator { base, plugin, profile, matrix }
+    }
+
+    /// Creates a generator around a prebuilt prototype matrix (which must
+    /// have been built from `plugin`'s prototypes).
+    pub fn with_matrix(
+        base: &'a EmbeddingModel,
+        plugin: &'a LoraPlugin,
+        matrix: &'a PrototypeMatrix,
+        profile: &'a BaseModelProfile,
+    ) -> Self {
+        SqlGenerator { base, plugin: Some(plugin), profile, matrix: Some(Cow::Borrowed(matrix)) }
     }
 
     /// Generates `cfg.n_samples` candidate SQL strings for a question
@@ -134,6 +220,46 @@ impl<'a> SqlGenerator<'a> {
         )
     }
 
+    /// Generates candidates for a whole micro-batch of questions that
+    /// share one value index (i.e. one database): the questions are
+    /// embedded in one [`EmbeddingModel::embed_batch`] pass and ranked
+    /// against the contiguous [`PrototypeMatrix`], then each question
+    /// runs the exact per-question sampling loop — same slot-seed
+    /// derivation, same RNG consumption — so each entry of the result is
+    /// byte-identical to what [`SqlGenerator::generate_with_counters`]
+    /// produces for that question with its own RNG.
+    pub fn generate_batch(
+        &self,
+        items: &[BatchItem<'_>],
+        values: &ValueIndex,
+        cfg: GenConfig,
+        rngs: &mut [StdRng],
+    ) -> Vec<(Vec<String>, GenCounters)> {
+        assert_eq!(items.len(), rngs.len(), "one sampling RNG per batched question");
+        let ranked_all: Vec<Vec<(usize, f32)>> = if self.plugin.is_some() {
+            let texts: Vec<&str> = items.iter().map(|i| i.question).collect();
+            let lora = self.plugin.map(|p| &p.lora);
+            self.base
+                .embed_batch(&texts, lora)
+                .iter()
+                .map(|emb| self.rank_embedding(emb))
+                .collect()
+        } else {
+            vec![Vec::new(); items.len()]
+        };
+        items
+            .iter()
+            .zip(&ranked_all)
+            .zip(rngs)
+            .map(|((item, ranked), rng)| {
+                let mut counters = GenCounters::default();
+                let filler = SlotFiller::new(item.prompt_schema, values, item.question);
+                let out = self.sample_n(&filler, item.question, ranked, cfg, rng, &mut counters);
+                (out, counters)
+            })
+            .collect()
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn generate_impl(
         &self,
@@ -148,37 +274,59 @@ impl<'a> SqlGenerator<'a> {
         let filler = SlotFiller::new(prompt_schema, values, question);
         // Rank skeleton prototypes once.
         let ranked = self.ranked_prototypes(retrieval_text);
-        // Slot (identifier) decisions are a *systematic* property of the
-        // model given a fixed prompt — sampling temperature perturbs the
-        // decoded surface (noise) and occasionally the structure, but a
-        // model that binds "redemption status" to the wrong column does
-        // so on every sample. Hence slot draws come from a per-question
-        // seed shared across the n samples, while skeleton slips and
-        // decoder noise use the sampling RNG.
+        self.sample_n(&filler, question, &ranked, cfg, rng, counters)
+    }
+
+    /// The shared per-question sampling loop: `cfg.n_samples` draws over
+    /// one ranked prototype list.
+    ///
+    /// Slot (identifier) decisions are a *systematic* property of the
+    /// model given a fixed prompt — sampling temperature perturbs the
+    /// decoded surface (noise) and occasionally the structure, but a
+    /// model that binds "redemption status" to the wrong column does so
+    /// on every sample. Hence slot draws come from a per-question seed
+    /// shared across the n samples, while skeleton slips and decoder
+    /// noise use the sampling RNG. Because every sample reseeds the slot
+    /// RNG identically, the grounded SQL for a given prototype is the
+    /// same on every sample — it is filled once per distinct prototype
+    /// choice and memoised, which is what makes n-candidate sampling
+    /// cheap.
+    fn sample_n(
+        &self,
+        filler: &SlotFiller<'_>,
+        question: &str,
+        ranked: &[(usize, f32)],
+        cfg: GenConfig,
+        rng: &mut StdRng,
+        counters: &mut GenCounters,
+    ) -> Vec<String> {
         let slot_seed = fingerprint(question) ^ fingerprint(&self.profile.name_and_skill());
+        let mut fills: HashMap<usize, Option<String>> = HashMap::new();
         let mut out = Vec::with_capacity(cfg.n_samples);
         for _ in 0..cfg.n_samples.max(1) {
-            let mut slot_rng = StdRng::seed_from_u64(slot_seed);
-            let sql = self.sample_once(&filler, &ranked, cfg, &mut slot_rng, rng, counters);
+            let sql = self.sample_once(filler, ranked, cfg, slot_seed, rng, counters, &mut fills);
             counters.samples += 1;
             out.push(sql);
         }
         out
     }
 
-    /// Prototype indices sorted by cosine to the adapted question
-    /// embedding, with their similarities.
+    /// Prototype indices sorted by similarity (cosine over unit-norm
+    /// vectors, computed as a contiguous dot-product sweep) to the
+    /// adapted question embedding.
     fn ranked_prototypes(&self, question: &str) -> Vec<(usize, f32)> {
         let Some(plugin) = self.plugin else { return Vec::new() };
         let emb = self.base.embed(question, Some(&plugin.lora));
-        let mut ranked: Vec<(usize, f32)> = plugin
-            .prototypes
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, cosine(&emb, &p.centroid)))
-            .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked
+        self.rank_embedding(&emb)
+    }
+
+    /// Ranks a precomputed unit-norm embedding against the prototype
+    /// matrix.
+    fn rank_embedding(&self, emb: &[f32]) -> Vec<(usize, f32)> {
+        match &self.matrix {
+            Some(m) => m.ranked(emb),
+            None => Vec::new(),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -187,9 +335,10 @@ impl<'a> SqlGenerator<'a> {
         filler: &SlotFiller<'_>,
         ranked: &[(usize, f32)],
         cfg: GenConfig,
-        slot_rng: &mut StdRng,
+        slot_seed: u64,
         rng: &mut StdRng,
         counters: &mut GenCounters,
+        fills: &mut HashMap<usize, Option<String>>,
     ) -> String {
         let Some(plugin) = self.plugin else {
             // No adaptation at all: the base model free-associates.
@@ -216,16 +365,26 @@ impl<'a> SqlGenerator<'a> {
         } else {
             ranked[0].0
         };
-        let proto = &plugin.prototypes[idx];
-        let opts = FillOptions {
-            cot: plugin.cot_trained,
-            slot_skill: self.profile.slot_skill,
-            join_skill: self.profile.join_skill,
-        };
-        let sql = filler.fill(proto.shape, &opts, slot_rng).unwrap_or_else(|| {
-            counters.fallbacks += 1;
-            filler.fallback_sql()
+        // Slot filling draws only from a freshly-seeded slot RNG, so the
+        // grounded SQL per prototype is identical across samples — fill
+        // once per distinct prototype and memoise.
+        let grounded = fills.entry(idx).or_insert_with(|| {
+            let proto = &plugin.prototypes[idx];
+            let opts = FillOptions {
+                cot: plugin.cot_trained,
+                slot_skill: self.profile.slot_skill,
+                join_skill: self.profile.join_skill,
+            };
+            let mut slot_rng = StdRng::seed_from_u64(slot_seed);
+            filler.fill(proto.shape, &opts, &mut slot_rng)
         });
+        let sql = match grounded {
+            Some(sql) => sql.clone(),
+            None => {
+                counters.fallbacks += 1;
+                filler.fallback_sql()
+            }
+        };
         corrupt(&sql, &self.profile.noise, cfg.temperature, rng)
     }
 }
@@ -323,6 +482,65 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let out = g.generate("how many funds", &s, &values, GenConfig::default(), &mut rng);
         assert!(out[0].starts_with("SELECT"));
+    }
+
+    #[test]
+    fn matrix_ranking_matches_per_prototype_cosine() {
+        // The contiguous dot-product sweep must rank prototypes in the
+        // same order the old path did: per-prototype `cosine` calls that
+        // recomputed both norms every time.
+        let base = EmbeddingModel::pretrained(42);
+        let plugin = plugin(&base);
+        assert!(plugin.prototypes.len() >= 2, "need several prototypes to rank");
+        let matrix = PrototypeMatrix::build(&plugin.prototypes);
+        assert_eq!(matrix.len(), plugin.prototypes.len());
+        for q in [
+            "how many funds have fund type bond fund",
+            "what is the average return rate of type stock fund",
+            "list everything",
+        ] {
+            let emb = base.embed(q, Some(&plugin.lora));
+            let new_order: Vec<usize> = matrix.ranked(&emb).into_iter().map(|(i, _)| i).collect();
+            let mut old: Vec<(usize, f32)> = plugin
+                .prototypes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, crate::embed::cosine(&emb, &p.centroid)))
+                .collect();
+            old.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            let old_order: Vec<usize> = old.into_iter().map(|(i, _)| i).collect();
+            assert_eq!(new_order, old_order, "ranking order diverged for {q:?}");
+        }
+    }
+
+    #[test]
+    fn generate_batch_matches_per_question_generation() {
+        let base = EmbeddingModel::pretrained(42);
+        let plugin = plugin(&base);
+        let s = schema();
+        let database = db();
+        let values = ValueIndex::build(&database);
+        let g = SqlGenerator::new(&base, Some(&plugin), &LLAMA2_13B);
+        let cfg = GenConfig { n_samples: 5, temperature: 0.9, skeleton_temperature: None };
+        let questions = [
+            "how many funds have fund type bond fund",
+            "what is the average return rate of type stock fund",
+            "how many funds have fund type kind3",
+        ];
+        let serial: Vec<(Vec<String>, GenCounters)> = questions
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let mut rng = StdRng::seed_from_u64(100 + i as u64);
+                g.generate_with_counters(q, &s, &values, cfg, &mut rng)
+            })
+            .collect();
+        let items: Vec<BatchItem<'_>> =
+            questions.iter().map(|q| BatchItem { question: q, prompt_schema: &s }).collect();
+        let mut rngs: Vec<StdRng> =
+            (0..questions.len()).map(|i| StdRng::seed_from_u64(100 + i as u64)).collect();
+        let batched = g.generate_batch(&items, &values, cfg, &mut rngs);
+        assert_eq!(serial, batched, "batched generation must be byte-identical");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod train;
 pub mod values;
 
 pub use embed::EmbeddingModel;
-pub use generator::{GenConfig, GenCounters, SqlGenerator};
+pub use generator::{BatchItem, GenConfig, GenCounters, PrototypeMatrix, SqlGenerator};
 pub use hub::{LoraPlugin, PluginHub};
 pub use lora::LoraModule;
 pub use profiles::BaseModelProfile;

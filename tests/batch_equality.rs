@@ -1,0 +1,146 @@
+//! Batched-engine equivalence tests: the batched answer path must be
+//! byte-identical to the per-question path — for arbitrary question
+//! subsets, at every batch size, through the coalescing scheduler, and
+//! through the cache — and the interleaved micro-batched evaluation must
+//! reproduce the serial per-database EX counts exactly at every worker
+//! count and batch size.
+
+use bull::{DbId, Lang, Split};
+use finsql_core::batch::{BatchConfig, BatchScheduler};
+use finsql_core::cache::AnswerCache;
+use finsql_core::eval::{evaluate_ex_all_interleaved_batched, evaluate_ex_all_limit};
+use finsql_core::pipeline::{FinSql, FinSqlConfig};
+use proptest::prelude::*;
+use simllm::profiles::LLAMA2_13B;
+use std::sync::{Arc, OnceLock};
+
+fn dataset() -> &'static bull::BullDataset {
+    static DS: OnceLock<bull::BullDataset> = OnceLock::new();
+    DS.get_or_init(|| bull::build(bull::DEFAULT_SEED))
+}
+
+fn system() -> &'static Arc<FinSql> {
+    static SYS: OnceLock<Arc<FinSql>> = OnceLock::new();
+    SYS.get_or_init(|| {
+        Arc::new(FinSql::build(dataset(), &LLAMA2_13B, FinSqlConfig::standard(Lang::En)))
+    })
+}
+
+/// The per-question reference answer.
+fn serial_answer(db: DbId, q: &str) -> String {
+    let sys = system();
+    let mut rng = sys.question_rng(db, q);
+    sys.answer(db, q, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `answer_batch` equals `answer` byte for byte on arbitrary question
+    /// subsets (duplicates included) of every database.
+    #[test]
+    fn answer_batch_matches_answer_on_arbitrary_subsets(
+        indices in proptest::collection::vec(0usize..200, 1..12),
+        db_pick in 0usize..3,
+    ) {
+        let db = DbId::ALL[db_pick];
+        let dev = dataset().examples_for(db, Split::Dev);
+        let questions: Vec<&str> =
+            indices.iter().map(|i| dev[i % dev.len()].question(Lang::En)).collect();
+        let batched = system().answer_batch(db, &questions);
+        prop_assert_eq!(batched.len(), questions.len());
+        for (q, a) in questions.iter().zip(&batched) {
+            prop_assert_eq!(&serial_answer(db, q), a, "diverged on {:?}", q);
+        }
+    }
+}
+
+/// Fixed batch sizes spanning degenerate (1), underfull, prime-ragged and
+/// whole-set (64) chunkings all reproduce the reference answers, as does
+/// the cache-first path both cold and warm.
+#[test]
+fn every_batch_size_and_the_cached_path_are_exact() {
+    let db = DbId::Stock;
+    let dev = dataset().examples_for(db, Split::Dev);
+    let questions: Vec<&str> = dev.iter().take(64).map(|e| e.question(Lang::En)).collect();
+    let reference: Vec<String> = questions.iter().map(|q| serial_answer(db, q)).collect();
+    for &bs in &[1usize, 3, 7, 64] {
+        let mut got = Vec::with_capacity(questions.len());
+        for chunk in questions.chunks(bs) {
+            got.extend(system().answer_batch(db, chunk));
+        }
+        assert_eq!(got, reference, "batch size {bs} diverged");
+    }
+    let cache = AnswerCache::unbounded();
+    for pass in ["cold", "warm"] {
+        let mut got = Vec::with_capacity(questions.len());
+        for chunk in questions.chunks(7) {
+            got.extend(system().answer_batch_cached(&cache, db, chunk, None));
+        }
+        assert_eq!(got, reference, "{pass} cached batches diverged");
+    }
+    assert!(cache.stats().hits >= questions.len() as u64, "warm pass must hit the cache");
+}
+
+/// The scheduler front-end — concurrent submitters, coalesced micro-
+/// batches, cache-first routing — returns exactly the reference answer
+/// for every request, cold and warm, at several worker counts.
+#[test]
+fn scheduler_coalescing_is_invisible_to_callers() {
+    let db = DbId::Fund;
+    let dev = dataset().examples_for(db, Split::Dev);
+    let questions: Vec<&str> = dev.iter().take(32).map(|e| e.question(Lang::En)).collect();
+    let reference: Vec<String> = questions.iter().map(|q| serial_answer(db, q)).collect();
+    for workers in [1usize, 3] {
+        let cache = Arc::new(AnswerCache::unbounded());
+        let scheduler = BatchScheduler::new(
+            Arc::clone(system()),
+            Some(Arc::clone(&cache)),
+            None,
+            BatchConfig { max_batch: 7, workers, ..BatchConfig::default() },
+        );
+        for pass in ["cold", "warm"] {
+            // Submit from several threads at once so the workers actually
+            // get concurrent requests to coalesce.
+            let got: Vec<String> = std::thread::scope(|scope| {
+                let handles: Vec<_> = questions
+                    .iter()
+                    .map(|q| scope.spawn(|| scheduler.answer(db, q)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("submitter panicked")).collect()
+            });
+            assert_eq!(got, reference, "{workers}-worker scheduler diverged on {pass} pass");
+        }
+        assert!(
+            cache.stats().hits >= questions.len() as u64,
+            "warm pass must be served from the cache"
+        );
+    }
+}
+
+/// The interleaved micro-batched evaluation reproduces the serial
+/// per-database EX counts exactly — the counts PR 2's evaluation path
+/// records — at every worker count and batch size combination.
+#[test]
+fn interleaved_batched_eval_reproduces_serial_counts() {
+    const LIMIT: usize = 20;
+    let serial = evaluate_ex_all_limit(dataset(), Lang::En, Some(LIMIT), |db, q| {
+        serial_answer(db, q)
+    });
+    for workers in [1usize, 2, 3] {
+        for batch in [1usize, 4, 16] {
+            let batched = evaluate_ex_all_interleaved_batched(
+                dataset(),
+                Lang::En,
+                workers,
+                Some(LIMIT),
+                batch,
+                |db, qs| system().answer_batch(db, qs),
+            );
+            assert_eq!(
+                serial, batched,
+                "per-db counts diverged at workers={workers} batch={batch}"
+            );
+        }
+    }
+}
