@@ -1,7 +1,7 @@
 //! Shared harness for the benchmark binaries that regenerate every table
 //! and figure of the paper.
 
-use bull::{BullDataset, DbId, Lang};
+use bull::{BullDataset, DbId, Lang, Split};
 use finsql_core::baselines::{FtBaseline, GptBaseline, GptMethod, GptModel, SharedGptBaseline};
 use finsql_core::cache::{Answerer, AnswerCache};
 use finsql_core::eval::{
@@ -350,6 +350,13 @@ pub fn run_overall_table(lang: Lang) {
         let wall = Instant::now();
         let out = finsql_opts_ex(&finsql, &ds, opts, Some(&metrics), cache.as_ref());
         let wall = wall.elapsed();
+        // Linking recall@k over the labelled dev examples (batched matrix
+        // sweep; recall counters only, no stage timers touched).
+        for db in DbId::ALL {
+            let examples: Vec<&bull::BullExample> =
+                ds.examples_for(db, Split::Dev).into_iter().collect();
+            finsql.record_link_recall(db, &examples, &metrics);
+        }
         println!("{:<36} {:>6.1} {:>18}", format!("FinSQL + {}", profile.name), out.ex_pct(), "-");
         print!("{}", metrics.snapshot().report(wall));
         // Re-evaluate against the warm cache: identical EX, served from

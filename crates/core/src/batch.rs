@@ -8,8 +8,9 @@
 //! runtime's contiguous [`simllm::PrototypeMatrix`], questions whose
 //! schema linking selects the same top-k tables and columns share one
 //! projected prompt schema (built once per distinct projection instead of
-//! once per question), and linking runs in serial mode inside the batch —
-//! no per-question thread scope.
+//! once per question), and linking runs as one matrix sweep over the
+//! runtime's precomputed [`crossenc::SchemaFeatureMatrix`] — every
+//! question featurised once, no per-question string work or thread scope.
 //!
 //! **Why batching cannot change an answer.** Every source of randomness
 //! in the pipeline is derived from the question itself, never from batch
@@ -27,18 +28,19 @@
 //! [`BatchScheduler`]'s coalescing safe and keeps cached answers exact.
 //!
 //! [`BatchScheduler`] is the serving front-end: a bounded MPMC queue and
-//! a worker pool that coalesces concurrent requests into same-database
-//! micro-batches (up to a configurable size, holding an underfull batch
-//! open for a short flush deadline), routes questions through the answer
-//! cache first so only misses reach the engine, and implements the
-//! [`Answerer`] trait.
+//! a worker pool that coalesces concurrent requests into micro-batches —
+//! from *any* database, up to a configurable size, holding an underfull
+//! batch open for a short flush deadline — routes questions through the
+//! answer cache first so only misses reach the engine, and implements
+//! the [`Answerer`] trait. Mixed batches are split per database by
+//! [`FinSql::answer_batch_mixed`], so a worker never stalls waiting for
+//! same-database traffic to accumulate.
 
 use crate::cache::{Answerer, AnswerCache, ConfigFingerprint};
 use crate::calibrate::calibrate_with_stats;
 use crate::metrics::EvalMetrics;
 use crate::pipeline::FinSql;
 use bull::DbId;
-use crossenc::InferenceMode;
 use rand::rngs::StdRng;
 use simllm::{BatchItem, GenConfig, GenCounters, SqlGenerator};
 use sqlkit::catalog::CatalogSchema;
@@ -74,18 +76,19 @@ impl FinSql {
             return Vec::new();
         }
         let rt = self.runtime(db);
-        // 1. Schema linking per question — serial mode inside the batch
-        // (serial and parallel linking agree exactly; the batch is the
-        // parallelism). Questions whose top-k selection coincides share
-        // one projected prompt schema.
+        // 1. Schema linking for the whole batch in one matrix sweep over
+        // the runtime's precomputed schema feature matrix (bit-identical
+        // to per-question linking in either mode — crossenc::matrix docs).
+        // Questions whose top-k selection coincides share one projected
+        // prompt schema.
+        let (linked_all, link_time) = self.linker.link_batch_timed(questions, &rt.link_matrix);
+        if let Some(m) = metrics {
+            m.record_link(link_time);
+        }
         let mut schema_of_key: HashMap<ProjectionKey, usize> = HashMap::new();
         let mut schemas: Vec<CatalogSchema> = Vec::new();
         let mut schema_idx: Vec<usize> = Vec::with_capacity(questions.len());
-        for q in questions {
-            let (linked, link_time) = self.linker.link_timed(q, &rt.views, InferenceMode::Serial);
-            if let Some(m) = metrics {
-                m.record_link(link_time);
-            }
+        for linked in &linked_all {
             let key: ProjectionKey = linked
                 .tables
                 .iter()
@@ -210,6 +213,49 @@ impl FinSql {
             None => self.answer_batch_with_metrics(db, questions, metrics),
         }
     }
+
+    /// Answers a micro-batch that may span databases. The linker, the
+    /// LoRA plugin, the prototype matrix and the value index are all
+    /// per-database artifacts, so the batch is split into one per-db
+    /// sub-batch per database present (in [`DbId::ALL`] order), each
+    /// answered through the cache-first batched path, and the answers
+    /// are scattered back into request order. Every answer is still
+    /// byte-identical to a lone [`FinSql::answer`] call — sub-batching
+    /// is just batching, and batching cannot change an answer — which is
+    /// what lets the [`BatchScheduler`] coalesce mixed traffic without
+    /// waiting for same-database requests to accumulate.
+    pub fn answer_batch_mixed(
+        &self,
+        cache: Option<&AnswerCache>,
+        requests: &[(DbId, &str)],
+        metrics: Option<&EvalMetrics>,
+    ) -> Vec<String> {
+        let mut out: Vec<Option<String>> = vec![None; requests.len()];
+        let mut dbs_spanned = 0usize;
+        for db in DbId::ALL {
+            let indices: Vec<usize> = requests
+                .iter()
+                .enumerate()
+                .filter(|(_, (d, _))| *d == db)
+                .map(|(i, _)| i)
+                .collect();
+            if indices.is_empty() {
+                continue;
+            }
+            dbs_spanned += 1;
+            let questions: Vec<&str> = indices.iter().map(|&i| requests[i].1).collect();
+            let answers = self.answer_batch_maybe_cached(cache, db, &questions, metrics);
+            for (&i, answer) in indices.iter().zip(answers) {
+                out[i] = Some(answer);
+            }
+        }
+        if let Some(m) = metrics {
+            if dbs_spanned > 1 {
+                m.record_mixed_batch();
+            }
+        }
+        out.into_iter().map(|a| a.expect("every database group answered")).collect()
+    }
 }
 
 /// Knobs of the [`BatchScheduler`].
@@ -218,7 +264,7 @@ pub struct BatchConfig {
     /// Most questions coalesced into one micro-batch.
     pub max_batch: usize,
     /// How long a worker holds an underfull batch open waiting for more
-    /// same-database requests before flushing it.
+    /// requests before flushing it.
     pub flush: Duration,
     /// Worker threads draining the queue.
     pub workers: usize,
@@ -297,13 +343,14 @@ struct Shared {
 /// A micro-batching request scheduler in front of a [`FinSql`] engine.
 ///
 /// Requests from any thread are pushed onto one bounded queue; workers
-/// pop a request, then coalesce further *same-database* requests into a
-/// micro-batch — up to [`BatchConfig::max_batch`], holding an underfull
-/// batch open for at most [`BatchConfig::flush`] — and answer the whole
-/// batch through the cache-first batched engine. Because batching cannot
-/// change an answer (module docs), coalescing is invisible to callers:
-/// every request gets exactly the answer a lone [`FinSql::answer`] call
-/// would have produced.
+/// pop a request, then coalesce further requests — from *any* database —
+/// into a micro-batch, up to [`BatchConfig::max_batch`], holding an
+/// underfull batch open for at most [`BatchConfig::flush`], and answer
+/// the whole batch through [`FinSql::answer_batch_mixed`], which splits
+/// it per database inside the engine. Because batching cannot change an
+/// answer (module docs), coalescing is invisible to callers: every
+/// request gets exactly the answer a lone [`FinSql::answer`] call would
+/// have produced.
 ///
 /// Dropping the scheduler shuts the pool down after draining every
 /// request already queued.
@@ -387,10 +434,10 @@ impl Drop for BatchScheduler {
     }
 }
 
-/// One worker: pop a request, coalesce same-database followers up to the
-/// batch cap or the flush deadline, answer the batch, fill the slots.
-/// On shutdown the queue is drained completely before the worker exits,
-/// so no submitted request is ever dropped.
+/// One worker: pop a request, coalesce followers from any database up to
+/// the batch cap or the flush deadline, answer the mixed batch, fill the
+/// slots. On shutdown the queue is drained completely before the worker
+/// exits, so no submitted request is ever dropped.
 fn worker_loop(shared: &Shared) {
     loop {
         let first = {
@@ -406,14 +453,13 @@ fn worker_loop(shared: &Shared) {
                 state = shared.queue.not_empty.wait(state).expect("queue lock poisoned");
             }
         };
-        let db = first.db;
         let mut batch = vec![first];
         let deadline = Instant::now() + shared.config.flush;
         {
             let mut state = shared.queue.state.lock().expect("queue lock poisoned");
             while batch.len() < shared.config.max_batch {
-                if let Some(pos) = state.items.iter().position(|r| r.db == db) {
-                    batch.push(state.items.remove(pos).expect("position just found"));
+                if let Some(request) = state.items.pop_front() {
+                    batch.push(request);
                     shared.queue.not_full.notify_all();
                     continue;
                 }
@@ -432,14 +478,11 @@ fn worker_loop(shared: &Shared) {
                 state = guard;
             }
         }
-        let questions: Vec<&str> = batch.iter().map(|r| r.question.as_str()).collect();
+        let requests: Vec<(DbId, &str)> =
+            batch.iter().map(|r| (r.db, r.question.as_str())).collect();
         let metrics = shared.metrics.as_deref();
-        let answers = shared.engine.answer_batch_maybe_cached(
-            shared.cache.as_deref(),
-            db,
-            &questions,
-            metrics,
-        );
+        let answers =
+            shared.engine.answer_batch_mixed(shared.cache.as_deref(), &requests, metrics);
         for (request, answer) in batch.iter().zip(answers) {
             request.slot.put(answer);
         }

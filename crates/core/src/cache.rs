@@ -13,10 +13,15 @@
 //!
 //! [`AnswerCache`] is sharded and lock-striped: keys are spread over
 //! independently-locked shards so evaluation workers rarely contend, and
-//! each shard evicts in insertion (FIFO) order once a capacity cap is
-//! reached. [`Answerer`] is the trait the FinSQL system and the
-//! fine-tuning/GPT baselines share so the bench harness can thread one
-//! cache through any of them.
+//! each shard evicts its *least-recently-used* entry once a capacity cap
+//! is reached — a hit refreshes an entry's recency, so a hot question
+//! survives a sweep of cold ones. Recency is tracked lazily: each touch
+//! stamps the entry and appends `(stamp, key)` to the shard's recency
+//! queue, eviction pops the queue front skipping stale stamps, and the
+//! queue is compacted when stale records outnumber live ones — so `get`
+//! never scans the queue. [`Answerer`] is the trait the FinSQL system
+//! and the fine-tuning/GPT baselines share so the bench harness can
+//! thread one cache through any of them.
 
 use crate::metrics::EvalMetrics;
 use bull::DbId;
@@ -117,12 +122,69 @@ impl CacheKey {
     }
 }
 
-/// One lock-striped shard: the entry map plus FIFO insertion order for
-/// capacity eviction.
+/// One resident entry: the answer plus the stamp of its latest touch.
+#[derive(Debug)]
+struct Entry {
+    answer: String,
+    stamp: u64,
+}
+
+/// One lock-striped shard: the entry map plus a lazily-maintained
+/// recency queue for LRU eviction. Every touch (insert or hit) takes a
+/// fresh stamp and appends `(stamp, key)`; a queue record whose stamp no
+/// longer matches its entry's is stale and is skipped at eviction time
+/// and dropped at compaction time.
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<CacheKey, String>,
-    order: VecDeque<CacheKey>,
+    map: HashMap<CacheKey, Entry>,
+    order: VecDeque<(u64, CacheKey)>,
+    next_stamp: u64,
+}
+
+impl Shard {
+    /// Hands out the next recency stamp (monotonic per shard).
+    fn stamp(&mut self) -> u64 {
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+
+    /// Marks `key` most-recently-used with a fresh stamp, compacting the
+    /// queue when stale records outnumber live entries — amortised O(1).
+    fn touch(&mut self, key: CacheKey) {
+        let stamp = self.stamp();
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.stamp = stamp;
+        }
+        self.order.push_back((stamp, key));
+        if self.order.len() > 2 * self.map.len().max(4) {
+            self.compact();
+        }
+    }
+
+    /// Drops every stale queue record, keeping live ones in order.
+    fn compact(&mut self) {
+        let map = &self.map;
+        self.order.retain(|(stamp, key)| {
+            map.get(key).is_some_and(|entry| entry.stamp == *stamp)
+        });
+    }
+
+    /// Evicts least-recently-used entries until at most `cap` remain,
+    /// returning how many were removed.
+    fn evict_to(&mut self, cap: usize) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() > cap {
+            let Some((stamp, key)) = self.order.pop_front() else { break };
+            // Stale record: the key was touched again later (or already
+            // evicted) — the newer queue record speaks for it.
+            let live = self.map.get(&key).is_some_and(|entry| entry.stamp == stamp);
+            if live {
+                self.map.remove(&key);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
 }
 
 /// Monotonic counters of one cache's lifetime, snapshot by
@@ -200,23 +262,29 @@ impl AnswerCache {
         }
     }
 
-    /// Looks up an answer, counting the hit or miss.
+    /// Looks up an answer, counting the hit or miss. A hit refreshes the
+    /// entry's recency, so it moves to the back of the eviction order.
     pub fn get(&self, db: DbId, question: &str, fingerprint: ConfigFingerprint) -> Option<String> {
         let idx = CacheKey::shard_index(db, question, fingerprint, self.shards.len());
         let key = CacheKey { db, question: question.to_string(), fingerprint };
-        let found = self.shards[idx].lock().map.get(&key).cloned();
+        let mut shard = self.shards[idx].lock();
+        let found = shard.map.get(&key).map(|entry| entry.answer.clone());
         if found.is_some() {
+            shard.touch(key);
+            drop(shard);
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
+            drop(shard);
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
 
-    /// Inserts an answer, evicting the shard's oldest entries beyond the
-    /// capacity cap. Returns the number of evictions performed. Racing
-    /// inserts of the same key are idempotent (answers are deterministic,
-    /// so both writers carry the same value).
+    /// Inserts an answer, evicting the shard's least-recently-used
+    /// entries beyond the capacity cap. Returns the number of evictions
+    /// performed. Racing inserts of the same key are idempotent (answers
+    /// are deterministic, so both writers carry the same value); a
+    /// re-insert refreshes the entry's recency like a hit.
     pub fn insert(
         &self,
         db: DbId,
@@ -227,19 +295,16 @@ impl AnswerCache {
         let key = CacheKey { db, question: question.to_string(), fingerprint };
         let idx = CacheKey::shard_index(db, question, fingerprint, self.shards.len());
         let mut shard = self.shards[idx].lock();
-        if shard.map.insert(key.clone(), answer).is_none() {
-            shard.order.push_back(key);
+        let fresh = !shard.map.contains_key(&key);
+        if fresh {
+            shard.map.insert(key.clone(), Entry { answer, stamp: 0 });
             self.inserts.fetch_add(1, Ordering::Relaxed);
         }
-        let mut evicted = 0;
-        if let Some(cap) = self.shard_cap {
-            while shard.map.len() > cap {
-                let Some(oldest) = shard.order.pop_front() else { break };
-                if shard.map.remove(&oldest).is_some() {
-                    evicted += 1;
-                }
-            }
-        }
+        shard.touch(key);
+        let evicted = match self.shard_cap {
+            Some(cap) => shard.evict_to(cap),
+            None => 0,
+        };
         drop(shard);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         evicted
@@ -380,6 +445,67 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.inserts, 1);
         assert_eq!(stats.entries, 1);
+    }
+
+    /// Questions that hash to the wanted shard — lets the tests drive a
+    /// single shard's eviction order deterministically.
+    fn same_shard_questions(n: usize) -> Vec<String> {
+        let want =
+            CacheKey::shard_index(DbId::Fund, "anchor", fp(0), SHARDS);
+        let mut out = vec!["anchor".to_string()];
+        let mut i = 0;
+        while out.len() < n {
+            let q = format!("probe{i}");
+            if CacheKey::shard_index(DbId::Fund, &q, fp(0), SHARDS) == want {
+                out.push(q);
+            }
+            i += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn hit_refreshes_recency_so_lru_is_evicted_not_fifo() {
+        // Shard capacity 2: with three same-shard keys the third insert
+        // must evict exactly one of the first two.
+        let qs = same_shard_questions(3);
+        let cache = AnswerCache::with_capacity(2 * SHARDS);
+        cache.insert(DbId::Fund, &qs[0], fp(0), "a0".into());
+        cache.insert(DbId::Fund, &qs[1], fp(0), "a1".into());
+        // Touch the older entry: under FIFO it would die next; under LRU
+        // the untouched qs[1] is now least recently used.
+        assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
+        let evicted = cache.insert(DbId::Fund, &qs[2], fp(0), "a2".into());
+        assert_eq!(evicted, 1);
+        assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some(), "hit entry survived");
+        assert!(cache.get(DbId::Fund, &qs[1], fp(0)).is_none(), "LRU entry evicted");
+        assert!(cache.get(DbId::Fund, &qs[2], fp(0)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_too() {
+        let qs = same_shard_questions(3);
+        let cache = AnswerCache::with_capacity(2 * SHARDS);
+        cache.insert(DbId::Fund, &qs[0], fp(0), "a0".into());
+        cache.insert(DbId::Fund, &qs[1], fp(0), "a1".into());
+        // Re-inserting qs[0] (idempotent value) must also refresh it.
+        cache.insert(DbId::Fund, &qs[0], fp(0), "a0".into());
+        cache.insert(DbId::Fund, &qs[2], fp(0), "a2".into());
+        assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
+        assert!(cache.get(DbId::Fund, &qs[1], fp(0)).is_none());
+    }
+
+    #[test]
+    fn repeated_hits_do_not_grow_the_recency_queue_unboundedly() {
+        let cache = AnswerCache::with_capacity(SHARDS);
+        cache.insert(DbId::Fund, "hot", fp(0), "a".into());
+        for _ in 0..10_000 {
+            assert!(cache.get(DbId::Fund, "hot", fp(0)).is_some());
+        }
+        let idx = CacheKey::shard_index(DbId::Fund, "hot", fp(0), SHARDS);
+        let order_len = cache.shards[idx].lock().order.len();
+        assert!(order_len <= 9, "{order_len} recency records for 1 entry");
+        assert_eq!(cache.stats().hits, 10_000);
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct EvalMetrics {
     batches: AtomicU64,
     batched_questions: AtomicU64,
     max_batch: AtomicU64,
+    mixed_batches: AtomicU64,
+    link_examples: AtomicU64,
+    link_table_hits: AtomicU64,
+    link_column_hits: AtomicU64,
 }
 
 impl EvalMetrics {
@@ -94,6 +98,27 @@ impl EvalMetrics {
         self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
     }
 
+    /// Records one scheduler micro-batch that spanned more than one
+    /// database (and was split into per-db sub-batches by the engine).
+    pub fn record_mixed_batch(&self) {
+        self.mixed_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records linking recall for one labelled example: whether every
+    /// gold table survived the top-`k_tables` projection and whether
+    /// every gold column survived the top-`k_columns` projection of its
+    /// own table — the per-example recall@k events of the paper's
+    /// Table 7, measured on the *serving* linker configuration.
+    pub fn record_link_recall(&self, tables_covered: bool, columns_covered: bool) {
+        self.link_examples.fetch_add(1, Ordering::Relaxed);
+        if tables_covered {
+            self.link_table_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if columns_covered {
+            self.link_column_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A consistent copy of the totals.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -114,6 +139,10 @@ impl EvalMetrics {
             batches: self.batches.load(Ordering::Relaxed),
             batched_questions: self.batched_questions.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
+            mixed_batches: self.mixed_batches.load(Ordering::Relaxed),
+            link_examples: self.link_examples.load(Ordering::Relaxed),
+            link_table_hits: self.link_table_hits.load(Ordering::Relaxed),
+            link_column_hits: self.link_column_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -152,6 +181,15 @@ pub struct MetricsSnapshot {
     pub batched_questions: u64,
     /// Largest micro-batch seen.
     pub max_batch: u64,
+    /// Micro-batches that spanned more than one database.
+    pub mixed_batches: u64,
+    /// Labelled examples whose linking recall was measured.
+    pub link_examples: u64,
+    /// Examples with every gold table inside the top-`k_tables`.
+    pub link_table_hits: u64,
+    /// Examples with every gold column inside the top-`k_columns` of its
+    /// own table.
+    pub link_column_hits: u64,
 }
 
 impl MetricsSnapshot {
@@ -196,6 +234,26 @@ impl MetricsSnapshot {
         self.batched_questions.saturating_sub(self.batches)
     }
 
+    /// Fraction of measured examples whose gold tables all survived the
+    /// top-`k_tables` projection.
+    pub fn link_table_recall(&self) -> f64 {
+        if self.link_examples == 0 {
+            0.0
+        } else {
+            self.link_table_hits as f64 / self.link_examples as f64
+        }
+    }
+
+    /// Fraction of measured examples whose gold columns all survived the
+    /// top-`k_columns` projection of their own table.
+    pub fn link_column_recall(&self) -> f64 {
+        if self.link_examples == 0 {
+            0.0
+        } else {
+            self.link_column_hits as f64 / self.link_examples as f64
+        }
+    }
+
     /// Mean per-question time of one stage.
     fn per_question(&self, stage: Duration) -> Duration {
         stage.checked_div(u32::try_from(self.questions.max(1)).unwrap_or(u32::MAX))
@@ -234,6 +292,28 @@ impl MetricsSnapshot {
                 "  {:<22} {:>10}\n",
                 "amortised embeds",
                 self.amortised_embeds()
+            ));
+            if self.mixed_batches > 0 {
+                out.push_str(&format!(
+                    "  {:<22} {:>10}\n",
+                    "mixed-db batches", self.mixed_batches
+                ));
+            }
+        }
+        if self.link_examples > 0 {
+            out.push_str(&format!(
+                "  {:<22} {:>10}  ({}/{} examples)\n",
+                "link table recall",
+                format!("{:.1}%", self.link_table_recall() * 100.0),
+                self.link_table_hits,
+                self.link_examples
+            ));
+            out.push_str(&format!(
+                "  {:<22} {:>10}  ({}/{} examples)\n",
+                "link column recall",
+                format!("{:.1}%", self.link_column_recall() * 100.0),
+                self.link_column_hits,
+                self.link_examples
             ));
         }
         for (name, stage) in [
@@ -372,6 +452,44 @@ mod tests {
         let plain = EvalMetrics::new();
         plain.record_question();
         assert!(!plain.snapshot().report(Duration::from_secs(1)).contains("micro-batches"));
+    }
+
+    #[test]
+    fn link_recall_counters_and_report_lines() {
+        let m = EvalMetrics::new();
+        m.record_link_recall(true, true);
+        m.record_link_recall(true, false);
+        m.record_link_recall(false, false);
+        m.record_link_recall(true, true);
+        let s = m.snapshot();
+        assert_eq!(s.link_examples, 4);
+        assert_eq!(s.link_table_hits, 3);
+        assert_eq!(s.link_column_hits, 2);
+        assert!((s.link_table_recall() - 0.75).abs() < 1e-9);
+        assert!((s.link_column_recall() - 0.5).abs() < 1e-9);
+        let report = s.report(Duration::from_secs(1));
+        assert!(report.contains("link table recall"));
+        assert!(report.contains("link column recall"));
+        assert!(report.contains("75.0%"));
+        let plain = EvalMetrics::new();
+        plain.record_question();
+        let r = plain.snapshot().report(Duration::from_secs(1));
+        assert!(!r.contains("link table recall"));
+        assert_eq!(plain.snapshot().link_table_recall(), 0.0);
+    }
+
+    #[test]
+    fn mixed_batch_counter_and_report_line() {
+        let m = EvalMetrics::new();
+        m.record_batch(4);
+        m.record_mixed_batch();
+        m.record_mixed_batch();
+        let s = m.snapshot();
+        assert_eq!(s.mixed_batches, 2);
+        assert!(s.report(Duration::from_secs(1)).contains("mixed-db batches"));
+        let pure = EvalMetrics::new();
+        pure.record_batch(4);
+        assert!(!pure.snapshot().report(Duration::from_secs(1)).contains("mixed-db batches"));
     }
 
     #[test]

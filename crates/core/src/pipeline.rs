@@ -7,7 +7,7 @@ use crate::metrics::EvalMetrics;
 use crate::peft::train_database_plugin;
 use augment::AugmentationFlags;
 use bull::{BullDataset, DbId, Lang, Split};
-use crossenc::{CrossEncoder, InferenceMode, LinkExample, TrainConfig};
+use crossenc::{CrossEncoder, InferenceMode, LinkExample, SchemaFeatureMatrix, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simllm::{
@@ -34,6 +34,13 @@ pub struct FinSqlConfig {
     /// Sampling temperature.
     pub temperature: f64,
     pub seed: u64,
+    /// How the per-question path runs Cross-Encoder inference over the
+    /// schema's tables. Serial and parallel rankings are identical (and
+    /// the batched path's matrix sweep matches both bit for bit), so
+    /// this knob trades thread fan-out against per-question latency
+    /// without ever affecting an answer — which is why it is *not* part
+    /// of the config fingerprint.
+    pub link_mode: InferenceMode,
 }
 
 impl FinSqlConfig {
@@ -48,6 +55,7 @@ impl FinSqlConfig {
             n_candidates: 5,
             temperature: 0.7,
             seed: 0xF1A5,
+            link_mode: InferenceMode::Parallel,
         }
     }
 }
@@ -63,18 +71,32 @@ pub struct DbRuntime {
     /// scoring matrix, built once here so every generator borrows it
     /// instead of re-reading scattered centroid vectors per question.
     pub matrix: PrototypeMatrix,
+    /// The linker's precomputed schema feature matrix — every table and
+    /// column's pair-feature buckets hashed once here, so a micro-batch
+    /// links all its questions in one [`CrossEncoder::link_batch`]
+    /// sweep instead of re-hashing the schema per question.
+    pub link_matrix: SchemaFeatureMatrix,
 }
 
 impl DbRuntime {
-    fn new(ds: &BullDataset, db: DbId, lang: Lang, plugin: Arc<LoraPlugin>) -> Self {
+    fn new(
+        ds: &BullDataset,
+        db: DbId,
+        lang: Lang,
+        linker: &CrossEncoder,
+        plugin: Arc<LoraPlugin>,
+    ) -> Self {
         let matrix = PrototypeMatrix::build(&plugin.prototypes);
+        let views = crossenc::model::SchemaViews::build(ds.db(db).catalog(), lang);
+        let link_matrix = linker.schema_matrix(&views);
         DbRuntime {
             db,
             schema: ds.db(db).catalog().clone(),
-            views: crossenc::model::SchemaViews::build(ds.db(db).catalog(), lang),
+            views,
             values: ValueIndex::build(ds.db(db)),
             plugin,
             matrix,
+            link_matrix,
         }
     }
 }
@@ -145,7 +167,7 @@ impl FinSql {
         let runtimes = DbId::ALL
             .into_iter()
             .zip(plugins)
-            .map(|(db, plugin)| DbRuntime::new(ds, db, config.lang, plugin))
+            .map(|(db, plugin)| DbRuntime::new(ds, db, config.lang, &linker, plugin))
             .collect();
         FinSql { config, profile, base, linker, hub, runtimes: into_runtime_array(runtimes) }
     }
@@ -171,7 +193,7 @@ impl FinSql {
                 config.augmentation,
                 TrainOpts { seed: config.seed ^ db as u64, ..Default::default() },
             );
-            runtimes.push(DbRuntime::new(ds, db, config.lang, plugin));
+            runtimes.push(DbRuntime::new(ds, db, config.lang, &linker, plugin));
         }
         FinSql { config, profile, base, linker, hub, runtimes: into_runtime_array(runtimes) }
     }
@@ -208,9 +230,9 @@ impl FinSql {
         metrics: Option<&EvalMetrics>,
     ) -> String {
         let rt = self.runtime(db);
-        // 1. Parallel schema linking → concise prompt schema.
+        // 1. Schema linking (mode from config) → concise prompt schema.
         let (linked, link_time) =
-            self.linker.link_timed(question, &rt.views, InferenceMode::Parallel);
+            self.linker.link_timed(question, &rt.views, self.config.link_mode);
         let prompt_schema = linked.project(&rt.schema, self.config.k_tables, self.config.k_columns);
         // 2. Sample n candidates from the adapted model, scoring against
         // the runtime's prebuilt prototype matrix.
@@ -248,6 +270,34 @@ impl FinSql {
     /// and the same phrasing hitting two databases draws independently.
     pub fn question_rng(&self, db: DbId, question: &str) -> StdRng {
         question_rng(self.config.seed, db, question)
+    }
+
+    /// Links one database's dev examples in a single matrix sweep and
+    /// records, for each example with gold linking labels, whether every
+    /// gold table (and every gold column within its own table) survived
+    /// into the top-k projection the prompt would see — the linking
+    /// recall@k the evaluation report prints. Only recall counters are
+    /// recorded; link timers are left untouched so an instrumentation
+    /// pass cannot distort the stage breakdown of the run it reports on.
+    pub fn record_link_recall(
+        &self,
+        db: DbId,
+        examples: &[&bull::BullExample],
+        metrics: &EvalMetrics,
+    ) {
+        let rt = self.runtime(db);
+        let questions: Vec<&str> =
+            examples.iter().map(|e| e.question(self.config.lang)).collect();
+        let linked_all = self.linker.link_batch(&questions, &rt.link_matrix);
+        for (e, linked) in examples.iter().zip(&linked_all) {
+            if e.gold_tables.is_empty() && e.gold_columns.is_empty() {
+                continue;
+            }
+            let tables_ok = linked.covers_tables(&rt.schema, &e.gold_tables, self.config.k_tables);
+            let columns_ok =
+                linked.covers_columns(&rt.schema, &e.gold_columns, self.config.k_columns);
+            metrics.record_link_recall(tables_ok, columns_ok);
+        }
     }
 
     /// Hashes every configuration knob that can change an answer into one
@@ -294,6 +344,11 @@ pub fn question_rng(seed: u64, db: DbId, question: &str) -> StdRng {
 
 /// Pushes every [`FinSqlConfig`] knob into a fingerprint, each in its own
 /// fixed-width slot so any single mutation changes the result.
+///
+/// [`FinSqlConfig::link_mode`] is deliberately absent: serial, parallel
+/// and matrix-batched linking produce bit-identical rankings, so the
+/// mode cannot affect an answer and toggling it must keep cache entries
+/// valid (`fingerprint_prop` pins this down).
 pub fn fingerprint_config(b: FingerprintBuilder, config: &FinSqlConfig) -> FingerprintBuilder {
     b.push_str(config.lang.suffix())
         .push_bool(config.augmentation.cot)

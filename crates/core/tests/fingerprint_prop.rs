@@ -10,6 +10,7 @@
 
 use augment::AugmentationFlags;
 use bull::{DbId, Lang};
+use crossenc::InferenceMode;
 use finsql_core::cache::{AnswerCache, FingerprintBuilder};
 use finsql_core::pipeline::{fingerprint_config, fingerprint_profile};
 use finsql_core::{CalibrationConfig, FinSqlConfig};
@@ -21,17 +22,23 @@ fn lang() -> impl Strategy<Value = Lang> {
     prop_oneof![Just(Lang::En), Just(Lang::Cn)]
 }
 
+fn link_mode() -> impl Strategy<Value = InferenceMode> {
+    prop_oneof![Just(InferenceMode::Serial), Just(InferenceMode::Parallel)]
+}
+
 fn config() -> impl Strategy<Value = FinSqlConfig> {
     (
         (lang(), any::<bool>(), any::<bool>(), any::<bool>(), 0usize..10, 0u64..1000),
         (any::<bool>(), any::<bool>(), any::<bool>()),
         (1usize..10, 1usize..16, 1usize..9, 0.0f64..2.0, 0u64..(u64::MAX / 2)),
+        link_mode(),
     )
         .prop_map(
             |(
                 (lang, cot, synonyms, skeleton, synonyms_per_question, aug_seed),
                 (repair, self_consistency, alignment),
                 (k_tables, k_columns, n_candidates, temperature, seed),
+                link_mode,
             )| FinSqlConfig {
                 lang,
                 augmentation: AugmentationFlags {
@@ -47,6 +54,7 @@ fn config() -> impl Strategy<Value = FinSqlConfig> {
                 n_candidates,
                 temperature,
                 seed,
+                link_mode,
             },
         )
 }
@@ -93,6 +101,19 @@ proptest! {
     #[test]
     fn fingerprint_is_deterministic(c in config()) {
         prop_assert_eq!(fp(&c), fp(&c));
+    }
+
+    /// `link_mode` is deliberately *not* an answer-affecting knob: every
+    /// inference mode produces bit-identical rankings, so toggling it
+    /// must keep cached answers valid — the fingerprint must not move.
+    #[test]
+    fn link_mode_does_not_move_the_fingerprint(c in config()) {
+        let mut flipped = c;
+        flipped.link_mode = match c.link_mode {
+            InferenceMode::Serial => InferenceMode::Parallel,
+            InferenceMode::Parallel => InferenceMode::Serial,
+        };
+        prop_assert_eq!(fp(&c), fp(&flipped));
     }
 
     /// Any single knob mutation changes the fingerprint — the property

@@ -92,17 +92,7 @@ impl CrossEncoder {
                 }
             }
         }
-        let mut tables: Vec<(usize, f32)> = table_scores.into_iter().enumerate().collect();
-        tables.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        let columns = column_scores
-            .into_iter()
-            .map(|cs| {
-                let mut v: Vec<(usize, f32)> = cs.into_iter().enumerate().collect();
-                v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-                v
-            })
-            .collect();
-        LinkedSchema { tables, columns }
+        rank_scores(table_scores, column_scores)
     }
 
     fn score_one_table(&self, q: &QuestionView, views: &SchemaViews, ti: usize) -> (f32, Vec<f32>) {
@@ -110,6 +100,27 @@ impl CrossEncoder {
         let cs = views.columns[ti].iter().map(|cv| self.score_column(q, cv)).collect();
         (ts, cs)
     }
+}
+
+/// Ranks raw per-element scores into a [`LinkedSchema`]: descending
+/// score, ties broken by ascending index. Shared by the per-question
+/// paths and [`CrossEncoder::link_batch`], so every linking path applies
+/// the identical tie-break.
+pub(crate) fn rank_scores(
+    table_scores: Vec<f32>,
+    column_scores: Vec<Vec<f32>>,
+) -> LinkedSchema {
+    let mut tables: Vec<(usize, f32)> = table_scores.into_iter().enumerate().collect();
+    tables.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let columns = column_scores
+        .into_iter()
+        .map(|cs| {
+            let mut v: Vec<(usize, f32)> = cs.into_iter().enumerate().collect();
+            v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            v
+        })
+        .collect();
+    LinkedSchema { tables, columns }
 }
 
 impl LinkedSchema {
@@ -143,6 +154,27 @@ impl LinkedSchema {
     pub fn table_rank(&self, schema: &CatalogSchema, name: &str) -> Option<usize> {
         let idx = schema.table_index(name)?;
         self.tables.iter().position(|(ti, _)| *ti == idx)
+    }
+
+    /// True when every gold table is ranked within the top `k` tables —
+    /// the per-example table recall@k event of the paper's Table 7.
+    pub fn covers_tables(&self, schema: &CatalogSchema, gold: &[String], k: usize) -> bool {
+        gold.iter().all(|g| self.table_rank(schema, g).map(|r| r < k).unwrap_or(false))
+    }
+
+    /// True when every gold `(table, column)` is within the top `k`
+    /// columns of its own table's ranking.
+    pub fn covers_columns(
+        &self,
+        schema: &CatalogSchema,
+        gold: &[(String, String)],
+        k: usize,
+    ) -> bool {
+        gold.iter().all(|(gt, gc)| {
+            let Some(ti) = schema.table_index(gt) else { return false };
+            let Some(ci) = schema.tables[ti].column_index(gc) else { return false };
+            self.columns[ti].iter().take(k).any(|(c, _)| *c == ci)
+        })
     }
 }
 

@@ -17,10 +17,12 @@
 
 pub mod features;
 pub mod infer;
+pub mod matrix;
 pub mod metrics;
 pub mod model;
 pub mod train;
 
 pub use infer::{InferenceMode, LinkedSchema};
+pub use matrix::{QuestionFeatures, SchemaFeatureMatrix};
 pub use model::CrossEncoder;
 pub use train::{LinkExample, TrainConfig};

@@ -115,9 +115,7 @@ fn tables_covered(
     linked: &LinkedSchema,
     k: usize,
 ) -> bool {
-    ex.gold_tables.iter().all(|g| {
-        linked.table_rank(schema, g).map(|r| r < k).unwrap_or(false)
-    })
+    linked.covers_tables(schema, &ex.gold_tables, k)
 }
 
 fn columns_covered(
@@ -126,11 +124,7 @@ fn columns_covered(
     linked: &LinkedSchema,
     k: usize,
 ) -> bool {
-    ex.gold_columns.iter().all(|(gt, gc)| {
-        let Some(ti) = schema.table_index(gt) else { return false };
-        let Some(ci) = schema.tables[ti].column_index(gc) else { return false };
-        linked.columns[ti].iter().take(k).any(|(c, _)| *c == ci)
-    })
+    linked.covers_columns(schema, &ex.gold_columns, k)
 }
 
 #[cfg(test)]

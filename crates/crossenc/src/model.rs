@@ -36,7 +36,10 @@ impl SchemaViews {
     }
 }
 
-fn sigmoid(z: f32) -> f32 {
+/// The logistic link shared by every scoring path — per-question and
+/// matrix-batched scores must pass through the very same function to
+/// stay bit-identical.
+pub(crate) fn sigmoid(z: f32) -> f32 {
     1.0 / (1.0 + (-z).exp())
 }
 

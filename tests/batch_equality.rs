@@ -53,6 +53,31 @@ proptest! {
             prop_assert_eq!(&serial_answer(db, q), a, "diverged on {:?}", q);
         }
     }
+
+    /// `answer_batch_mixed` equals `answer` byte for byte on arbitrary
+    /// interleavings of databases — the grouping, per-db sub-batching and
+    /// scatter-back are invisible to every request, with and without a
+    /// cache in front.
+    #[test]
+    fn mixed_db_batches_match_serial_answers(
+        picks in proptest::collection::vec((0usize..3, 0usize..200), 1..12),
+        cached in any::<bool>(),
+    ) {
+        let requests: Vec<(DbId, &str)> = picks
+            .iter()
+            .map(|&(dbi, qi)| {
+                let db = DbId::ALL[dbi];
+                let dev = dataset().examples_for(db, Split::Dev);
+                (db, dev[qi % dev.len()].question(Lang::En))
+            })
+            .collect();
+        let cache = cached.then(AnswerCache::unbounded);
+        let got = system().answer_batch_mixed(cache.as_ref(), &requests, None);
+        prop_assert_eq!(got.len(), requests.len());
+        for ((db, q), a) in requests.iter().zip(&got) {
+            prop_assert_eq!(&serial_answer(*db, q), a, "diverged on {:?} {:?}", db, q);
+        }
+    }
 }
 
 /// Fixed batch sizes spanning degenerate (1), underfull, prime-ragged and
@@ -116,6 +141,46 @@ fn scheduler_coalescing_is_invisible_to_callers() {
             "warm pass must be served from the cache"
         );
     }
+}
+
+/// The scheduler coalesces requests across databases into one micro-
+/// batch; every request must still get its reference answer when the
+/// submitters interleave all three databases at once, and the warm pass
+/// must be served from the cache.
+#[test]
+fn mixed_db_scheduler_traffic_is_exact() {
+    // Round-robin the databases so neighbouring queue entries almost
+    // always differ in db — the worst case for coalescing.
+    let requests: Vec<(DbId, &str)> = (0..36)
+        .map(|i| {
+            let db = DbId::ALL[i % DbId::ALL.len()];
+            let dev = dataset().examples_for(db, Split::Dev);
+            (db, dev[i % dev.len()].question(Lang::En))
+        })
+        .collect();
+    let reference: Vec<String> =
+        requests.iter().map(|(db, q)| serial_answer(*db, q)).collect();
+    let cache = Arc::new(AnswerCache::unbounded());
+    let scheduler = BatchScheduler::new(
+        Arc::clone(system()),
+        Some(Arc::clone(&cache)),
+        None,
+        BatchConfig { max_batch: 8, workers: 2, ..BatchConfig::default() },
+    );
+    for pass in ["cold", "warm"] {
+        let got: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|(db, q)| scope.spawn(|| scheduler.answer(*db, q)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("submitter panicked")).collect()
+        });
+        assert_eq!(got, reference, "mixed-db scheduler diverged on {pass} pass");
+    }
+    assert!(
+        cache.stats().hits >= requests.len() as u64,
+        "warm pass must be served from the cache"
+    );
 }
 
 /// The interleaved micro-batched evaluation reproduces the serial
