@@ -3,6 +3,8 @@
 //! rule-based skeleton augmentation, plus the uniform mixer that builds
 //! the multi-task fine-tuning dataset.
 
+#![forbid(unsafe_code)]
+
 pub mod cot;
 pub mod mix;
 pub mod skeleton_aug;

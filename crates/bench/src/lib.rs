@@ -1,6 +1,8 @@
 //! Shared harness for the benchmark binaries that regenerate every table
 //! and figure of the paper.
 
+#![forbid(unsafe_code)]
+
 use bull::{BullDataset, DbId, Lang, Split};
 use finsql_core::baselines::{FtBaseline, GptBaseline, GptMethod, GptModel, SharedGptBaseline};
 use finsql_core::cache::{Answerer, AnswerCache};

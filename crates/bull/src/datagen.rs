@@ -79,7 +79,21 @@ pub struct GeneratedDb {
 }
 
 /// Populates one database deterministically.
+///
+/// The three BULL schemas are compiled-in constants exercised by every
+/// tier-1 test, so generation cannot actually fail; callers that load
+/// schemas from elsewhere should use [`try_populate`].
 pub fn populate(db_id: DbId, seed: u64) -> GeneratedDb {
+    // INVARIANT: the compiled-in BULL schemas are acyclic, FK-closed and
+    // type-correct (checked by the tests in this module), so the only
+    // failure paths in try_populate cannot fire for a DbId schema.
+    try_populate(db_id, seed).expect("compiled-in BULL schema is well-formed")
+}
+
+/// Fallible population: returns an error instead of panicking when the
+/// schema has dangling foreign keys, FK cycles, or rows the engine
+/// rejects.
+pub fn try_populate(db_id: DbId, seed: u64) -> Result<GeneratedDb, String> {
     let schema = db_id.schema();
     let mut rng = StdRng::seed_from_u64(seed ^ (db_id as u64).wrapping_mul(0x9E37_79B9));
     let mut db = Database::new(schema.clone());
@@ -87,7 +101,7 @@ pub fn populate(db_id: DbId, seed: u64) -> GeneratedDb {
 
     // Topological order: every table after the tables its foreign keys
     // reference (self-references ignored).
-    let order = topo_order(&schema);
+    let order = topo_order(&schema)?;
 
     for idx in order {
         let table = schema.tables[idx].clone();
@@ -110,30 +124,40 @@ pub fn populate(db_id: DbId, seed: u64) -> GeneratedDb {
                 );
                 row.push(v);
             }
-            db.insert(&table.name, row).expect("generated row must be valid");
+            db.insert(&table.name, row)
+                .map_err(|e| format!("{db_id}: generated row rejected by {}: {e}", table.name))?;
         }
         // Register pools for every column of this table that is an FK
         // target, from the data just written.
         for fk in &schema.foreign_keys {
             if fk.to_table == table.name {
-                let t = db.table(&table.name).unwrap();
-                let ci = t.def.column_index(&fk.to_column).unwrap();
+                let t = db
+                    .table(&table.name)
+                    .map_err(|e| format!("{db_id}: table {} missing after insert: {e}", table.name))?;
+                let ci = t.def.column_index(&fk.to_column).ok_or_else(|| {
+                    format!("{db_id}: FK target column {}.{} not in schema", fk.to_table, fk.to_column)
+                })?;
                 let vals: Vec<Value> = t.rows.iter().map(|r| r[ci].clone()).collect();
                 pools.insert((fk.to_table.clone(), fk.to_column.clone()), vals);
             }
         }
     }
-    GeneratedDb { db, pools }
+    Ok(GeneratedDb { db, pools })
 }
 
 /// Kahn's-algorithm ordering of tables so FK targets precede sources.
-fn topo_order(schema: &CatalogSchema) -> Vec<usize> {
+/// Errs on foreign keys that reference unknown tables and on FK cycles.
+fn topo_order(schema: &CatalogSchema) -> Result<Vec<usize>, String> {
     let n = schema.tables.len();
-    let index_of = |name: &str| schema.table_index(name).expect("FK references a schema table");
+    let index_of = |name: &str| {
+        schema
+            .table_index(name)
+            .ok_or_else(|| format!("{}: FK references unknown table {name}", schema.db_id))
+    };
     let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n]; // deps[i] = tables i needs
     for fkdef in &schema.foreign_keys {
-        let from = index_of(&fkdef.from_table);
-        let to = index_of(&fkdef.to_table);
+        let from = index_of(&fkdef.from_table)?;
+        let to = index_of(&fkdef.to_table)?;
         if from != to {
             deps[from].push(to);
         }
@@ -148,9 +172,11 @@ fn topo_order(schema: &CatalogSchema) -> Vec<usize> {
                 order.push(i);
             }
         }
-        assert!(order.len() > before, "cyclic foreign keys in schema {}", schema.db_id);
+        if order.len() == before {
+            return Err(format!("cyclic foreign keys in schema {}", schema.db_id));
+        }
     }
-    order
+    Ok(order)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -172,9 +198,14 @@ fn gen_value(
                 .foreign_keys
                 .iter()
                 .find(|fk| fk.from_table == table && fk.from_column == col)
+                // INVARIANT: profile_of only returns ForeignKey when a
+                // matching fkdef exists in schema.foreign_keys.
                 .expect("profile said FK");
             let pool = pools
                 .get(&(fkdef.to_table.clone(), fkdef.to_column.clone()))
+                // INVARIANT: try_populate fills tables in topo_order, so
+                // every FK target's pool is registered before any source
+                // row draws from it.
                 .expect("FK target generated before source");
             pool[rng.gen_range(0..pool.len())].clone()
         }
@@ -390,6 +421,46 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn malformed_schemas_error_instead_of_panicking() {
+        use sqlkit::catalog::{CatalogTable, ForeignKey};
+        let table = |name: &str| CatalogTable {
+            name: name.into(),
+            desc_en: String::new(),
+            desc_cn: String::new(),
+            columns: vec![],
+        };
+        let fk = |from: &str, to: &str| ForeignKey {
+            from_table: from.into(),
+            from_column: "k".into(),
+            to_table: to.into(),
+            to_column: "k".into(),
+        };
+        // FK cycle: a -> b -> a.
+        let cyclic = CatalogSchema {
+            db_id: "cyclic".into(),
+            tables: vec![table("a"), table("b")],
+            foreign_keys: vec![fk("a", "b"), fk("b", "a")],
+        };
+        assert!(topo_order(&cyclic).unwrap_err().contains("cyclic"));
+        // FK referencing a table that does not exist.
+        let dangling = CatalogSchema {
+            db_id: "dangling".into(),
+            tables: vec![table("a")],
+            foreign_keys: vec![fk("a", "ghost")],
+        };
+        assert!(topo_order(&dangling).unwrap_err().contains("unknown table"));
+    }
+
+    #[test]
+    fn try_populate_matches_populate() {
+        let a = try_populate(DbId::Fund, 11).unwrap();
+        let b = populate(DbId::Fund, 11);
+        for t in a.db.catalog().tables.iter() {
+            assert_eq!(a.db.table(&t.name).unwrap().rows, b.db.table(&t.name).unwrap().rows);
         }
     }
 

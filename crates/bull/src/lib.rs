@@ -15,6 +15,8 @@
 //! Everything is generated from explicit seeds, so every experiment in
 //! the bench harness is reproducible bit-for-bit.
 
+#![forbid(unsafe_code)]
+
 pub mod datagen;
 pub mod dataset;
 pub mod lexicon;

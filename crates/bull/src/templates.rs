@@ -148,6 +148,8 @@ fn fill(template: &str, subs: &[(&str, &str)]) -> String {
 
 /// Random existing value of column `ci` in table `t`.
 fn sample_value(gdb: &GeneratedDb, t: &str, ci: usize, rng: &mut StdRng) -> Value {
+    // INVARIANT: templates only name tables drawn from the generated
+    // db's own catalog (rand_table picks from gdb.db.catalog()).
     let table = gdb.db.table(t).expect("template references schema table");
     let row = &table.rows[rng.gen_range(0..table.rows.len())];
     row[ci].clone()
@@ -203,6 +205,8 @@ impl<'a> TemplateCtx<'a> {
             "group_sum_topk" => self.group_sum_topk(phrasing, rng),
             "distinct_filter" => self.distinct_filter(phrasing, rng),
             "three_join" => self.three_join(phrasing, rng),
+            // INVARIANT: the arms above cover every name in ARCHETYPES,
+            // the only values callers pass for `archetype`.
             other => panic!("unknown archetype {other}"),
         }
     }

@@ -196,6 +196,9 @@ impl FinSql {
                 out[i] = Some(answer);
             }
         }
+        // INVARIANT: every index is either a cache hit (filled in the
+        // first loop) or in `misses` (filled from `computed`, which has
+        // exactly one answer per miss).
         out.into_iter().map(|a| a.expect("every slot filled")).collect()
     }
 
@@ -254,6 +257,8 @@ impl FinSql {
                 m.record_mixed_batch();
             }
         }
+        // INVARIANT: DbId::ALL covers every possible request db, so each
+        // index lands in exactly one per-db group and is filled there.
         out.into_iter().map(|a| a.expect("every database group answered")).collect()
     }
 }
@@ -293,16 +298,21 @@ struct ResponseSlot {
 
 impl ResponseSlot {
     fn put(&self, answer: String) {
+        // INVARIANT: a poisoned slot lock means a peer thread panicked
+        // holding it; the slot state is unrecoverable, so propagate.
         *self.answer.lock().expect("slot lock poisoned") = Some(answer);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> String {
+        // INVARIANT: a poisoned slot lock means a peer thread panicked
+        // holding it; the slot state is unrecoverable, so propagate.
         let mut guard = self.answer.lock().expect("slot lock poisoned");
         loop {
             if let Some(answer) = guard.take() {
                 return answer;
             }
+            // INVARIANT: poisoning, as above — propagate the peer panic.
             guard = self.ready.wait(guard).expect("slot lock poisoned");
         }
     }
@@ -392,8 +402,11 @@ impl BatchScheduler {
     pub fn answer(&self, db: DbId, question: &str) -> String {
         let slot = Arc::new(ResponseSlot::default());
         {
+            // INVARIANT: a poisoned queue lock means a worker panicked
+            // holding it; the queue state is unrecoverable, so propagate.
             let mut state = self.shared.queue.state.lock().expect("queue lock poisoned");
             while state.items.len() >= self.shared.config.queue_cap {
+                // INVARIANT: poisoning, as above — propagate the panic.
                 state = self.shared.queue.not_full.wait(state).expect("queue lock poisoned");
             }
             state.items.push_back(Request {
@@ -424,6 +437,8 @@ impl Answerer for BatchScheduler {
 impl Drop for BatchScheduler {
     fn drop(&mut self) {
         {
+            // INVARIANT: a poisoned queue lock means a worker panicked
+            // holding it; the queue state is unrecoverable, so propagate.
             let mut state = self.shared.queue.state.lock().expect("queue lock poisoned");
             state.shutdown = true;
         }
@@ -441,6 +456,8 @@ impl Drop for BatchScheduler {
 fn worker_loop(shared: &Shared) {
     loop {
         let first = {
+            // INVARIANT: a poisoned queue lock means a sibling panicked
+            // holding it; the queue state is unrecoverable, so propagate.
             let mut state = shared.queue.state.lock().expect("queue lock poisoned");
             loop {
                 if let Some(request) = state.items.pop_front() {
@@ -450,12 +467,15 @@ fn worker_loop(shared: &Shared) {
                 if state.shutdown {
                     return;
                 }
+                // INVARIANT: poisoning, as above — propagate the panic.
                 state = shared.queue.not_empty.wait(state).expect("queue lock poisoned");
             }
         };
         let mut batch = vec![first];
         let deadline = Instant::now() + shared.config.flush;
         {
+            // INVARIANT: a poisoned queue lock means a sibling panicked
+            // holding it; the queue state is unrecoverable, so propagate.
             let mut state = shared.queue.state.lock().expect("queue lock poisoned");
             while batch.len() < shared.config.max_batch {
                 if let Some(request) = state.items.pop_front() {
@@ -474,6 +494,7 @@ fn worker_loop(shared: &Shared) {
                     .queue
                     .not_empty
                     .wait_timeout(state, deadline - now)
+                    // INVARIANT: poisoning, as above — propagate the panic.
                     .expect("queue lock poisoned");
                 state = guard;
             }

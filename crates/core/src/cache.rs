@@ -312,7 +312,7 @@ impl AnswerCache {
 
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().map.len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum::<usize>()
     }
 
     pub fn is_empty(&self) -> bool {

@@ -115,10 +115,14 @@ pub fn evaluate_ex_parallel(
             .collect();
         let mut outcome = EvalOutcome::default();
         for h in handles {
+            // INVARIANT: a worker panic invalidates the whole run; join
+            // re-raises it on the coordinating thread by design.
             outcome.absorb(&h.join().expect("evaluation worker panicked"));
         }
         outcome
     })
+    // INVARIANT: scope() only errs when a worker panicked, which the
+    // joins above already re-raise; this expect cannot fire first.
     .expect("evaluation pool panicked")
 }
 
@@ -132,6 +136,8 @@ pub struct MultiDbOutcome {
 impl MultiDbOutcome {
     /// The outcome of one database.
     pub fn outcome(&self, db: DbId) -> &EvalOutcome {
+        // INVARIANT: DbId::ALL enumerates every DbId variant, so the
+        // position lookup always succeeds.
         let idx = DbId::ALL.iter().position(|&d| d == db).expect("db in canonical order");
         &self.per_db[idx]
     }
@@ -213,6 +219,8 @@ pub fn evaluate_ex_all_interleaved(
             .collect();
         let mut outcome = MultiDbOutcome::default();
         for h in handles {
+            // INVARIANT: a worker panic invalidates the whole run; join
+            // re-raises it on the coordinating thread by design.
             let local = h.join().expect("evaluation worker panicked");
             for (acc, per) in outcome.per_db.iter_mut().zip(&local.per_db) {
                 acc.absorb(per);
@@ -220,6 +228,8 @@ pub fn evaluate_ex_all_interleaved(
         }
         outcome
     })
+    // INVARIANT: scope() only errs when a worker panicked, which the
+    // joins above already re-raise; this expect cannot fire first.
     .expect("evaluation pool panicked")
 }
 
@@ -302,6 +312,8 @@ pub fn evaluate_ex_all_interleaved_batched(
             .collect();
         let mut outcome = MultiDbOutcome::default();
         for h in handles {
+            // INVARIANT: a worker panic invalidates the whole run; join
+            // re-raises it on the coordinating thread by design.
             let local = h.join().expect("evaluation worker panicked");
             for (acc, per) in outcome.per_db.iter_mut().zip(&local.per_db) {
                 acc.absorb(per);
@@ -309,6 +321,8 @@ pub fn evaluate_ex_all_interleaved_batched(
         }
         outcome
     })
+    // INVARIANT: scope() only errs when a worker panicked, which the
+    // joins above already re-raise; this expect cannot fire first.
     .expect("evaluation pool panicked")
 }
 

@@ -22,6 +22,8 @@
 //! is byte-identical to the per-question path) plus the coalescing
 //! [`batch::BatchScheduler`] front-end.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod batch;
 pub mod cache;

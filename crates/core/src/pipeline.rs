@@ -120,6 +120,8 @@ fn into_runtime_array(runtimes: Vec<DbRuntime>) -> [DbRuntime; 3] {
     debug_assert!(runtimes.iter().zip(DbId::ALL).all(|(r, db)| r.db == db));
     match runtimes.try_into() {
         Ok(arr) => arr,
+        // INVARIANT: callers build `runtimes` by mapping over DbId::ALL
+        // (length 3, checked by the debug_assert above).
         Err(_) => unreachable!("one runtime is built per database"),
     }
 }
@@ -159,10 +161,17 @@ impl FinSql {
                     })
                 })
                 .collect();
-            let plugins: Vec<Arc<LoraPlugin>> =
-                plugin_jobs.into_iter().map(|j| j.join().expect("plugin training panicked")).collect();
+            let plugins: Vec<Arc<LoraPlugin>> = plugin_jobs
+                .into_iter()
+                // INVARIANT: a panic in a training job invalidates the
+                // whole build; join re-raises it on this thread.
+                .map(|j| j.join().expect("plugin training panicked"))
+                .collect();
+            // INVARIANT: as above — re-raise a linker-training panic.
             (linker_job.join().expect("linker training panicked"), plugins)
         })
+        // INVARIANT: scope() only errs when a job panicked, which the
+        // joins above already re-raise; this expect cannot fire first.
         .expect("training thread panicked");
         let runtimes = DbId::ALL
             .into_iter()

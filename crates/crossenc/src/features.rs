@@ -31,6 +31,7 @@ impl QuestionView {
         if grams.is_empty() {
             return 0.0;
         }
+        // finlint: ordered — set-membership count, independent of iteration order
         let inter = grams.iter().filter(|g| self.trigrams.contains(*g)).count();
         inter as f32 / grams.len() as f32
     }

@@ -80,12 +80,20 @@ impl CrossEncoder {
                                 break;
                             }
                             let out = self.score_one_table(&q, views, ti);
+                            // INVARIANT: one worker claims each `ti` via
+                            // the atomic counter, so the lock is never
+                            // poisoned by a holder of the same cell.
                             *results[ti].lock().unwrap() = out;
                         });
                     }
                 })
+                // INVARIANT: a worker panic invalidates the scores; the
+                // scope join re-raises it here by design.
                 .expect("worker thread panicked");
                 for (ti, cell) in results.into_iter().enumerate() {
+                    // INVARIANT: the scope ended, so no thread holds any
+                    // cell lock and into_inner cannot see poisoning
+                    // (a worker panic already propagated above).
                     let (ts, cs) = cell.into_inner().unwrap();
                     table_scores[ti] = ts;
                     column_scores[ti] = cs;

@@ -15,6 +15,8 @@
 //! and a `parallel` path (crossbeam scoped threads, one batch entry per
 //! table) whose speedup the `linking_parallel` bench measures.
 
+#![forbid(unsafe_code)]
+
 pub mod features;
 pub mod infer;
 pub mod matrix;

@@ -92,6 +92,8 @@ fn intern(vocab: &mut HashMap<String, u32>, token: &str) -> u32 {
     if let Some(&id) = vocab.get(token) {
         return id;
     }
+    // INVARIANT: the vocabulary is bounded by schema size (thousands of
+    // tokens), nowhere near u32::MAX.
     let id = u32::try_from(vocab.len()).expect("schema vocabulary exceeds u32");
     vocab.insert(token.to_string(), id);
     id

@@ -1,0 +1,131 @@
+//! The baseline (suppression) file: grandfathered findings recorded as
+//! `lint-id <TAB> path <TAB> fnv64(trimmed source line)` so entries
+//! survive line-number drift but die when the offending line changes.
+//! Regenerate with `cargo run -p finlint -- --write-baseline`; the goal
+//! state (and the shipped state) is an *empty* file — every entry is a
+//! debt marker.
+
+use crate::lints::Finding;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Baseline location relative to the workspace root.
+pub const BASELINE_REL_PATH: &str = "crates/finlint/finlint.baseline";
+
+/// Loaded suppression set.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, u64)>,
+}
+
+impl Baseline {
+    pub fn suppresses(&self, f: &Finding) -> bool {
+        self.entries.contains(&(f.lint.id().to_string(), f.path.clone(), line_hash(&f.excerpt)))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// FNV-1a over the trimmed line text — stable across reformats that only
+/// move the line.
+pub fn line_hash(excerpt: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in excerpt.trim().as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Loads a baseline file; a missing file is an empty baseline. Lines are
+/// `lint\tpath\thash-hex`, `#` starts a comment.
+pub fn load(path: &Path) -> Result<Baseline, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    };
+    let mut entries = BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (lint, path_part, hash) = (parts.next(), parts.next(), parts.next());
+        let (Some(lint), Some(path_part), Some(hash)) = (lint, path_part, hash) else {
+            return Err(format!("baseline line {}: expected lint\\tpath\\thash", lineno + 1));
+        };
+        let hash = u64::from_str_radix(hash.trim(), 16)
+            .map_err(|e| format!("baseline line {}: bad hash: {e}", lineno + 1))?;
+        entries.insert((lint.to_string(), path_part.to_string(), hash));
+    }
+    Ok(Baseline { entries })
+}
+
+/// Serialises findings as a baseline file body.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# finlint baseline — grandfathered findings, one per line:\n\
+         #   lint-id<TAB>path<TAB>fnv64-of-trimmed-line (hex)\n\
+         # Regenerate: cargo run -p finlint -- --write-baseline\n\
+         # Every entry is debt; the target state is an empty file.\n",
+    );
+    let mut lines: BTreeSet<String> = BTreeSet::new();
+    for f in findings {
+        lines.insert(format!("{}\t{}\t{:016x}", f.lint.id(), f.path, line_hash(&f.excerpt)));
+    }
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    fn finding(path: &str, excerpt: &str) -> Finding {
+        Finding {
+            lint: Lint::PanicHygiene,
+            path: path.to_string(),
+            line: 3,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_suppresses() {
+        let f = finding("crates/x/src/lib.rs", "let a = x.unwrap();");
+        let body = render(std::slice::from_ref(&f));
+        let dir = std::env::temp_dir().join("finlint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.baseline");
+        std::fs::write(&path, &body).unwrap();
+        let b = load(&path).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(b.suppresses(&f));
+        // A changed line no longer matches.
+        assert!(!b.suppresses(&finding("crates/x/src/lib.rs", "let a = x?;")));
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = load(Path::new("/definitely/not/here.baseline")).unwrap();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn hash_ignores_indentation_only() {
+        assert_eq!(line_hash("  x.unwrap();  "), line_hash("x.unwrap();"));
+        assert_ne!(line_hash("x.unwrap();"), line_hash("y.unwrap();"));
+    }
+}

@@ -1,0 +1,280 @@
+//! A minimal Rust source lexer: good enough to *mask* the contents of
+//! comments, string/char literals and raw strings so the line-level
+//! lints never match tokens inside text, while extracting `//` comment
+//! bodies for the justification-comment grammar.
+//!
+//! This is not a full lexer — it tracks exactly the state that can span
+//! or hide tokens: `//` line comments, (nested) `/* */` block comments,
+//! `"…"` strings with escapes, `r#"…"#` raw strings, byte/raw-byte
+//! strings, and char literals (disambiguated from lifetimes). Everything
+//! else is copied through verbatim.
+
+/// One source line after masking: `code` has every comment and literal
+/// body replaced by spaces (delimiters kept), `comment` holds the text of
+/// any `//` comment starting on this line (without the slashes).
+#[derive(Debug, Clone, Default)]
+pub struct MaskedLine {
+    pub code: String,
+    pub comment: String,
+}
+
+/// Lexer state carried across lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum State {
+    Normal,
+    /// Inside `/* … */`; the payload is the nesting depth (Rust block
+    /// comments nest).
+    Block(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string closed by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+/// Masks a whole file, returning one [`MaskedLine`] per input line.
+pub fn mask_source(text: &str) -> Vec<MaskedLine> {
+    let mut out = Vec::new();
+    let mut state = State::Normal;
+    for line in text.split('\n') {
+        let (masked, next) = mask_line(line, state);
+        out.push(masked);
+        state = next;
+    }
+    out
+}
+
+/// True when `c` can continue an identifier.
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Masks one line starting in `state`, returning the masked line and the
+/// state the next line starts in.
+fn mask_line(line: &str, mut state: State) -> (MaskedLine, State) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        match state {
+            State::Block(depth) => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    code.push_str("  ");
+                    i += 2;
+                    state = if depth > 1 { State::Block(depth - 1) } else { State::Normal };
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    code.push_str("  ");
+                    i += 2;
+                    state = State::Block(depth + 1);
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if chars[i] == '\\' {
+                    code.push_str("  ");
+                    i += 2; // escape sequence: skip the escaped char too
+                } else if chars[i] == '"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Normal;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Normal;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Normal => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment (incl. doc comments): rest of line.
+                    comment = chars[i + 2..].iter().collect::<String>().trim().to_string();
+                    break;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    code.push_str("  ");
+                    i += 2;
+                    state = State::Block(1);
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Str;
+                    continue;
+                }
+                // Raw / byte string starts: r", r#", br", b", rb is not
+                // a thing; handle r and optional leading b.
+                if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    if let Some((consumed, hashes, raw)) = string_prefix(&chars, i) {
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        i += consumed + 1;
+                        state = if raw { State::RawStr(hashes) } else { State::Str };
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime. A char literal is 'x' or
+                    // an escape '\…'; a lifetime is 'ident with no
+                    // closing quote right after one ident.
+                    if let Some(len) = char_literal_len(&chars, i) {
+                        code.push('\'');
+                        for _ in 1..len {
+                            code.push(' ');
+                        }
+                        i += len;
+                        continue;
+                    }
+                    // Lifetime: copy through.
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    // A line comment never spans lines; strings/blocks may.
+    (MaskedLine { code, comment }, state)
+}
+
+/// True when the char before `i` continues an identifier (so `r` in
+/// `for` is not a raw-string prefix).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && is_ident(chars[i - 1])
+}
+
+/// If a string starts at `i` with a `r`/`b`/`br` prefix, returns
+/// `(prefix_len, hashes, is_raw)` where `prefix_len` counts chars before
+/// the opening quote.
+fn string_prefix(chars: &[char], i: usize) -> Option<(usize, u32, bool)> {
+    let mut j = i;
+    let mut raw = false;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+    }
+    if j == i {
+        return None;
+    }
+    let mut hashes = 0u32;
+    while raw && chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j - i, hashes, raw))
+    } else {
+        None
+    }
+}
+
+/// True when position `i` starts `hashes` consecutive `#` chars.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If a char literal starts at `i` (which holds `'`), returns its total
+/// length in chars; `None` means it is a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    let next = *chars.get(i + 1)?;
+    if next == '\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        if chars.get(j) == Some(&'\'') || chars.get(j) == Some(&'\\') {
+            j += 1; // '\'' and '\\'
+        }
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1;
+        }
+        return if j < chars.len() { Some(j - i + 1) } else { None };
+    }
+    if next == '\'' {
+        return None; // '' is not a char literal
+    }
+    // 'x' — a single char then a closing quote. Anything else ('static,
+    // 'a) is a lifetime.
+    if chars.get(i + 2) == Some(&'\'') {
+        Some(3)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(s: &str) -> String {
+        mask_source(s).into_iter().map(|l| l.code).collect::<Vec<_>>().join("\n")
+    }
+
+    #[test]
+    fn masks_line_comments_and_extracts_text() {
+        let m = mask_source("let x = 1; // finlint: ordered — count");
+        assert_eq!(m[0].code, "let x = 1; ");
+        assert!(m[0].comment.contains("finlint: ordered"));
+    }
+
+    #[test]
+    fn masks_string_contents() {
+        let input = r#"f("a.unwrap() // no")"#;
+        let expected = format!("f(\"{}\")", " ".repeat("a.unwrap() // no".len()));
+        assert_eq!(code(input), expected);
+    }
+
+    #[test]
+    fn masks_raw_strings_across_lines() {
+        let masked = code("let s = r#\"unwrap()\nstill .lock() here\"#;");
+        assert!(!masked.contains("unwrap"));
+        assert!(!masked.contains("lock"));
+        assert!(masked.ends_with(';'));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let masked = code("a /* x /* y */ .unwrap() */ b");
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains('a') && masked.contains('b'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let masked = code("fn f<'a>(x: &'a str) { g('x', \"s\") }");
+        assert!(masked.contains("<'a>"));
+        assert!(masked.contains("&'a str"));
+        assert!(!masked.contains('x') || !masked.contains("'x'"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let masked = code(r"let q = '\''; let n = '\n'; let u = '\u{1F600}'; done()");
+        assert!(masked.contains("done()"));
+    }
+
+    #[test]
+    fn byte_strings_masked() {
+        let masked = code(r##"let b = b"unwrap()"; let r = br#"x"#;"##);
+        assert!(!masked.contains("unwrap"));
+    }
+}

@@ -1,0 +1,192 @@
+//! `finlint` — the workspace-native static-analysis pass.
+//!
+//! Four invariant families keep the FinSQL evaluation story honest
+//! (Tables 4/5 EX numbers are only meaningful if the fast paths are
+//! bitwise identical to the serial reference):
+//!
+//! * **determinism** — no `HashMap`/`HashSet` iteration, unordered float
+//!   fold or unstable float sort in answer-affecting crates without a
+//!   `// finlint: ordered` justification ([`lints::determinism`]);
+//! * **fingerprint coverage** — every `FinSqlConfig` field is either
+//!   pushed in `fingerprint_config` or allowlisted
+//!   ([`lints::fingerprint`]);
+//! * **panic hygiene** — `unwrap`/`expect`/`panic!` in library code
+//!   carries an `// INVARIANT:` comment ([`lints::panics`]);
+//! * **lock discipline** — no nested shard locks, `Condvar::wait` always
+//!   re-checked in a loop ([`lints::locks`]).
+//!
+//! Run as `cargo run -p finlint` from the workspace root; CI fails on
+//! any finding not recorded in `crates/finlint/finlint.baseline` and
+//! uploads the machine-readable `results/FINLINT.json`.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod source;
+
+use lints::Finding;
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Crates whose code can change an answer: the determinism family runs
+/// over all their sources.
+const ANSWER_AFFECTING_CRATES: &[&str] = &["crossenc", "simllm", "sqlkit", "sqlengine"];
+
+/// `finsql-core` answer-affecting files (the rest of the crate is
+/// harness/metrics code where e.g. metric folds are not answer-bearing).
+const ANSWER_AFFECTING_CORE_FILES: &[&str] =
+    &["crates/core/src/batch.rs", "crates/core/src/pipeline.rs", "crates/core/src/cache.rs"];
+
+/// Files holding the shard-locked serving structures the lock-discipline
+/// family guards.
+const LOCK_DISCIPLINE_FILES: &[&str] =
+    &["crates/core/src/cache.rs", "crates/core/src/batch.rs"];
+
+/// The file defining `FinSqlConfig` + `fingerprint_config`.
+const FINGERPRINT_FILE: &str = "crates/core/src/pipeline.rs";
+
+/// Directories under `crates/` that are not library crates (binary
+/// harnesses assert/panic by design).
+const NON_LIBRARY_CRATES: &[&str] = &["bench"];
+
+/// One scanned workspace.
+#[derive(Debug)]
+pub struct Analysis {
+    pub files_scanned: usize,
+    /// Findings not matched by the baseline.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by the baseline.
+    pub baselined: Vec<Finding>,
+}
+
+/// Scans the workspace rooted at `root` and returns all findings,
+/// partitioned by the baseline loaded from
+/// `crates/finlint/finlint.baseline` (a missing baseline file means an
+/// empty baseline).
+pub fn run_workspace(root: &Path) -> Result<Analysis, String> {
+    let baseline = baseline::load(&root.join(baseline::BASELINE_REL_PATH))?;
+    let mut files_scanned = 0usize;
+    let mut all = Vec::new();
+    for path in workspace_sources(root)? {
+        let rel = rel_path(root, &path);
+        let krate = crate_of(&rel);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let file = SourceFile::parse(&rel, &krate, &text);
+        files_scanned += 1;
+        all.extend(check_file(&file));
+    }
+    all.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    let (baselined, findings) =
+        all.into_iter().partition(|f| baseline.suppresses(f));
+    Ok(Analysis { files_scanned, findings, baselined })
+}
+
+/// Runs every applicable lint family over one parsed file.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if determinism_scope(file) {
+        out.extend(lints::determinism::check(file));
+    }
+    if file.rel_path == FINGERPRINT_FILE {
+        out.extend(lints::fingerprint::check(file));
+    }
+    out.extend(lints::panics::check(file));
+    if LOCK_DISCIPLINE_FILES.contains(&file.rel_path.as_str()) {
+        out.extend(lints::locks::check(file));
+    }
+    out
+}
+
+/// True when the determinism family applies to this file.
+fn determinism_scope(file: &SourceFile) -> bool {
+    ANSWER_AFFECTING_CRATES.contains(&file.krate.as_str())
+        || ANSWER_AFFECTING_CORE_FILES.contains(&file.rel_path.as_str())
+}
+
+/// Every library `.rs` source in the workspace: `crates/*/src/**` (minus
+/// the binary harness crates) and the workspace-root `src/`. Vendored
+/// dependencies, tests, examples and benches are out of scope.
+fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir crates: {e}"))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() && !NON_LIBRARY_CRATES.contains(&name.as_str()) {
+            crate_dirs.push(path.join("src"));
+        }
+    }
+    crate_dirs.push(root.join("src"));
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The crate a workspace-relative path belongs to.
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("unknown").to_string(),
+        Some("src") => "finsql".to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(crate_of("crates/sqlkit/src/lexer.rs"), "sqlkit");
+        assert_eq!(crate_of("src/lib.rs"), "finsql");
+    }
+
+    #[test]
+    fn determinism_scope_is_the_issue_list() {
+        let mk = |rel: &str, krate: &str| SourceFile::parse(rel, krate, "");
+        assert!(determinism_scope(&mk("crates/simllm/src/embed.rs", "simllm")));
+        assert!(determinism_scope(&mk("crates/core/src/cache.rs", "core")));
+        assert!(!determinism_scope(&mk("crates/core/src/metrics.rs", "core")));
+        assert!(!determinism_scope(&mk("crates/bull/src/datagen.rs", "bull")));
+    }
+}

@@ -1,0 +1,222 @@
+//! Lock-discipline lints for the serving-layer concurrency files
+//! (`AnswerCache`, `BatchScheduler`):
+//!
+//! 1. **nested-lock** — acquiring any lock while a `let`-bound lock
+//!    guard is still live. The cache is lock-striped exactly so no path
+//!    ever holds two shard locks; a nested acquisition is a deadlock
+//!    waiting for the right interleaving. Temporary guards
+//!    (`x.lock().field` in one expression) are not tracked — they die at
+//!    the end of the statement and cannot deadlock with themselves.
+//! 2. **wait-not-in-loop** — every `Condvar::wait`/`wait_timeout` must
+//!    sit inside a `while`/`loop` re-checking its predicate: condvars
+//!    have spurious wakeups, and `notify_all` races mean the predicate
+//!    may already be consumed by another thread when the waiter runs.
+
+use super::{Finding, Lint};
+use crate::source::SourceFile;
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    nested_locks(file, &mut out);
+    wait_in_loop(file, &mut out);
+    out
+}
+
+/// A live `let`-bound guard.
+struct Guard {
+    name: String,
+    depth: i32,
+}
+
+fn nested_locks(file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut guards: Vec<Guard> = Vec::new();
+    for i in 0..file.masked.len() {
+        if file.in_test[i] {
+            guards.clear();
+            continue;
+        }
+        let code = file.code(i).to_string();
+        let mut depth = file.depth_at[i];
+        // Drop guards whose scope closed before this line.
+        guards.retain(|g| g.depth <= depth);
+        let trimmed = code.trim_start();
+        let let_guard = trimmed.strip_prefix("let ").map(|rest| {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect::<String>()
+        });
+        if code.contains(".lock(") {
+            if let Some(live) = guards.last() {
+                if !file.justified(i, "INVARIANT:") {
+                    out.push(Finding::at(
+                        Lint::NestedLock,
+                        file,
+                        i,
+                        format!(
+                            "lock acquired while guard `{}` is still held (taken at a shard \
+                             lock above): nested shard-lock acquisition can deadlock. Drop \
+                             the guard first (scope it or `drop()` it)",
+                            live.name
+                        ),
+                    ));
+                }
+            }
+            if let Some(name) = let_guard {
+                if !name.is_empty() {
+                    guards.push(Guard { name, depth });
+                }
+            }
+        }
+        // `drop(guard)` releases explicitly.
+        let mut from = 0usize;
+        while let Some(p) = code[from..].find("drop(") {
+            let pos = from + p;
+            from = pos + 5;
+            let inner: String = code[pos + 5..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            guards.retain(|g| g.name != inner);
+        }
+        // Track depth across the line so same-line `{ … }` blocks work.
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn wait_in_loop(file: &SourceFile, out: &mut Vec<Finding>) {
+    // Stack of block openers: (depth the block's body runs at, looping?).
+    let mut blocks: Vec<(i32, bool)> = Vec::new();
+    for i in 0..file.masked.len() {
+        let code = file.code(i).to_string();
+        let mut depth = file.depth_at[i];
+        while blocks.last().is_some_and(|(d, _)| *d > depth) {
+            blocks.pop();
+        }
+        if !file.in_test[i] {
+            for needle in [".wait(", ".wait_timeout("] {
+                let mut from = 0usize;
+                while let Some(p) = code[from..].find(needle) {
+                    let pos = from + p;
+                    from = pos + needle.len();
+                    // `slot.wait()` (no args) is not a condvar wait — a
+                    // condvar wait consumes a guard argument.
+                    if code[pos + needle.len()..].trim_start().starts_with(')') {
+                        continue;
+                    }
+                    let in_loop = blocks.iter().any(|(_, looping)| *looping);
+                    if !in_loop {
+                        out.push(Finding::at(
+                            Lint::WaitNotInLoop,
+                            file,
+                            i,
+                            "`Condvar::wait` outside a `while`/`loop`: spurious wakeups and \
+                             notify races mean the predicate must be re-checked in a loop \
+                             around the wait"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        // Record blocks opened on this line. A fn boundary resets the
+        // loop context (blocks above the fn cannot catch its waits).
+        let t = code.trim_start();
+        let mut opener_looping =
+            t.starts_with("while ") || t.starts_with("while(") || t == "loop {" || t.starts_with("loop {");
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    let is_fn = t.starts_with("fn ")
+                        || t.starts_with("pub fn ")
+                        || t.contains(") -> ")
+                        || t.starts_with("impl ");
+                    if is_fn {
+                        blocks.clear();
+                    }
+                    blocks.push((depth, opener_looping));
+                    opener_looping = false; // only the first block on the line
+                }
+                '}' => {
+                    depth -= 1;
+                    while blocks.last().is_some_and(|(d, _)| *d > depth) {
+                        blocks.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("x.rs", "k", src))
+    }
+
+    #[test]
+    fn nested_lock_is_flagged() {
+        let f = findings(
+            "fn f(&self) {\n    let mut a = self.shards[0].lock();\n    let b = self.shards[1].lock();\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, Lint::NestedLock);
+    }
+
+    #[test]
+    fn dropped_guard_allows_second_lock() {
+        let f = findings(
+            "fn f(&self) {\n    let a = self.shards[0].lock();\n    drop(a);\n    let b = self.shards[1].lock();\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn scoped_guard_allows_second_lock() {
+        let f = findings(
+            "fn f(&self) {\n    {\n        let a = self.q.lock();\n    }\n    let b = self.q.lock();\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn temporary_lock_is_not_a_guard() {
+        let f = findings(
+            "fn f(&self) -> usize {\n    self.shards.iter().map(|s| s.lock().map.len()).sum::<usize>()\n}\n",
+        );
+        assert!(f.iter().all(|f| f.lint != Lint::NestedLock), "{f:?}");
+    }
+
+    #[test]
+    fn wait_outside_loop_is_flagged() {
+        let f = findings(
+            "fn f(&self) {\n    let mut g = self.m.lock();\n    if !*g {\n        g = self.cv.wait(g);\n    }\n}\n",
+        );
+        assert!(f.iter().any(|f| f.lint == Lint::WaitNotInLoop), "{f:?}");
+    }
+
+    #[test]
+    fn wait_inside_while_is_clean() {
+        let f = findings(
+            "fn f(&self) {\n    let mut g = self.m.lock();\n    while !*g {\n        g = self.cv.wait(g);\n    }\n}\n",
+        );
+        assert!(f.iter().all(|f| f.lint != Lint::WaitNotInLoop), "{f:?}");
+    }
+
+    #[test]
+    fn slot_wait_without_args_is_not_condvar() {
+        let f = findings("fn f(&self) {\n    let a = slot.wait();\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

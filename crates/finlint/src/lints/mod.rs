@@ -1,0 +1,79 @@
+//! The four lint families and their shared finding model.
+
+pub mod determinism;
+pub mod fingerprint;
+pub mod locks;
+pub mod panics;
+
+use crate::source::SourceFile;
+
+/// Stable identifier of one lint rule, used in reports and baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Iterating a `HashMap`/`HashSet` in answer-affecting code.
+    HashIteration,
+    /// Float (or untyped) `.sum()`/`.product()` reductions.
+    FloatReduction,
+    /// `sort_unstable*` over float keys.
+    UnstableFloatSort,
+    /// `FinSqlConfig` field neither fingerprinted nor allowlisted.
+    FingerprintCoverage,
+    /// `unwrap`/`expect`/`panic!`-family without an `// INVARIANT:`.
+    PanicHygiene,
+    /// A second lock acquired while a shard-lock guard is live.
+    NestedLock,
+    /// `Condvar::wait` not re-checked inside a `while`/`loop`.
+    WaitNotInLoop,
+}
+
+impl Lint {
+    /// The report identifier, `family/rule`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::HashIteration => "determinism/hash-iteration",
+            Lint::FloatReduction => "determinism/float-reduction",
+            Lint::UnstableFloatSort => "determinism/unstable-float-sort",
+            Lint::FingerprintCoverage => "fingerprint/coverage",
+            Lint::PanicHygiene => "panic/hygiene",
+            Lint::NestedLock => "lock/nested",
+            Lint::WaitNotInLoop => "lock/wait-not-in-loop",
+        }
+    }
+
+    /// The justification tag that silences the lint at a specific site,
+    /// if the family admits one.
+    pub fn justification(self) -> Option<&'static str> {
+        match self {
+            Lint::HashIteration | Lint::FloatReduction | Lint::UnstableFloatSort => {
+                Some("finlint: ordered")
+            }
+            Lint::PanicHygiene | Lint::NestedLock => Some("INVARIANT:"),
+            Lint::FingerprintCoverage | Lint::WaitNotInLoop => None,
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub lint: Lint,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+    /// The trimmed source line, for baseline matching and the report.
+    pub excerpt: String,
+}
+
+impl Finding {
+    pub fn at(lint: Lint, file: &SourceFile, line0: usize, message: String) -> Finding {
+        Finding {
+            lint,
+            path: file.rel_path.clone(),
+            line: line0 + 1,
+            message,
+            excerpt: file.raw.get(line0).map_or(String::new(), |l| l.trim().to_string()),
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Panic-hygiene lint: in library crates, a reachable panic site takes
+//! down a serving worker. Every `unwrap()`/`expect()`/`panic!`-family
+//! site in non-test library code must carry an `// INVARIANT:` comment
+//! (same line or the comment block directly above) stating why it cannot
+//! fire; real failure paths belong in `Result`/`Option` propagation
+//! instead. Test code is exempt — panicking is how tests fail.
+
+use super::{Finding, Lint};
+use crate::source::SourceFile;
+
+const INVARIANT: &str = "INVARIANT:";
+
+/// `(needle, what)` pairs; needles are matched against masked code.
+const SITES: &[(&str, &str)] = &[
+    (".unwrap()", "unwrap()"),
+    (".unwrap_err()", "unwrap_err()"),
+    (".expect(", "expect()"),
+    ("panic!(", "panic!"),
+    ("unreachable!(", "unreachable!"),
+    ("todo!(", "todo!"),
+    ("unimplemented!(", "unimplemented!"),
+];
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..file.masked.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let code = file.code(i);
+        for (needle, what) in SITES {
+            if !code.contains(needle) {
+                continue;
+            }
+            // `debug_assert`/`assert` lines are deliberate checked
+            // invariants, not accidental panics — out of scope here.
+            if *needle == "panic!(" && code.contains("assert") {
+                continue;
+            }
+            if !file.justified(i, INVARIANT) {
+                out.push(Finding::at(
+                    Lint::PanicHygiene,
+                    file,
+                    i,
+                    format!(
+                        "`{what}` in library code without an `// INVARIANT:` justification: \
+                         state why this cannot fire, or propagate the failure as \
+                         `Result`/`Option`"
+                    ),
+                ));
+            }
+            break; // one finding per line is enough
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("x.rs", "k", src))
+    }
+
+    #[test]
+    fn flags_bare_unwrap_and_expect() {
+        let f = findings("let a = x.unwrap();\nlet b = y.expect(\"msg\");\n");
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.lint == Lint::PanicHygiene));
+    }
+
+    #[test]
+    fn invariant_comment_silences() {
+        let f = findings(
+            "// INVARIANT: x is Some — filled two lines above.\nlet a = x.unwrap();\nlet b = y.unwrap(); // INVARIANT: same\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let f = findings("let a = x.unwrap_or(0);\nlet b = y.unwrap_or_else(Vec::new);\nlet c = z.unwrap_or_default();\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn strings_do_not_count() {
+        let f = findings("let s = \"call .unwrap() later\";\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let f = findings("#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,110 @@
+//! CLI: `cargo run -p finlint [-- --root DIR --json PATH --write-baseline --quiet]`
+//!
+//! Exit codes: 0 clean (or fully baselined), 1 unbaselined findings,
+//! 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: workspace_root(),
+        json: None, // defaults to <root>/results/FINLINT.json
+        write_baseline: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root needs a path".to_string())?,
+                );
+            }
+            "--json" => {
+                opts.json = Some(PathBuf::from(
+                    args.next().ok_or_else(|| "--json needs a path".to_string())?,
+                ));
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "finlint — workspace invariant lints\n\n\
+                     USAGE: cargo run -p finlint [-- OPTIONS]\n\n\
+                     OPTIONS:\n  --root DIR         workspace root (default: auto-detected)\n  \
+                     --json PATH        report path (default: results/FINLINT.json)\n  \
+                     --write-baseline   rewrite the baseline from current findings\n  \
+                     --quiet            suppress per-finding output"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workspace root: two levels above this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("finlint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    let analysis = finlint::run_workspace(&opts.root)?;
+    // Machine-readable report.
+    let json_path = opts.json.clone().unwrap_or_else(|| opts.root.join("results/FINLINT.json"));
+    if let Some(dir) = json_path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    }
+    std::fs::write(&json_path, finlint::report::to_json(&analysis))
+        .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+    if opts.write_baseline {
+        let all: Vec<_> =
+            analysis.findings.iter().chain(&analysis.baselined).cloned().collect();
+        let path = opts.root.join(finlint::baseline::BASELINE_REL_PATH);
+        std::fs::write(&path, finlint::baseline::render(&all))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("finlint: baseline rewritten with {} entries at {}", all.len(), path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    if !opts.quiet {
+        for f in &analysis.findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.lint.id(), f.message);
+            if !f.excerpt.is_empty() {
+                println!("    > {}", f.excerpt);
+            }
+        }
+    }
+    println!(
+        "finlint: {} files scanned, {} finding(s), {} baselined — report at {}",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        analysis.baselined.len(),
+        json_path.display()
+    );
+    if analysis.findings.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}

@@ -1,0 +1,106 @@
+//! The machine-readable report (`results/FINLINT.json`), written by
+//! hand — no serde in the offline image for this crate.
+
+use crate::lints::Finding;
+use crate::Analysis;
+use std::collections::BTreeMap;
+
+/// Renders the full analysis as pretty-printed JSON.
+pub fn to_json(analysis: &Analysis) -> String {
+    let mut by_lint: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &analysis.findings {
+        *by_lint.entry(f.lint.id()).or_insert(0) += 1;
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"tool\": \"finlint\",\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", analysis.files_scanned));
+    out.push_str(&format!("  \"findings_total\": {},\n", analysis.findings.len()));
+    out.push_str(&format!("  \"baselined_total\": {},\n", analysis.baselined.len()));
+    out.push_str("  \"findings_by_lint\": {");
+    let mut first = true;
+    for (lint, n) in &by_lint {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    {}: {n}", json_str(lint)));
+    }
+    out.push_str(if by_lint.is_empty() { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"findings\": [");
+    render_findings(&mut out, &analysis.findings);
+    out.push_str("],\n  \"baselined\": [");
+    render_findings(&mut out, &analysis.baselined);
+    out.push_str("]\n}\n");
+    out
+}
+
+fn render_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"lint\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"excerpt\": {}}}",
+            json_str(f.lint.id()),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message),
+            json_str(&f.excerpt)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let analysis = Analysis {
+            files_scanned: 2,
+            findings: vec![Finding {
+                lint: Lint::PanicHygiene,
+                path: "a/b.rs".into(),
+                line: 7,
+                message: "say \"why\"".into(),
+                excerpt: "x.unwrap();\t// soon".into(),
+            }],
+            baselined: vec![],
+        };
+        let j = to_json(&analysis);
+        assert!(j.contains("\"findings_total\": 1"));
+        assert!(j.contains("\\\"why\\\""));
+        assert!(j.contains("\\t"));
+        assert!(j.contains("\"panic/hygiene\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_shape() {
+        let j = to_json(&Analysis { files_scanned: 0, findings: vec![], baselined: vec![] });
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"findings_by_lint\": {}"));
+    }
+}

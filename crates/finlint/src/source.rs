@@ -1,0 +1,208 @@
+//! The per-file source model the lints run over: masked lines, brace
+//! depths, `#[cfg(test)]` regions and the justification-comment lookup.
+
+use crate::lexer::{mask_source, MaskedLine};
+
+/// One analysed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Crate the file belongs to (directory under `crates/`, or `finsql`
+    /// for the workspace-root `src/`).
+    pub krate: String,
+    /// Raw line text, for reports and baseline hashing.
+    pub raw: Vec<String>,
+    /// Comment/literal-masked lines.
+    pub masked: Vec<MaskedLine>,
+    /// Brace depth *at the start* of each line.
+    pub depth_at: Vec<i32>,
+    /// True for lines inside a `#[cfg(test)]`-gated item.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, krate: &str, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.split('\n').map(str::to_string).collect();
+        let masked = mask_source(text);
+        let depth_at = depths(&masked);
+        let in_test = test_regions(&masked, &depth_at);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            krate: krate.to_string(),
+            raw,
+            masked,
+            depth_at,
+            in_test,
+        }
+    }
+
+    /// Masked code of line `i` (0-based).
+    pub fn code(&self, i: usize) -> &str {
+        self.masked.get(i).map_or("", |l| l.code.as_str())
+    }
+
+    /// True when the finding on 0-based line `i` is justified by a tag:
+    /// the tag may sit in a comment on the same line or in the comment
+    /// block immediately above (consecutive comment-only lines).
+    pub fn justified(&self, i: usize, tag: &str) -> bool {
+        if self.masked[i].comment.contains(tag) {
+            return true;
+        }
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let line = &self.masked[j];
+            let code_empty = line.code.trim().is_empty();
+            if !code_empty {
+                return false;
+            }
+            if line.comment.contains(tag) {
+                return true;
+            }
+            if line.comment.is_empty() && line.code.trim().is_empty() && self.raw[j].trim().is_empty()
+            {
+                return false; // blank line ends the adjacent block
+            }
+        }
+        false
+    }
+}
+
+/// Brace depth at the start of each masked line.
+fn depths(masked: &[MaskedLine]) -> Vec<i32> {
+    let mut out = Vec::with_capacity(masked.len());
+    let mut depth = 0i32;
+    for line in masked {
+        out.push(depth);
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Marks every line inside an item gated by `#[cfg(test)]` (test modules
+/// and test-only functions) — those are exempt from the lints.
+fn test_regions(masked: &[MaskedLine], depth_at: &[i32]) -> Vec<bool> {
+    let mut in_test = vec![false; masked.len()];
+    let mut i = 0usize;
+    while i < masked.len() {
+        if masked[i].code.trim().starts_with("#[cfg(test)]") {
+            // The gated item starts at the next non-attribute line; the
+            // region runs until depth returns to the attribute's depth.
+            let base = depth_at[i];
+            let mut j = i;
+            let mut braceless = false;
+            // Find the line where the item's block opens; a `;` first
+            // means a braceless item (`#[cfg(test)] use …;`) — the
+            // region is just those lines.
+            while j < masked.len() && !masked[j].code.contains('{') {
+                in_test[j] = true;
+                let done = masked[j].code.contains(';');
+                j += 1;
+                if done {
+                    braceless = true;
+                    break;
+                }
+            }
+            if braceless {
+                i = j;
+                continue;
+            }
+            // Mark until the matching close brace.
+            while j < masked.len() {
+                in_test[j] = true;
+                let mut depth = depth_at[j];
+                for c in masked[j].code.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                j += 1;
+                if depth <= base && j > i {
+                    break;
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Extracts the identifier immediately preceding byte offset `pos` in
+/// `code` (the receiver of a method call found at `pos`), tolerating a
+/// closing paren/bracket chain like `foo()` or `foo[i]`.
+pub fn ident_before(code: &str, pos: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut end = pos;
+    // Skip back over one bracket/paren group: receiver like `m[k]` or
+    // `f()` — we want the path segment, so step over the group.
+    if end > 0 && (bytes[end - 1] == b')' || bytes[end - 1] == b']') {
+        let close = bytes[end - 1];
+        let open = if close == b')' { b'(' } else { b'[' };
+        let mut bal = 0i32;
+        while end > 0 {
+            end -= 1;
+            if bytes[end] == close {
+                bal += 1;
+            } else if bytes[end] == open {
+                bal -= 1;
+                if bal == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    let tail = &code[..end];
+    let start = tail
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
+        .last()
+        .map(|(i, _)| i)?;
+    if start == tail.len() {
+        return None;
+    }
+    Some(&tail[start..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let f = SourceFile::parse("x.rs", "k", src);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[1] && f.in_test[2] && f.in_test[3] && f.in_test[4]);
+        assert!(!f.in_test[5]);
+    }
+
+    #[test]
+    fn justification_same_line_and_block_above() {
+        let src = "// INVARIANT: fine\nlet a = x.unwrap();\nlet b = y.unwrap(); // INVARIANT: ok\n\nlet c = z.unwrap();\n";
+        let f = SourceFile::parse("x.rs", "k", src);
+        assert!(f.justified(1, "INVARIANT:"));
+        assert!(f.justified(2, "INVARIANT:"));
+        assert!(!f.justified(4, "INVARIANT:"));
+    }
+
+    #[test]
+    fn ident_before_method() {
+        let code = "for v in m.iter() {";
+        let pos = code.find(".iter").unwrap();
+        assert_eq!(ident_before(code, pos), Some("m"));
+        let code2 = "self.map.keys()";
+        assert_eq!(ident_before(code2, code2.find(".keys").unwrap()), Some("map"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Fixture-driven tests: each lint family has one violation fixture
+//! (every rule fires) and one clean fixture (the sanctioned forms are
+//! quiet), plus the synthetic-field drill against the *real*
+//! `FinSqlConfig` proving the fingerprint gate would catch a new
+//! un-fingerprinted knob.
+
+use finlint::lints::{self, Lint};
+use finlint::source::SourceFile;
+use std::path::Path;
+
+fn fixture(name: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    SourceFile::parse(&format!("fixtures/{name}"), "fixture", &text)
+}
+
+#[test]
+fn determinism_violation_fires_every_rule() {
+    let f = lints::determinism::check(&fixture("determinism_violation.rs"));
+    let lints_hit: Vec<Lint> = f.iter().map(|f| f.lint).collect();
+    assert!(lints_hit.contains(&Lint::HashIteration), "{f:#?}");
+    assert!(lints_hit.contains(&Lint::FloatReduction), "{f:#?}");
+    assert!(lints_hit.contains(&Lint::UnstableFloatSort), "{f:#?}");
+    assert_eq!(f.len(), 3, "{f:#?}");
+}
+
+#[test]
+fn determinism_clean_is_quiet() {
+    let f = lints::determinism::check(&fixture("determinism_clean.rs"));
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn fingerprint_violation_flags_the_uncovered_field() {
+    let f = lints::fingerprint::check(&fixture("fingerprint_violation.rs"));
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(f[0].message.contains("synthetic_knob"), "{f:#?}");
+}
+
+#[test]
+fn fingerprint_clean_is_quiet() {
+    let f = lints::fingerprint::check(&fixture("fingerprint_clean.rs"));
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn panic_violation_flags_each_site() {
+    let f = lints::panics::check(&fixture("panic_violation.rs"));
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert!(f.iter().all(|f| f.lint == Lint::PanicHygiene));
+}
+
+#[test]
+fn panic_clean_is_quiet() {
+    let f = lints::panics::check(&fixture("panic_clean.rs"));
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn locks_violation_flags_nesting_and_unlooped_wait() {
+    let f = lints::locks::check(&fixture("locks_violation.rs"));
+    let lints_hit: Vec<Lint> = f.iter().map(|f| f.lint).collect();
+    assert!(lints_hit.contains(&Lint::NestedLock), "{f:#?}");
+    assert!(lints_hit.contains(&Lint::WaitNotInLoop), "{f:#?}");
+    assert_eq!(f.len(), 2, "{f:#?}");
+}
+
+#[test]
+fn locks_clean_is_quiet() {
+    let f = lints::locks::check(&fixture("locks_clean.rs"));
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+/// The acceptance drill: take the real `crates/core/src/pipeline.rs`,
+/// add a synthetic config field without touching `fingerprint_config`,
+/// and prove the lint fails — i.e. a future knob cannot land silently.
+#[test]
+fn synthetic_field_in_real_config_fails_the_lint() {
+    let pipeline = Path::new(env!("CARGO_MANIFEST_DIR")).join("../core/src/pipeline.rs");
+    let text = std::fs::read_to_string(&pipeline).expect("read core pipeline source");
+
+    // Unmodified source is clean.
+    let clean = SourceFile::parse("crates/core/src/pipeline.rs", "core", &text);
+    let f = lints::fingerprint::check(&clean);
+    assert!(f.is_empty(), "real FinSqlConfig must be fully covered: {f:#?}");
+
+    // Inject `pub synthetic_knob: usize,` as the first field.
+    let struct_open = text.find("pub struct FinSqlConfig {").expect("config struct present");
+    let insert_at = text[struct_open..].find('\n').expect("newline after struct opener")
+        + struct_open
+        + 1;
+    let mut patched = text.clone();
+    patched.insert_str(insert_at, "    pub synthetic_knob: usize,\n");
+    let dirty = SourceFile::parse("crates/core/src/pipeline.rs", "core", &patched);
+    let f = lints::fingerprint::check(&dirty);
+    assert_eq!(f.len(), 1, "exactly the synthetic field must be flagged: {f:#?}");
+    assert!(f[0].message.contains("synthetic_knob"), "{f:#?}");
+}

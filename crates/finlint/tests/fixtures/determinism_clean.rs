@@ -1,0 +1,26 @@
+//! Fixture: the same operations as `determinism_violation.rs`, each in
+//! its sanctioned form. Not compiled — parsed by `tests/fixtures.rs`.
+use std::collections::HashMap;
+
+pub fn sorted_drain(m: &HashMap<String, f32>) -> Vec<(String, f32)> {
+    let mut out: Vec<(String, f32)> = Vec::new();
+    // finlint: ordered — drained into a Vec and sorted before use
+    for (k, v) in m.iter() {
+        out.push((k.clone(), *v));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+pub fn integer_total(xs: &[usize]) -> usize {
+    xs.iter().copied().sum::<usize>()
+}
+
+pub fn slice_norm(v: &[f32]) -> f32 {
+    // finlint: ordered — sequential left-to-right fold over a slice
+    v.iter().map(|x| x * x).sum::<f32>()
+}
+
+pub fn tie_free(xs: &mut [(usize, u32)]) {
+    xs.sort_unstable_by_key(|(i, _)| *i);
+}

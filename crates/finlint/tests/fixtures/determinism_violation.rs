@@ -1,0 +1,19 @@
+//! Fixture: every determinism rule violated once.
+//! Not compiled — parsed by `tests/fixtures.rs`.
+use std::collections::HashMap;
+
+pub fn leak_order(m: &HashMap<String, f32>) -> Vec<f32> {
+    let mut out = Vec::new();
+    for (_k, v) in m.iter() {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn unordered_total(xs: &[f32]) -> f32 {
+    xs.iter().copied().sum()
+}
+
+pub fn tie_unstable(xs: &mut Vec<(usize, f32)>) {
+    xs.sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,11 @@
+//! Fixture: every FinSqlConfig field fingerprinted except the
+//! allowlisted `link_mode`. Not compiled — parsed by `tests/fixtures.rs`.
+pub struct FinSqlConfig {
+    pub k_tables: usize,
+    pub seed: u64,
+    pub link_mode: InferenceMode,
+}
+
+pub fn fingerprint_config(b: FingerprintBuilder, config: &FinSqlConfig) -> FingerprintBuilder {
+    b.push_usize(config.k_tables).push_u64(config.seed)
+}

@@ -1,0 +1,12 @@
+//! Fixture: a FinSqlConfig copy with one field (`synthetic_knob`) that
+//! is neither fingerprinted nor allowlisted.
+//! Not compiled — parsed by `tests/fixtures.rs`.
+pub struct FinSqlConfig {
+    pub k_tables: usize,
+    pub synthetic_knob: usize,
+    pub link_mode: InferenceMode,
+}
+
+pub fn fingerprint_config(b: FingerprintBuilder, config: &FinSqlConfig) -> FingerprintBuilder {
+    b.push_usize(config.k_tables)
+}

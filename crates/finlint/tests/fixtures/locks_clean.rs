@@ -1,0 +1,20 @@
+//! Fixture: guard dropped before the second acquisition; wait re-checked
+//! in a while loop. Not compiled — parsed by `tests/fixtures.rs`.
+impl Cache {
+    pub fn transfer(&self, from: usize, to: usize) {
+        let moved = {
+            let mut a = self.shards[from].lock();
+            a.drain_all()
+        };
+        let mut b = self.shards[to].lock();
+        b.extend(moved);
+    }
+
+    pub fn wait_ready(&self) -> bool {
+        let mut g = self.state.lock();
+        while !g.ready {
+            g = self.cv.wait(g);
+        }
+        true
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: nested shard locks and a wait outside any loop.
+//! Not compiled — parsed by `tests/fixtures.rs`.
+impl Cache {
+    pub fn transfer(&self, from: usize, to: usize) {
+        let a = self.shards[from].lock();
+        let b = self.shards[to].lock();
+        b.extend(a.drain());
+    }
+
+    pub fn wait_once(&self) -> bool {
+        let g = self.state.lock();
+        if !g.ready {
+            let g = self.cv.wait(g);
+            return g.ready;
+        }
+        true
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: justified invariants and test-only panics.
+//! Not compiled — parsed by `tests/fixtures.rs`.
+pub fn head(xs: &[u32]) -> u32 {
+    // INVARIANT: callers check non-emptiness before calling.
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> i64 {
+    s.parse().expect("digits only") // INVARIANT: s came from to_string on an i64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: unjustified panic sites in library code.
+//! Not compiled — parsed by `tests/fixtures.rs`.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> i64 {
+    s.parse().expect("numeric input")
+}
+
+pub fn boom() {
+    panic!("unconditional");
+}

@@ -1,0 +1,27 @@
+//! The workspace-level gate as a test: the repo's own sources produce
+//! zero unbaselined findings (and the shipped baseline is empty, so zero
+//! findings at all). This is the same check CI runs via
+//! `cargo run -p finlint`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis = finlint::run_workspace(&root).expect("scan workspace");
+    assert!(analysis.files_scanned > 50, "scanned only {} files", analysis.files_scanned);
+    assert!(
+        analysis.findings.is_empty(),
+        "unbaselined findings:\n{}",
+        analysis
+            .findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.lint.id(), f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        analysis.baselined.is_empty(),
+        "the shipped baseline must stay empty — fix or justify at the source"
+    );
+}

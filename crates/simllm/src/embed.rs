@@ -171,6 +171,7 @@ pub fn is_structure_word(token: &str) -> bool {
 
 /// L2-normalises in place (no-op on the zero vector).
 pub fn normalize(v: &mut [f32]) {
+    // finlint: ordered — sequential left-to-right fold over a slice
     let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
     if n > 0.0 {
         for x in v {
@@ -184,13 +185,17 @@ pub fn normalize(v: &mut [f32]) {
 /// prototype centroids are), where it equals cosine similarity without
 /// paying two sqrt-norm reductions per call.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    // finlint: ordered — sequential left-to-right fold over a slice
+    a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>()
 }
 
 /// Cosine similarity of two equal-length vectors.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    // finlint: ordered — sequential left-to-right folds over slices
     let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    // finlint: ordered — sequential left-to-right fold over a slice
     let na = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    // finlint: ordered — sequential left-to-right fold over a slice
     let nb = b.iter().map(|x| x * x).sum::<f32>().sqrt();
     if na == 0.0 || nb == 0.0 {
         0.0

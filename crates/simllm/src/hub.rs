@@ -82,7 +82,7 @@ impl LoraPlugin {
             lora,
             prototypes,
             cot_trained: parts.iter().any(|(p, _)| p.cot_trained),
-            n_examples: parts.iter().map(|(p, _)| p.n_examples).sum(),
+            n_examples: parts.iter().map(|(p, _)| p.n_examples).sum::<usize>(),
         }
     }
 

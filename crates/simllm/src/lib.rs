@@ -27,6 +27,8 @@
 //! Everything downstream (EX accuracy, augmentation gains, LoRA-merge
 //! transfer, calibration gains) emerges mechanically from these parts.
 
+#![forbid(unsafe_code)]
+
 pub mod embed;
 pub mod generator;
 pub mod hub;

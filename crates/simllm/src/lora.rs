@@ -85,6 +85,7 @@ impl LoraModule {
         // Residual and loss, with a norm clip so a single outlier (or a
         // too-aggressive learning rate) cannot blow the weights up.
         let mut resid: Vec<f32> = h.iter().zip(target).map(|(hj, tj)| hj - tj).collect();
+        // finlint: ordered — sequential left-to-right fold over a slice
         let loss = resid.iter().map(|r| r * r).sum::<f32>();
         const CLIP: f32 = 4.0;
         let rnorm = loss.sqrt();
@@ -108,7 +109,8 @@ impl LoraModule {
         let mut brow_dot = vec![0.0f32; self.rank];
         for (k, bd) in brow_dot.iter_mut().enumerate() {
             let row = &self.b[k * self.dim_out..(k + 1) * self.dim_out];
-            *bd = row.iter().zip(&resid).map(|(b, r)| b * r).sum();
+            // finlint: ordered — sequential left-to-right fold over a slice
+            *bd = row.iter().zip(&resid).map(|(b, r)| b * r).sum::<f32>();
         }
         for (i, w) in x.entries() {
             let row = &mut self.a[*i as usize * self.rank..(*i as usize + 1) * self.rank];
@@ -123,6 +125,8 @@ impl LoraModule {
     /// `Â = Σ ωᵢAᵢ`, `B̂ = Σ ωᵢBᵢ`. Panics if shapes differ or the input
     /// is empty.
     pub fn merge(modules: &[(&LoraModule, f32)]) -> LoraModule {
+        // INVARIANT: documented contract — callers pass at least one
+        // module (the hub never merges an empty plugin set).
         let (first, _) = modules.first().expect("merge of zero modules");
         let mut a = vec![0.0f32; first.a.len()];
         let mut b = vec![0.0f32; first.b.len()];

@@ -52,7 +52,14 @@ impl ValueIndex {
                 if over {
                     continue;
                 }
-                for v in distinct {
+                // Drain the set through a sorted Vec: HashSet iteration
+                // order is per-process random and used to leak into the
+                // entry order whenever two case-variants of one value
+                // tied under the (length, lowercase, table) comparator.
+                // finlint: ordered — drained into a Vec and sorted before use
+                let mut values: Vec<&str> = distinct.into_iter().collect();
+                values.sort_unstable();
+                for v in values {
                     if v.chars().count() >= MIN_LEN && !looks_like_date(v) {
                         entries.push((
                             v.to_lowercase(),
@@ -64,8 +71,15 @@ impl ValueIndex {
                 }
             }
         }
+        // Total order over the full entry (length desc, then every field)
+        // so no pair of distinct entries can ever tie.
         entries.sort_by(|a, b| {
-            b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)).then_with(|| a.1.cmp(&b.1))
+            b.0.len()
+                .cmp(&a.0.len())
+                .then_with(|| a.0.cmp(&b.0))
+                .then_with(|| a.1.cmp(&b.1))
+                .then_with(|| a.2.cmp(&b.2))
+                .then_with(|| a.3.cmp(&b.3))
         });
         ValueIndex { entries }
     }
@@ -262,6 +276,32 @@ mod tests {
         let hits = idx.find_in_question("what about BOND FUND here");
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].value, "bond fund");
+    }
+
+    #[test]
+    fn build_is_deterministic_across_hashset_states() {
+        // Case-variants of one value share (length, lowercase, table,
+        // column) — exactly the ties that used to be broken by HashSet
+        // iteration order. Every HashSet instance gets its own
+        // RandomState, so repeated builds exercise different orders.
+        let schema = CatalogSchema {
+            db_id: "v".into(),
+            tables: vec![CatalogTable {
+                name: "fund".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![CatalogColumn::new("fname", ColType::Text, "fund name", "")],
+            }],
+            foreign_keys: vec![],
+        };
+        let mut db = Database::new(schema);
+        for v in ["Bond Fund", "BOND FUND", "bond fund", "BoNd FuNd", "bOnD fUnD"] {
+            db.insert("fund", vec![Value::from(v)]).unwrap();
+        }
+        let reference = ValueIndex::build(&db).entries;
+        for _ in 0..20 {
+            assert_eq!(ValueIndex::build(&db).entries, reference);
+        }
     }
 
     #[test]

@@ -101,7 +101,7 @@ impl Database {
 
     /// Total number of rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.iter().map(Table::len).sum()
+        self.tables.iter().map(Table::len).sum::<usize>()
     }
 
     /// Iterates over all tables.

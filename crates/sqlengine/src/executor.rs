@@ -416,6 +416,8 @@ fn expand_wildcard(
                 }
             }
         }
+        // INVARIANT: both call sites match on the item first and only
+        // pass the two wildcard variants here.
         SelectItem::Expr { .. } => unreachable!("expand_wildcard called on expression item"),
     }
 }

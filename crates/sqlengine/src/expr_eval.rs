@@ -414,6 +414,8 @@ fn eval_binary(op: BinaryOp, l: Value, r: Value) -> ExecResult<Value> {
                     BinaryOp::Le => ord != std::cmp::Ordering::Greater,
                     BinaryOp::Gt => ord == std::cmp::Ordering::Greater,
                     BinaryOp::Ge => ord != std::cmp::Ordering::Less,
+                    // INVARIANT: the enclosing `if op.is_comparison()`
+                    // restricts `op` to the six arms above.
                     _ => unreachable!(),
                 };
                 Ok(Value::Bool(b))

@@ -14,6 +14,8 @@
 //! row, comparisons coerce Int/Float, and dates are lexicographically
 //! comparable `YYYY-MM-DD` strings.
 
+#![forbid(unsafe_code)]
+
 pub mod database;
 pub mod error;
 pub mod executor;

@@ -157,7 +157,7 @@ impl CatalogSchema {
 
     /// Total number of columns across all tables.
     pub fn column_count(&self) -> usize {
-        self.tables.iter().map(|t| t.columns.len()).sum()
+        self.tables.iter().map(|t| t.columns.len()).sum::<usize>()
     }
 
     /// The foreign key joining two tables, if declared (in either

@@ -139,6 +139,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     let mut j = i;
                     while j < bytes.len() {
                         let rest = &input[j..];
+                        // INVARIANT: j < bytes.len() and j advances by
+                        // len_utf8, so rest is non-empty and starts on a
+                        // char boundary.
                         let ch = rest.chars().next().unwrap();
                         if ch.is_alphanumeric() || ch == '_' || ch as u32 > 127 {
                             j += ch.len_utf8();

@@ -22,6 +22,8 @@
 //! financial workloads: joins, aggregation, grouping, having, ordering,
 //! limits, `IN`/scalar subqueries, `BETWEEN`, `LIKE`, set operations.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod catalog;
 pub mod components;

@@ -33,8 +33,10 @@ pub fn query_to_sql(q: &SelectStmt) -> String {
         }
     }
     if let Some(limit) = &q.limit {
+        // INVARIANT: fmt::Write into a String is infallible.
         write!(out, " LIMIT {}", limit.count).unwrap();
         if limit.offset > 0 {
+            // INVARIANT: fmt::Write into a String is infallible.
             write!(out, " OFFSET {}", limit.offset).unwrap();
         }
     }
@@ -297,13 +299,16 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
 fn write_literal(out: &mut String, l: &Literal) {
     match l {
         Literal::Int(v) => {
+            // INVARIANT: fmt::Write into a String is infallible.
             write!(out, "{v}").unwrap();
         }
         Literal::Float(v) => {
             // Keep a decimal point so the literal re-lexes as a float.
             if v.fract() == 0.0 && v.is_finite() {
+                // INVARIANT: fmt::Write into a String is infallible.
                 write!(out, "{v:.1}").unwrap();
             } else {
+                // INVARIANT: fmt::Write into a String is infallible.
                 write!(out, "{v}").unwrap();
             }
         }

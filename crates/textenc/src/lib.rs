@@ -6,6 +6,8 @@
 //! feature vectors produced here. The cost module implements the paper's
 //! Table 2 price model for computing Cost-per-SQL of the GPT baselines.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod hashing;
 pub mod ngram;

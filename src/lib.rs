@@ -4,6 +4,8 @@
 //! (`tests/`) and runnable examples (`examples/`); the functionality
 //! lives in the member crates, re-exported here for convenience.
 
+#![forbid(unsafe_code)]
+
 pub use augment;
 pub use bull;
 pub use crossenc;
