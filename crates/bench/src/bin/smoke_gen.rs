@@ -1,0 +1,132 @@
+//! CI smoke run for pruned prototype retrieval: for a ~200-question
+//! slice of the three dev sets, generate SQL candidates with the full
+//! matrix sweep and with the inverted-index-pruned generator, and assert
+//! the candidate lists are byte-identical. Also asserts the certificate
+//! actually engages (some questions certified, i.e. pruning is not
+//! vacuously falling back to the full sweep everywhere) and that the
+//! pruned path stays inside a fixed overhead budget relative to the full
+//! sweep. At the current hub size (n ≈ 36 prototypes) the exact sweep is
+//! ~2 µs/q, so index probing cannot win outright — the budget assert is
+//! a regression tripwire that fires if the probe or certificate ever
+//! grows from "a few percent of generation" to "dominating it". Exits
+//! non-zero on any violation, so CI catches an index or bound that
+//! drifts from the exact argmax.
+
+use bench::{dataset, headline_profile, HarnessOpts};
+use bull::{DbId, Lang, Split};
+use finsql_core::pipeline::{FinSql, FinSqlConfig};
+use simllm::{GenConfig, SqlGenerator};
+use std::time::Instant;
+
+const PER_DB: usize = 67;
+
+fn main() {
+    let _opts = HarnessOpts::from_args();
+    let ds = dataset();
+    let system = FinSql::build(&ds, headline_profile(Lang::En), FinSqlConfig::standard(Lang::En));
+    let cfg = GenConfig {
+        n_samples: system.config.n_candidates,
+        temperature: system.config.temperature,
+        skeleton_temperature: None,
+    };
+
+    let mut total = 0usize;
+    let mut full_wall = std::time::Duration::ZERO;
+    let mut pruned_wall = std::time::Duration::ZERO;
+    for db in DbId::ALL {
+        let rt = system.runtime(db);
+        let qs: Vec<&str> = ds
+            .examples_for(db, Split::Dev)
+            .into_iter()
+            .take(PER_DB)
+            .map(|e| e.question(Lang::En))
+            .collect();
+        let linked = system.linker.link_batch(&qs, &rt.link_matrix);
+        let schemas: Vec<_> = linked
+            .iter()
+            .map(|l| l.project(&rt.schema, system.config.k_tables, system.config.k_columns))
+            .collect();
+        let full_gen =
+            SqlGenerator::with_matrix(&system.base, &rt.plugin, &rt.matrix, system.profile);
+        let pruned_gen =
+            SqlGenerator::with_matrix(&system.base, &rt.plugin, &rt.matrix, system.profile)
+                .with_index(&rt.proto_index);
+
+        // One untimed warm-up pass per path, then three timed trials,
+        // keeping the minimum wall per path — the budget assertion
+        // should compare steady-state work, not first-touch cache misses
+        // or a scheduler hiccup in one trial.
+        for (q, s) in qs.iter().zip(&schemas) {
+            let mut rng = system.question_rng(db, q);
+            let _ = full_gen.generate(q, s, &rt.values, cfg, &mut rng);
+            let mut rng = system.question_rng(db, q);
+            let _ = pruned_gen.generate(q, s, &rt.values, cfg, &mut rng);
+        }
+        let mut full: Vec<Vec<String>> = Vec::new();
+        let mut pruned: Vec<Vec<String>> = Vec::new();
+        let mut db_full = std::time::Duration::MAX;
+        let mut db_pruned = std::time::Duration::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            full = qs
+                .iter()
+                .zip(&schemas)
+                .map(|(q, s)| {
+                    let mut rng = system.question_rng(db, q);
+                    full_gen.generate(q, s, &rt.values, cfg, &mut rng)
+                })
+                .collect();
+            db_full = db_full.min(start.elapsed());
+            let start = Instant::now();
+            pruned = qs
+                .iter()
+                .zip(&schemas)
+                .map(|(q, s)| {
+                    let mut rng = system.question_rng(db, q);
+                    pruned_gen.generate(q, s, &rt.values, cfg, &mut rng)
+                })
+                .collect();
+            db_pruned = db_pruned.min(start.elapsed());
+        }
+        full_wall += db_full;
+        pruned_wall += db_pruned;
+
+        for ((q, f), p) in qs.iter().zip(&full).zip(&pruned) {
+            assert_eq!(f, p, "{db}: pruned generation diverged from the full sweep on {q:?}");
+        }
+        total += qs.len();
+        println!("{db}: {} questions byte-identical, pruned vs full sweep", qs.len());
+    }
+
+    let (certified, fallback): (u64, u64) = DbId::ALL
+        .into_iter()
+        .map(|db| system.runtime(db).proto_index.stats.snapshot())
+        .fold((0, 0), |(c, f), (dc, df)| (c + dc, f + df));
+    println!(
+        "pruning certificate over {total} questions x4 passes: {certified} certified, {fallback} fallbacks"
+    );
+    assert!(certified > 0, "the pruning certificate never engaged — the index is vacuous");
+    assert!(
+        certified * 5 >= (certified + fallback),
+        "certificate rate collapsed below 20% ({certified} of {}) — the bound went loose",
+        certified + fallback
+    );
+
+    let qps = |wall: std::time::Duration| total as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "generation full sweep: {:.0} q/s; pruned: {:.0} q/s",
+        qps(full_wall),
+        qps(pruned_wall)
+    );
+    // Overhead budget: index probe + certificate may cost at most 35% of
+    // the generation stage. Measured steady state is ~10 µs/q of probe
+    // overhead on a ~75 µs/q stage (ratio ≈ 1.15–1.25 after min-of-3);
+    // the assert fires when the pruned path regresses into real slowness
+    // (a quadratic probe, a thrashing certificate), while absorbing the
+    // noise floor of sub-100 µs/q wall timings.
+    assert!(
+        pruned_wall.as_secs_f64() <= full_wall.as_secs_f64() * 1.35,
+        "pruned generation ({pruned_wall:.2?}) blew its 35% overhead budget vs the full sweep ({full_wall:.2?})"
+    );
+    println!("smoke_gen: OK");
+}

@@ -119,7 +119,8 @@ impl FinSql {
             .collect();
         let mut rngs: Vec<StdRng> =
             questions.iter().map(|q| self.question_rng(db, q)).collect();
-        let generator = SqlGenerator::with_matrix(&self.base, &rt.plugin, &rt.matrix, self.profile);
+        let generator = SqlGenerator::with_matrix(&self.base, &rt.plugin, &rt.matrix, self.profile)
+            .with_index(&rt.proto_index);
         let gen_start = Instant::now();
         let sampled = generator.generate_batch(
             &items,
@@ -323,6 +324,11 @@ struct Request {
     db: DbId,
     question: String,
     slot: Arc<ResponseSlot>,
+    /// When the request entered the queue. The flush deadline of the
+    /// batch this request opens is anchored here, not at worker pop —
+    /// otherwise time spent waiting in the queue silently extends the
+    /// flush window.
+    enqueued: Instant,
 }
 
 /// The bounded MPMC queue the scheduler's workers drain.
@@ -413,6 +419,7 @@ impl BatchScheduler {
                 db,
                 question: question.to_string(),
                 slot: Arc::clone(&slot),
+                enqueued: Instant::now(),
             });
         }
         self.shared.queue.not_empty.notify_one();
@@ -471,8 +478,14 @@ fn worker_loop(shared: &Shared) {
                 state = shared.queue.not_empty.wait(state).expect("queue lock poisoned");
             }
         };
+        // The flush window is anchored to when the batch's first request
+        // was *enqueued*, not to when this worker got around to popping
+        // it: a request that already waited its window in the queue is
+        // flushed immediately instead of waiting a second full window,
+        // and every request is answered at most `flush` after arrival
+        // (plus compute) regardless of worker scheduling.
+        let deadline = first.enqueued + shared.config.flush;
         let mut batch = vec![first];
-        let deadline = Instant::now() + shared.config.flush;
         {
             // INVARIANT: a poisoned queue lock means a sibling panicked
             // holding it; the queue state is unrecoverable, so propagate.

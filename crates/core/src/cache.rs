@@ -142,10 +142,38 @@ struct Shard {
 }
 
 impl Shard {
-    /// Hands out the next recency stamp (monotonic per shard).
+    /// Hands out the next recency stamp (monotonic per shard). At the
+    /// top of the counter the shard renumbers itself instead of
+    /// overflowing: pre-fix, the increment panicked in debug builds and
+    /// wrapped in release — and a wrapped counter re-issues stamps that
+    /// still sit live in the queue, so stale records start passing the
+    /// liveness check and eviction order silently corrupts.
     fn stamp(&mut self) -> u64 {
+        if self.next_stamp == u64::MAX {
+            self.renumber();
+        }
         self.next_stamp += 1;
         self.next_stamp
+    }
+
+    /// Stamp renormalisation: drop stale queue records, then re-issue
+    /// stamps `1..=k` to the surviving records in queue order (which is
+    /// exactly chronological touch order, so relative recency — and
+    /// therefore LRU eviction order — is preserved bit for bit) and
+    /// restart the counter above them.
+    fn renumber(&mut self) {
+        self.compact();
+        let mut fresh = 0u64;
+        for (stamp, key) in self.order.iter_mut() {
+            fresh += 1;
+            // compact() kept only live records: each one's stamp equals
+            // its entry's, so entry and record move to `fresh` together.
+            if let Some(entry) = self.map.get_mut(key) {
+                entry.stamp = fresh;
+            }
+            *stamp = fresh;
+        }
+        self.next_stamp = fresh;
     }
 
     /// Marks `key` most-recently-used with a fresh stamp, compacting the
@@ -506,6 +534,55 @@ mod tests {
         let order_len = cache.shards[idx].lock().order.len();
         assert!(order_len <= 9, "{order_len} recency records for 1 entry");
         assert_eq!(cache.stats().hits, 10_000);
+    }
+
+    #[test]
+    fn stamp_overflow_renormalises_and_preserves_lru_order() {
+        let qs = same_shard_questions(3);
+        let cache = AnswerCache::with_capacity(2 * SHARDS);
+        cache.insert(DbId::Fund, &qs[0], fp(0), "a0".into());
+        cache.insert(DbId::Fund, &qs[1], fp(0), "a1".into());
+        // Pin the shard's counter one stamp below the top.
+        let idx = CacheKey::shard_index(DbId::Fund, &qs[0], fp(0), SHARDS);
+        cache.shards[idx].lock().next_stamp = u64::MAX - 1;
+        // Two hits across the boundary: the first takes stamp u64::MAX,
+        // the second forces renormalisation. Pre-fix, `next_stamp += 1`
+        // overflowed here — a panic in debug builds, and in release a
+        // wrap to stamp 1 colliding with the oldest live record.
+        assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
+        assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
+        // LRU order survived renormalisation: qs[1] is least recent.
+        let evicted = cache.insert(DbId::Fund, &qs[2], fp(0), "a2".into());
+        assert_eq!(evicted, 1);
+        assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some(), "hot entry survived");
+        assert!(cache.get(DbId::Fund, &qs[1], fp(0)).is_none(), "LRU entry evicted");
+        // And the counter restarted just above the live entries.
+        assert!(cache.shards[idx].lock().next_stamp < 100);
+    }
+
+    #[test]
+    fn interleaved_hits_pin_exact_eviction_order() {
+        // Shard capacity 3, five same-shard keys, hits interleaved with
+        // inserts: the eviction sequence is fully determined, so any
+        // change to the stamp/compaction machinery that reorders
+        // recency shows up as the wrong victim here.
+        let qs = same_shard_questions(5);
+        let cache = AnswerCache::with_capacity(3 * SHARDS);
+        cache.insert(DbId::Fund, &qs[0], fp(0), "a0".into());
+        cache.insert(DbId::Fund, &qs[1], fp(0), "a1".into());
+        cache.insert(DbId::Fund, &qs[2], fp(0), "a2".into());
+        // Refresh 0 then 2 → recency (LRU→MRU): 1, 0, 2.
+        assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
+        assert!(cache.get(DbId::Fund, &qs[2], fp(0)).is_some());
+        assert_eq!(cache.insert(DbId::Fund, &qs[3], fp(0), "a3".into()), 1, "evicts qs[1]");
+        // Recency now: 0, 2, 3. Refresh 0 → 2, 3, 0.
+        assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
+        assert_eq!(cache.insert(DbId::Fund, &qs[4], fp(0), "a4".into()), 1, "evicts qs[2]");
+        assert!(cache.get(DbId::Fund, &qs[1], fp(0)).is_none());
+        assert!(cache.get(DbId::Fund, &qs[2], fp(0)).is_none());
+        for live in [&qs[0], &qs[3], &qs[4]] {
+            assert!(cache.get(DbId::Fund, live, fp(0)).is_some(), "{live} must be resident");
+        }
     }
 
     #[test]

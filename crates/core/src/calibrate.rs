@@ -75,25 +75,59 @@ pub fn calibrate_with_stats(
 ) -> (Option<String>, CalibrationStats) {
     let mut stats = CalibrationStats { candidates: candidates.len(), ..Default::default() };
     // f1 + f2: repair and extract components, dropping candidates whose
-    // columns cannot be resolved against the schema.
+    // columns cannot be resolved against the schema. The per-candidate
+    // stage is a pure function of the candidate text, and sampled
+    // candidate lists repeat strings often (several samples of one
+    // prototype decode identically), so each distinct string is repaired,
+    // parsed and gated once and repeats replay the recorded outcome —
+    // entries (and therefore cluster votes) and stats are identical to
+    // processing every occurrence from scratch.
+    enum Outcome {
+        Failed,
+        Dropped { repairs: usize },
+        Kept { kept: Box<(sqlkit::ast::SelectStmt, SqlComponents)>, repairs: usize },
+    }
+    let mut seen: Vec<(&str, Outcome)> = Vec::new();
     let mut entries: Vec<(sqlkit::ast::SelectStmt, SqlComponents)> = Vec::new();
     for raw in candidates {
-        let text = if cfg.repair { normalize_text(raw) } else { raw.clone() };
-        let Ok(Statement::Select(mut q)) = parse_statement(&text) else {
-            stats.parse_failures += 1;
-            continue;
+        let idx = match seen.iter().position(|(r, _)| *r == raw.as_str()) {
+            Some(i) => i,
+            None => {
+                let text = if cfg.repair { normalize_text(raw) } else { raw.clone() };
+                let outcome = match parse_statement(&text) {
+                    Ok(Statement::Select(mut q)) => {
+                        let mut repairs = 0;
+                        if cfg.repair {
+                            repairs = repair_statement(&mut q, schema);
+                        }
+                        let comps = components_of_query(&q);
+                        // "if columns of e_i in S": candidates referencing
+                        // unresolvable columns are dropped (when repair
+                        // could not fix them).
+                        if cfg.repair && !columns_resolve(&q, schema) {
+                            Outcome::Dropped { repairs }
+                        } else {
+                            Outcome::Kept { kept: Box::new((q, comps)), repairs }
+                        }
+                    }
+                    _ => Outcome::Failed,
+                };
+                seen.push((raw, outcome));
+                seen.len() - 1
+            }
         };
-        if cfg.repair {
-            stats.repairs += repair_statement(&mut q, schema);
+        match &seen[idx].1 {
+            Outcome::Failed => stats.parse_failures += 1,
+            Outcome::Dropped { repairs } => {
+                stats.repairs += repairs;
+                stats.dropped_unresolved += 1;
+            }
+            Outcome::Kept { kept, repairs } => {
+                stats.repairs += repairs;
+                let (q, comps) = kept.as_ref();
+                entries.push((q.clone(), comps.clone()));
+            }
         }
-        let comps = components_of_query(&q);
-        // "if columns of e_i in S": candidates referencing unresolvable
-        // columns are dropped (when repair could not fix them).
-        if cfg.repair && !columns_resolve(&q, schema) {
-            stats.dropped_unresolved += 1;
-            continue;
-        }
-        entries.push((q, comps));
     }
     if entries.is_empty() {
         // Fall back to the first parseable candidate without the gate.

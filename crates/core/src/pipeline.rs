@@ -11,8 +11,8 @@ use crossenc::{CrossEncoder, InferenceMode, LinkExample, SchemaFeatureMatrix, Tr
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simllm::{
-    BaseModelProfile, EmbeddingModel, GenConfig, LoraPlugin, PluginHub, PrototypeMatrix,
-    SqlGenerator, TrainOpts, ValueIndex,
+    BaseModelProfile, EmbeddingModel, GenConfig, LoraPlugin, PluginHub, PrototypeIndex,
+    PrototypeMatrix, SqlGenerator, TrainOpts, ValueIndex,
 };
 use sqlkit::catalog::CatalogSchema;
 use std::sync::Arc;
@@ -76,6 +76,11 @@ pub struct DbRuntime {
     /// links all its questions in one [`CrossEncoder::link_batch`]
     /// sweep instead of re-hashing the schema per question.
     pub link_matrix: SchemaFeatureMatrix,
+    /// Inverted n-gram index over the plugin's prototypes (skeletons +
+    /// the train questions each prototype was distilled from): prunes
+    /// the retrieval sweep to a certified candidate set without ever
+    /// changing a ranking (see [`simllm::index`]).
+    pub proto_index: PrototypeIndex,
 }
 
 impl DbRuntime {
@@ -87,6 +92,7 @@ impl DbRuntime {
         plugin: Arc<LoraPlugin>,
     ) -> Self {
         let matrix = PrototypeMatrix::build(&plugin.prototypes);
+        let proto_index = PrototypeIndex::build(&index_docs(ds, db, lang, &plugin));
         let views = crossenc::model::SchemaViews::build(ds.db(db).catalog(), lang);
         let link_matrix = linker.schema_matrix(&views);
         DbRuntime {
@@ -97,8 +103,28 @@ impl DbRuntime {
             plugin,
             matrix,
             link_matrix,
+            proto_index,
         }
     }
+}
+
+/// One retrieval document per prototype: its skeleton plus the
+/// train-split questions whose gold SQL reduces to that skeleton — the
+/// same texts the prototype's centroid was averaged from.
+fn index_docs(ds: &BullDataset, db: DbId, lang: Lang, plugin: &LoraPlugin) -> Vec<Vec<String>> {
+    let mut docs: Vec<Vec<String>> =
+        plugin.prototypes.iter().map(|p| vec![p.skeleton.clone()]).collect();
+    for e in ds.examples_for(db, Split::Train) {
+        let Some(skeleton) = sqlkit::skeleton_of(&e.sql) else { continue };
+        // Prototypes are sorted by skeleton, so membership is a binary
+        // search rather than a scan.
+        if let Ok(j) =
+            plugin.prototypes.binary_search_by(|p| p.skeleton.as_str().cmp(skeleton.as_str()))
+        {
+            docs[j].push(e.question(lang).to_string());
+        }
+    }
+    docs
 }
 
 /// A fully-built FinSQL system for one register, covering all three
@@ -215,10 +241,14 @@ impl FinSql {
     }
 
     /// Replaces a database's plugin (used by the few-shot experiments)
-    /// and rebuilds its prototype scoring matrix to match.
+    /// and rebuilds its prototype scoring matrix and retrieval index to
+    /// match. The swapped-in index is skeleton-only (the training
+    /// questions behind an arbitrary plugin are not available here) —
+    /// weaker pruning recall, identical answers.
     pub fn set_plugin(&mut self, db: DbId, plugin: Arc<LoraPlugin>) {
         let r = &mut self.runtimes[db.index()];
         r.matrix = PrototypeMatrix::build(&plugin.prototypes);
+        r.proto_index = PrototypeIndex::from_prototypes(&plugin.prototypes);
         r.plugin = plugin;
     }
 
@@ -246,7 +276,8 @@ impl FinSql {
         // 2. Sample n candidates from the adapted model, scoring against
         // the runtime's prebuilt prototype matrix.
         let generator =
-            SqlGenerator::with_matrix(&self.base, &rt.plugin, &rt.matrix, self.profile);
+            SqlGenerator::with_matrix(&self.base, &rt.plugin, &rt.matrix, self.profile)
+                .with_index(&rt.proto_index);
         let gen_start = std::time::Instant::now();
         let (candidates, counters) = generator.generate_with_counters(
             question,

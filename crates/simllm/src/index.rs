@@ -1,0 +1,315 @@
+//! Inverted n-gram index over prototype retrieval texts.
+//!
+//! Retrieval in [`crate::SqlGenerator`] ranks a question embedding
+//! against every prototype centroid. This module prunes that sweep the
+//! way classic text engines prune scoring: each prototype is indexed by
+//! the interned word tokens and character trigrams of its retrieval
+//! texts (its skeleton plus the train-split questions that produced it),
+//! and a question accumulates document-frequency-weighted votes over the
+//! posting lists it touches. The best-voted prototypes become the
+//! *candidate set*; only they are scored exactly.
+//!
+//! Pruning is **never allowed to change an answer**: the candidate
+//! scores feed [`crate::PrototypeMatrix::ranked_pruned`], which returns
+//! the pruned top-2 only under an int8-quantisation certificate — a
+//! per-row upper bound `scale·(q·quant + ‖q‖₁/2)` on the exact dot —
+//! proving no unscored prototype could displace them. When the
+//! certificate fails — or when the question shares no signal with any
+//! posting list — the generator falls back to the full sweep, so the
+//! emitted SQL is bit-identical with and without the index.
+//!
+//! Determinism: term ids are interned in document order at build time,
+//! posting lists hold sorted prototype ids, and accumulation walks a
+//! dense per-prototype array — no hash-order iteration anywhere on the
+//! query path.
+
+use crate::hub::Prototype;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use textenc::tokenize;
+
+/// How many best-voted prototypes survive into the candidate set.
+pub const MAX_CANDIDATES: usize = 8;
+
+/// FNV-1a hasher for the intern map: term probes hash 3–10 byte keys,
+/// where FNV beats the default SipHash severalfold. The map it backs is
+/// lookup-only on the query path, so hash order never reaches an answer.
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type BuildFnv = BuildHasherDefault<FnvHasher>;
+
+/// Counters for how often pruning actually certified vs fell back to the
+/// full sweep (interior-mutable so a shared `&PrototypeIndex` can record
+/// from concurrent batch workers).
+#[derive(Debug, Default)]
+pub struct PruneStats {
+    certified: AtomicU64,
+    fallback: AtomicU64,
+}
+
+impl PruneStats {
+    pub fn record_certified(&self) {
+        self.certified.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_fallback(&self) {
+        self.fallback.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(certified, fallback)` totals since construction.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.certified.load(Ordering::Relaxed), self.fallback.load(Ordering::Relaxed))
+    }
+}
+
+/// Inverted index: interned term → sorted posting list of prototype ids.
+#[derive(Debug, Default)]
+pub struct PrototypeIndex {
+    /// Term text → interned id. Interning order is document order
+    /// (prototype 0's terms first), so ids are build-deterministic. The
+    /// map is only ever *probed* — never iterated.
+    term_ids: HashMap<String, u32, BuildFnv>,
+    /// `postings[t]` = prototype ids containing term `t`, sorted
+    /// ascending (append order during the in-order build pass).
+    postings: Vec<Vec<u32>>,
+    /// Per-term vote weight `1 / document-frequency`: a term shared by
+    /// every prototype (e.g. `select`) contributes little; a rare
+    /// literal's trigram is nearly decisive.
+    weights: Vec<f32>,
+    n_prototypes: usize,
+    /// Certified/fallback counters for benchmarking.
+    pub stats: PruneStats,
+}
+
+/// Appends the interned terms of one text: word tokens plus the
+/// character trigrams of each token of length ≥ 3.
+fn terms_of_text(text: &str, out: &mut Vec<String>) {
+    for tok in tokenize(text) {
+        let chars: Vec<char> = tok.chars().collect();
+        if chars.len() >= 3 {
+            for w in chars.windows(3) {
+                out.push(w.iter().collect());
+            }
+        }
+        out.push(tok);
+    }
+}
+
+impl PrototypeIndex {
+    /// Builds the index from one document per prototype: `docs[j]` holds
+    /// the retrieval texts of prototype `j` (its skeleton plus the
+    /// questions of the train examples it was distilled from).
+    pub fn build(docs: &[Vec<String>]) -> Self {
+        let mut index = PrototypeIndex {
+            term_ids: HashMap::default(),
+            postings: Vec::new(),
+            weights: Vec::new(),
+            n_prototypes: docs.len(),
+            stats: PruneStats::default(),
+        };
+        let mut terms = Vec::new();
+        for (j, doc) in docs.iter().enumerate() {
+            terms.clear();
+            for text in doc {
+                terms_of_text(text, &mut terms);
+            }
+            terms.sort();
+            terms.dedup();
+            for term in &terms {
+                let next = index.postings.len() as u32;
+                let id = *index.term_ids.entry(term.clone()).or_insert(next);
+                if id == next {
+                    index.postings.push(Vec::new());
+                }
+                // One doc pass per prototype in ascending j ⇒ appends
+                // keep every posting list sorted.
+                index.postings[id as usize].push(j as u32);
+            }
+        }
+        index.weights = index
+            .postings
+            .iter() // finlint: ordered — dense Vec in interned-id order; per-list weights ignore walk order
+            .map(|p| 1.0 / p.len().max(1) as f32)
+            .collect();
+        index
+    }
+
+    /// Skeleton-only fallback build, for callers that no longer have the
+    /// training examples (e.g. hot plugin swaps): weaker recall per
+    /// posting list, same exactness guarantee.
+    pub fn from_prototypes(prototypes: &[Prototype]) -> Self {
+        let docs: Vec<Vec<String>> =
+            prototypes.iter().map(|p| vec![p.skeleton.clone()]).collect();
+        Self::build(&docs)
+    }
+
+    /// Number of indexed prototypes.
+    pub fn len(&self) -> usize {
+        self.n_prototypes
+    }
+
+    /// True when the index covers no prototypes.
+    pub fn is_empty(&self) -> bool {
+        self.n_prototypes == 0
+    }
+
+    /// Interned term ids of a query text, sorted ascending and
+    /// deduplicated — a canonical signature usable as a memoisation key
+    /// for [`PrototypeIndex::candidates`].
+    ///
+    /// The query path probes the intern map with borrowed byte slices of
+    /// each token (trigrams via char-boundary offsets) instead of
+    /// materialising one `String` per trigram like the build pass does —
+    /// same term set, none of the ~60 allocations per question.
+    pub fn terms(&self, text: &str) -> Vec<u32> {
+        let mut ids: Vec<u32> = Vec::new();
+        let mut bounds: Vec<usize> = Vec::new();
+        for tok in tokenize(text) {
+            bounds.clear();
+            bounds.extend(tok.char_indices().map(|(i, _)| i));
+            bounds.push(tok.len());
+            let nch = bounds.len() - 1;
+            if nch >= 3 {
+                for w in 0..nch - 2 {
+                    if let Some(&id) = self.term_ids.get(&tok[bounds[w]..bounds[w + 3]]) {
+                        ids.push(id);
+                    }
+                }
+            }
+            if let Some(&id) = self.term_ids.get(tok.as_str()) {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The candidate prototypes for a term signature: accumulate each
+    /// term's `1/df` weight over its posting list, keep the
+    /// [`MAX_CANDIDATES`] best-voted ids (weight desc, id asc), and
+    /// return them sorted ascending. Empty when no term matched any
+    /// posting list — callers must treat that as "run the full sweep",
+    /// never as "prototype 0 wins".
+    pub fn candidates(&self, terms: &[u32]) -> Vec<usize> {
+        if self.n_prototypes == 0 || terms.is_empty() {
+            return Vec::new();
+        }
+        let mut votes = vec![0.0f32; self.n_prototypes];
+        let mut touched = false;
+        // Terms arrive sorted; each posting list is sorted — the whole
+        // accumulation order is fixed by interned ids, not hash order.
+        for &t in terms {
+            let Some(list) = self.postings.get(t as usize) else { continue };
+            let w = self.weights[t as usize];
+            for &j in list {
+                votes[j as usize] += w;
+                touched = true;
+            }
+        }
+        if !touched {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..self.n_prototypes).collect();
+        order.sort_by(|&a, &b| votes[b].total_cmp(&votes[a]).then(a.cmp(&b)));
+        order.truncate(MAX_CANDIDATES);
+        order.retain(|&j| votes[j] > 0.0);
+        order.sort_unstable();
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<String>> {
+        vec![
+            vec![
+                "SELECT COUNT(*) FROM _ WHERE _ = _".into(),
+                "how many funds have redemption status open".into(),
+            ],
+            vec![
+                "SELECT AVG(_) FROM _".into(),
+                "what is the average return rate".into(),
+            ],
+            vec![
+                "SELECT _ FROM _ ORDER BY _ DESC LIMIT _".into(),
+                "top five funds by net asset value".into(),
+            ],
+        ]
+    }
+
+    #[test]
+    fn candidates_favor_shared_rare_terms() {
+        let index = PrototypeIndex::build(&docs());
+        let terms = index.terms("average return rate of bond funds");
+        let cands = index.candidates(&terms);
+        assert!(cands.contains(&1), "prototype 1 shares 'average return rate': {cands:?}");
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_bounded() {
+        let index = PrototypeIndex::build(&docs());
+        let terms = index.terms("how many funds have average net asset value");
+        let cands = index.candidates(&terms);
+        assert!(cands.len() <= MAX_CANDIDATES);
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "ascending unique: {cands:?}");
+    }
+
+    #[test]
+    fn unmatched_question_yields_empty_candidates() {
+        let index = PrototypeIndex::build(&docs());
+        let terms = index.terms("xq zk vw");
+        assert!(terms.is_empty() || index.candidates(&terms).is_empty());
+    }
+
+    #[test]
+    fn posting_lists_stay_sorted() {
+        let index = PrototypeIndex::build(&docs());
+        for list in &index.postings {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "sorted unique postings");
+        }
+    }
+
+    #[test]
+    fn term_ids_are_interned_in_document_order() {
+        let a = PrototypeIndex::build(&docs());
+        let b = PrototypeIndex::build(&docs());
+        assert_eq!(a.term_ids, b.term_ids, "build must be deterministic");
+        assert_eq!(a.postings, b.postings);
+    }
+
+    #[test]
+    fn skeleton_only_build_still_indexes() {
+        use crate::hub::Prototype;
+        use crate::shape::ShapeKind;
+        let protos = vec![Prototype {
+            skeleton: "SELECT COUNT(*) FROM _ WHERE _ = _".into(),
+            shape: ShapeKind::CountFilter,
+            centroid: vec![0.0; crate::embed::EMBED_DIM],
+            count: 1.0,
+        }];
+        let index = PrototypeIndex::from_prototypes(&protos);
+        assert_eq!(index.len(), 1);
+        let terms = index.terms("select count from x");
+        assert!(!index.candidates(&terms).is_empty());
+    }
+}

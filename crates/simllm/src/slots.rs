@@ -16,7 +16,57 @@ use crate::values::{extract_dates, extract_number_spans, ValueHit, ValueIndex};
 use rand::rngs::StdRng;
 use rand::Rng;
 use sqlkit::catalog::{CatalogSchema, ColType};
+use std::cell::{OnceCell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
 use textenc::{tokenize, tokenize_identifier};
+
+/// Tokenised form of one description string, plus the joined phrase
+/// [`SlotFiller::desc_score`] probes for verbatim occurrence.
+struct DescTokens {
+    tokens: Vec<String>,
+    phrase: String,
+}
+
+thread_local! {
+    /// Per-thread memo of tokenised schema descriptions. Tokenisation is
+    /// a pure function of the text and the same few hundred catalog
+    /// descriptions are re-scored for every question, so the memo trades
+    /// a map lookup for re-tokenising (and re-joining) each one. Lookup
+    /// only — the map is never iterated, so hash order cannot leak.
+    static DESC_TOKENS: RefCell<HashMap<String, Rc<DescTokens>>> =
+        RefCell::new(HashMap::new());
+    /// Same memo for identifier splitting of table/column names.
+    static IDENT_TOKENS: RefCell<HashMap<String, Rc<Vec<String>>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Memoised [`tokenize`] + phrase join of a description string.
+fn desc_tokens(desc: &str) -> Rc<DescTokens> {
+    DESC_TOKENS.with(|cache| {
+        if let Some(hit) = cache.borrow().get(desc) {
+            return Rc::clone(hit);
+        }
+        let tokens = tokenize(desc);
+        let phrase =
+            tokens.join(if desc.chars().any(|c| c as u32 >= 0x4E00) { "" } else { " " });
+        let entry = Rc::new(DescTokens { tokens, phrase });
+        cache.borrow_mut().insert(desc.to_string(), Rc::clone(&entry));
+        entry
+    })
+}
+
+/// Memoised [`tokenize_identifier`].
+fn ident_tokens(ident: &str) -> Rc<Vec<String>> {
+    IDENT_TOKENS.with(|cache| {
+        if let Some(hit) = cache.borrow().get(ident) {
+            return Rc::clone(hit);
+        }
+        let entry = Rc::new(tokenize_identifier(ident));
+        cache.borrow_mut().insert(ident.to_string(), Rc::clone(&entry));
+        entry
+    })
+}
 
 /// Knobs controlled by the base-model profile and training state.
 #[derive(Debug, Clone, Copy)]
@@ -54,24 +104,63 @@ pub struct SlotFiller<'a> {
     schema: &'a CatalogSchema,
     values: &'a ValueIndex,
     question: &'a str,
-    qtokens: Vec<String>,
+    /// The question's word tokens, sorted — membership probes in
+    /// [`SlotFiller::overlap`] binary-search here instead of scanning.
+    qsorted: Vec<String>,
+    /// Lowercased question, computed once — every lexical probe needs it.
+    qlower: String,
+    /// Bitset of every 2-byte window of `qlower` — a certain-reject
+    /// prefilter for substring probes (a phrase whose byte pairs don't
+    /// all occur in the question cannot occur verbatim).
+    qpairs: Vec<u64>,
     /// Per-table affinity of the table's own description to the question
     /// (cached — it feeds every column score).
     table_affinity: Vec<f32>,
+    /// Per-(table, column) affinity, precomputed — `fill` revisits the
+    /// same columns across shapes, samples, and candidate rankings.
+    col_aff: Vec<Vec<(f32, usize)>>,
+    /// Value-index hits for this question, resolved on first use and
+    /// shared across samples (the scan over all entries is the single
+    /// most expensive lexical probe).
+    value_hits: OnceCell<Vec<ValueHit>>,
 }
 
 impl<'a> SlotFiller<'a> {
     /// Builds a filler; tokenisation happens once.
     pub fn new(schema: &'a CatalogSchema, values: &'a ValueIndex, question: &'a str) -> Self {
-        let qtokens = tokenize(question);
-        let mut filler = SlotFiller { schema, values, question, qtokens, table_affinity: vec![] };
+        let mut qsorted = tokenize(question);
+        qsorted.sort_unstable();
+        let qlower = question.to_lowercase();
+        let mut qpairs = vec![0u64; 1024];
+        for w in qlower.as_bytes().windows(2) {
+            let p = usize::from(w[0]) << 8 | usize::from(w[1]);
+            qpairs[p >> 6] |= 1u64 << (p & 63);
+        }
+        let mut filler = SlotFiller {
+            schema,
+            values,
+            question,
+            qsorted,
+            qlower,
+            qpairs,
+            table_affinity: vec![],
+            col_aff: vec![],
+            value_hits: OnceCell::new(),
+        };
         filler.table_affinity = (0..schema.tables.len())
             .map(|ti| {
                 let t = &schema.tables[ti];
-                let (s_en, _) = filler.overlap(&tokenize(&t.desc_en));
-                let (s_cn, _) = filler.overlap(&tokenize(&t.desc_cn));
-                let (s_id, _) = filler.overlap(&tokenize_identifier(&t.name));
+                let (s_en, _) = filler.overlap(&desc_tokens(&t.desc_en).tokens);
+                let (s_cn, _) = filler.overlap(&desc_tokens(&t.desc_cn).tokens);
+                let (s_id, _) = filler.overlap(&ident_tokens(&t.name));
                 s_en.max(s_cn) + 0.3 * s_id
+            })
+            .collect();
+        filler.col_aff = (0..schema.tables.len())
+            .map(|ti| {
+                (0..schema.tables[ti].columns.len())
+                    .map(|ci| filler.compute_col_affinity(ti, ci))
+                    .collect()
             })
             .collect();
         filler
@@ -432,10 +521,9 @@ impl<'a> SlotFiller<'a> {
 
     fn like_match(&self, opts: &FillOptions, rng: &mut StdRng) -> Option<String> {
         // Candidate: a value's leading word that occurs in the question.
-        let qlower = self.question.to_lowercase();
         let mut cands: Vec<(ColCand, String)> = Vec::new();
         let mut seen = std::collections::HashSet::new();
-        for hit in self.prefix_hits(&qlower) {
+        for hit in self.prefix_hits(&self.qlower) {
             let Some(ti) = self.schema.table_index(&hit.0) else { continue };
             let Some(ci) = self.schema.tables[ti].column_index(&hit.1) else { continue };
             if !seen.insert((ti, ci, hit.2.clone())) {
@@ -534,10 +622,16 @@ impl<'a> SlotFiller<'a> {
     /// first matching token in the question (drives cue-relative slot
     /// selection).
     fn col_affinity(&self, ti: usize, ci: usize) -> (f32, usize) {
+        self.col_aff[ti][ci]
+    }
+
+    /// The actual affinity computation behind [`Self::col_affinity`]'s
+    /// precomputed table.
+    fn compute_col_affinity(&self, ti: usize, ci: usize) -> (f32, usize) {
         let col = &self.schema.tables[ti].columns[ci];
         let (s_en, p_en) = self.desc_score(&col.desc_en);
         let (s_cn, p_cn) = self.desc_score(&col.desc_cn);
-        let (s_id, p_id) = self.overlap(&tokenize_identifier(&col.name));
+        let (s_id, p_id) = self.overlap(&ident_tokens(&col.name));
         let (mut score, mut pos) = if s_en >= s_cn { (s_en, p_en) } else { (s_cn, p_cn) };
         score += 0.3 * s_id;
         // The enclosing table's description disambiguates identically
@@ -553,15 +647,17 @@ impl<'a> SlotFiller<'a> {
     /// (single shared words like "amount" would otherwise report wildly
     /// wrong positions), else the earliest matched token.
     fn desc_score(&self, desc: &str) -> (f32, usize) {
-        let tokens = tokenize(desc);
-        if tokens.is_empty() {
+        let dt = desc_tokens(desc);
+        if dt.tokens.is_empty() {
             return (0.0, usize::MAX);
         }
-        let (frac, mut pos) = self.overlap(&tokens);
-        let hits = (frac * tokens.len() as f32).round();
-        let qlower = self.question.to_lowercase();
-        let phrase = tokens.join(if desc.chars().any(|c| c as u32 >= 0x4E00) { "" } else { " " });
-        let phrase_at = if phrase.is_empty() { None } else { qlower.find(&phrase) };
+        let (frac, mut pos) = self.overlap(&dt.tokens);
+        let hits = (frac * dt.tokens.len() as f32).round();
+        let phrase_at = if dt.phrase.is_empty() || !self.may_occur(&dt.phrase) {
+            None
+        } else {
+            self.qlower.find(&dt.phrase)
+        };
         if let Some(p) = phrase_at {
             pos = p;
         }
@@ -572,13 +668,12 @@ impl<'a> SlotFiller<'a> {
         if desc_tokens.is_empty() {
             return (0.0, usize::MAX);
         }
-        let qlower = self.question.to_lowercase();
         let mut hits = 0usize;
         let mut first = usize::MAX;
         for t in desc_tokens {
-            if self.qtokens.iter().any(|q| q == t) {
+            if self.qsorted.binary_search(t).is_ok() {
                 hits += 1;
-                if let Some(b) = qlower.find(t.as_str()) {
+                if let Some(b) = self.qlower.find(t.as_str()) {
                     first = first.min(b);
                 }
             }
@@ -588,8 +683,18 @@ impl<'a> SlotFiller<'a> {
 
     /// Byte position of the earliest cue word in the question, if any.
     fn cue_pos(&self, cues: &[&str]) -> Option<usize> {
-        let q = self.question.to_lowercase();
-        cues.iter().filter_map(|c| q.find(c)).min()
+        cues.iter().filter(|c| self.may_occur(c)).filter_map(|c| self.qlower.find(c)).min()
+    }
+
+    /// Certain-reject window test: false means `needle` cannot occur in
+    /// the question (some 2-byte window of it never appears), so a
+    /// substring search is pointless. True says nothing — the caller
+    /// still runs the exact search.
+    fn may_occur(&self, needle: &str) -> bool {
+        needle.as_bytes().windows(2).all(|w| {
+            let p = usize::from(w[0]) << 8 | usize::from(w[1]);
+            self.qpairs[p >> 6] & (1u64 << (p & 63)) != 0
+        })
     }
 
     /// Chooses the measure column relative to a direction/aggregation cue:
@@ -728,10 +833,9 @@ impl<'a> SlotFiller<'a> {
     /// several columns — e.g. a city name — and the question names the
     /// right one), then by value length.
     fn pick_hit(&self, opts: &FillOptions, rng: &mut StdRng) -> Option<ValueHit> {
-        let mut hits: Vec<(f32, usize, ValueHit)> = self
-            .values
-            .find_in_question(self.question)
-            .into_iter()
+        let all = self.value_hits.get_or_init(|| self.values.find_in_question(self.question));
+        let mut hits: Vec<(f32, usize, &ValueHit)> = all
+            .iter()
             .filter_map(|h| {
                 let ti = self.schema.table_index(&h.table)?;
                 let ci = self.schema.tables[ti].column_index(&h.column)?;
@@ -745,20 +849,13 @@ impl<'a> SlotFiller<'a> {
                 .then(a.2.table.cmp(&b.2.table))
                 .then(a.2.column.cmp(&b.2.column))
         });
-        let ranked: Vec<ValueHit> = hits.into_iter().map(|(_, _, h)| h).collect();
-        choose(&ranked, opts.slot_skill, rng).cloned()
+        let ranked: Vec<&ValueHit> = hits.into_iter().map(|(_, _, h)| h).collect();
+        choose(&ranked, opts.slot_skill, rng).map(|h| (*h).clone())
     }
 
     /// `(table, column, first word)` candidates for LIKE matching.
     fn prefix_hits(&self, qlower: &str) -> Vec<(String, String, String)> {
-        let mut out = Vec::new();
-        for hit in self.values.all_entries() {
-            let Some(word) = hit.2.split_whitespace().next() else { continue };
-            if word.len() >= 3 && qlower.contains(&word.to_lowercase()) {
-                out.push((hit.0.clone(), hit.1.clone(), word.to_string()));
-            }
-        }
-        out
+        self.values.prefix_hits(qlower)
     }
 
     fn pick_join_partner(
@@ -851,9 +948,8 @@ impl<'a> SlotFiller<'a> {
             ("total", AggKind::Sum),
             ("总", AggKind::Sum),
         ];
-        let q = self.question.to_lowercase();
         CUES.iter()
-            .filter_map(|(cue, agg)| q.find(cue).map(|i| (i, *agg)))
+            .filter_map(|(cue, agg)| self.qlower.find(cue).map(|i| (i, *agg)))
             .min_by_key(|(i, _)| *i)
             .map(|(_, agg)| agg)
     }

@@ -30,6 +30,26 @@ pub struct ValueIndex {
     /// `(lower-cased value, table, column, original value)`, sorted by
     /// descending value length so maximal matches come first.
     entries: Vec<(String, String, String, String)>,
+    /// CSR buckets over the leading byte pair of each lowercase value:
+    /// `bucket_entries[bucket_offsets[p]..bucket_offsets[p + 1]]` lists
+    /// (ascending) the indices of every entry whose value starts with the
+    /// two bytes `p`. A value can only occur inside a question whose text
+    /// contains that pair, so a lookup visits a handful of buckets
+    /// instead of streaming every entry.
+    bucket_offsets: Vec<u32>,
+    bucket_entries: Vec<u32>,
+    /// Per-entry `(lowercased leading word, original-cased leading word)`
+    /// of the original value — `None` when the value has no word of at
+    /// least 3 bytes. Precomputed so LIKE-prefix probes don't re-split
+    /// and re-lowercase every value on every question.
+    first_words: Vec<Option<(String, String)>>,
+}
+
+/// Number of distinct 2-byte windows (the CSR bucket key space).
+const N_PAIRS: usize = 1 << 16;
+
+fn pair_of(b0: u8, b1: u8) -> usize {
+    usize::from(b0) << 8 | usize::from(b1)
 }
 
 impl ValueIndex {
@@ -81,7 +101,38 @@ impl ValueIndex {
                 .then_with(|| a.2.cmp(&b.2))
                 .then_with(|| a.3.cmp(&b.3))
         });
-        ValueIndex { entries }
+        // CSR buckets keyed by each entry's leading byte pair (every
+        // value has >= MIN_LEN chars, so >= 2 bytes). Entries are visited
+        // in ascending index order, so every bucket lists its indices
+        // ascending by construction.
+        let mut bucket_offsets = vec![0u32; N_PAIRS + 1];
+        for (lower, ..) in &entries {
+            let b = lower.as_bytes();
+            bucket_offsets[pair_of(b[0], b[1]) + 1] += 1;
+        }
+        for p in 0..N_PAIRS {
+            bucket_offsets[p + 1] += bucket_offsets[p];
+        }
+        let mut bucket_entries = vec![0u32; entries.len()];
+        let mut cursor = bucket_offsets.clone();
+        for (i, (lower, ..)) in entries.iter().enumerate() {
+            let b = lower.as_bytes();
+            let p = pair_of(b[0], b[1]);
+            bucket_entries[cursor[p] as usize] = i as u32;
+            cursor[p] += 1;
+        }
+        let first_words = entries
+            .iter()
+            .map(|(_, _, _, original)| {
+                let word = original.split_whitespace().next()?;
+                if word.len() >= 3 {
+                    Some((word.to_lowercase(), word.to_string()))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        ValueIndex { entries, bucket_offsets, bucket_entries, first_words }
     }
 
     /// Number of indexed values.
@@ -104,8 +155,50 @@ impl ValueIndex {
     /// the question, longest first.
     pub fn find_in_question(&self, question: &str) -> Vec<ValueHit> {
         let q = question.to_lowercase();
+        let qb = q.as_bytes();
         let mut hits = Vec::new();
-        for (lower, table, column, original) in &self.entries {
+        if qb.len() < 2 {
+            // No two-byte window exists, and every entry is at least
+            // MIN_LEN (3) chars — nothing can match.
+            return hits;
+        }
+        // Bitset of every 2-byte window of the question — the membership
+        // oracle for both prefilters below.
+        let mut pairs = [0u64; 1024];
+        for w in qb.windows(2) {
+            let p = pair_of(w[0], w[1]);
+            pairs[p >> 6] |= 1u64 << (p & 63);
+        }
+        // Candidate gathering: walk the question's (distinct) pairs and
+        // collect the CSR bucket of each — exactly the entries whose
+        // leading pair occurs in the question, i.e. the set the old full
+        // scan's leading-pair prefilter kept. Each entry lives in one
+        // bucket, so indices are unique; sorting restores the original
+        // scan order (entries are length-descending by index).
+        let mut todo = pairs;
+        let mut cand: Vec<u32> = Vec::new();
+        for w in qb.windows(2) {
+            let p = pair_of(w[0], w[1]);
+            if todo[p >> 6] & (1u64 << (p & 63)) != 0 {
+                todo[p >> 6] &= !(1u64 << (p & 63));
+                let (lo, hi) =
+                    (self.bucket_offsets[p] as usize, self.bucket_offsets[p + 1] as usize);
+                cand.extend_from_slice(&self.bucket_entries[lo..hi]);
+            }
+        }
+        cand.sort_unstable();
+        'cand: for idx in cand {
+            let (lower, table, column, original) = &self.entries[idx as usize];
+            // Every 2-byte window of the value must occur in the question
+            // for the value to be a substring — a cheap certain-reject
+            // pass before the verbatim check. Pure prefilter: the hits
+            // and their order are exactly the full scan's.
+            for w in lower.as_bytes().windows(2) {
+                let p = pair_of(w[0], w[1]);
+                if pairs[p >> 6] & (1u64 << (p & 63)) == 0 {
+                    continue 'cand;
+                }
+            }
             if q.contains(lower.as_str()) {
                 hits.push(ValueHit {
                     table: table.clone(),
@@ -115,6 +208,38 @@ impl ValueIndex {
             }
         }
         hits
+    }
+
+    /// `(table, column, original-cased leading word)` for every value
+    /// whose leading word (>= 3 bytes) occurs case-insensitively in the
+    /// already-lowercased question text, in entry order — the candidate
+    /// set for LIKE-prefix matching.
+    pub fn prefix_hits(&self, qlower: &str) -> Vec<(String, String, String)> {
+        let qb = qlower.as_bytes();
+        let mut out = Vec::new();
+        if qb.len() < 2 {
+            return out;
+        }
+        let mut pairs = [0u64; 1024];
+        for w in qb.windows(2) {
+            let p = pair_of(w[0], w[1]);
+            pairs[p >> 6] |= 1u64 << (p & 63);
+        }
+        'entry: for (entry, word) in self.entries.iter().zip(&self.first_words) {
+            let Some((lower_word, orig_word)) = word else { continue };
+            // Same certain-reject window filter as `find_in_question`,
+            // over the word instead of the whole value.
+            for w in lower_word.as_bytes().windows(2) {
+                let p = pair_of(w[0], w[1]);
+                if pairs[p >> 6] & (1u64 << (p & 63)) == 0 {
+                    continue 'entry;
+                }
+            }
+            if qlower.contains(lower_word.as_str()) {
+                out.push((entry.1.clone(), entry.2.clone(), orig_word.clone()));
+            }
+        }
+        out
     }
 }
 
