@@ -145,6 +145,66 @@ pub fn try_populate(db_id: DbId, seed: u64) -> Result<GeneratedDb, String> {
     Ok(GeneratedDb { db, pools })
 }
 
+/// Mints a deterministic batch of synthetic live ticks for one database:
+/// new rows for every *leaf* fact table (a table no foreign key points
+/// at), generated from the same per-column value profiles and key pools
+/// as base population, so they always pass `Database::apply_changes`
+/// validation (types and foreign keys alike).
+///
+/// Row indices continue from each table's current length, so primary
+/// keys and security codes stay unique across successive mints as the
+/// database grows. Deterministic in `(db_id, seed, current lengths)`.
+pub fn mint_ticks(
+    db_id: DbId,
+    gdb: &GeneratedDb,
+    seed: u64,
+    rows_per_table: usize,
+) -> Vec<(String, Vec<Vec<Value>>)> {
+    let schema = gdb.db.catalog().clone();
+    let mut rng = StdRng::seed_from_u64(seed ^ (db_id as u64).wrapping_mul(0xA11C_E5ED));
+    let mut changes = Vec::new();
+    for table in &schema.tables {
+        let is_fk_target = schema.foreign_keys.iter().any(|fk| fk.to_table == table.name);
+        if is_fk_target {
+            continue;
+        }
+        // INVARIANT: every catalog table exists in its own database.
+        let start = gdb.db.table(&table.name).expect("catalog table present").len();
+        // Continue entity-name counters from the current length so new
+        // display names extend the base sequence instead of repeating it.
+        let mut name_counters: HashMap<&str, usize> = HashMap::new();
+        for col in &table.columns {
+            if let Profile::EntityName(kind) = profile_of(db_id, &table.name, col, &schema) {
+                name_counters.insert(name_kind_key(kind), start);
+            }
+        }
+        let mut rows = Vec::with_capacity(rows_per_table);
+        for k in 0..rows_per_table {
+            let row_i = start + k;
+            let mut row = Vec::with_capacity(table.columns.len());
+            for col in &table.columns {
+                let p = profile_of(db_id, &table.name, col, &schema);
+                row.push(gen_value(
+                    &mut rng,
+                    db_id,
+                    &table.name,
+                    &col.name,
+                    p,
+                    row_i,
+                    &schema,
+                    &gdb.pools,
+                    &mut name_counters,
+                ));
+            }
+            rows.push(row);
+        }
+        if !rows.is_empty() {
+            changes.push((table.name.clone(), rows));
+        }
+    }
+    changes
+}
+
 /// Kahn's-algorithm ordering of tables so FK targets precede sources.
 /// Errs on foreign keys that reference unknown tables and on FK cycles.
 fn topo_order(schema: &CatalogSchema) -> Result<Vec<usize>, String> {
@@ -462,6 +522,40 @@ mod tests {
         for t in a.db.catalog().tables.iter() {
             assert_eq!(a.db.table(&t.name).unwrap().rows, b.db.table(&t.name).unwrap().rows);
         }
+    }
+
+    #[test]
+    fn minted_ticks_pass_live_validation_on_every_db() {
+        for db_id in DbId::ALL {
+            let mut g = populate(db_id, 7);
+            let ticks = mint_ticks(db_id, &g, 0x71C5, 4);
+            assert!(!ticks.is_empty(), "{db_id}: no leaf fact tables minted");
+            let before = g.db.total_rows();
+            let n_changes = ticks.len();
+            let n_rows: usize = ticks.iter().map(|(_, r)| r.len()).sum();
+            let epoch = g.db.apply_changes(ticks).unwrap();
+            assert_eq!(epoch.0 as usize, n_changes);
+            assert_eq!(g.db.total_rows(), before + n_rows);
+        }
+    }
+
+    #[test]
+    fn minting_is_deterministic_and_extends_key_sequences() {
+        let g = populate(DbId::Fund, 7);
+        let a = mint_ticks(DbId::Fund, &g, 3, 2);
+        let b = mint_ticks(DbId::Fund, &g, 3, 2);
+        assert_eq!(a, b, "same seed and state must mint identical ticks");
+        let c = mint_ticks(DbId::Fund, &g, 4, 2);
+        assert_ne!(a, c, "different seeds must mint different ticks");
+
+        // After applying, a second mint continues row indices: primary
+        // keys never collide with existing ones.
+        let mut g2 = populate(DbId::Fund, 7);
+        g2.db.apply_changes(mint_ticks(DbId::Fund, &g2, 3, 2)).unwrap();
+        let again = mint_ticks(DbId::Fund, &g2, 3, 2);
+        g2.db.apply_changes(again).unwrap();
+        let t = g2.db.table("mf_fundnav").unwrap();
+        assert_eq!(t.len(), FACT_ROWS + 4);
     }
 
     #[test]

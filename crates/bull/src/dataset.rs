@@ -1,6 +1,6 @@
 //! Dataset assembly: examples, splits, and the top-level [`BullDataset`].
 
-use crate::datagen::{populate, GeneratedDb};
+use crate::datagen::{mint_ticks, populate, GeneratedDb};
 use crate::schema::DbId;
 use crate::templates::{TemplateCtx, ARCHETYPES, PHRASINGS};
 use rand::rngs::StdRng;
@@ -151,6 +151,28 @@ impl BullDataset {
             DbId::Stock => &self.stock,
             DbId::Macro => &self.macro_econ,
         }
+    }
+
+    /// Mutable access to one database — the entry point for the live
+    /// append path (`Database::append_rows` / `apply_changes`).
+    pub fn db_mut(&mut self, id: DbId) -> &mut Database {
+        match id {
+            DbId::Fund => &mut self.fund.db,
+            DbId::Stock => &mut self.stock.db,
+            DbId::Macro => &mut self.macro_econ.db,
+        }
+    }
+
+    /// Mints a deterministic batch of live tick rows for one database
+    /// (see [`crate::datagen::mint_ticks`]): FK-valid rows for the leaf
+    /// fact tables, ready for `apply_changes` on [`BullDataset::db_mut`].
+    pub fn mint_ticks(
+        &self,
+        id: DbId,
+        seed: u64,
+        rows_per_table: usize,
+    ) -> Vec<(String, Vec<Vec<sqlengine::Value>>)> {
+        mint_ticks(id, self.generated(id), seed, rows_per_table)
     }
 
     /// Examples of one database and split.

@@ -29,6 +29,7 @@ pub mod batch;
 pub mod cache;
 pub mod calibrate;
 pub mod eval;
+pub mod live;
 pub mod metrics;
 pub mod peft;
 pub mod pipeline;
@@ -38,6 +39,7 @@ pub use batch::{BatchConfig, BatchScheduler};
 pub use cache::{Answerer, AnswerCache, CacheStats, ConfigFingerprint, FingerprintBuilder};
 pub use calibrate::{calibrate, calibrate_with_stats, CalibrationConfig, CalibrationStats};
 pub use eval::{evaluate_ex, evaluate_ex_parallel, EvalOutcome, MultiDbOutcome};
+pub use live::{evaluate_ex_live, LiveConfig, LiveOutcome, RoundReport};
 pub use metrics::{EvalMetrics, MetricsSnapshot};
 pub use pipeline::{FinSql, FinSqlConfig};
 pub use prompt::{render_prompt, render_schema};

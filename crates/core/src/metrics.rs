@@ -38,6 +38,8 @@ pub struct EvalMetrics {
     link_examples: AtomicU64,
     link_table_hits: AtomicU64,
     link_column_hits: AtomicU64,
+    live_appends: AtomicU64,
+    live_rows: AtomicU64,
 }
 
 impl EvalMetrics {
@@ -119,6 +121,15 @@ impl EvalMetrics {
         }
     }
 
+    /// Records live-append traffic absorbed by a runtime: `records`
+    /// change records carrying `rows` rows in total. Each absorbed
+    /// record is one epoch bump, so `live_appends` is also the number of
+    /// epoch transitions the run served across.
+    pub fn record_append(&self, records: u64, rows: u64) {
+        self.live_appends.fetch_add(records, Ordering::Relaxed);
+        self.live_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
     /// A consistent copy of the totals.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -143,6 +154,8 @@ impl EvalMetrics {
             link_examples: self.link_examples.load(Ordering::Relaxed),
             link_table_hits: self.link_table_hits.load(Ordering::Relaxed),
             link_column_hits: self.link_column_hits.load(Ordering::Relaxed),
+            live_appends: self.live_appends.load(Ordering::Relaxed),
+            live_rows: self.live_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -190,6 +203,10 @@ pub struct MetricsSnapshot {
     /// Examples with every gold column inside the top-`k_columns` of its
     /// own table.
     pub link_column_hits: u64,
+    /// Live change records absorbed during the run (= epoch bumps).
+    pub live_appends: u64,
+    /// Rows those change records carried.
+    pub live_rows: u64,
 }
 
 impl MetricsSnapshot {
@@ -299,6 +316,12 @@ impl MetricsSnapshot {
                     "mixed-db batches", self.mixed_batches
                 ));
             }
+        }
+        if self.live_appends > 0 {
+            out.push_str(&format!(
+                "  {:<22} {:>10}  ({} rows)\n",
+                "live appends", self.live_appends, self.live_rows
+            ));
         }
         if self.link_examples > 0 {
             out.push_str(&format!(
@@ -490,6 +513,20 @@ mod tests {
         let pure = EvalMetrics::new();
         pure.record_batch(4);
         assert!(!pure.snapshot().report(Duration::from_secs(1)).contains("mixed-db batches"));
+    }
+
+    #[test]
+    fn append_counters_and_report_line() {
+        let m = EvalMetrics::new();
+        m.record_append(2, 12);
+        m.record_append(1, 6);
+        let s = m.snapshot();
+        assert_eq!(s.live_appends, 3);
+        assert_eq!(s.live_rows, 18);
+        assert!(s.report(Duration::from_secs(1)).contains("live appends"));
+        let frozen = EvalMetrics::new();
+        frozen.record_question();
+        assert!(!frozen.snapshot().report(Duration::from_secs(1)).contains("live appends"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use simllm::{
     BaseModelProfile, EmbeddingModel, GenConfig, LoraPlugin, PluginHub, PrototypeIndex,
     PrototypeMatrix, SqlGenerator, TrainOpts, ValueIndex,
 };
+use sqlengine::{DataEpoch, Database};
 use sqlkit::catalog::CatalogSchema;
 use std::sync::Arc;
 
@@ -81,6 +82,18 @@ pub struct DbRuntime {
     /// the retrieval sweep to a certified candidate set without ever
     /// changing a ranking (see [`simllm::index`]).
     pub proto_index: PrototypeIndex,
+    /// The data epoch of the database this runtime's data-derived
+    /// artifacts were built from (see [`sqlengine::DataEpoch`]). Mixed
+    /// into the config fingerprint, so every cache key is stamped with
+    /// the data state it was computed against — a live append bumps the
+    /// database's epoch, [`FinSql::absorb_appends`] advances this field,
+    /// and every pre-append cache entry becomes structurally
+    /// unreachable. Of the runtime's derived artifacts only `values`
+    /// depends on row data; `schema`/`views`/`link_matrix` are pure
+    /// functions of the (immutable) catalog and `matrix`/`proto_index`
+    /// of the plugin, so absorbing an append refreshes `values` and
+    /// this epoch and nothing else.
+    pub epoch: DataEpoch,
 }
 
 impl DbRuntime {
@@ -104,6 +117,7 @@ impl DbRuntime {
             matrix,
             link_matrix,
             proto_index,
+            epoch: ds.db(db).epoch(),
         }
     }
 }
@@ -252,6 +266,44 @@ impl FinSql {
         r.plugin = plugin;
     }
 
+    /// Catches one runtime up with its database after live appends, by
+    /// absorbing the change-log tail this runtime has not yet seen:
+    /// every unseen [`sqlengine::ChangeRecord`]'s rows are unioned into
+    /// the [`ValueIndex`] (incremental refresh, structurally identical
+    /// to a from-scratch rebuild — [`FinSql::rebuild_data`] is the
+    /// reference), and the runtime's epoch advances to the database's.
+    /// The epoch move shifts [`FinSql::config_fingerprint`], so every
+    /// cache entry minted before the append is unreachable afterwards.
+    ///
+    /// Returns `true` when anything was absorbed. Panics are impossible
+    /// on records produced by `Database::apply_changes` (table names are
+    /// canonical); an unknown table in a foreign log is skipped.
+    pub fn absorb_appends(&mut self, db: DbId, database: &Database) -> bool {
+        let rt = &mut self.runtimes[db.index()];
+        let tail = database.change_log().since(rt.epoch.0);
+        if tail.is_empty() && rt.epoch == database.epoch() {
+            return false;
+        }
+        let schema = &rt.schema;
+        rt.values.absorb_batch(tail.iter().filter_map(|record| {
+            schema.table(&record.table).map(|def| (def, record.rows.as_slice()))
+        }));
+        rt.epoch = database.epoch();
+        true
+    }
+
+    /// The from-scratch counterpart of [`FinSql::absorb_appends`]:
+    /// rebuilds the runtime's data-derived artifacts wholesale from the
+    /// database's current rows and adopts its epoch. Used as the
+    /// reference in the differential live-equality suite, and as the
+    /// catch-up path when a consumer's runtime is behind by an entire
+    /// snapshot rather than a log tail.
+    pub fn rebuild_data(&mut self, db: DbId, database: &Database) {
+        let rt = &mut self.runtimes[db.index()];
+        rt.values = ValueIndex::build(database);
+        rt.epoch = database.epoch();
+    }
+
     /// Answers a question against one database: the paper's full
     /// inference path.
     pub fn answer(&self, db: DbId, question: &str, rng: &mut StdRng) -> String {
@@ -342,22 +394,53 @@ impl FinSql {
 
     /// Hashes every configuration knob that can change an answer into one
     /// [`ConfigFingerprint`]: the full [`FinSqlConfig`], the base-model
-    /// profile, and the identity of the plugin loaded per database. Two
-    /// systems with equal fingerprints answer identically, so the
-    /// fingerprint keys the [`crate::cache::AnswerCache`].
+    /// profile, and per database the identity of the loaded plugin plus
+    /// the data epoch the runtime serves at. Two systems with equal
+    /// fingerprints answer identically, so the fingerprint keys the
+    /// [`crate::cache::AnswerCache`] — and because the epoch is in the
+    /// key, a cache entry can never outlive the data state it was
+    /// computed against: bumping any database's epoch moves every key.
     pub fn config_fingerprint(&self) -> ConfigFingerprint {
         let mut b = fingerprint_config(FingerprintBuilder::new("finsql"), &self.config);
         b = fingerprint_profile(b, self.profile);
         for rt in &self.runtimes {
-            b = b
-                .push_str(rt.db.as_str())
-                .push_str(&rt.plugin.name)
-                .push_usize(rt.plugin.n_examples)
-                .push_usize(rt.plugin.prototypes.len())
-                .push_bool(rt.plugin.cot_trained);
+            b = fingerprint_runtime(
+                b,
+                rt.db,
+                &rt.plugin.name,
+                rt.plugin.n_examples,
+                rt.plugin.prototypes.len(),
+                rt.plugin.cot_trained,
+                rt.epoch,
+            );
         }
         b.finish()
     }
+}
+
+/// Folds one database runtime's answer-affecting identity into a
+/// fingerprint chain: which database, which plugin (by name, training
+/// size, prototype count and CoT flag), and the [`DataEpoch`] its data
+/// artifacts were built at. Split out of [`FinSql::config_fingerprint`]
+/// so the epoch axis is property-testable without a trained system —
+/// `crates/core/tests/fingerprint_prop.rs` proves a bump of any
+/// runtime's epoch always moves the final fingerprint.
+#[allow(clippy::too_many_arguments)]
+pub fn fingerprint_runtime(
+    b: FingerprintBuilder,
+    db: DbId,
+    plugin_name: &str,
+    n_examples: usize,
+    n_prototypes: usize,
+    cot_trained: bool,
+    epoch: DataEpoch,
+) -> FingerprintBuilder {
+    b.push_str(db.as_str())
+        .push_str(plugin_name)
+        .push_usize(n_examples)
+        .push_usize(n_prototypes)
+        .push_bool(cot_trained)
+        .push_u64(epoch.0)
 }
 
 impl Answerer for FinSql {

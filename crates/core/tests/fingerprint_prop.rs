@@ -12,11 +12,12 @@ use augment::AugmentationFlags;
 use bull::{DbId, Lang};
 use crossenc::InferenceMode;
 use finsql_core::cache::{AnswerCache, FingerprintBuilder};
-use finsql_core::pipeline::{fingerprint_config, fingerprint_profile};
+use finsql_core::pipeline::{fingerprint_config, fingerprint_profile, fingerprint_runtime};
 use finsql_core::{CalibrationConfig, FinSqlConfig};
 use proptest::prelude::*;
 use simllm::noise::NoiseRates;
 use simllm::BaseModelProfile;
+use sqlengine::DataEpoch;
 
 fn lang() -> impl Strategy<Value = Lang> {
     prop_oneof![Just(Lang::En), Just(Lang::Cn)]
@@ -92,6 +93,21 @@ fn mutate_knob(config: &FinSqlConfig, knob: usize) -> FinSqlConfig {
 
 fn profile_fp(profile: &BaseModelProfile) -> u64 {
     fingerprint_profile(FingerprintBuilder::new("profile"), profile).finish().0
+}
+
+fn db_id() -> impl Strategy<Value = DbId> {
+    prop_oneof![Just(DbId::Fund), Just(DbId::Stock), Just(DbId::Macro)]
+}
+
+/// The full three-runtime chain [`FinSql::config_fingerprint`] folds
+/// after the config and profile slots, with the plugin identity slots
+/// held fixed and only the per-database epochs varying.
+fn chain_fp(epochs: [u64; 3]) -> u64 {
+    let mut b = FingerprintBuilder::new("finsql");
+    for (db, epoch) in DbId::ALL.into_iter().zip(epochs) {
+        b = fingerprint_runtime(b, db, "plugin", 400, 24, true, DataEpoch(epoch));
+    }
+    b.finish().0
 }
 
 proptest! {
@@ -191,6 +207,82 @@ proptest! {
         prop_assert_eq!(cache.get(DbId::Stock, &question, key), None);
         let longer = format!("{question}?");
         prop_assert_eq!(cache.get(DbId::Fund, &longer, key), None);
+    }
+
+    /// Bumping a runtime's [`DataEpoch`] always moves its fingerprint
+    /// contribution, whatever the surrounding plugin identity — the
+    /// data-state half of the no-stale-hit property.
+    #[test]
+    fn epoch_bump_always_moves_the_fingerprint(
+        db in db_id(),
+        name in "[a-z]{1,12}",
+        n_examples in 0usize..512,
+        n_prototypes in 0usize..64,
+        cot in any::<bool>(),
+        epoch in 0u64..(u64::MAX / 2),
+        bump in 1u64..1_000,
+    ) {
+        let at = |e: u64| {
+            fingerprint_runtime(
+                FingerprintBuilder::new("rt"), db, &name, n_examples, n_prototypes, cot,
+                DataEpoch(e),
+            )
+            .finish()
+            .0
+        };
+        prop_assert_eq!(at(epoch), at(epoch), "epoch slot must be deterministic");
+        prop_assert!(
+            at(epoch) != at(epoch + bump),
+            "epoch bump {} -> {} left the fingerprint unchanged",
+            epoch,
+            epoch + bump
+        );
+    }
+
+    /// In the chained three-runtime fingerprint, bumping *any one*
+    /// database's epoch moves the final digest — an append to one
+    /// database invalidates every cached answer, including the other
+    /// databases' (the cache key is the whole-system fingerprint).
+    #[test]
+    fn epoch_bump_in_any_runtime_moves_the_chained_fingerprint(
+        es in (0u64..10_000, 0u64..10_000, 0u64..10_000),
+        which in 0usize..3,
+        bump in 1u64..100,
+    ) {
+        let epochs = [es.0, es.1, es.2];
+        let mut bumped = epochs;
+        bumped[which] += bump;
+        prop_assert!(
+            chain_fp(epochs) != chain_fp(bumped),
+            "bumping runtime {}'s epoch did not move the chained fingerprint",
+            which
+        );
+    }
+
+    /// The cache mechanics of the same claim, counter-checked: an entry
+    /// stored pre-bump is unreachable post-bump (a recorded miss, zero
+    /// hits), while the pre-bump key itself still serves.
+    #[test]
+    fn no_pre_bump_cache_entry_is_served_post_bump(
+        es in (0u64..10_000, 0u64..10_000, 0u64..10_000),
+        which in 0usize..3,
+        question in "[a-z ]{1,24}",
+        answer in "SELECT [a-z]{1,12}",
+    ) {
+        use finsql_core::ConfigFingerprint;
+        let epochs = [es.0, es.1, es.2];
+        let mut bumped = epochs;
+        bumped[which] += 1;
+        let pre = ConfigFingerprint(chain_fp(epochs));
+        let post = ConfigFingerprint(chain_fp(bumped));
+        let cache = AnswerCache::unbounded();
+        cache.insert(DbId::Fund, &question, pre, answer.clone());
+        prop_assert_eq!(cache.get(DbId::Fund, &question, post), None);
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, 0u64, "post-bump lookup must not hit the pre-bump entry");
+        prop_assert_eq!(stats.misses, 1u64);
+        prop_assert_eq!(cache.get(DbId::Fund, &question, pre), Some(answer));
+        prop_assert_eq!(cache.stats().hits, 1u64, "the pre-bump key itself still serves");
     }
 
     /// Under any capacity cap and insertion sequence, residency never

@@ -8,8 +8,10 @@
 //!   fold or unstable float sort in answer-affecting crates without a
 //!   `// finlint: ordered` justification ([`lints::determinism`]);
 //! * **fingerprint coverage** — every `FinSqlConfig` field is either
-//!   pushed in `fingerprint_config` or allowlisted
-//!   ([`lints::fingerprint`]);
+//!   pushed in `fingerprint_config` or allowlisted, and every
+//!   `DbRuntime` data-state field is either mixed into
+//!   `config_fingerprint` (epoch, plugin identity) or proven a pure
+//!   function of fingerprinted state ([`lints::fingerprint`]);
 //! * **panic hygiene** — `unwrap`/`expect`/`panic!` in library code
 //!   carries an `// INVARIANT:` comment ([`lints::panics`]);
 //! * **lock discipline** — no nested shard locks, `Condvar::wait` always
@@ -45,7 +47,8 @@ const ANSWER_AFFECTING_CORE_FILES: &[&str] =
 const LOCK_DISCIPLINE_FILES: &[&str] =
     &["crates/core/src/cache.rs", "crates/core/src/batch.rs"];
 
-/// The file defining `FinSqlConfig` + `fingerprint_config`.
+/// The file defining `FinSqlConfig` + `fingerprint_config` (and
+/// `DbRuntime` + `config_fingerprint`, the data-state half of the key).
 const FINGERPRINT_FILE: &str = "crates/core/src/pipeline.rs";
 
 /// Directories under `crates/` that are not library crates (binary
@@ -93,6 +96,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     }
     if file.rel_path == FINGERPRINT_FILE {
         out.extend(lints::fingerprint::check(file));
+        out.extend(lints::fingerprint::check_runtime(file));
     }
     out.extend(lints::panics::check(file));
     if LOCK_DISCIPLINE_FILES.contains(&file.rel_path.as_str()) {

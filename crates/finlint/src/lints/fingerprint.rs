@@ -4,6 +4,16 @@
 //! PR 4 proptest convention ("toggling a non-answer knob keeps cache
 //! keys") into a compile-gate: adding a config knob without deciding its
 //! fingerprint status fails the lint.
+//!
+//! A second pass ([`check_runtime`]) applies the same rule to the
+//! *data-state* half of the cache key: every `DbRuntime` field must
+//! either feed `config_fingerprint` (like the plugin identity and the
+//! [`sqlengine::DataEpoch`]) or sit in [`RUNTIME_NOT_FINGERPRINTED`]
+//! with a written proof that it is a pure function of already-
+//! fingerprinted state. Adding a runtime field that carries fresh data
+//! state without stamping it into the fingerprint is exactly the bug
+//! that lets a stale cache entry survive a live append — this lint makes
+//! that a build failure instead of a silent wrong answer.
 
 use super::{Finding, Lint};
 use crate::source::SourceFile;
@@ -13,15 +23,44 @@ use crate::source::SourceFile;
 /// the claim down (see `crates/core/tests/fingerprint_prop.rs`).
 pub const NOT_FINGERPRINTED: &[&str] = &["link_mode"];
 
+/// `DbRuntime` fields legally absent from `config_fingerprint` because
+/// they are pure functions of state that *is* fingerprinted — rebuild
+/// them from the same inputs and you get the same artifact, so they can
+/// never make two fingerprint-equal systems answer differently:
+///
+/// - `schema`, `views`, `link_matrix`: derived from the immutable
+///   database catalog (fixed per `DbId`, which is fingerprinted).
+/// - `matrix`, `proto_index`: derived from the plugin's prototypes
+///   (the plugin identity is fingerprinted).
+/// - `values`: derived from row data — covered by `epoch`, which
+///   advances on every append (`FinSql::absorb_appends` refreshes both
+///   together; `crates/core/tests/live_equality.rs` proves the pairing).
+pub const RUNTIME_NOT_FINGERPRINTED: &[&str] =
+    &["schema", "views", "values", "matrix", "link_matrix", "proto_index"];
+
 /// Checks fingerprint coverage of the config struct/fn in `file` (the
 /// real pass hands this `crates/core/src/pipeline.rs`; fixture tests
 /// hand it synthetic copies).
 pub fn check(file: &SourceFile) -> Vec<Finding> {
-    check_named(file, "FinSqlConfig", "fingerprint_config")
+    check_named(file, "FinSqlConfig", "fingerprint_config", "config", NOT_FINGERPRINTED)
 }
 
-/// [`check`] with configurable struct/fn names, for fixtures.
-pub fn check_named(file: &SourceFile, struct_name: &str, fn_name: &str) -> Vec<Finding> {
+/// Checks data-state fingerprint coverage: every `DbRuntime` field is
+/// either accessed in `config_fingerprint` (as `rt.<field>`) or
+/// allowlisted in [`RUNTIME_NOT_FINGERPRINTED`].
+pub fn check_runtime(file: &SourceFile) -> Vec<Finding> {
+    check_named(file, "DbRuntime", "config_fingerprint", "rt", RUNTIME_NOT_FINGERPRINTED)
+}
+
+/// [`check`] with configurable struct/fn/accessor names and allowlist,
+/// for the runtime pass and for fixtures.
+pub fn check_named(
+    file: &SourceFile,
+    struct_name: &str,
+    fn_name: &str,
+    accessor: &str,
+    allowlist: &[&str],
+) -> Vec<Finding> {
     let mut out = Vec::new();
     let Some((fields, struct_line)) = struct_fields(file, struct_name) else {
         out.push(Finding {
@@ -44,16 +83,16 @@ pub fn check_named(file: &SourceFile, struct_name: &str, fn_name: &str) -> Vec<F
         return out;
     };
     for (name, line0) in &fields {
-        let pushed = accesses_field(&body, name);
-        let allowlisted = NOT_FINGERPRINTED.contains(&name.as_str());
+        let pushed = accesses_field(&body, accessor, name);
+        let allowlisted = allowlist.contains(&name.as_str());
         if pushed && allowlisted {
             out.push(Finding::at(
                 Lint::FingerprintCoverage,
                 file,
                 *line0,
                 format!(
-                    "`{struct_name}::{name}` is fingerprinted but also in the NOT_FINGERPRINTED \
-                     allowlist — remove the stale allowlist entry"
+                    "`{struct_name}::{name}` is fingerprinted but also in the allowlist — \
+                     remove the stale allowlist entry"
                 ),
             ));
         } else if !pushed && !allowlisted {
@@ -63,21 +102,21 @@ pub fn check_named(file: &SourceFile, struct_name: &str, fn_name: &str) -> Vec<F
                 *line0,
                 format!(
                     "`{struct_name}::{name}` is neither pushed in `{fn_name}` nor in the \
-                     NOT_FINGERPRINTED allowlist: an un-fingerprinted knob silently reuses \
-                     stale cache entries when toggled. Push it (fixed-width slot) or prove it \
+                     allowlist: an un-fingerprinted field silently reuses stale cache \
+                     entries when it changes. Push it (fixed-width slot) or prove it \
                      answer-neutral and allowlist it"
                 ),
             ));
         }
     }
-    for entry in NOT_FINGERPRINTED {
+    for entry in allowlist {
         if !fields.iter().any(|(n, _)| n == entry) {
             out.push(Finding::at(
                 Lint::FingerprintCoverage,
                 file,
                 struct_line,
                 format!(
-                    "NOT_FINGERPRINTED allowlists `{entry}`, which is not a `{struct_name}` \
+                    "the allowlist names `{entry}`, which is not a `{struct_name}` \
                      field — remove the stale entry"
                 ),
             ));
@@ -86,10 +125,11 @@ pub fn check_named(file: &SourceFile, struct_name: &str, fn_name: &str) -> Vec<F
     out
 }
 
-/// True when `body` contains `config.<name>` with `<name>` as a whole
-/// identifier (so field `cot` does not match `config.cot_x`).
-fn accesses_field(body: &str, name: &str) -> bool {
-    let needle = format!("config.{name}");
+/// True when `body` contains `<accessor>.<name>` with `<name>` as a
+/// whole identifier (so field `cot` does not match `config.cot_x`, while
+/// `rt.plugin` still matches through `rt.plugin.name`).
+fn accesses_field(body: &str, accessor: &str, name: &str) -> bool {
+    let needle = format!("{accessor}.{name}");
     let mut from = 0usize;
     while let Some(p) = body[from..].find(&needle) {
         let end = from + p + needle.len();

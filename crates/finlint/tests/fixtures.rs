@@ -45,6 +45,19 @@ fn fingerprint_clean_is_quiet() {
 }
 
 #[test]
+fn runtime_epoch_violation_flags_the_unstamped_field() {
+    let f = lints::fingerprint::check_runtime(&fixture("runtime_epoch_violation.rs"));
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(f[0].message.contains("tick_buffer"), "{f:#?}");
+}
+
+#[test]
+fn runtime_epoch_clean_is_quiet() {
+    let f = lints::fingerprint::check_runtime(&fixture("runtime_epoch_clean.rs"));
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
 fn panic_violation_flags_each_site() {
     let f = lints::panics::check(&fixture("panic_violation.rs"));
     assert_eq!(f.len(), 3, "{f:#?}");
@@ -96,4 +109,32 @@ fn synthetic_field_in_real_config_fails_the_lint() {
     let f = lints::fingerprint::check(&dirty);
     assert_eq!(f.len(), 1, "exactly the synthetic field must be flagged: {f:#?}");
     assert!(f[0].message.contains("synthetic_knob"), "{f:#?}");
+}
+
+/// Same drill for the data-state half of the key: add a synthetic
+/// `DbRuntime` field to the *real* pipeline source without stamping it
+/// into `config_fingerprint` or the runtime allowlist, and prove the
+/// runtime-coverage pass fails — a field that could carry un-epoched
+/// data state cannot land silently.
+#[test]
+fn synthetic_field_in_real_runtime_fails_the_lint() {
+    let pipeline = Path::new(env!("CARGO_MANIFEST_DIR")).join("../core/src/pipeline.rs");
+    let text = std::fs::read_to_string(&pipeline).expect("read core pipeline source");
+
+    // Unmodified source is clean: db/plugin/epoch are fingerprinted,
+    // everything else is an allowlisted pure-derived artifact.
+    let clean = SourceFile::parse("crates/core/src/pipeline.rs", "core", &text);
+    let f = lints::fingerprint::check_runtime(&clean);
+    assert!(f.is_empty(), "real DbRuntime must be fully covered: {f:#?}");
+
+    let struct_open = text.find("pub struct DbRuntime {").expect("runtime struct present");
+    let insert_at = text[struct_open..].find('\n').expect("newline after struct opener")
+        + struct_open
+        + 1;
+    let mut patched = text.clone();
+    patched.insert_str(insert_at, "    pub tick_buffer: usize,\n");
+    let dirty = SourceFile::parse("crates/core/src/pipeline.rs", "core", &patched);
+    let f = lints::fingerprint::check_runtime(&dirty);
+    assert_eq!(f.len(), 1, "exactly the synthetic field must be flagged: {f:#?}");
+    assert!(f[0].message.contains("tick_buffer"), "{f:#?}");
 }

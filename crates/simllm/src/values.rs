@@ -7,7 +7,8 @@
 //! from question text.
 
 use sqlengine::{Database, Value};
-use std::collections::HashSet;
+use sqlkit::catalog::CatalogTable;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Maximum distinct values a column may have to be indexed (large
 /// free-text columns are useless for matching and bloat the index).
@@ -43,6 +44,44 @@ pub struct ValueIndex {
     /// least 3 bytes. Precomputed so LIKE-prefix probes don't re-split
     /// and re-lowercase every value on every question.
     first_words: Vec<Option<(String, String)>>,
+    /// Per-column distinct-value accumulator the derived structures are
+    /// a pure function of. Kept so live appends can refresh the index
+    /// incrementally ([`ValueIndex::absorb_rows`]) with a result
+    /// *identical* to a from-scratch [`ValueIndex::build`]: union the
+    /// new values in, then re-derive. BTree containers keep iteration
+    /// deterministic.
+    col_state: BTreeMap<(String, String), ColState>,
+}
+
+/// Distinct string values seen in one `(table, column)`. Once the count
+/// exceeds [`MAX_DISTINCT`] the column is permanently out (`over`) and
+/// its set is dropped — a state that is monotone under appends, which is
+/// what makes incremental absorption exact: a column over the cap from
+/// scratch is over the cap incrementally, and vice versa.
+#[derive(Debug, Clone, Default)]
+struct ColState {
+    distinct: BTreeSet<String>,
+    over: bool,
+}
+
+impl ColState {
+    /// Unions a column's values into the accumulator, tripping `over`
+    /// (and dropping the set) past the distinct cap.
+    fn absorb<'a>(&mut self, values: impl Iterator<Item = &'a Value>) {
+        if self.over {
+            return;
+        }
+        for v in values {
+            if let Value::Str(s) = v {
+                self.distinct.insert(s.clone());
+                if self.distinct.len() > MAX_DISTINCT {
+                    self.over = true;
+                    self.distinct = BTreeSet::new();
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// Number of distinct 2-byte windows (the CSR bucket key space).
@@ -55,39 +94,72 @@ fn pair_of(b0: u8, b1: u8) -> usize {
 impl ValueIndex {
     /// Scans every text column of the database.
     pub fn build(db: &Database) -> Self {
-        let mut entries = Vec::new();
+        let mut col_state: BTreeMap<(String, String), ColState> = BTreeMap::new();
         for table in db.tables() {
             for (ci, col) in table.def.columns.iter().enumerate() {
-                let mut distinct: HashSet<&str> = HashSet::new();
-                let mut over = false;
-                for row in &table.rows {
-                    if let Value::Str(s) = &row[ci] {
-                        distinct.insert(s.as_str());
-                        if distinct.len() > MAX_DISTINCT {
-                            over = true;
-                            break;
-                        }
-                    }
-                }
-                if over {
-                    continue;
-                }
-                // Drain the set through a sorted Vec: HashSet iteration
-                // order is per-process random and used to leak into the
-                // entry order whenever two case-variants of one value
-                // tied under the (length, lowercase, table) comparator.
-                // finlint: ordered — drained into a Vec and sorted before use
-                let mut values: Vec<&str> = distinct.into_iter().collect();
-                values.sort_unstable();
-                for v in values {
-                    if v.chars().count() >= MIN_LEN && !looks_like_date(v) {
-                        entries.push((
-                            v.to_lowercase(),
-                            table.def.name.clone(),
-                            col.name.clone(),
-                            v.to_string(),
-                        ));
-                    }
+                col_state
+                    .entry((table.def.name.clone(), col.name.clone()))
+                    .or_default()
+                    .absorb(table.rows.iter().map(|r| &r[ci]));
+            }
+        }
+        let mut index = ValueIndex {
+            entries: Vec::new(),
+            bucket_offsets: Vec::new(),
+            bucket_entries: Vec::new(),
+            first_words: Vec::new(),
+            col_state,
+        };
+        index.rebuild_derived();
+        index
+    }
+
+    /// Absorbs freshly appended rows of one table into the index, then
+    /// re-derives entries, CSR buckets and first words from the updated
+    /// per-column state. Because the derived structures are a pure
+    /// function of `col_state`, and absorbing rows unions exactly the
+    /// values a from-scratch scan would see, the result is structurally
+    /// identical to `ValueIndex::build` on the post-append database —
+    /// the differential tests below and in `crates/core` pin this.
+    pub fn absorb_rows(&mut self, def: &CatalogTable, rows: &[Vec<Value>]) {
+        self.absorb_batch([(def, rows)]);
+    }
+
+    /// [`ValueIndex::absorb_rows`] over many appends at once — unions
+    /// every batch's values into the per-column state first and
+    /// re-derives the index exactly once, so absorbing a long change-log
+    /// tail costs one derivation instead of one per record. Identical
+    /// result to absorbing the batches one by one (set union is
+    /// order-insensitive and the derivation is a pure function of the
+    /// final state).
+    pub fn absorb_batch<'a>(
+        &mut self,
+        batches: impl IntoIterator<Item = (&'a CatalogTable, &'a [Vec<Value>])>,
+    ) {
+        for (def, rows) in batches {
+            for (ci, col) in def.columns.iter().enumerate() {
+                self.col_state
+                    .entry((def.name.clone(), col.name.clone()))
+                    .or_default()
+                    .absorb(rows.iter().map(|r| &r[ci]));
+            }
+        }
+        self.rebuild_derived();
+    }
+
+    /// Recomputes every derived structure from `col_state`.
+    fn rebuild_derived(&mut self) {
+        let mut entries = Vec::new();
+        for ((table, column), state) in &self.col_state {
+            if state.over {
+                continue;
+            }
+            // BTreeSet iterates in the byte order the old sorted-Vec
+            // drain produced, so entry insertion order is deterministic
+            // (and erased anyway by the total sort below).
+            for v in &state.distinct {
+                if v.chars().count() >= MIN_LEN && !looks_like_date(v) {
+                    entries.push((v.to_lowercase(), table.clone(), column.clone(), v.clone()));
                 }
             }
         }
@@ -132,7 +204,10 @@ impl ValueIndex {
                 }
             })
             .collect();
-        ValueIndex { entries, bucket_offsets, bucket_entries, first_words }
+        self.entries = entries;
+        self.bucket_offsets = bucket_offsets;
+        self.bucket_entries = bucket_entries;
+        self.first_words = first_words;
     }
 
     /// Number of indexed values.
@@ -427,6 +502,93 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(ValueIndex::build(&db).entries, reference);
         }
+    }
+
+    /// Structural equality of two indexes: every derived field must
+    /// match (col_state is compared through what it derives).
+    fn assert_same_index(a: &ValueIndex, b: &ValueIndex) {
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.bucket_offsets, b.bucket_offsets);
+        assert_eq!(a.bucket_entries, b.bucket_entries);
+        assert_eq!(a.first_words, b.first_words);
+    }
+
+    #[test]
+    fn absorb_rows_matches_from_scratch_build() {
+        let mut database = db();
+        let mut incremental = ValueIndex::build(&database);
+        let new_rows = vec![
+            vec![Value::from("Penghua Dividend C"), Value::from("mixed fund"), Value::from("2022-03-01")],
+            vec![Value::from("Harvest Growth A"), Value::from("bond fund"), Value::from("2022-03-02")],
+        ];
+        let def = database.table("fund").unwrap().def.clone();
+        for row in &new_rows {
+            database.insert("fund", row.clone()).unwrap();
+        }
+        incremental.absorb_rows(&def, &new_rows);
+        assert_same_index(&incremental, &ValueIndex::build(&database));
+        // New values are findable; duplicates did not double-index.
+        let hits = incremental.find_in_question("is Penghua Dividend C a mixed fund?");
+        assert!(hits.iter().any(|h| h.value == "Penghua Dividend C"));
+        assert_eq!(
+            incremental.all_entries().filter(|(_, _, v)| *v == "Harvest Growth A").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn absorb_batch_equals_sequential_absorbs() {
+        let database = db();
+        let def = database.table("fund").unwrap().def.clone();
+        let batch_a = vec![vec![
+            Value::from("Penghua Dividend C"),
+            Value::from("mixed fund"),
+            Value::from("2022-03-01"),
+        ]];
+        let batch_b = vec![vec![
+            Value::from("Invesco Balanced B"),
+            Value::from("bond fund"),
+            Value::from("2022-03-02"),
+        ]];
+        let mut sequential = ValueIndex::build(&database);
+        sequential.absorb_rows(&def, &batch_a);
+        sequential.absorb_rows(&def, &batch_b);
+        let mut batched = ValueIndex::build(&database);
+        batched.absorb_batch([(&def, batch_a.as_slice()), (&def, batch_b.as_slice())]);
+        assert_same_index(&batched, &sequential);
+    }
+
+    #[test]
+    fn absorb_rows_trips_the_distinct_cap_exactly_like_build() {
+        let schema = CatalogSchema {
+            db_id: "v".into(),
+            tables: vec![CatalogTable {
+                name: "fund".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![CatalogColumn::new("fname", ColType::Text, "fund name", "")],
+            }],
+            foreign_keys: vec![],
+        };
+        let mut database = Database::new(schema);
+        for i in 0..MAX_DISTINCT - 1 {
+            database.insert("fund", vec![Value::from(format!("fund {i:04}").as_str())]).unwrap();
+        }
+        let mut incremental = ValueIndex::build(&database);
+        let def = database.table("fund").unwrap().def.clone();
+        // Push the column over the cap incrementally: the column must go
+        // dark, exactly as a from-scratch build over the grown data.
+        let new_rows: Vec<Vec<Value>> =
+            (0..5).map(|i| vec![Value::from(format!("late {i}").as_str())]).collect();
+        for row in &new_rows {
+            database.insert("fund", row.clone()).unwrap();
+        }
+        incremental.absorb_rows(&def, &new_rows);
+        assert_same_index(&incremental, &ValueIndex::build(&database));
+        assert!(incremental.is_empty(), "over-cap column must drop out of the index");
+        // And it stays out: further absorbs on an over column are no-ops.
+        incremental.absorb_rows(&def, &[vec![Value::from("one more")]]);
+        assert!(incremental.is_empty());
     }
 
     #[test]

@@ -1,7 +1,11 @@
-//! Tables and databases: typed row storage over the shared catalog types.
+//! Tables and databases: typed row storage over the shared catalog types,
+//! plus the validated live-append path ([`Database::append_rows`] /
+//! [`Database::apply_changes`]) that logs every mutation into a
+//! replayable [`ChangeLog`] and bumps the database's [`DataEpoch`].
 
 use crate::error::{ExecError, ExecResult};
 use crate::value::Value;
+use crate::wal::{ChangeLog, ChangeRecord, DataEpoch};
 use sqlkit::catalog::{CatalogSchema, CatalogTable, ColType};
 
 /// A stored table: its catalog definition plus row data.
@@ -17,9 +21,10 @@ impl Table {
         Table { def, rows: Vec::new() }
     }
 
-    /// Appends a row after checking arity and (loosely) types. `Null` is
-    /// allowed anywhere; Int is accepted into Float columns.
-    pub fn insert(&mut self, row: Vec<Value>) -> ExecResult<()> {
+    /// Validates a candidate row against the table definition: arity plus
+    /// (loose) types. `Null` is allowed anywhere; Int is accepted into
+    /// Float columns.
+    pub fn check_row(&self, row: &[Value]) -> ExecResult<()> {
         if row.len() != self.def.columns.len() {
             return Err(ExecError::Type(format!(
                 "table {} expects {} columns, got {}",
@@ -44,6 +49,12 @@ impl Table {
                 )));
             }
         }
+        Ok(())
+    }
+
+    /// Appends a row after [`Table::check_row`] validation.
+    pub fn insert(&mut self, row: Vec<Value>) -> ExecResult<()> {
+        self.check_row(&row)?;
         self.rows.push(row);
         Ok(())
     }
@@ -59,18 +70,30 @@ impl Table {
     }
 }
 
-/// A populated database: catalog plus one [`Table`] per catalog table.
+/// A populated database: catalog plus one [`Table`] per catalog table,
+/// a [`DataEpoch`] counting applied live mutations, and the [`ChangeLog`]
+/// recording them.
+///
+/// Two mutation paths exist on purpose. [`Database::insert`] is the
+/// *base-population* path (datagen filling the snapshot): unlogged, epoch
+/// stays 0. [`Database::append_rows`] / [`Database::apply_changes`] are
+/// the *live* path: validated against schema and foreign keys, logged,
+/// and epoch-bumping — replaying the log onto an equal base snapshot
+/// reproduces the live database exactly.
 #[derive(Debug, Clone)]
 pub struct Database {
     catalog: CatalogSchema,
     tables: Vec<Table>,
+    epoch: DataEpoch,
+    log: ChangeLog,
 }
 
 impl Database {
-    /// Creates an empty database from a catalog.
+    /// Creates an empty database from a catalog, at epoch 0 with an
+    /// empty change log.
     pub fn new(catalog: CatalogSchema) -> Self {
         let tables = catalog.tables.iter().cloned().map(Table::empty).collect();
-        Database { catalog, tables }
+        Database { catalog, tables, epoch: DataEpoch::ZERO, log: ChangeLog::new() }
     }
 
     /// The catalog this database instantiates.
@@ -107,6 +130,152 @@ impl Database {
     /// Iterates over all tables.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
         self.tables.iter()
+    }
+
+    /// The database's current data epoch: the sequence number of the
+    /// newest applied change record (0 for a pristine base snapshot).
+    pub fn epoch(&self) -> DataEpoch {
+        self.epoch
+    }
+
+    /// The ordered log of every live mutation applied to this database.
+    pub fn change_log(&self) -> &ChangeLog {
+        &self.log
+    }
+
+    /// Appends a batch of rows to one table through the live path:
+    /// validates schema types and foreign keys, logs one
+    /// [`ChangeRecord`], bumps the epoch. All-or-nothing — on error no
+    /// row is applied, no record logged, the epoch unchanged.
+    pub fn append_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> ExecResult<DataEpoch> {
+        self.apply_changes(vec![(table.to_string(), rows)])
+    }
+
+    /// Applies a batch of per-table appends atomically through the live
+    /// path. Every change is validated *before* anything is applied
+    /// (foreign keys may reference rows earlier in the same batch, so a
+    /// parent insert and its dependent tick can ride one call); then each
+    /// change is applied and logged as one [`ChangeRecord`], bumping the
+    /// epoch once per change. On any validation error the database is
+    /// untouched: no partial row, no log entry, no epoch movement.
+    pub fn apply_changes(
+        &mut self,
+        changes: Vec<(String, Vec<Vec<Value>>)>,
+    ) -> ExecResult<DataEpoch> {
+        // Phase 1: validate everything against current data + the
+        // pending batch, resolving each table name to its canonical
+        // catalog casing.
+        let mut resolved: Vec<(String, Vec<Vec<Value>>)> = Vec::with_capacity(changes.len());
+        for (name, rows) in changes {
+            let table = self.table(&name)?;
+            for row in &rows {
+                table.check_row(row)?;
+            }
+            let canonical = table.def.name.clone();
+            for row in &rows {
+                self.check_foreign_keys(&canonical, row, &resolved)?;
+            }
+            resolved.push((canonical, rows));
+        }
+        // Phase 2: apply + log. Validation passed for the whole batch,
+        // so this cannot fail partway.
+        for (table, rows) in resolved {
+            let target = self
+                .tables
+                .iter_mut()
+                .find(|t| t.def.name == table)
+                // INVARIANT: `table` is the canonical name resolved from
+                // the catalog during phase-1 validation above.
+                .expect("table resolved during validation");
+            target.rows.extend(rows.iter().cloned());
+            let seq = self.log.push(table, rows);
+            self.epoch = DataEpoch(seq);
+        }
+        Ok(self.epoch)
+    }
+
+    /// Checks every foreign key whose `from_table` is `table` for one
+    /// candidate row: a non-NULL FK value must match an existing value in
+    /// the referenced column — in stored rows or in `pending` rows from
+    /// earlier in the same batch. Int/Float compare numerically
+    /// (`eq_sql`), mirroring the executor's join semantics.
+    fn check_foreign_keys(
+        &self,
+        table: &str,
+        row: &[Value],
+        pending: &[(String, Vec<Vec<Value>>)],
+    ) -> ExecResult<()> {
+        for fk in &self.catalog.foreign_keys {
+            if !fk.from_table.eq_ignore_ascii_case(table) {
+                continue;
+            }
+            let from_table = self.table(&fk.from_table)?;
+            let Some(from_col) = from_table.def.column_index(&fk.from_column) else {
+                continue;
+            };
+            let value = &row[from_col];
+            if value.is_null() {
+                continue;
+            }
+            let to_table = self.table(&fk.to_table)?;
+            let Some(to_col) = to_table.def.column_index(&fk.to_column) else {
+                continue;
+            };
+            let stored = to_table.rows.iter();
+            let batched = pending
+                .iter()
+                .filter(|(name, _)| name.eq_ignore_ascii_case(&fk.to_table))
+                .flat_map(|(_, rows)| rows.iter());
+            let found = stored
+                .chain(batched)
+                .any(|r| r[to_col].eq_sql(value) == Some(true));
+            if !found {
+                return Err(ExecError::ForeignKey(format!(
+                    "{}.{} = {value:?} has no match in {}.{}",
+                    fk.from_table, fk.from_column, fk.to_table, fk.to_column
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays a change log onto this database, applying every record
+    /// this database has not yet seen. Idempotent: records with
+    /// `seq <= self.epoch()` are skipped (already applied), so replaying
+    /// the same log twice — or a log extending this database's own — is
+    /// a no-op for the overlap. A gap (`seq > epoch + 1`) is an error:
+    /// the log does not continue this database's history.
+    ///
+    /// Each applied record goes through the same validated path as
+    /// [`Database::apply_changes`], so replay onto the correct base
+    /// snapshot reconstructs the live database exactly — rows, log, and
+    /// epoch all equal.
+    pub fn replay(&mut self, log: &ChangeLog) -> ExecResult<DataEpoch> {
+        for record in log.since(self.epoch.0) {
+            if record.seq != self.epoch.0 + 1 {
+                return Err(ExecError::ChangeLog(format!(
+                    "replay gap: record {} onto epoch {}",
+                    record.seq, self.epoch.0
+                )));
+            }
+            self.apply_changes(vec![(record.table.clone(), record.rows.clone())])?;
+        }
+        Ok(self.epoch)
+    }
+
+    /// Replays one record by reference (used by consumers holding a
+    /// borrowed log tail); same skip/gap semantics as [`Database::replay`].
+    pub fn replay_record(&mut self, record: &ChangeRecord) -> ExecResult<DataEpoch> {
+        if record.seq <= self.epoch.0 {
+            return Ok(self.epoch);
+        }
+        if record.seq != self.epoch.0 + 1 {
+            return Err(ExecError::ChangeLog(format!(
+                "replay gap: record {} onto epoch {}",
+                record.seq, self.epoch.0
+            )));
+        }
+        self.apply_changes(vec![(record.table.clone(), record.rows.clone())])
     }
 }
 

@@ -24,6 +24,10 @@ pub enum ExecError {
     Cardinality(String),
     /// Unsupported construct.
     Unsupported(String),
+    /// A live append violated a foreign-key constraint.
+    ForeignKey(String),
+    /// A change-log replay could not be applied (sequence gap, torn log).
+    ChangeLog(String),
 }
 
 impl fmt::Display for ExecError {
@@ -37,6 +41,8 @@ impl fmt::Display for ExecError {
             ExecError::Type(m) => write!(f, "type error: {m}"),
             ExecError::Cardinality(m) => write!(f, "cardinality error: {m}"),
             ExecError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ExecError::ForeignKey(m) => write!(f, "foreign key violation: {m}"),
+            ExecError::ChangeLog(m) => write!(f, "change log error: {m}"),
         }
     }
 }

@@ -22,12 +22,14 @@ pub mod executor;
 pub mod expr_eval;
 pub mod result;
 pub mod value;
+pub mod wal;
 
 pub use database::{Database, Table};
 pub use error::{ExecError, ExecResult};
 pub use executor::execute;
 pub use result::{results_match, ResultSet};
 pub use value::Value;
+pub use wal::{ChangeLog, ChangeRecord, DataEpoch, WalError};
 
 use sqlkit::ast::Statement;
 

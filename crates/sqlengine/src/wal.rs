@@ -1,0 +1,483 @@
+//! WAL-style change logging and data epochs — the substrate of the live
+//! append path.
+//!
+//! Financial databases mutate all day; the engine's answer cache keys on
+//! a configuration fingerprint, so data mutations must be *visible to
+//! the fingerprint* or a row insert would silently serve stale cached
+//! answers. Every mutation through [`crate::Database::append_rows`] /
+//! [`crate::Database::apply_changes`] does three things atomically:
+//! validates the rows (schema types + foreign keys), appends one
+//! [`ChangeRecord`] to the database's in-memory [`ChangeLog`], and bumps
+//! the database's [`DataEpoch`] to the record's sequence number. The
+//! epoch is mixed into the config fingerprint upstream, so a cache entry
+//! written at epoch N is structurally unreachable at epoch N+1.
+//!
+//! The log is replayable: [`crate::Database::replay`] applies a log onto
+//! a freshly generated base database and reproduces the live database
+//! bit for bit (the differential suite in `crates/core/tests/
+//! live_equality.rs` pins this). It is also serialisable for
+//! snapshot/restore: a length-prefixed, checksummed binary frame per
+//! record, so a truncated or torn tail is *detected* — decoding surfaces
+//! [`WalError::TornTail`] carrying the longest valid prefix, and no
+//! partial record is ever applied.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A database's data-state version: the number of change records applied
+/// since the base snapshot was built. Epoch 0 is the freshly generated
+/// database; every applied [`ChangeRecord`] advances it by one, so
+/// `epoch == change_log().last_seq()` always holds.
+///
+/// The epoch is the *only* data-state signal the serving layer needs:
+/// two databases built from the same base seed at the same epoch hold
+/// identical rows (records are applied in sequence order and validated
+/// identically), so mixing the epoch into the answer-cache fingerprint
+/// makes a stale-data hit structurally impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DataEpoch(pub u64);
+
+impl DataEpoch {
+    /// The epoch of a freshly constructed database.
+    pub const ZERO: DataEpoch = DataEpoch(0);
+
+    /// The epoch after one more change record.
+    #[must_use]
+    pub fn next(self) -> DataEpoch {
+        DataEpoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for DataEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One validated, applied mutation: a batch of rows appended to a single
+/// table. `seq` is the per-database monotone sequence number (1-based,
+/// dense: the log's i-th record has `seq == i + 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeRecord {
+    pub seq: u64,
+    /// Canonical (catalog-cased) table name.
+    pub table: String,
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// An ordered, in-memory change log with dense 1-based sequence numbers.
+///
+/// Records are only ever appended by the owning [`crate::Database`]'s
+/// validated mutation path, so every record in a log was legal against
+/// the state produced by its predecessors — which is what makes replay
+/// onto an equal base infallible and idempotent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChangeLog {
+    records: Vec<ChangeRecord>,
+}
+
+/// Serialisation frame constants: magic + version header, then per
+/// record a little-endian `u32` payload length, the payload, and an
+/// FNV-1a 64-bit checksum of the payload.
+const WAL_MAGIC: &[u8; 5] = b"FWAL\x01";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h = (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl ChangeLog {
+    /// An empty log (sequence numbers start at 1).
+    pub fn new() -> Self {
+        ChangeLog::default()
+    }
+
+    /// Every record, in sequence order.
+    pub fn records(&self) -> &[ChangeRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no change has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The sequence number of the newest record (0 when empty) — always
+    /// equal to the owning database's epoch.
+    pub fn last_seq(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// The records with `seq > after`, i.e. the tail a consumer at epoch
+    /// `after` has not yet absorbed. Sequence numbers are dense, so this
+    /// is a slice, not a scan.
+    pub fn since(&self, after: u64) -> &[ChangeRecord] {
+        let from = (after as usize).min(self.records.len());
+        &self.records[from..]
+    }
+
+    /// Appends a record, assigning the next sequence number. Crate-only:
+    /// the database's validated mutation path is the sole writer.
+    pub(crate) fn push(&mut self, table: String, rows: Vec<Vec<Value>>) -> u64 {
+        let seq = self.last_seq() + 1;
+        self.records.push(ChangeRecord { seq, table, rows });
+        seq
+    }
+
+    /// Serialises the log into the checksummed binary frame format for
+    /// snapshot/restore. Deterministic: equal logs produce equal bytes.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 * self.records.len() + WAL_MAGIC.len());
+        out.extend_from_slice(WAL_MAGIC);
+        for record in &self.records {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&record.seq.to_le_bytes());
+            put_str(&mut payload, &record.table);
+            payload.extend_from_slice(&(record.rows.len() as u32).to_le_bytes());
+            for row in &record.rows {
+                payload.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                for value in row {
+                    put_value(&mut payload, value);
+                }
+            }
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            let checksum = fnv64(&payload);
+            out.extend_from_slice(&payload);
+            out.extend_from_slice(&checksum.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a serialised log, verifying the header, every frame
+    /// checksum and sequence density. A truncated or torn tail yields
+    /// [`WalError::TornTail`] carrying the longest valid prefix so a
+    /// caller can recover every complete record while surfacing the
+    /// fault; damage *before* the tail yields [`WalError::Corrupt`].
+    pub fn deserialize(bytes: &[u8]) -> Result<ChangeLog, WalError> {
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(WalError::BadHeader);
+        }
+        let mut log = ChangeLog::new();
+        let mut offset = WAL_MAGIC.len();
+        while offset < bytes.len() {
+            let frame_start = offset;
+            let torn = |log: ChangeLog| WalError::TornTail { valid: log, offset: frame_start };
+            let Some(len_bytes) = bytes.get(offset..offset + 4) else {
+                return Err(torn(log));
+            };
+            // INVARIANT: get() returned exactly the 4 bytes requested.
+            let payload_len = u32::from_le_bytes(len_bytes.try_into().expect("4-byte slice")) as usize;
+            offset += 4;
+            let Some(payload) = bytes.get(offset..offset + payload_len) else {
+                return Err(torn(log));
+            };
+            offset += payload_len;
+            let Some(sum_bytes) = bytes.get(offset..offset + 8) else {
+                return Err(torn(log));
+            };
+            // INVARIANT: get() returned exactly the 8 bytes requested.
+            let checksum = u64::from_le_bytes(sum_bytes.try_into().expect("8-byte slice"));
+            offset += 8;
+            if fnv64(payload) != checksum {
+                // A frame whose bytes are all present but whose checksum
+                // fails is a torn *tail* only when nothing follows it;
+                // with more data behind it, the middle of the log is
+                // damaged and no prefix can be trusted to be "the tail".
+                if offset >= bytes.len() {
+                    return Err(torn(log));
+                }
+                return Err(WalError::Corrupt {
+                    offset: frame_start,
+                    reason: "frame checksum mismatch".to_string(),
+                });
+            }
+            let record = decode_record(payload).map_err(|reason| WalError::Corrupt {
+                offset: frame_start,
+                reason,
+            })?;
+            if record.seq != log.last_seq() + 1 {
+                return Err(WalError::Corrupt {
+                    offset: frame_start,
+                    reason: format!(
+                        "sequence gap: record {} after {}",
+                        record.seq,
+                        log.last_seq()
+                    ),
+                });
+            }
+            log.records.push(record);
+        }
+        Ok(log)
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Value tags of the frame payload encoding.
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BOOL: u8 = 4;
+
+fn put_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Int(v) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Float(v) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_str(out, s);
+        }
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+/// A cursor over a record payload; every read is bounds-checked so a
+/// checksum collision can still only yield a clean error, never a panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let out = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| format!("payload underrun at byte {}", self.pos))?;
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        // INVARIANT: take(4) returned exactly 4 bytes.
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        // INVARIANT: take(8) returned exactly 8 bytes.
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 string".to_string())
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Result<ChangeRecord, String> {
+    let mut c = Cursor { bytes: payload, pos: 0 };
+    let seq = c.u64()?;
+    let table = c.str()?;
+    let n_rows = c.u32()? as usize;
+    let mut rows = Vec::with_capacity(n_rows.min(4096));
+    for _ in 0..n_rows {
+        let n_values = c.u32()? as usize;
+        let mut row = Vec::with_capacity(n_values.min(256));
+        for _ in 0..n_values {
+            let tag = c.take(1)?[0];
+            row.push(match tag {
+                TAG_NULL => Value::Null,
+                TAG_INT => Value::Int(c.u64()? as i64),
+                TAG_FLOAT => Value::Float(f64::from_bits(c.u64()?)),
+                TAG_STR => Value::Str(c.str()?),
+                TAG_BOOL => Value::Bool(c.take(1)?[0] != 0),
+                other => return Err(format!("unknown value tag {other}")),
+            });
+        }
+        rows.push(row);
+    }
+    if c.pos != payload.len() {
+        return Err(format!("{} trailing payload bytes", payload.len() - c.pos));
+    }
+    Ok(ChangeRecord { seq, table, rows })
+}
+
+/// Faults surfaced while decoding a serialised change log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalError {
+    /// The magic/version header is missing or wrong.
+    BadHeader,
+    /// The log's tail is truncated or torn: `valid` holds every complete
+    /// record before the fault (replay can stop there), `offset` is
+    /// where the broken frame starts. No partial record is included.
+    TornTail { valid: ChangeLog, offset: usize },
+    /// Damage before the tail (bad checksum mid-log, undecodable
+    /// payload, sequence gap): nothing after `offset` can be trusted.
+    Corrupt { offset: usize, reason: String },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::BadHeader => write!(f, "change log header missing or wrong version"),
+            WalError::TornTail { valid, offset } => write!(
+                f,
+                "torn change-log tail at byte {offset}: {} complete records recovered",
+                valid.len()
+            ),
+            WalError::Corrupt { offset, reason } => {
+                write!(f, "corrupt change log at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ChangeLog {
+        let mut log = ChangeLog::new();
+        log.push(
+            "mf_fundnav".into(),
+            vec![
+                vec![Value::Int(1), Value::Float(1.25), Value::Str("2022-04-29".into())],
+                vec![Value::Int(2), Value::Null, Value::Bool(true)],
+            ],
+        );
+        log.push("mf_fundnav".into(), vec![vec![Value::Int(3), Value::Float(2.5), Value::Null]]);
+        log.push("lc_stockarchives".into(), vec![vec![Value::Str("Pacific Energy".into())]]);
+        log
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let log = sample_log();
+        let bytes = log.serialize();
+        assert_eq!(ChangeLog::deserialize(&bytes).unwrap(), log);
+    }
+
+    #[test]
+    fn empty_log_roundtrips() {
+        let log = ChangeLog::new();
+        assert_eq!(ChangeLog::deserialize(&log.serialize()).unwrap(), log);
+    }
+
+    #[test]
+    fn serialisation_is_deterministic() {
+        assert_eq!(sample_log().serialize(), sample_log().serialize());
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert_eq!(ChangeLog::deserialize(b"nope"), Err(WalError::BadHeader));
+        let mut bytes = sample_log().serialize();
+        bytes[4] = 99; // wrong version
+        assert_eq!(ChangeLog::deserialize(&bytes), Err(WalError::BadHeader));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_recovers_the_complete_prefix() {
+        let log = sample_log();
+        let bytes = log.serialize();
+        // Frame boundaries: reconstruct how many whole records fit in a
+        // prefix by re-serialising sub-logs.
+        let mut boundary_len = vec![WAL_MAGIC.len()];
+        for n in 1..=log.len() {
+            let sub = ChangeLog { records: log.records()[..n].to_vec() };
+            boundary_len.push(sub.serialize().len());
+        }
+        for cut in WAL_MAGIC.len()..bytes.len() {
+            let truncated = &bytes[..cut];
+            if let Some(n) = boundary_len.iter().position(|&b| b == cut) {
+                // Exactly at a frame boundary: a clean (shorter) log.
+                let got = ChangeLog::deserialize(truncated).unwrap();
+                assert_eq!(got.records(), &log.records()[..n]);
+            } else {
+                // Mid-frame: a torn tail carrying every complete record.
+                let n = boundary_len.iter().filter(|&&b| b <= cut).count() - 1;
+                match ChangeLog::deserialize(truncated) {
+                    Err(WalError::TornTail { valid, offset }) => {
+                        assert_eq!(valid.records(), &log.records()[..n], "cut at {cut}");
+                        assert_eq!(offset, boundary_len[n], "cut at {cut}");
+                    }
+                    other => panic!("cut at {cut}: expected torn tail, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_tail_byte_is_a_torn_tail() {
+        let log = sample_log();
+        let mut bytes = log.serialize();
+        // Flip a byte inside the *last* frame's payload.
+        let last_frame_start = ChangeLog { records: log.records()[..2].to_vec() }
+            .serialize()
+            .len();
+        let i = last_frame_start + 6;
+        bytes[i] ^= 0xFF;
+        match ChangeLog::deserialize(&bytes) {
+            Err(WalError::TornTail { valid, .. }) => assert_eq!(valid.len(), 2),
+            other => panic!("expected torn tail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_middle_byte_is_corruption_not_a_tail() {
+        let log = sample_log();
+        let mut bytes = log.serialize();
+        let second_frame_start =
+            ChangeLog { records: log.records()[..1].to_vec() }.serialize().len();
+        bytes[second_frame_start + 6] ^= 0xFF;
+        match ChangeLog::deserialize(&bytes) {
+            Err(WalError::Corrupt { .. }) => {}
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_gap_is_corruption() {
+        let mut log = sample_log();
+        log.records[2].seq = 9;
+        match ChangeLog::deserialize(&log.serialize()) {
+            Err(WalError::Corrupt { reason, .. }) => assert!(reason.contains("sequence gap")),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn since_slices_the_tail() {
+        let log = sample_log();
+        assert_eq!(log.since(0).len(), 3);
+        assert_eq!(log.since(2).len(), 1);
+        assert_eq!(log.since(2)[0].seq, 3);
+        assert!(log.since(3).is_empty());
+        assert!(log.since(99).is_empty());
+    }
+
+    #[test]
+    fn epoch_arithmetic() {
+        assert_eq!(DataEpoch::ZERO.next(), DataEpoch(1));
+        assert_eq!(DataEpoch(41).next().0, 42);
+        assert_eq!(format!("{}", DataEpoch(7)), "e7");
+    }
+}

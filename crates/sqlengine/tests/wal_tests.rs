@@ -1,0 +1,287 @@
+//! Fault-injection and replay tests for the live append path: torn and
+//! truncated change-log tails are detected with no partial row applied,
+//! replay is idempotent, and FK-violating appends are rejected atomically.
+
+use sqlengine::{ChangeLog, Database, ExecError, Value, WalError};
+use sqlkit::catalog::{CatalogColumn, CatalogSchema, CatalogTable, ColType, ForeignKey};
+
+/// A two-table schema with an FK: nav rows must reference a fund.
+fn catalog() -> CatalogSchema {
+    CatalogSchema {
+        db_id: "t".into(),
+        tables: vec![
+            CatalogTable {
+                name: "fund".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![
+                    CatalogColumn::new("fid", ColType::Int, "", ""),
+                    CatalogColumn::new("nm", ColType::Text, "", ""),
+                ],
+            },
+            CatalogTable {
+                name: "nav".into(),
+                desc_en: String::new(),
+                desc_cn: String::new(),
+                columns: vec![
+                    CatalogColumn::new("fid", ColType::Int, "", ""),
+                    CatalogColumn::new("px", ColType::Float, "", ""),
+                    CatalogColumn::new("dt", ColType::Date, "", ""),
+                ],
+            },
+        ],
+        foreign_keys: vec![ForeignKey {
+            from_table: "nav".into(),
+            from_column: "fid".into(),
+            to_table: "fund".into(),
+            to_column: "fid".into(),
+        }],
+    }
+}
+
+/// A base snapshot: two funds at epoch 0 via the unlogged insert path.
+fn base() -> Database {
+    let mut db = Database::new(catalog());
+    db.insert("fund", vec![Value::Int(1), Value::from("Alpha")]).unwrap();
+    db.insert("fund", vec![Value::Int(2), Value::from("Beta")]).unwrap();
+    assert_eq!(db.epoch().0, 0);
+    assert!(db.change_log().is_empty());
+    db
+}
+
+fn nav_row(fid: i64, px: f64, dt: &str) -> Vec<Value> {
+    vec![Value::Int(fid), Value::Float(px), Value::from(dt)]
+}
+
+#[test]
+fn append_logs_and_bumps_epoch() {
+    let mut db = base();
+    let e1 = db.append_rows("nav", vec![nav_row(1, 1.5, "2022-01-03")]).unwrap();
+    assert_eq!(e1.0, 1);
+    let e2 = db
+        .append_rows("nav", vec![nav_row(2, 0.9, "2022-01-03"), nav_row(1, 1.6, "2022-01-04")])
+        .unwrap();
+    assert_eq!(e2.0, 2);
+    assert_eq!(db.epoch(), e2);
+    assert_eq!(db.change_log().len(), 2);
+    assert_eq!(db.change_log().records()[1].rows.len(), 2);
+    assert_eq!(db.table("nav").unwrap().len(), 3);
+}
+
+#[test]
+fn fk_violation_is_rejected_atomically() {
+    let mut db = base();
+    // Second row references fund 99, which doesn't exist: the whole
+    // batch must be rejected — including the valid first row.
+    let err = db
+        .append_rows("nav", vec![nav_row(1, 1.5, "2022-01-03"), nav_row(99, 2.0, "2022-01-03")])
+        .unwrap_err();
+    assert!(matches!(err, ExecError::ForeignKey(_)), "got {err:?}");
+    assert_eq!(db.table("nav").unwrap().len(), 0, "no partial row applied");
+    assert_eq!(db.epoch().0, 0, "epoch unmoved");
+    assert!(db.change_log().is_empty(), "nothing logged");
+}
+
+#[test]
+fn null_fk_values_are_allowed() {
+    let mut db = base();
+    db.append_rows("nav", vec![vec![Value::Null, Value::Float(1.0), Value::from("2022-01-03")]])
+        .unwrap();
+    assert_eq!(db.epoch().0, 1);
+}
+
+#[test]
+fn fk_match_coerces_int_and_float() {
+    // A Float FK column referencing an Int key: Int(1) stored vs
+    // Float(1.0) appended must match numerically, mirroring the
+    // executor's join comparison.
+    let mut schema = catalog();
+    schema.tables[1].columns[0] = CatalogColumn::new("fid", ColType::Float, "", "");
+    let mut db = Database::new(schema);
+    db.insert("fund", vec![Value::Int(1), Value::from("Alpha")]).unwrap();
+    db.append_rows("nav", vec![vec![Value::Float(1.0), Value::Float(1.0), Value::Null]])
+        .unwrap();
+    assert_eq!(db.epoch().0, 1);
+    let err = db
+        .append_rows("nav", vec![vec![Value::Float(7.5), Value::Float(1.0), Value::Null]])
+        .unwrap_err();
+    assert!(matches!(err, ExecError::ForeignKey(_)));
+}
+
+#[test]
+fn batched_changes_may_reference_earlier_changes_in_the_batch() {
+    let mut db = base();
+    // A new fund and its first tick ride one atomic batch.
+    let epoch = db
+        .apply_changes(vec![
+            ("fund".into(), vec![vec![Value::Int(3), Value::from("Gamma")]]),
+            ("nav".into(), vec![nav_row(3, 10.0, "2022-01-03")]),
+        ])
+        .unwrap();
+    assert_eq!(epoch.0, 2, "one epoch bump per change record");
+    assert_eq!(db.change_log().len(), 2);
+
+    // Reversed order: the tick's parent is not yet visible (stored or
+    // pending-earlier), so the batch is rejected whole.
+    let err = db
+        .apply_changes(vec![
+            ("nav".into(), vec![nav_row(4, 10.0, "2022-01-03")]),
+            ("fund".into(), vec![vec![Value::Int(4), Value::from("Delta")]]),
+        ])
+        .unwrap_err();
+    assert!(matches!(err, ExecError::ForeignKey(_)));
+    assert_eq!(db.epoch().0, 2);
+    assert_eq!(db.table("fund").unwrap().len(), 3);
+}
+
+#[test]
+fn type_violation_in_batch_rejects_the_whole_batch() {
+    let mut db = base();
+    let err = db
+        .apply_changes(vec![
+            ("nav".into(), vec![nav_row(1, 1.5, "2022-01-03")]),
+            ("nav".into(), vec![vec![Value::from("oops"), Value::Float(1.0), Value::Null]]),
+        ])
+        .unwrap_err();
+    assert!(matches!(err, ExecError::Type(_)));
+    assert_eq!(db.table("nav").unwrap().len(), 0);
+    assert_eq!(db.epoch().0, 0);
+}
+
+#[test]
+fn unknown_table_rejects_the_whole_batch() {
+    let mut db = base();
+    let err = db
+        .apply_changes(vec![
+            ("nav".into(), vec![nav_row(1, 1.5, "2022-01-03")]),
+            ("ghost".into(), vec![vec![Value::Int(1)]]),
+        ])
+        .unwrap_err();
+    assert!(matches!(err, ExecError::UnknownTable(_)));
+    assert_eq!(db.table("nav").unwrap().len(), 0);
+}
+
+#[test]
+fn table_name_is_canonicalised_in_the_log() {
+    let mut db = base();
+    db.append_rows("NAV", vec![nav_row(1, 1.5, "2022-01-03")]).unwrap();
+    assert_eq!(db.change_log().records()[0].table, "nav");
+}
+
+/// Replaying a live database's log onto an equal base snapshot must
+/// reproduce rows, epoch, and log exactly.
+#[test]
+fn replay_reconstructs_the_live_database() {
+    let mut live = base();
+    live.append_rows("nav", vec![nav_row(1, 1.5, "2022-01-03")]).unwrap();
+    live.apply_changes(vec![
+        ("fund".into(), vec![vec![Value::Int(3), Value::from("Gamma")]]),
+        ("nav".into(), vec![nav_row(3, 10.0, "2022-01-03")]),
+    ])
+    .unwrap();
+
+    let mut cold = base();
+    let epoch = cold.replay(live.change_log()).unwrap();
+    assert_eq!(epoch, live.epoch());
+    assert_eq!(cold.change_log(), live.change_log());
+    for (a, b) in cold.tables().zip(live.tables()) {
+        assert_eq!(a.rows, b.rows, "table {}", a.def.name);
+    }
+}
+
+#[test]
+fn replay_is_idempotent() {
+    let mut live = base();
+    live.append_rows("nav", vec![nav_row(1, 1.5, "2022-01-03")]).unwrap();
+    live.append_rows("nav", vec![nav_row(2, 0.9, "2022-01-03")]).unwrap();
+
+    let mut cold = base();
+    cold.replay(live.change_log()).unwrap();
+    let rows_before = cold.table("nav").unwrap().len();
+    // Replaying the same log again applies nothing.
+    let epoch = cold.replay(live.change_log()).unwrap();
+    assert_eq!(epoch, live.epoch());
+    assert_eq!(cold.table("nav").unwrap().len(), rows_before);
+    assert_eq!(cold.change_log().len(), 2);
+
+    // Replaying onto a database mid-history applies only the tail.
+    let mut partial = base();
+    partial
+        .append_rows("nav", vec![nav_row(1, 1.5, "2022-01-03")])
+        .unwrap();
+    partial.replay(live.change_log()).unwrap();
+    assert_eq!(partial.epoch(), live.epoch());
+    assert_eq!(partial.table("nav").unwrap().len(), 2);
+}
+
+#[test]
+fn replay_rejects_a_sequence_gap() {
+    let mut live = base();
+    live.append_rows("nav", vec![nav_row(1, 1.5, "2022-01-03")]).unwrap();
+    live.append_rows("nav", vec![nav_row(2, 0.9, "2022-01-03")]).unwrap();
+
+    // A fresh base replaying only the tail record (seq 2) has a gap.
+    let mut cold = base();
+    let tail = &live.change_log().records()[1];
+    let err = cold.replay_record(tail).unwrap_err();
+    assert!(matches!(err, ExecError::ChangeLog(_)), "got {err:?}");
+    assert_eq!(cold.epoch().0, 0);
+    assert_eq!(cold.table("nav").unwrap().len(), 0);
+}
+
+/// End-to-end torn-tail drill: serialise, truncate mid-frame, recover
+/// the valid prefix, replay it — the error is surfaced, replay stops at
+/// the last complete record, and no partial row is applied.
+#[test]
+fn torn_snapshot_replays_only_the_complete_prefix() {
+    let mut live = base();
+    live.append_rows("nav", vec![nav_row(1, 1.5, "2022-01-03")]).unwrap();
+    live.append_rows("nav", vec![nav_row(2, 0.9, "2022-01-04")]).unwrap();
+    live.append_rows("nav", vec![nav_row(1, 1.7, "2022-01-05")]).unwrap();
+
+    let bytes = live.change_log().serialize();
+    let torn = &bytes[..bytes.len() - 7]; // cut inside the last frame
+    let err = ChangeLog::deserialize(torn).unwrap_err();
+    let WalError::TornTail { valid, .. } = err else {
+        panic!("expected torn tail, got {err:?}");
+    };
+    assert_eq!(valid.len(), 2, "last complete record is seq 2");
+
+    let mut cold = base();
+    cold.replay(&valid).unwrap();
+    assert_eq!(cold.epoch().0, 2);
+    assert_eq!(cold.table("nav").unwrap().len(), 2, "no partial row applied");
+}
+
+/// A bit-flip in the snapshot's interior is corruption, not a tail:
+/// nothing decodes, nothing is applied.
+#[test]
+fn corrupt_snapshot_interior_is_rejected_outright() {
+    let mut live = base();
+    live.append_rows("nav", vec![nav_row(1, 1.5, "2022-01-03")]).unwrap();
+    live.append_rows("nav", vec![nav_row(2, 0.9, "2022-01-04")]).unwrap();
+    let mut bytes = live.change_log().serialize();
+    bytes[10] ^= 0x40; // inside the first frame, with a frame behind it
+    match ChangeLog::deserialize(&bytes) {
+        Err(WalError::Corrupt { .. }) => {}
+        other => panic!("expected corruption, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_replayability() {
+    let mut live = base();
+    live.append_rows("nav", vec![nav_row(1, 1.5, "2022-01-03")]).unwrap();
+    live.apply_changes(vec![
+        ("fund".into(), vec![vec![Value::Int(3), Value::from("Gamma")]]),
+        ("nav".into(), vec![nav_row(3, 10.0, "2022-01-03")]),
+    ])
+    .unwrap();
+
+    let restored = ChangeLog::deserialize(&live.change_log().serialize()).unwrap();
+    assert_eq!(&restored, live.change_log());
+    let mut cold = base();
+    cold.replay(&restored).unwrap();
+    assert_eq!(cold.epoch(), live.epoch());
+    assert_eq!(cold.total_rows(), live.total_rows());
+}
