@@ -44,7 +44,7 @@ fn main() {
 
     // Unbatched, cold then warm through one cache.
     let cache = AnswerCache::unbounded();
-    let mut unbatched_answers: Vec<String> = Vec::with_capacity(total);
+    let mut unbatched_answers: Vec<std::sync::Arc<str>> = Vec::with_capacity(total);
     let cold = Instant::now();
     for (db, qs) in &per_db {
         for q in qs {
@@ -63,7 +63,7 @@ fn main() {
     // Batched, cold then warm through a fresh cache.
     let cache = AnswerCache::unbounded();
     let metrics = EvalMetrics::new();
-    let mut batched_answers: Vec<String> = Vec::with_capacity(total);
+    let mut batched_answers: Vec<std::sync::Arc<str>> = Vec::with_capacity(total);
     let cold = Instant::now();
     for (db, qs) in &per_db {
         for chunk in qs.chunks(batch) {

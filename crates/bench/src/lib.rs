@@ -3,9 +3,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod traffic;
+
 use bull::{BullDataset, DbId, Lang, Split};
 use finsql_core::baselines::{FtBaseline, GptBaseline, GptMethod, GptModel, SharedGptBaseline};
-use finsql_core::cache::{Answerer, AnswerCache};
+use finsql_core::cache::{Answerer, AnswerCache, CachePolicy};
 use finsql_core::eval::{
     evaluate_ex_all_interleaved, evaluate_ex_all_interleaved_batched, evaluate_ex_all_limit,
     EvalOutcome,
@@ -23,9 +25,12 @@ pub const SEED: u64 = bull::DEFAULT_SEED;
 /// escape hatch; results are identical either way), `--workers N` sizes
 /// the worker pool (`0` = available parallelism), `--no-cache` disables
 /// the keyed answer cache, `--cache-cap N` caps the cache at `N` entries
-/// (`0` = unbounded, the default), and `--batch N` / `--no-batch` set the
-/// micro-batch size of the batched FinSQL answer engine (CLI default 8;
-/// `--no-batch` or `--batch 0` falls back to per-question answering —
+/// (`0` = unbounded, the default), `--cache-policy lru|slru-tinylfu`
+/// selects the eviction/admission policy of a capped cache (default:
+/// the policy in `FinSqlConfig`, i.e. SLRU + TinyLFU; the policy can
+/// change hit rates, never answers), and `--batch N` / `--no-batch` set
+/// the micro-batch size of the batched FinSQL answer engine (CLI default
+/// 8; `--no-batch` or `--batch 0` falls back to per-question answering —
 /// answers are byte-identical either way).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct HarnessOpts {
@@ -33,6 +38,9 @@ pub struct HarnessOpts {
     pub workers: usize,
     pub no_cache: bool,
     pub cache_cap: usize,
+    /// Eviction/admission policy for the answer cache; `None` keeps the
+    /// [`FinSqlConfig`] default.
+    pub cache_policy: Option<CachePolicy>,
     /// Micro-batch size for the batched FinSQL engine; `0` = unbatched.
     /// `Default::default()` is unbatched, [`HarnessOpts::from_args`]
     /// defaults to 8.
@@ -65,6 +73,14 @@ impl HarnessOpts {
                         .and_then(|v| v.parse().ok())
                         .expect("--cache-cap needs a number");
                 }
+                "--cache-policy" => {
+                    opts.cache_policy = Some(
+                        args.next()
+                            .as_deref()
+                            .and_then(CachePolicy::parse)
+                            .expect("--cache-policy needs lru or slru-tinylfu"),
+                    );
+                }
                 "--batch" => {
                     opts.batch = args
                         .next()
@@ -79,12 +95,16 @@ impl HarnessOpts {
     }
 
     /// The answer cache these options call for: `None` under
-    /// `--no-cache`, otherwise a cache capped at `--cache-cap` entries.
+    /// `--no-cache`, otherwise a cache capped at `--cache-cap` entries
+    /// running the `--cache-policy` eviction/admission policy.
     pub fn cache(&self) -> Option<AnswerCache> {
         if self.no_cache {
             None
         } else {
-            Some(AnswerCache::with_capacity(self.cache_cap))
+            Some(AnswerCache::with_policy(
+                self.cache_cap,
+                self.cache_policy.unwrap_or_default(),
+            ))
         }
     }
 }

@@ -171,9 +171,9 @@ impl FinSql {
         db: DbId,
         questions: &[&str],
         metrics: Option<&EvalMetrics>,
-    ) -> Vec<String> {
+    ) -> Vec<Arc<str>> {
         let fingerprint = self.config_fingerprint();
-        let mut out: Vec<Option<String>> = vec![None; questions.len()];
+        let mut out: Vec<Option<Arc<str>>> = vec![None; questions.len()];
         let mut misses: Vec<usize> = Vec::new();
         for (i, q) in questions.iter().enumerate() {
             match cache.get(db, q, fingerprint) {
@@ -190,9 +190,13 @@ impl FinSql {
             let miss_questions: Vec<&str> = misses.iter().map(|&i| questions[i]).collect();
             let computed = self.answer_batch_with_metrics(db, &miss_questions, metrics);
             for (&i, answer) in misses.iter().zip(computed) {
-                let evicted = cache.insert(db, questions[i], fingerprint, answer.clone());
+                let answer: Arc<str> = Arc::from(answer);
+                let outcome = cache.insert(db, questions[i], fingerprint, Arc::clone(&answer));
                 if let Some(m) = metrics {
-                    m.record_cache_miss(evicted);
+                    m.record_cache_miss(outcome.evicted);
+                    if !outcome.admitted {
+                        m.record_admission_rejected();
+                    }
                 }
                 out[i] = Some(answer);
             }
@@ -211,10 +215,14 @@ impl FinSql {
         db: DbId,
         questions: &[&str],
         metrics: Option<&EvalMetrics>,
-    ) -> Vec<String> {
+    ) -> Vec<Arc<str>> {
         match cache {
             Some(c) => self.answer_batch_cached(c, db, questions, metrics),
-            None => self.answer_batch_with_metrics(db, questions, metrics),
+            None => self
+                .answer_batch_with_metrics(db, questions, metrics)
+                .into_iter()
+                .map(Arc::from)
+                .collect(),
         }
     }
 
@@ -233,8 +241,8 @@ impl FinSql {
         cache: Option<&AnswerCache>,
         requests: &[(DbId, &str)],
         metrics: Option<&EvalMetrics>,
-    ) -> Vec<String> {
-        let mut out: Vec<Option<String>> = vec![None; requests.len()];
+    ) -> Vec<Arc<str>> {
+        let mut out: Vec<Option<Arc<str>>> = vec![None; requests.len()];
         let mut dbs_spanned = 0usize;
         for db in DbId::ALL {
             let indices: Vec<usize> = requests
@@ -293,19 +301,19 @@ impl Default for BatchConfig {
 /// submitter.
 #[derive(Default)]
 struct ResponseSlot {
-    answer: Mutex<Option<String>>,
+    answer: Mutex<Option<Arc<str>>>,
     ready: Condvar,
 }
 
 impl ResponseSlot {
-    fn put(&self, answer: String) {
+    fn put(&self, answer: Arc<str>) {
         // INVARIANT: a poisoned slot lock means a peer thread panicked
         // holding it; the slot state is unrecoverable, so propagate.
         *self.answer.lock().expect("slot lock poisoned") = Some(answer);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> String {
+    fn wait(&self) -> Arc<str> {
         // INVARIANT: a poisoned slot lock means a peer thread panicked
         // holding it; the slot state is unrecoverable, so propagate.
         let mut guard = self.answer.lock().expect("slot lock poisoned");
@@ -405,7 +413,7 @@ impl BatchScheduler {
     /// Submits one question and blocks until its answer is ready. Safe to
     /// call from many threads at once — concurrency is what gives the
     /// workers batches to coalesce.
-    pub fn answer(&self, db: DbId, question: &str) -> String {
+    pub fn answer(&self, db: DbId, question: &str) -> Arc<str> {
         let slot = Arc::new(ResponseSlot::default());
         {
             // INVARIANT: a poisoned queue lock means a worker panicked
@@ -437,7 +445,7 @@ impl Answerer for BatchScheduler {
     /// its construction-time metrics sink; the per-call `metrics`
     /// argument cannot cross the queue and is ignored.
     fn answer_fresh(&self, db: DbId, question: &str, _metrics: Option<&EvalMetrics>) -> String {
-        self.answer(db, question)
+        self.answer(db, question).as_ref().to_owned()
     }
 }
 
@@ -518,6 +526,11 @@ fn worker_loop(shared: &Shared) {
         let answers =
             shared.engine.answer_batch_mixed(shared.cache.as_deref(), &requests, metrics);
         for (request, answer) in batch.iter().zip(answers) {
+            if let Some(m) = metrics {
+                // Scheduler-path latency: queue wait + batching window +
+                // compute, anchored at enqueue time.
+                m.record_answer_latency(request.enqueued.elapsed());
+            }
             request.slot.put(answer);
         }
     }

@@ -12,22 +12,45 @@
 //! entry is simply never found.
 //!
 //! [`AnswerCache`] is sharded and lock-striped: keys are spread over
-//! independently-locked shards so evaluation workers rarely contend, and
-//! each shard evicts its *least-recently-used* entry once a capacity cap
-//! is reached — a hit refreshes an entry's recency, so a hot question
-//! survives a sweep of cold ones. Recency is tracked lazily: each touch
-//! stamps the entry and appends `(stamp, key)` to the shard's recency
-//! queue, eviction pops the queue front skipping stale stamps, and the
-//! queue is compacted when stale records outnumber live ones — so `get`
-//! never scans the queue. [`Answerer`] is the trait the FinSQL system
-//! and the fine-tuning/GPT baselines share so the bench harness can
-//! thread one cache through any of them.
+//! independently-locked shards by a full FNV key hash that is reused as
+//! the shard's bucket key, so a lookup never allocates — the question is
+//! compared borrowed and interned into an `Arc<str>` only when an entry
+//! is first admitted. Answers are `Arc<str>` too: a hit is a refcount
+//! bump, never a copy.
+//!
+//! Eviction is selected by [`CachePolicy`]:
+//!
+//! * [`CachePolicy::Lru`] — the reference policy: each shard evicts its
+//!   least-recently-used entry once its capacity cap is reached.
+//! * [`CachePolicy::SlruTinyLfu`] (default) — segmented LRU with TinyLFU
+//!   admission. Each shard is split into a *probationary* and a
+//!   *protected* segment: new entries enter probation, a probationary
+//!   hit promotes the entry into the protected segment (bounded at ~80%
+//!   of the shard, demoting its own LRU back to probation when it
+//!   overflows), and at capacity a candidate may displace the eviction
+//!   victim only when the shard's [`FrequencySketch`] estimates the
+//!   candidate's recent lookup frequency *strictly above* the victim's.
+//!   A flood of one-shot questions therefore bounces off a full shard
+//!   instead of flushing the hot set.
+//!
+//! The policy can only change *hit or miss*, never an answer: every
+//! entry stores the deterministic answer for its key, and a rejected or
+//! evicted entry is simply recomputed — byte-identical — on the next
+//! miss. Recency is tracked lazily in per-segment queues: each touch
+//! stamps the entry and appends `(stamp, key)`, eviction pops the queue
+//! front skipping stale stamps, and a queue is compacted when stale
+//! records outnumber live ones — so `get` never scans a queue.
+//! [`Answerer`] is the trait the FinSQL system and the fine-tuning/GPT
+//! baselines share so the bench harness can thread one cache through
+//! any of them.
 
 use crate::metrics::EvalMetrics;
+use crate::tinylfu::FrequencySketch;
 use bull::DbId;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A stable hash of every configuration knob that can change an answer.
 ///
@@ -100,54 +123,209 @@ impl FingerprintBuilder {
     }
 }
 
+/// Eviction/admission policy of an [`AnswerCache`].
+///
+/// The policy is deliberately **not** part of [`ConfigFingerprint`]:
+/// like `link_mode`, toggling it cannot change any answer — entries
+/// store the deterministic answer for their key, so a policy can only
+/// decide *which* keys stay resident (hit vs recompute), never *what*
+/// is returned for a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CachePolicy {
+    /// Plain least-recently-used eviction per shard — the reference
+    /// policy, kept for differential testing and `--cache-policy lru`.
+    Lru,
+    /// Segmented LRU (probationary/protected) with a TinyLFU frequency
+    /// sketch deciding admission at capacity. The default: skew-aware,
+    /// scan-resistant.
+    #[default]
+    SlruTinyLfu,
+}
+
+impl CachePolicy {
+    pub const ALL: [CachePolicy; 2] = [CachePolicy::Lru, CachePolicy::SlruTinyLfu];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CachePolicy::Lru => "lru",
+            CachePolicy::SlruTinyLfu => "slru-tinylfu",
+        }
+    }
+
+    /// Parses the `--cache-policy` flag value.
+    pub fn parse(s: &str) -> Option<CachePolicy> {
+        match s {
+            "lru" => Some(CachePolicy::Lru),
+            "slru-tinylfu" | "slru" | "tinylfu" => Some(CachePolicy::SlruTinyLfu),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CachePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The full FNV key hash — used for shard routing *and* as the bucket
+/// key inside the shard, so a lookup needs no allocation and no second
+/// hash pass.
+fn key_hash(db: DbId, question: &str, fingerprint: ConfigFingerprint) -> u64 {
+    FingerprintBuilder::new(db.as_str())
+        .push_str(question)
+        .push_u64(fingerprint.0)
+        .finish()
+        .0
+}
+
 /// One cache key: the question pinned to its database and the full
-/// configuration fingerprint of the system that answers it.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// configuration fingerprint of the system that answers it. The
+/// question is interned as `Arc<str>` — cloning a key for a recency
+/// record is a refcount bump, not a string copy — and the precomputed
+/// FNV hash rides along so no path ever rehashes the question.
+#[derive(Debug, Clone)]
 struct CacheKey {
+    h: u64,
     db: DbId,
-    question: String,
+    question: Arc<str>,
     fingerprint: ConfigFingerprint,
 }
 
 impl CacheKey {
-    /// The shard a key lives in — FNV over the parts, independent of the
-    /// `HashMap` hasher.
-    fn shard_index(db: DbId, question: &str, fingerprint: ConfigFingerprint, shards: usize) -> usize {
-        let h = FingerprintBuilder::new(db.as_str())
-            .push_str(question)
-            .push_u64(fingerprint.0)
-            .finish()
-            .0;
-        (h % shards as u64) as usize
+    /// Does this resident key match a borrowed lookup?
+    fn matches(&self, db: DbId, question: &str, fingerprint: ConfigFingerprint) -> bool {
+        self.db == db && self.fingerprint == fingerprint && &*self.question == question
+    }
+
+    /// Equality against another interned key (recency records clone the
+    /// resident key, so the pointer check almost always short-circuits).
+    fn same_key(&self, other: &CacheKey) -> bool {
+        self.h == other.h
+            && self.db == other.db
+            && self.fingerprint == other.fingerprint
+            && (Arc::ptr_eq(&self.question, &other.question) || self.question == other.question)
     }
 }
 
-/// One resident entry: the answer plus the stamp of its latest touch.
-#[derive(Debug)]
-struct Entry {
-    answer: String,
-    stamp: u64,
+/// Which SLRU segment an entry currently lives in. Under
+/// [`CachePolicy::Lru`] every entry stays [`Seg::Probation`] — one
+/// segment *is* plain LRU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seg {
+    Probation,
+    Protected,
 }
 
-/// One lock-striped shard: the entry map plus a lazily-maintained
-/// recency queue for LRU eviction. Every touch (insert or hit) takes a
-/// fresh stamp and appends `(stamp, key)`; a queue record whose stamp no
-/// longer matches its entry's is stale and is skipped at eviction time
-/// and dropped at compaction time.
+/// One resident entry: the shared answer, the stamp of its latest touch
+/// and its current segment.
+#[derive(Debug)]
+struct Entry {
+    answer: Arc<str>,
+    stamp: u64,
+    seg: Seg,
+}
+
+/// Policy context threaded from the cache into shard operations: the
+/// policy plus the per-shard capacity caps derived from it.
+#[derive(Debug, Clone, Copy)]
+struct PolicyCtx {
+    policy: CachePolicy,
+    /// Max entries per shard; `None` = unbounded.
+    shard_cap: Option<usize>,
+    /// Max protected entries per shard; `None` = unbounded.
+    protected_cap: Option<usize>,
+}
+
+/// What a shard-level refresh (hit or idempotent re-insert) did.
+#[derive(Debug)]
+struct Refreshed {
+    answer: Arc<str>,
+    promoted: bool,
+    demotions: u64,
+}
+
+/// What a shard-level insert did.
+#[derive(Debug)]
+enum ShardInsert {
+    /// A new entry was admitted (evicting `evicted` victims under a cap).
+    Fresh { evicted: u64 },
+    /// The key was already resident — recency refreshed like a hit.
+    Resident { promoted: bool, demotions: u64 },
+    /// TinyLFU admission rejected the candidate: its estimated frequency
+    /// did not beat the eviction victim's, so the shard is unchanged.
+    Rejected,
+}
+
+/// One lock-striped shard: hash-bucketed entries plus lazily-maintained
+/// per-segment recency queues. Every touch (insert, hit, promotion,
+/// demotion) takes a fresh stamp and appends `(stamp, key)` to the queue
+/// of the entry's segment; a record whose stamp no longer matches its
+/// entry's is stale and is skipped at eviction time and dropped at
+/// compaction time. Stamps are unique per shard, so a stamp match also
+/// proves the record sits in the entry's current segment queue.
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<CacheKey, Entry>,
-    order: VecDeque<(u64, CacheKey)>,
+    /// Entries bucketed by full key hash; the inner `Vec` holds hash
+    /// collisions (virtually always length 1). Never iterated — all
+    /// access is keyed — so no `HashMap` order can leak anywhere.
+    buckets: HashMap<u64, Vec<(CacheKey, Entry)>>,
+    /// Resident entries (sum of bucket lengths, tracked directly).
+    live: usize,
+    /// Resident entries currently in the protected segment.
+    protected_live: usize,
+    /// Recency queue of the probationary segment (the only queue under
+    /// plain LRU).
+    probation: VecDeque<(u64, CacheKey)>,
+    /// Recency queue of the protected segment.
+    protected: VecDeque<(u64, CacheKey)>,
     next_stamp: u64,
+    /// TinyLFU frequency sketch — present only under
+    /// [`CachePolicy::SlruTinyLfu`] with a capacity cap.
+    sketch: Option<FrequencySketch>,
+}
+
+/// The stamp of the resident entry for `key`, if any.
+fn entry_stamp(
+    buckets: &HashMap<u64, Vec<(CacheKey, Entry)>>,
+    key: &CacheKey,
+) -> Option<u64> {
+    buckets.get(&key.h)?.iter().find(|(k, _)| k.same_key(key)).map(|(_, e)| e.stamp)
+}
+
+/// Drops every stale queue record, keeping live ones in order.
+fn compact_queue(
+    buckets: &HashMap<u64, Vec<(CacheKey, Entry)>>,
+    queue: &mut VecDeque<(u64, CacheKey)>,
+) {
+    queue.retain(|(stamp, key)| entry_stamp(buckets, key) == Some(*stamp));
+}
+
+/// Re-issues stamps `fresh+1..` to a compacted queue in order, keeping
+/// each record's entry in step. Returns the last stamp issued.
+fn renumber_queue(
+    buckets: &mut HashMap<u64, Vec<(CacheKey, Entry)>>,
+    queue: &mut VecDeque<(u64, CacheKey)>,
+    mut fresh: u64,
+) -> u64 {
+    for (stamp, key) in queue.iter_mut() {
+        fresh += 1;
+        if let Some(bucket) = buckets.get_mut(&key.h) {
+            if let Some((_, entry)) = bucket.iter_mut().find(|(k, _)| k.same_key(key)) {
+                entry.stamp = fresh;
+            }
+        }
+        *stamp = fresh;
+    }
+    fresh
 }
 
 impl Shard {
     /// Hands out the next recency stamp (monotonic per shard). At the
     /// top of the counter the shard renumbers itself instead of
-    /// overflowing: pre-fix, the increment panicked in debug builds and
-    /// wrapped in release — and a wrapped counter re-issues stamps that
-    /// still sit live in the queue, so stale records start passing the
-    /// liveness check and eviction order silently corrupts.
+    /// overflowing: a wrapped counter re-issues stamps that still sit
+    /// live in the queues, so stale records would start passing the
+    /// liveness check and eviction order would silently corrupt.
     fn stamp(&mut self) -> u64 {
         if self.next_stamp == u64::MAX {
             self.renumber();
@@ -158,60 +336,243 @@ impl Shard {
 
     /// Stamp renormalisation: drop stale queue records, then re-issue
     /// stamps `1..=k` to the surviving records in queue order (which is
-    /// exactly chronological touch order, so relative recency — and
-    /// therefore LRU eviction order — is preserved bit for bit) and
-    /// restart the counter above them.
+    /// exactly chronological touch order per segment, so relative
+    /// recency — and therefore eviction order — is preserved bit for
+    /// bit) and restart the counter above them.
     fn renumber(&mut self) {
-        self.compact();
-        let mut fresh = 0u64;
-        for (stamp, key) in self.order.iter_mut() {
-            fresh += 1;
-            // compact() kept only live records: each one's stamp equals
-            // its entry's, so entry and record move to `fresh` together.
-            if let Some(entry) = self.map.get_mut(key) {
-                entry.stamp = fresh;
-            }
-            *stamp = fresh;
-        }
+        compact_queue(&self.buckets, &mut self.probation);
+        compact_queue(&self.buckets, &mut self.protected);
+        let fresh = renumber_queue(&mut self.buckets, &mut self.probation, 0);
+        let fresh = renumber_queue(&mut self.buckets, &mut self.protected, fresh);
         self.next_stamp = fresh;
     }
 
-    /// Marks `key` most-recently-used with a fresh stamp, compacting the
-    /// queue when stale records outnumber live entries — amortised O(1).
-    fn touch(&mut self, key: CacheKey) {
+    /// Appends a recency record to the segment's queue, compacting it
+    /// when stale records outnumber live entries — amortised O(1).
+    fn push_record(&mut self, seg: Seg, stamp: u64, key: CacheKey) {
+        let seg_live = match seg {
+            Seg::Probation => self.live - self.protected_live,
+            Seg::Protected => self.protected_live,
+        };
+        let queue = match seg {
+            Seg::Probation => &mut self.probation,
+            Seg::Protected => &mut self.protected,
+        };
+        queue.push_back((stamp, key));
+        if queue.len() > 2 * seg_live.max(4) {
+            compact_queue(&self.buckets, queue);
+        }
+    }
+
+    /// Marks a resident key most-recently-used: fresh stamp, promotion
+    /// out of probation under SLRU (demoting the protected LRU when that
+    /// segment overflows). Returns `None` when the key is not resident.
+    fn refresh(
+        &mut self,
+        h: u64,
+        db: DbId,
+        question: &str,
+        fingerprint: ConfigFingerprint,
+        ctx: PolicyCtx,
+    ) -> Option<Refreshed> {
         let stamp = self.stamp();
-        if let Some(entry) = self.map.get_mut(&key) {
-            entry.stamp = stamp;
+        let bucket = self.buckets.get_mut(&h)?;
+        let (key, entry) =
+            bucket.iter_mut().find(|(k, _)| k.matches(db, question, fingerprint))?;
+        let answer = Arc::clone(&entry.answer);
+        let key = key.clone();
+        entry.stamp = stamp;
+        let promoted =
+            ctx.policy == CachePolicy::SlruTinyLfu && entry.seg == Seg::Probation;
+        if promoted {
+            entry.seg = Seg::Protected;
         }
-        self.order.push_back((stamp, key));
-        if self.order.len() > 2 * self.map.len().max(4) {
-            self.compact();
-        }
-    }
-
-    /// Drops every stale queue record, keeping live ones in order.
-    fn compact(&mut self) {
-        let map = &self.map;
-        self.order.retain(|(stamp, key)| {
-            map.get(key).is_some_and(|entry| entry.stamp == *stamp)
-        });
-    }
-
-    /// Evicts least-recently-used entries until at most `cap` remain,
-    /// returning how many were removed.
-    fn evict_to(&mut self, cap: usize) -> u64 {
-        let mut evicted = 0;
-        while self.map.len() > cap {
-            let Some((stamp, key)) = self.order.pop_front() else { break };
-            // Stale record: the key was touched again later (or already
-            // evicted) — the newer queue record speaks for it.
-            let live = self.map.get(&key).is_some_and(|entry| entry.stamp == stamp);
-            if live {
-                self.map.remove(&key);
-                evicted += 1;
+        let seg = entry.seg;
+        self.push_record(seg, stamp, key);
+        let mut demotions = 0;
+        if promoted {
+            self.protected_live += 1;
+            if let Some(cap) = ctx.protected_cap {
+                demotions = self.demote_to(cap);
             }
         }
+        Some(Refreshed { answer, promoted, demotions })
+    }
+
+    /// Looks the key up, recording the lookup in the frequency sketch
+    /// (hit or miss — TinyLFU counts *requests*, not residency).
+    fn get(
+        &mut self,
+        h: u64,
+        db: DbId,
+        question: &str,
+        fingerprint: ConfigFingerprint,
+        ctx: PolicyCtx,
+    ) -> Option<Refreshed> {
+        if let Some(sketch) = self.sketch.as_mut() {
+            sketch.record(h);
+        }
+        self.refresh(h, db, question, fingerprint, ctx)
+    }
+
+    /// Demotes protected LRU entries back to probation (as its MRU)
+    /// until the protected segment fits `cap`. Returns demotions done.
+    fn demote_to(&mut self, cap: usize) -> u64 {
+        let mut demoted = 0;
+        while self.protected_live > cap {
+            let Some((stamp, key)) = self.protected.pop_front() else { break };
+            if entry_stamp(&self.buckets, &key) != Some(stamp) {
+                continue; // stale record — a newer one speaks for the key
+            }
+            let fresh = self.stamp();
+            if let Some(bucket) = self.buckets.get_mut(&key.h) {
+                if let Some((_, entry)) = bucket.iter_mut().find(|(k, _)| k.same_key(&key)) {
+                    entry.seg = Seg::Probation;
+                    entry.stamp = fresh;
+                }
+            }
+            self.protected_live -= 1;
+            self.push_record(Seg::Probation, fresh, key);
+            demoted += 1;
+        }
+        demoted
+    }
+
+    /// The key hash of the entry the next eviction would remove:
+    /// probationary LRU first, protected LRU once probation is empty.
+    /// Pops stale records on the way, so the live victim record is left
+    /// at its queue's front.
+    fn victim_peek(&mut self) -> Option<u64> {
+        for seg in [Seg::Probation, Seg::Protected] {
+            let queue = match seg {
+                Seg::Probation => &mut self.probation,
+                Seg::Protected => &mut self.protected,
+            };
+            while let Some((stamp, key)) = queue.front() {
+                if entry_stamp(&self.buckets, key) == Some(*stamp) {
+                    return Some(key.h);
+                }
+                queue.pop_front();
+            }
+        }
+        None
+    }
+
+    /// Evicts the current victim (see [`Shard::victim_peek`]). Returns
+    /// `false` when the shard has no live entry to evict.
+    fn evict_front(&mut self) -> bool {
+        for seg in [Seg::Probation, Seg::Protected] {
+            loop {
+                let record = match seg {
+                    Seg::Probation => self.probation.pop_front(),
+                    Seg::Protected => self.protected.pop_front(),
+                };
+                let Some((stamp, key)) = record else { break };
+                if entry_stamp(&self.buckets, &key) != Some(stamp) {
+                    continue; // stale — the key was touched again later
+                }
+                self.remove_entry(&key);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes a resident entry, keeping the live counters in step.
+    fn remove_entry(&mut self, key: &CacheKey) {
+        let Some(bucket) = self.buckets.get_mut(&key.h) else { return };
+        let Some(i) = bucket.iter().position(|(k, _)| k.same_key(key)) else { return };
+        let (_, entry) = bucket.swap_remove(i);
+        let empty = bucket.is_empty();
+        if empty {
+            self.buckets.remove(&key.h);
+        }
+        self.live -= 1;
+        if entry.seg == Seg::Protected {
+            self.protected_live -= 1;
+        }
+    }
+
+    /// Evicts victims until at most `cap` entries remain (plain LRU's
+    /// post-insert trim). Returns how many were removed.
+    fn evict_to(&mut self, cap: usize) -> u64 {
+        let mut evicted = 0;
+        while self.live > cap {
+            if !self.evict_front() {
+                break;
+            }
+            evicted += 1;
+        }
         evicted
+    }
+
+    /// Inserts a key, refreshing it when already resident and running
+    /// the TinyLFU admission duel at capacity under `SlruTinyLfu`.
+    fn insert(
+        &mut self,
+        h: u64,
+        db: DbId,
+        question: &str,
+        fingerprint: ConfigFingerprint,
+        answer: Arc<str>,
+        ctx: PolicyCtx,
+    ) -> ShardInsert {
+        // Racing inserts of the same key are idempotent (answers are
+        // deterministic, so both writers carry the same value); a
+        // re-insert refreshes the entry's recency like a hit.
+        if let Some(refreshed) = self.refresh(h, db, question, fingerprint, ctx) {
+            return ShardInsert::Resident {
+                promoted: refreshed.promoted,
+                demotions: refreshed.demotions,
+            };
+        }
+        let mut evicted = 0;
+        if ctx.policy == CachePolicy::SlruTinyLfu {
+            if let Some(cap) = ctx.shard_cap {
+                // At capacity the candidate must win the admission duel:
+                // its sketch frequency strictly above the victim's. The
+                // victim is evicted *before* the candidate lands so the
+                // entry displaced is exactly the one the duel was
+                // against.
+                while self.live >= cap {
+                    let Some(victim) = self.victim_peek() else { break };
+                    let admit = match self.sketch.as_ref() {
+                        Some(sketch) => sketch.estimate(h) > sketch.estimate(victim),
+                        None => true,
+                    };
+                    if !admit {
+                        return ShardInsert::Rejected;
+                    }
+                    if !self.evict_front() {
+                        break;
+                    }
+                    evicted += 1;
+                }
+            }
+        }
+        let stamp = self.stamp();
+        let key = CacheKey { h, db, question: Arc::from(question), fingerprint };
+        self.buckets
+            .entry(h)
+            .or_default()
+            .push((key.clone(), Entry { answer, stamp, seg: Seg::Probation }));
+        self.live += 1;
+        self.push_record(Seg::Probation, stamp, key);
+        if ctx.policy == CachePolicy::Lru {
+            if let Some(cap) = ctx.shard_cap {
+                evicted += self.evict_to(cap);
+            }
+        }
+        ShardInsert::Fresh { evicted }
+    }
+
+    /// `(live, protected_live, sketch agings)` — read under one lock.
+    fn counts(&self) -> (usize, usize, u64) {
+        let agings = match self.sketch.as_ref() {
+            Some(sketch) => sketch.agings(),
+            None => 0,
+        };
+        (self.live, self.protected_live, agings)
     }
 }
 
@@ -223,8 +584,20 @@ pub struct CacheStats {
     pub misses: u64,
     pub inserts: u64,
     pub evictions: u64,
+    /// Inserts turned away by the TinyLFU admission duel (the candidate
+    /// did not beat the eviction victim's estimated frequency). Always 0
+    /// under [`CachePolicy::Lru`].
+    pub admission_rejected: u64,
+    /// Probation → protected promotions (a probationary entry was hit).
+    pub promotions: u64,
+    /// Protected → probation demotions (the protected segment overflowed).
+    pub demotions: u64,
+    /// TinyLFU sketch aging (halving) passes across all shards.
+    pub agings: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries currently in the protected segment.
+    pub protected_entries: usize,
 }
 
 impl CacheStats {
@@ -239,6 +612,17 @@ impl CacheStats {
     }
 }
 
+/// What an [`AnswerCache::insert`] did, as the caller sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// `false` only when the TinyLFU admission duel rejected the
+    /// candidate — the answer was still returned to the caller, the
+    /// cache just chose not to keep it.
+    pub admitted: bool,
+    /// Entries evicted to make room.
+    pub evicted: u64,
+}
+
 /// Sharded, lock-striped answer cache keyed by
 /// `(DbId, question, ConfigFingerprint)`.
 #[derive(Debug)]
@@ -246,10 +630,14 @@ pub struct AnswerCache {
     shards: Vec<Mutex<Shard>>,
     /// Max entries per shard; `None` = unbounded.
     shard_cap: Option<usize>,
+    policy: CachePolicy,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    admission_rejected: AtomicU64,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
 }
 
 /// Shard count: enough stripes that a worker pool sized to typical core
@@ -263,84 +651,151 @@ impl Default for AnswerCache {
 }
 
 impl AnswerCache {
-    /// A cache that never evicts.
+    /// A cache that never evicts (so the policy never has to decide
+    /// anything: admission only engages at a capacity cap).
     pub fn unbounded() -> Self {
-        Self::build(None)
+        Self::build(None, CachePolicy::default())
     }
 
     /// A cache holding at most `capacity` entries in total (rounded up
-    /// to the shard granularity). `capacity == 0` means unbounded — the
-    /// `--cache-cap 0` CLI convention.
+    /// to the shard granularity) under the default policy
+    /// ([`CachePolicy::SlruTinyLfu`]). `capacity == 0` means unbounded —
+    /// the `--cache-cap 0` CLI convention.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_policy(capacity, CachePolicy::default())
+    }
+
+    /// A cache with an explicit eviction/admission policy.
+    pub fn with_policy(capacity: usize, policy: CachePolicy) -> Self {
         if capacity == 0 {
-            Self::unbounded()
+            Self::build(None, policy)
         } else {
-            Self::build(Some(capacity.div_ceil(SHARDS)))
+            Self::build(Some(capacity.div_ceil(SHARDS)), policy)
         }
     }
 
-    fn build(shard_cap: Option<usize>) -> Self {
+    fn build(shard_cap: Option<usize>, policy: CachePolicy) -> Self {
+        let sketch_for = |_: usize| match (policy, shard_cap) {
+            (CachePolicy::SlruTinyLfu, Some(cap)) => Some(FrequencySketch::new(cap)),
+            _ => None,
+        };
         AnswerCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..SHARDS)
+                .map(|i| Mutex::new(Shard { sketch: sketch_for(i), ..Shard::default() }))
+                .collect(),
             shard_cap,
+            policy,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            admission_rejected: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+        }
+    }
+
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// How many lock stripes the cache spreads keys over.
+    pub fn shard_count() -> usize {
+        SHARDS
+    }
+
+    /// The protected-segment cap for a shard of `shard_cap` entries:
+    /// ~80% of the shard (classic SLRU split), at least one so a hot
+    /// entry can always be protected.
+    pub fn protected_shard_cap(shard_cap: usize) -> usize {
+        (shard_cap * 4 / 5).max(1)
+    }
+
+    /// Per-shard capacity cap (`None` = unbounded) — exposed for tests
+    /// asserting per-segment bounds.
+    pub fn shard_cap(&self) -> Option<usize> {
+        self.shard_cap
+    }
+
+    fn ctx(&self) -> PolicyCtx {
+        PolicyCtx {
+            policy: self.policy,
+            shard_cap: self.shard_cap,
+            protected_cap: self.shard_cap.map(Self::protected_shard_cap),
         }
     }
 
     /// Looks up an answer, counting the hit or miss. A hit refreshes the
-    /// entry's recency, so it moves to the back of the eviction order.
-    pub fn get(&self, db: DbId, question: &str, fingerprint: ConfigFingerprint) -> Option<String> {
-        let idx = CacheKey::shard_index(db, question, fingerprint, self.shards.len());
-        let key = CacheKey { db, question: question.to_string(), fingerprint };
-        let mut shard = self.shards[idx].lock();
-        let found = shard.map.get(&key).map(|entry| entry.answer.clone());
-        if found.is_some() {
-            shard.touch(key);
-            drop(shard);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            drop(shard);
-            self.misses.fetch_add(1, Ordering::Relaxed);
+    /// entry's recency (promoting probationary entries under SLRU); hit
+    /// or miss, the lookup feeds the shard's TinyLFU frequency sketch.
+    /// Allocation-free: the hit is a refcount bump of the stored answer.
+    pub fn get(
+        &self,
+        db: DbId,
+        question: &str,
+        fingerprint: ConfigFingerprint,
+    ) -> Option<Arc<str>> {
+        let h = key_hash(db, question, fingerprint);
+        let idx = (h % self.shards.len() as u64) as usize;
+        let ctx = self.ctx();
+        let found = self.shards[idx].lock().get(h, db, question, fingerprint, ctx);
+        match found {
+            Some(refreshed) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if refreshed.promoted {
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                self.demotions.fetch_add(refreshed.demotions, Ordering::Relaxed);
+                Some(refreshed.answer)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
-        found
     }
 
-    /// Inserts an answer, evicting the shard's least-recently-used
-    /// entries beyond the capacity cap. Returns the number of evictions
-    /// performed. Racing inserts of the same key are idempotent (answers
-    /// are deterministic, so both writers carry the same value); a
-    /// re-insert refreshes the entry's recency like a hit.
+    /// Inserts an answer. Under a capacity cap, `Lru` evicts the
+    /// least-recently-used entry; `SlruTinyLfu` first asks the frequency
+    /// sketch whether the candidate beats the eviction victim and
+    /// rejects the insert outright when it does not (`admitted: false`
+    /// in the outcome — the caller still has its answer, the cache just
+    /// kept the statistically hotter entry).
     pub fn insert(
         &self,
         db: DbId,
         question: &str,
         fingerprint: ConfigFingerprint,
-        answer: String,
-    ) -> u64 {
-        let key = CacheKey { db, question: question.to_string(), fingerprint };
-        let idx = CacheKey::shard_index(db, question, fingerprint, self.shards.len());
-        let mut shard = self.shards[idx].lock();
-        let fresh = !shard.map.contains_key(&key);
-        if fresh {
-            shard.map.insert(key.clone(), Entry { answer, stamp: 0 });
-            self.inserts.fetch_add(1, Ordering::Relaxed);
+        answer: impl Into<Arc<str>>,
+    ) -> InsertOutcome {
+        let h = key_hash(db, question, fingerprint);
+        let idx = (h % self.shards.len() as u64) as usize;
+        let ctx = self.ctx();
+        let result =
+            self.shards[idx].lock().insert(h, db, question, fingerprint, answer.into(), ctx);
+        match result {
+            ShardInsert::Fresh { evicted } => {
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                InsertOutcome { admitted: true, evicted }
+            }
+            ShardInsert::Resident { promoted, demotions } => {
+                if promoted {
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                self.demotions.fetch_add(demotions, Ordering::Relaxed);
+                InsertOutcome { admitted: true, evicted: 0 }
+            }
+            ShardInsert::Rejected => {
+                self.admission_rejected.fetch_add(1, Ordering::Relaxed);
+                InsertOutcome { admitted: false, evicted: 0 }
+            }
         }
-        shard.touch(key);
-        let evicted = match self.shard_cap {
-            Some(cap) => shard.evict_to(cap),
-            None => 0,
-        };
-        drop(shard);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        evicted
     }
 
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().map.len()).sum::<usize>()
+        self.shards.iter().map(|s| s.lock().live).sum::<usize>()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -349,12 +804,26 @@ impl AnswerCache {
 
     /// A consistent snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut protected_entries = 0;
+        let mut agings = 0;
+        for shard in &self.shards {
+            let (live, protected_live, shard_agings) = shard.lock().counts();
+            entries += live;
+            protected_entries += protected_live;
+            agings += shard_agings;
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.len(),
+            admission_rejected: self.admission_rejected.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            agings,
+            entries,
+            protected_entries,
         }
     }
 }
@@ -372,16 +841,17 @@ pub trait Answerer: Sync {
     /// question, as [`crate::pipeline::FinSql::question_rng`] does.
     fn answer_fresh(&self, db: DbId, question: &str, metrics: Option<&EvalMetrics>) -> String;
 
-    /// Answers through the cache: hit returns the stored answer, miss
-    /// computes outside the lock and fills. Cache traffic is recorded in
-    /// the metrics sink when one is given.
+    /// Answers through the cache: hit returns the stored answer (a
+    /// refcount bump, no copy), miss computes outside the lock and
+    /// fills. Cache traffic is recorded in the metrics sink when one is
+    /// given.
     fn answer_cached(
         &self,
         cache: &AnswerCache,
         db: DbId,
         question: &str,
         metrics: Option<&EvalMetrics>,
-    ) -> String {
+    ) -> Arc<str> {
         let fingerprint = self.fingerprint();
         if let Some(hit) = cache.get(db, question, fingerprint) {
             if let Some(m) = metrics {
@@ -389,10 +859,13 @@ pub trait Answerer: Sync {
             }
             return hit;
         }
-        let answer = self.answer_fresh(db, question, metrics);
-        let evicted = cache.insert(db, question, fingerprint, answer.clone());
+        let answer: Arc<str> = Arc::from(self.answer_fresh(db, question, metrics));
+        let outcome = cache.insert(db, question, fingerprint, Arc::clone(&answer));
         if let Some(m) = metrics {
-            m.record_cache_miss(evicted);
+            m.record_cache_miss(outcome.evicted);
+            if !outcome.admitted {
+                m.record_admission_rejected();
+            }
         }
         answer
     }
@@ -405,10 +878,10 @@ pub trait Answerer: Sync {
         db: DbId,
         question: &str,
         metrics: Option<&EvalMetrics>,
-    ) -> String {
+    ) -> Arc<str> {
         match cache {
             Some(c) => self.answer_cached(c, db, question, metrics),
-            None => self.answer_fresh(db, question, metrics),
+            None => Arc::from(self.answer_fresh(db, question, metrics)),
         }
     }
 }
@@ -421,11 +894,15 @@ mod tests {
         ConfigFingerprint(v)
     }
 
+    fn shard_index(db: DbId, question: &str, fingerprint: ConfigFingerprint) -> usize {
+        (key_hash(db, question, fingerprint) % SHARDS as u64) as usize
+    }
+
     #[test]
     fn hit_after_insert_miss_before() {
         let cache = AnswerCache::unbounded();
         assert_eq!(cache.get(DbId::Fund, "q", fp(1)), None);
-        cache.insert(DbId::Fund, "q", fp(1), "SELECT 1".into());
+        cache.insert(DbId::Fund, "q", fp(1), "SELECT 1");
         assert_eq!(cache.get(DbId::Fund, "q", fp(1)).as_deref(), Some("SELECT 1"));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
@@ -434,9 +911,20 @@ mod tests {
     }
 
     #[test]
+    fn hits_share_one_allocation() {
+        // The answer is stored once; every hit is a refcount bump of the
+        // same heap string — the hot path never copies.
+        let cache = AnswerCache::unbounded();
+        cache.insert(DbId::Fund, "q", fp(1), "SELECT 1");
+        let a = cache.get(DbId::Fund, "q", fp(1)).expect("resident");
+        let b = cache.get(DbId::Fund, "q", fp(1)).expect("resident");
+        assert!(Arc::ptr_eq(&a, &b), "hits must share the stored allocation");
+    }
+
+    #[test]
     fn fingerprint_partitions_the_key_space() {
         let cache = AnswerCache::unbounded();
-        cache.insert(DbId::Fund, "q", fp(1), "old".into());
+        cache.insert(DbId::Fund, "q", fp(1), "old");
         // Same db+question under a different config must miss.
         assert_eq!(cache.get(DbId::Fund, "q", fp(2)), None);
         // And the same fingerprint on another db must miss too.
@@ -445,7 +933,7 @@ mod tests {
 
     #[test]
     fn capacity_caps_entries_and_counts_evictions() {
-        let cache = AnswerCache::with_capacity(SHARDS); // one entry per shard
+        let cache = AnswerCache::with_policy(SHARDS, CachePolicy::Lru); // one entry per shard
         for i in 0..200 {
             cache.insert(DbId::Fund, &format!("q{i}"), fp(0), format!("a{i}"));
         }
@@ -453,6 +941,26 @@ mod tests {
         assert!(stats.entries <= SHARDS, "{} entries resident", stats.entries);
         assert_eq!(stats.inserts, 200);
         assert_eq!(stats.evictions, 200 - stats.entries as u64);
+    }
+
+    #[test]
+    fn admission_rejects_insert_only_churn_at_capacity() {
+        // Under SlruTinyLfu an insert-without-lookups workload has every
+        // candidate at frequency 0: once a shard is full, 0 > 0 never
+        // holds and the resident set freezes instead of churning.
+        let cache = AnswerCache::with_capacity(SHARDS);
+        for i in 0..200 {
+            cache.insert(DbId::Fund, &format!("q{i}"), fp(0), format!("a{i}"));
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= SHARDS);
+        assert_eq!(stats.evictions, 0, "admission must reject, not churn");
+        assert_eq!(
+            stats.inserts + stats.admission_rejected,
+            200,
+            "every insert either admitted or rejected"
+        );
+        assert!(stats.admission_rejected > 0);
     }
 
     #[test]
@@ -468,8 +976,8 @@ mod tests {
     #[test]
     fn reinsert_is_idempotent() {
         let cache = AnswerCache::unbounded();
-        cache.insert(DbId::Fund, "q", fp(1), "a".into());
-        cache.insert(DbId::Fund, "q", fp(1), "a".into());
+        cache.insert(DbId::Fund, "q", fp(1), "a");
+        cache.insert(DbId::Fund, "q", fp(1), "a");
         let stats = cache.stats();
         assert_eq!(stats.inserts, 1);
         assert_eq!(stats.entries, 1);
@@ -478,13 +986,12 @@ mod tests {
     /// Questions that hash to the wanted shard — lets the tests drive a
     /// single shard's eviction order deterministically.
     fn same_shard_questions(n: usize) -> Vec<String> {
-        let want =
-            CacheKey::shard_index(DbId::Fund, "anchor", fp(0), SHARDS);
+        let want = shard_index(DbId::Fund, "anchor", fp(0));
         let mut out = vec!["anchor".to_string()];
         let mut i = 0;
         while out.len() < n {
             let q = format!("probe{i}");
-            if CacheKey::shard_index(DbId::Fund, &q, fp(0), SHARDS) == want {
+            if shard_index(DbId::Fund, &q, fp(0)) == want {
                 out.push(q);
             }
             i += 1;
@@ -497,14 +1004,14 @@ mod tests {
         // Shard capacity 2: with three same-shard keys the third insert
         // must evict exactly one of the first two.
         let qs = same_shard_questions(3);
-        let cache = AnswerCache::with_capacity(2 * SHARDS);
-        cache.insert(DbId::Fund, &qs[0], fp(0), "a0".into());
-        cache.insert(DbId::Fund, &qs[1], fp(0), "a1".into());
+        let cache = AnswerCache::with_policy(2 * SHARDS, CachePolicy::Lru);
+        cache.insert(DbId::Fund, &qs[0], fp(0), "a0");
+        cache.insert(DbId::Fund, &qs[1], fp(0), "a1");
         // Touch the older entry: under FIFO it would die next; under LRU
         // the untouched qs[1] is now least recently used.
         assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
-        let evicted = cache.insert(DbId::Fund, &qs[2], fp(0), "a2".into());
-        assert_eq!(evicted, 1);
+        let outcome = cache.insert(DbId::Fund, &qs[2], fp(0), "a2");
+        assert_eq!(outcome.evicted, 1);
         assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some(), "hit entry survived");
         assert!(cache.get(DbId::Fund, &qs[1], fp(0)).is_none(), "LRU entry evicted");
         assert!(cache.get(DbId::Fund, &qs[2], fp(0)).is_some());
@@ -513,47 +1020,53 @@ mod tests {
     #[test]
     fn reinsert_refreshes_recency_too() {
         let qs = same_shard_questions(3);
-        let cache = AnswerCache::with_capacity(2 * SHARDS);
-        cache.insert(DbId::Fund, &qs[0], fp(0), "a0".into());
-        cache.insert(DbId::Fund, &qs[1], fp(0), "a1".into());
+        let cache = AnswerCache::with_policy(2 * SHARDS, CachePolicy::Lru);
+        cache.insert(DbId::Fund, &qs[0], fp(0), "a0");
+        cache.insert(DbId::Fund, &qs[1], fp(0), "a1");
         // Re-inserting qs[0] (idempotent value) must also refresh it.
-        cache.insert(DbId::Fund, &qs[0], fp(0), "a0".into());
-        cache.insert(DbId::Fund, &qs[2], fp(0), "a2".into());
+        cache.insert(DbId::Fund, &qs[0], fp(0), "a0");
+        cache.insert(DbId::Fund, &qs[2], fp(0), "a2");
         assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
         assert!(cache.get(DbId::Fund, &qs[1], fp(0)).is_none());
     }
 
     #[test]
-    fn repeated_hits_do_not_grow_the_recency_queue_unboundedly() {
+    fn repeated_hits_do_not_grow_the_recency_queues_unboundedly() {
         let cache = AnswerCache::with_capacity(SHARDS);
-        cache.insert(DbId::Fund, "hot", fp(0), "a".into());
+        cache.insert(DbId::Fund, "hot", fp(0), "a");
         for _ in 0..10_000 {
             assert!(cache.get(DbId::Fund, "hot", fp(0)).is_some());
         }
-        let idx = CacheKey::shard_index(DbId::Fund, "hot", fp(0), SHARDS);
-        let order_len = cache.shards[idx].lock().order.len();
-        assert!(order_len <= 9, "{order_len} recency records for 1 entry");
+        let idx = shard_index(DbId::Fund, "hot", fp(0));
+        let (prob_len, prot_len) = {
+            let shard = cache.shards[idx].lock();
+            (shard.probation.len(), shard.protected.len())
+        };
+        assert!(
+            prob_len + prot_len <= 9,
+            "{prob_len}+{prot_len} recency records for 1 entry"
+        );
         assert_eq!(cache.stats().hits, 10_000);
     }
 
     #[test]
     fn stamp_overflow_renormalises_and_preserves_lru_order() {
         let qs = same_shard_questions(3);
-        let cache = AnswerCache::with_capacity(2 * SHARDS);
-        cache.insert(DbId::Fund, &qs[0], fp(0), "a0".into());
-        cache.insert(DbId::Fund, &qs[1], fp(0), "a1".into());
+        let cache = AnswerCache::with_policy(2 * SHARDS, CachePolicy::Lru);
+        cache.insert(DbId::Fund, &qs[0], fp(0), "a0");
+        cache.insert(DbId::Fund, &qs[1], fp(0), "a1");
         // Pin the shard's counter one stamp below the top.
-        let idx = CacheKey::shard_index(DbId::Fund, &qs[0], fp(0), SHARDS);
+        let idx = shard_index(DbId::Fund, &qs[0], fp(0));
         cache.shards[idx].lock().next_stamp = u64::MAX - 1;
         // Two hits across the boundary: the first takes stamp u64::MAX,
-        // the second forces renormalisation. Pre-fix, `next_stamp += 1`
-        // overflowed here — a panic in debug builds, and in release a
-        // wrap to stamp 1 colliding with the oldest live record.
+        // the second forces renormalisation. An unchecked `+= 1` would
+        // panic in debug builds here, and in release wrap to stamp 1
+        // colliding with the oldest live record.
         assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
         assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
         // LRU order survived renormalisation: qs[1] is least recent.
-        let evicted = cache.insert(DbId::Fund, &qs[2], fp(0), "a2".into());
-        assert_eq!(evicted, 1);
+        let outcome = cache.insert(DbId::Fund, &qs[2], fp(0), "a2");
+        assert_eq!(outcome.evicted, 1);
         assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some(), "hot entry survived");
         assert!(cache.get(DbId::Fund, &qs[1], fp(0)).is_none(), "LRU entry evicted");
         // And the counter restarted just above the live entries.
@@ -567,22 +1080,91 @@ mod tests {
         // change to the stamp/compaction machinery that reorders
         // recency shows up as the wrong victim here.
         let qs = same_shard_questions(5);
-        let cache = AnswerCache::with_capacity(3 * SHARDS);
-        cache.insert(DbId::Fund, &qs[0], fp(0), "a0".into());
-        cache.insert(DbId::Fund, &qs[1], fp(0), "a1".into());
-        cache.insert(DbId::Fund, &qs[2], fp(0), "a2".into());
+        let cache = AnswerCache::with_policy(3 * SHARDS, CachePolicy::Lru);
+        cache.insert(DbId::Fund, &qs[0], fp(0), "a0");
+        cache.insert(DbId::Fund, &qs[1], fp(0), "a1");
+        cache.insert(DbId::Fund, &qs[2], fp(0), "a2");
         // Refresh 0 then 2 → recency (LRU→MRU): 1, 0, 2.
         assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
         assert!(cache.get(DbId::Fund, &qs[2], fp(0)).is_some());
-        assert_eq!(cache.insert(DbId::Fund, &qs[3], fp(0), "a3".into()), 1, "evicts qs[1]");
+        assert_eq!(cache.insert(DbId::Fund, &qs[3], fp(0), "a3").evicted, 1, "evicts qs[1]");
         // Recency now: 0, 2, 3. Refresh 0 → 2, 3, 0.
         assert!(cache.get(DbId::Fund, &qs[0], fp(0)).is_some());
-        assert_eq!(cache.insert(DbId::Fund, &qs[4], fp(0), "a4".into()), 1, "evicts qs[2]");
+        assert_eq!(cache.insert(DbId::Fund, &qs[4], fp(0), "a4").evicted, 1, "evicts qs[2]");
         assert!(cache.get(DbId::Fund, &qs[1], fp(0)).is_none());
         assert!(cache.get(DbId::Fund, &qs[2], fp(0)).is_none());
         for live in [&qs[0], &qs[3], &qs[4]] {
             assert!(cache.get(DbId::Fund, live, fp(0)).is_some(), "{live} must be resident");
         }
+    }
+
+    #[test]
+    fn probationary_hit_promotes_and_protected_segment_stays_bounded() {
+        let qs = same_shard_questions(6);
+        // Shard capacity 5 → protected cap 4.
+        let cache = AnswerCache::with_policy(5 * SHARDS, CachePolicy::SlruTinyLfu);
+        for (i, q) in qs.iter().enumerate().take(5) {
+            cache.insert(DbId::Fund, q, fp(0), format!("a{i}"));
+        }
+        assert_eq!(cache.stats().protected_entries, 0, "fresh entries start probationary");
+        // Hit all five: each first hit promotes; the fifth promotion
+        // overflows the protected cap (4) and demotes the protected LRU.
+        for q in qs.iter().take(5) {
+            assert!(cache.get(DbId::Fund, q, fp(0)).is_some());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.promotions, 5);
+        assert_eq!(stats.demotions, 1);
+        assert_eq!(
+            stats.protected_entries,
+            AnswerCache::protected_shard_cap(5),
+            "protected segment must be trimmed to its cap"
+        );
+        assert_eq!(stats.entries, 5, "demotion moves, never removes");
+    }
+
+    #[test]
+    fn one_shot_flood_keeps_hot_key_under_slru_but_not_lru() {
+        // The adversarial workload from the ISSUE: one hot key with real
+        // lookup traffic, then a flood of one-shot keys. Plain LRU
+        // provably evicts the hot key (the flood exceeds capacity with
+        // no intervening hot hits); SLRU+TinyLFU holds it (the hot key
+        // is protected, and frequency-0..1 flood keys cannot beat
+        // resident victims once the shard fills).
+        let qs = same_shard_questions(8);
+        let hot = &qs[0];
+        for policy in CachePolicy::ALL {
+            let cache = AnswerCache::with_policy(3 * SHARDS, policy);
+            cache.insert(DbId::Fund, hot, fp(0), "hot answer");
+            for _ in 0..4 {
+                assert!(cache.get(DbId::Fund, hot, fp(0)).is_some());
+            }
+            // One-shot flood: each key looked up once (miss) and filled.
+            for (i, q) in qs.iter().enumerate().skip(1) {
+                assert!(cache.get(DbId::Fund, q, fp(0)).is_none());
+                cache.insert(DbId::Fund, q, fp(0), format!("flood{i}"));
+            }
+            let resident = cache.get(DbId::Fund, hot, fp(0)).is_some();
+            match policy {
+                CachePolicy::Lru => {
+                    assert!(!resident, "7 one-shot keys must flush a 3-entry LRU shard")
+                }
+                CachePolicy::SlruTinyLfu => {
+                    assert!(resident, "admission filter must keep the hot key resident")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for policy in CachePolicy::ALL {
+            assert_eq!(CachePolicy::parse(policy.as_str()), Some(policy));
+            assert_eq!(policy.to_string(), policy.as_str());
+        }
+        assert_eq!(CachePolicy::parse("slru"), Some(CachePolicy::SlruTinyLfu));
+        assert_eq!(CachePolicy::parse("fifo"), None);
+        assert_eq!(CachePolicy::default(), CachePolicy::SlruTinyLfu);
     }
 
     #[test]
@@ -611,11 +1193,11 @@ mod tests {
         let m = EvalMetrics::new();
         let a = Upper.answer_cached(&cache, DbId::Fund, "select x", Some(&m));
         let b = Upper.answer_cached(&cache, DbId::Fund, "select x", Some(&m));
-        assert_eq!(a, "SELECT X");
+        assert_eq!(&*a, "SELECT X");
         assert_eq!(a, b);
         let snap = m.snapshot();
         assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
-        assert_eq!(Upper.answer_maybe_cached(None, DbId::Fund, "y", None), "Y");
+        assert_eq!(&*Upper.answer_maybe_cached(None, DbId::Fund, "y", None), "Y");
         assert_eq!(cache.len(), 1, "uncached path must not touch the cache");
     }
 }

@@ -34,12 +34,14 @@ impl EvalOutcome {
 }
 
 /// Evaluates a prediction function over the dev split of one database.
-/// `predict` maps a question to the final SQL.
-pub fn evaluate_ex(
+/// `predict` maps a question to the final SQL. Predictions may be any
+/// string-like type (`String`, `Arc<str>`, …) so cached paths can hand
+/// back shared answers without re-allocating.
+pub fn evaluate_ex<S: AsRef<str>>(
     ds: &BullDataset,
     db: DbId,
     lang: Lang,
-    predict: impl FnMut(&str) -> String,
+    predict: impl FnMut(&str) -> S,
 ) -> EvalOutcome {
     evaluate_ex_limit(ds, db, lang, None, predict)
 }
@@ -47,12 +49,12 @@ pub fn evaluate_ex(
 /// [`evaluate_ex`] restricted to the first `limit` dev examples (`None`
 /// means all) — the serial reference the parallel path is checked
 /// against on small slices.
-pub fn evaluate_ex_limit(
+pub fn evaluate_ex_limit<S: AsRef<str>>(
     ds: &BullDataset,
     db: DbId,
     lang: Lang,
     limit: Option<usize>,
-    mut predict: impl FnMut(&str) -> String,
+    mut predict: impl FnMut(&str) -> S,
 ) -> EvalOutcome {
     let database = ds.db(db);
     let dev = ds.examples_for(db, Split::Dev);
@@ -60,7 +62,7 @@ pub fn evaluate_ex_limit(
     let mut outcome = EvalOutcome::default();
     for e in &dev[..n] {
         let predicted = predict(e.question(lang));
-        if execution_accuracy(database, &predicted, &e.sql) {
+        if execution_accuracy(database, predicted.as_ref(), &e.sql) {
             outcome.correct += 1;
         }
         outcome.total += 1;
@@ -74,13 +76,13 @@ pub fn evaluate_ex_limit(
 /// [`crate::pipeline::FinSql::question_rng`] does); correctness is then
 /// order-independent and the pooled counts equal the serial path's
 /// exactly. `workers == 0` sizes the pool to the available parallelism.
-pub fn evaluate_ex_parallel(
+pub fn evaluate_ex_parallel<S: AsRef<str>>(
     ds: &BullDataset,
     db: DbId,
     lang: Lang,
     workers: usize,
     limit: Option<usize>,
-    predict: impl Fn(&str) -> String + Sync,
+    predict: impl Fn(&str) -> S + Sync,
 ) -> EvalOutcome {
     let database = ds.db(db);
     let dev = ds.examples_for(db, Split::Dev);
@@ -105,7 +107,7 @@ pub fn evaluate_ex_parallel(
                         }
                         let e = &dev[i];
                         let predicted = predict(e.question(lang));
-                        if execution_accuracy(database, &predicted, &e.sql) {
+                        if execution_accuracy(database, predicted.as_ref(), &e.sql) {
                             local.correct += 1;
                         }
                         local.total += 1;
@@ -161,12 +163,12 @@ impl MultiDbOutcome {
 /// equal the serial path's exactly. `limit_per_db` truncates each dev
 /// set (for tests); `workers == 0` sizes the pool to the available
 /// parallelism.
-pub fn evaluate_ex_all_interleaved(
+pub fn evaluate_ex_all_interleaved<S: AsRef<str>>(
     ds: &BullDataset,
     lang: Lang,
     workers: usize,
     limit_per_db: Option<usize>,
-    predict: impl Fn(DbId, &str) -> String + Sync,
+    predict: impl Fn(DbId, &str) -> S + Sync,
 ) -> MultiDbOutcome {
     // One flat work list: (database index, example), the three dev sets
     // round-robin interleaved so the queue mixes databases end to end.
@@ -209,7 +211,7 @@ pub fn evaluate_ex_all_interleaved(
                         let (di, e) = &work[i];
                         let db = DbId::ALL[*di];
                         let predicted = predict(db, e.question(lang));
-                        if execution_accuracy(ds.db(db), &predicted, &e.sql) {
+                        if execution_accuracy(ds.db(db), predicted.as_ref(), &e.sql) {
                             local.per_db[*di].correct += 1;
                         }
                         local.per_db[*di].total += 1;
@@ -242,13 +244,13 @@ pub fn evaluate_ex_all_interleaved(
 /// exactly what [`crate::pipeline::FinSql::answer_batch`] guarantees —
 /// so the per-database counts equal the serial path's at every batch
 /// size and worker count. `batch == 0` is treated as 1.
-pub fn evaluate_ex_all_interleaved_batched(
+pub fn evaluate_ex_all_interleaved_batched<S: AsRef<str>>(
     ds: &BullDataset,
     lang: Lang,
     workers: usize,
     limit_per_db: Option<usize>,
     batch: usize,
-    predict_batch: impl Fn(DbId, &[&str]) -> Vec<String> + Sync,
+    predict_batch: impl Fn(DbId, &[&str]) -> Vec<S> + Sync,
 ) -> MultiDbOutcome {
     let batch = batch.max(1);
     // One flat work list of (database index, chunk of examples), the
@@ -301,7 +303,7 @@ pub fn evaluate_ex_all_interleaved_batched(
                             "predict_batch must answer every question"
                         );
                         for (e, p) in chunk.iter().zip(&predicted) {
-                            if execution_accuracy(ds.db(db), p, &e.sql) {
+                            if execution_accuracy(ds.db(db), p.as_ref(), &e.sql) {
                                 local.per_db[*di].correct += 1;
                             }
                             local.per_db[*di].total += 1;
@@ -328,11 +330,11 @@ pub fn evaluate_ex_all_interleaved_batched(
 
 /// The serial per-database reference for [`evaluate_ex_all_interleaved`]
 /// — identical counts, one thread, databases walked in canonical order.
-pub fn evaluate_ex_all_limit(
+pub fn evaluate_ex_all_limit<S: AsRef<str>>(
     ds: &BullDataset,
     lang: Lang,
     limit_per_db: Option<usize>,
-    mut predict: impl FnMut(DbId, &str) -> String,
+    mut predict: impl FnMut(DbId, &str) -> S,
 ) -> MultiDbOutcome {
     let mut outcome = MultiDbOutcome::default();
     for (di, db) in DbId::ALL.into_iter().enumerate() {
@@ -345,21 +347,21 @@ pub fn evaluate_ex_all_limit(
 /// Parallel pooled evaluation over every database, the counterpart of
 /// [`evaluate_ex_all`]. Runs on the interleaved cross-database queue —
 /// one worker pool over all three dev sets, no per-database tail.
-pub fn evaluate_ex_all_parallel(
+pub fn evaluate_ex_all_parallel<S: AsRef<str>>(
     ds: &BullDataset,
     lang: Lang,
     workers: usize,
-    predict: impl Fn(DbId, &str) -> String + Sync,
+    predict: impl Fn(DbId, &str) -> S + Sync,
 ) -> EvalOutcome {
     evaluate_ex_all_interleaved(ds, lang, workers, None, predict).pooled()
 }
 
 /// Evaluates over every database and pools the counts (the headline EX of
 /// Tables 4/5 covers all three dev sets).
-pub fn evaluate_ex_all(
+pub fn evaluate_ex_all<S: AsRef<str>>(
     ds: &BullDataset,
     lang: Lang,
-    mut predict: impl FnMut(DbId, &str) -> String,
+    mut predict: impl FnMut(DbId, &str) -> S,
 ) -> EvalOutcome {
     let mut outcome = EvalOutcome::default();
     for db in DbId::ALL {

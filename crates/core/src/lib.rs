@@ -34,12 +34,16 @@ pub mod metrics;
 pub mod peft;
 pub mod pipeline;
 pub mod prompt;
+pub mod tinylfu;
 
 pub use batch::{BatchConfig, BatchScheduler};
-pub use cache::{Answerer, AnswerCache, CacheStats, ConfigFingerprint, FingerprintBuilder};
+pub use cache::{
+    Answerer, AnswerCache, CachePolicy, CacheStats, ConfigFingerprint, FingerprintBuilder,
+    InsertOutcome,
+};
 pub use calibrate::{calibrate, calibrate_with_stats, CalibrationConfig, CalibrationStats};
 pub use eval::{evaluate_ex, evaluate_ex_parallel, EvalOutcome, MultiDbOutcome};
 pub use live::{evaluate_ex_live, LiveConfig, LiveOutcome, RoundReport};
-pub use metrics::{EvalMetrics, MetricsSnapshot};
+pub use metrics::{EvalMetrics, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use pipeline::{FinSql, FinSqlConfig};
 pub use prompt::{render_prompt, render_schema};

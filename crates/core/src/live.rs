@@ -245,7 +245,7 @@ pub fn evaluate_ex_live(
             for ((db, question, _), reference) in slate.iter().zip(&refs) {
                 let answer = system.answer_cached(&cache, *db, question, metrics);
                 assert_eq!(
-                    &answer, reference,
+                    &*answer, reference,
                     "cached answer diverged (round {round}, pass {pass}, {db}: {question})"
                 );
                 report.served += 1;
@@ -301,7 +301,7 @@ pub fn evaluate_ex_live(
                     queue_cap: 64,
                 },
             );
-            let answers: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; slate.len()]);
+            let answers: Mutex<Vec<Option<Arc<str>>>> = Mutex::new(vec![None; slate.len()]);
             let next = AtomicUsize::new(0);
             let submitters = cfg.workers.max(1).min(slate.len().max(1));
             crossbeam::scope(|scope| {
@@ -331,7 +331,7 @@ pub fn evaluate_ex_live(
                 // is Some.
                 let answer = answer.expect("scheduler answered every question");
                 assert_eq!(
-                    answer, refs[i],
+                    &*answer, refs[i],
                     "scheduler answer diverged (round {round}, {}: {})",
                     slate[i].0, slate[i].1
                 );

@@ -13,6 +13,110 @@ use simllm::GenCounters;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Histogram buckets: power-of-two nanosecond ranges, bucket `i`
+/// covering `[2^i, 2^(i+1))` ns (bucket 0 also absorbs 0 ns). 64
+/// buckets span every representable `u64` nanosecond count.
+const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-size, lock-free, log-bucketed latency histogram.
+///
+/// `record` is allocation-free — one leading-zeros instruction plus one
+/// relaxed atomic increment — so it can sit on the serving hot path.
+/// Power-of-two buckets bound the quantile error to 2× (the reported
+/// quantile is the *upper edge* of its bucket, so SLO reads are
+/// conservative: the true latency is never above what is reported by
+/// more than nothing, and never below it by more than half).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+/// The bucket index of a nanosecond count: `floor(log2(nanos))`.
+fn bucket_index(nanos: u64) -> usize {
+    (u64::BITS - nanos.leading_zeros()).saturating_sub(1) as usize
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency observation (relaxed atomic, no allocation).
+    pub fn record(&self, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot(std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)))
+    }
+}
+
+/// Plain bucket counts of a [`LatencyHistogram`], with quantile readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot(pub [u64; HISTOGRAM_BUCKETS]);
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot([0; HISTOGRAM_BUCKETS])
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        let mut total = 0u64;
+        for &c in self.0.iter() {
+            total += c;
+        }
+        total
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`: the upper edge of the
+    /// first bucket whose cumulative count reaches `q * count` (a
+    /// conservative — never underestimating — SLO read). Zero when
+    /// nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.0.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i + 1 >= HISTOGRAM_BUCKETS {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Duration::from_nanos(upper);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+}
+
 /// Shared counters for one evaluation run. All updates are `Relaxed`
 /// atomics: the totals are only read after the worker pool has joined.
 #[derive(Debug, Default)]
@@ -31,6 +135,8 @@ pub struct EvalMetrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    admission_rejected: AtomicU64,
+    latency: LatencyHistogram,
     batches: AtomicU64,
     batched_questions: AtomicU64,
     max_batch: AtomicU64,
@@ -91,6 +197,19 @@ impl EvalMetrics {
         self.cache_evictions.fetch_add(evictions, Ordering::Relaxed);
     }
 
+    /// Records one cache fill turned away by the TinyLFU admission duel
+    /// (the computed answer was served, the cache kept its hotter
+    /// resident instead).
+    pub fn record_admission_rejected(&self) {
+        self.admission_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one end-to-end answer latency: the full pipeline time on
+    /// the per-question path, or enqueue-to-answer on the scheduler path.
+    pub fn record_answer_latency(&self, elapsed: Duration) {
+        self.latency.record(elapsed);
+    }
+
     /// Records one micro-batch of `size` questions answered through the
     /// batched engine (the per-question counters are recorded separately
     /// by the stages themselves).
@@ -147,6 +266,8 @@ impl EvalMetrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            admission_rejected: self.admission_rejected.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
             batches: self.batches.load(Ordering::Relaxed),
             batched_questions: self.batched_questions.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
@@ -188,6 +309,11 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Cache entries evicted by capacity pressure during this run.
     pub cache_evictions: u64,
+    /// Cache fills rejected by the TinyLFU admission filter.
+    pub admission_rejected: u64,
+    /// End-to-end answer latency distribution (per-question pipeline
+    /// time, or enqueue-to-answer on the scheduler path).
+    pub latency: HistogramSnapshot,
     /// Micro-batches answered through the batched engine.
     pub batches: u64,
     /// Questions answered inside those micro-batches.
@@ -296,6 +422,22 @@ impl MetricsSnapshot {
             ));
             out.push_str(&format!("  {:<22} {:>10}\n", "cache misses", self.cache_misses));
             out.push_str(&format!("  {:<22} {:>10}\n", "cache evictions", self.cache_evictions));
+            if self.admission_rejected > 0 {
+                out.push_str(&format!(
+                    "  {:<22} {:>10}\n",
+                    "admission rejected", self.admission_rejected
+                ));
+            }
+        }
+        if self.latency.count() > 0 {
+            out.push_str(&format!(
+                "  {:<22} p50 {:>9.2?}  p99 {:>9.2?}  p999 {:>9.2?}  ({} samples)\n",
+                "answer latency",
+                self.latency.p50(),
+                self.latency.p99(),
+                self.latency.p999(),
+                self.latency.count()
+            ));
         }
         if self.batches > 0 {
             out.push_str(&format!(
@@ -527,6 +669,65 @@ mod tests {
         let frozen = EvalMetrics::new();
         frozen.record_question();
         assert!(!frozen.snapshot().report(Duration::from_secs(1)).contains("live appends"));
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two_and_reads_conservative_quantiles() {
+        let h = LatencyHistogram::new();
+        // 90 fast observations in [1024, 2047] ns, 9 at ~1 µs–2 µs above,
+        // 1 slow outlier: p50 must read the fast bucket's upper edge,
+        // p999 the outlier's.
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(1500));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_nanos(3000));
+        }
+        h.record(Duration::from_micros(1000));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50(), Duration::from_nanos(2047));
+        assert_eq!(s.quantile(0.95), Duration::from_nanos(4095));
+        // 1 ms = 1_000_000 ns sits in bucket 19 ([2^19, 2^20)).
+        assert_eq!(s.p999(), Duration::from_nanos((1 << 20) - 1));
+        assert!(s.p50() <= s.p99() && s.p99() <= s.p999());
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().p50(), Duration::ZERO, "empty histogram reads zero");
+        h.record(Duration::ZERO);
+        h.record(Duration::from_nanos(1));
+        let s = h.snapshot();
+        assert_eq!(s.0[0], 2, "0 ns and 1 ns share the first bucket");
+        assert_eq!(s.p999(), Duration::from_nanos(1));
+        // Saturates instead of overflowing on absurd durations.
+        h.record(Duration::from_secs(u64::MAX / 1_000_000_000));
+        assert!(h.snapshot().count() == 3);
+    }
+
+    #[test]
+    fn latency_and_admission_feed_snapshot_and_report() {
+        let m = EvalMetrics::new();
+        m.record_cache_hit();
+        m.record_cache_miss(0);
+        m.record_admission_rejected();
+        for us in [100u64, 200, 400] {
+            m.record_answer_latency(Duration::from_micros(us));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.admission_rejected, 1);
+        assert_eq!(s.latency.count(), 3);
+        let report = s.report(Duration::from_secs(1));
+        assert!(report.contains("admission rejected"));
+        assert!(report.contains("answer latency"));
+        assert!(report.contains("p999"));
+        let quiet = EvalMetrics::new();
+        quiet.record_question();
+        let r = quiet.snapshot().report(Duration::from_secs(1));
+        assert!(!r.contains("answer latency"));
+        assert!(!r.contains("admission rejected"));
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub struct FinSqlConfig {
     /// without ever affecting an answer — which is why it is *not* part
     /// of the config fingerprint.
     pub link_mode: InferenceMode,
+    /// The eviction/admission policy of any [`crate::cache::AnswerCache`]
+    /// built for this system. Like `link_mode`, deliberately *not*
+    /// fingerprinted: a policy decides which deterministic answers stay
+    /// resident (hit vs recompute), never what an answer is, so toggling
+    /// it must keep every cache entry valid (`fingerprint_prop` pins
+    /// this down).
+    pub cache_policy: crate::cache::CachePolicy,
 }
 
 impl FinSqlConfig {
@@ -57,6 +64,7 @@ impl FinSqlConfig {
             temperature: 0.7,
             seed: 0xF1A5,
             link_mode: InferenceMode::Parallel,
+            cache_policy: crate::cache::CachePolicy::SlruTinyLfu,
         }
     }
 }
@@ -320,6 +328,7 @@ impl FinSql {
         rng: &mut StdRng,
         metrics: Option<&EvalMetrics>,
     ) -> String {
+        let total_start = std::time::Instant::now();
         let rt = self.runtime(db);
         // 1. Schema linking (mode from config) → concise prompt schema.
         let (linked, link_time) =
@@ -348,13 +357,17 @@ impl FinSql {
         let (calibrated, stats) =
             calibrate_with_stats(&candidates, &rt.schema, &self.config.calibration);
         let calib_time = calib_start.elapsed();
+        let fell_back = calibrated.is_none();
+        let answer =
+            calibrated.unwrap_or_else(|| candidates.first().cloned().unwrap_or_default());
         if let Some(m) = metrics {
             m.record_question();
             m.record_link(link_time);
             m.record_generation(gen_time, &counters);
-            m.record_calibration(calib_time, &stats, calibrated.is_none());
+            m.record_calibration(calib_time, &stats, fell_back);
+            m.record_answer_latency(total_start.elapsed());
         }
-        calibrated.unwrap_or_else(|| candidates.first().cloned().unwrap_or_default())
+        answer
     }
 
     /// A deterministic per-question RNG (seeded from the system seed, the
@@ -400,6 +413,14 @@ impl FinSql {
     /// [`crate::cache::AnswerCache`] — and because the epoch is in the
     /// key, a cache entry can never outlive the data state it was
     /// computed against: bumping any database's epoch moves every key.
+    /// An [`crate::cache::AnswerCache`] holding at most `capacity`
+    /// entries (0 = unbounded) under this system's configured
+    /// [`crate::cache::CachePolicy`] — the constructor the harnesses use
+    /// so `FinSqlConfig::cache_policy` actually drives serving.
+    pub fn new_cache(&self, capacity: usize) -> crate::cache::AnswerCache {
+        crate::cache::AnswerCache::with_policy(capacity, self.config.cache_policy)
+    }
+
     pub fn config_fingerprint(&self) -> ConfigFingerprint {
         let mut b = fingerprint_config(FingerprintBuilder::new("finsql"), &self.config);
         b = fingerprint_profile(b, self.profile);
@@ -472,6 +493,10 @@ pub fn question_rng(seed: u64, db: DbId, question: &str) -> StdRng {
 /// and matrix-batched linking produce bit-identical rankings, so the
 /// mode cannot affect an answer and toggling it must keep cache entries
 /// valid (`fingerprint_prop` pins this down).
+/// [`FinSqlConfig::cache_policy`] is absent for the same reason: an
+/// eviction/admission policy decides hit-vs-recompute for answers that
+/// are deterministic per key, so it can never change what is served —
+/// splitting keys on it would only discard warm entries for nothing.
 pub fn fingerprint_config(b: FingerprintBuilder, config: &FinSqlConfig) -> FingerprintBuilder {
     b.push_str(config.lang.suffix())
         .push_bool(config.augmentation.cot)

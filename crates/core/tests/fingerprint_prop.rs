@@ -11,7 +11,7 @@
 use augment::AugmentationFlags;
 use bull::{DbId, Lang};
 use crossenc::InferenceMode;
-use finsql_core::cache::{AnswerCache, FingerprintBuilder};
+use finsql_core::cache::{AnswerCache, CachePolicy, FingerprintBuilder};
 use finsql_core::pipeline::{fingerprint_config, fingerprint_profile, fingerprint_runtime};
 use finsql_core::{CalibrationConfig, FinSqlConfig};
 use proptest::prelude::*;
@@ -27,12 +27,17 @@ fn link_mode() -> impl Strategy<Value = InferenceMode> {
     prop_oneof![Just(InferenceMode::Serial), Just(InferenceMode::Parallel)]
 }
 
+fn cache_policy() -> impl Strategy<Value = CachePolicy> {
+    prop_oneof![Just(CachePolicy::Lru), Just(CachePolicy::SlruTinyLfu)]
+}
+
 fn config() -> impl Strategy<Value = FinSqlConfig> {
     (
         (lang(), any::<bool>(), any::<bool>(), any::<bool>(), 0usize..10, 0u64..1000),
         (any::<bool>(), any::<bool>(), any::<bool>()),
         (1usize..10, 1usize..16, 1usize..9, 0.0f64..2.0, 0u64..(u64::MAX / 2)),
         link_mode(),
+        cache_policy(),
     )
         .prop_map(
             |(
@@ -40,6 +45,7 @@ fn config() -> impl Strategy<Value = FinSqlConfig> {
                 (repair, self_consistency, alignment),
                 (k_tables, k_columns, n_candidates, temperature, seed),
                 link_mode,
+                cache_policy,
             )| FinSqlConfig {
                 lang,
                 augmentation: AugmentationFlags {
@@ -56,6 +62,7 @@ fn config() -> impl Strategy<Value = FinSqlConfig> {
                 temperature,
                 seed,
                 link_mode,
+                cache_policy,
             },
         )
 }
@@ -132,6 +139,20 @@ proptest! {
         prop_assert_eq!(fp(&c), fp(&flipped));
     }
 
+    /// `cache_policy` is deliberately *not* an answer-affecting knob
+    /// either: the eviction/admission policy can change only *which*
+    /// entries stay resident — hit or miss — never an answer's bytes, so
+    /// flipping it must keep every cached answer valid.
+    #[test]
+    fn cache_policy_does_not_move_the_fingerprint(c in config()) {
+        let mut flipped = c;
+        flipped.cache_policy = match c.cache_policy {
+            CachePolicy::Lru => CachePolicy::SlruTinyLfu,
+            CachePolicy::SlruTinyLfu => CachePolicy::Lru,
+        };
+        prop_assert_eq!(fp(&c), fp(&flipped));
+    }
+
     /// Any single knob mutation changes the fingerprint — the property
     /// that makes a stale-config cache hit structurally impossible.
     #[test]
@@ -202,7 +223,8 @@ proptest! {
         let key = ConfigFingerprint(fp(&c));
         let other = ConfigFingerprint(fp(&mutate_knob(&c, knob)));
         cache.insert(DbId::Fund, &question, key, answer.clone());
-        prop_assert_eq!(cache.get(DbId::Fund, &question, key), Some(answer));
+        let got = cache.get(DbId::Fund, &question, key);
+        prop_assert_eq!(got.as_deref(), Some(answer.as_str()));
         prop_assert_eq!(cache.get(DbId::Fund, &question, other), None);
         prop_assert_eq!(cache.get(DbId::Stock, &question, key), None);
         let longer = format!("{question}?");
@@ -281,32 +303,46 @@ proptest! {
         let stats = cache.stats();
         prop_assert_eq!(stats.hits, 0u64, "post-bump lookup must not hit the pre-bump entry");
         prop_assert_eq!(stats.misses, 1u64);
-        prop_assert_eq!(cache.get(DbId::Fund, &question, pre), Some(answer));
+        let got = cache.get(DbId::Fund, &question, pre);
+        prop_assert_eq!(got.as_deref(), Some(answer.as_str()));
         prop_assert_eq!(cache.stats().hits, 1u64, "the pre-bump key itself still serves");
     }
 
-    /// Under any capacity cap and insertion sequence, residency never
-    /// exceeds the cap's shard-rounded bound and the counters balance:
-    /// entries == inserts - evictions.
+    /// Under any capacity cap, policy, and insertion sequence, residency
+    /// never exceeds the cap's shard-rounded bound and the counters
+    /// balance: entries == inserts - evictions (rejected candidates are
+    /// counted separately, as `admission_rejected`, never as inserts).
     #[test]
     fn capped_cache_respects_capacity(
         cap in 1usize..40,
+        policy in cache_policy(),
         keys in proptest::collection::vec("[a-z]{1,12}", 1..80),
     ) {
         use finsql_core::ConfigFingerprint;
-        let cache = AnswerCache::with_capacity(cap);
+        let cache = AnswerCache::with_policy(cap, policy);
+        let mut rejected = 0u64;
         for k in &keys {
-            cache.insert(DbId::Macro, k, ConfigFingerprint(7), k.to_uppercase());
+            let outcome = cache.insert(DbId::Macro, k, ConfigFingerprint(7), k.to_uppercase());
+            if !outcome.admitted {
+                rejected += 1;
+            }
         }
         let stats = cache.stats();
         // Capacity is enforced per shard (cap/16 rounded up each).
         let bound = cap.div_ceil(16) * 16;
         prop_assert!(stats.entries <= bound, "{} entries over bound {}", stats.entries, bound);
         prop_assert_eq!(stats.entries as u64, stats.inserts - stats.evictions);
+        // The outcome the caller saw matches the counter the stats report
+        // (duplicate keys refresh in place: admitted, but not an insert).
+        prop_assert_eq!(stats.admission_rejected, rejected);
+        prop_assert!(stats.inserts + rejected <= keys.len() as u64);
+        if policy == CachePolicy::Lru {
+            prop_assert_eq!(stats.admission_rejected, 0u64, "plain LRU never rejects");
+        }
         // Whatever is resident is correct.
         for k in &keys {
             if let Some(v) = cache.get(DbId::Macro, k, ConfigFingerprint(7)) {
-                prop_assert_eq!(v, k.to_uppercase());
+                prop_assert_eq!(&*v, k.to_uppercase());
             }
         }
     }

@@ -147,6 +147,9 @@ proptest! {
         let cache = AnswerCache::unbounded();
         let cold = system.answer_batch_cached(&cache, db, &slice, None);
         let warm = system.answer_batch_cached(&cache, db, &slice, None);
+        let cold: Vec<&str> = cold.iter().map(|a| &**a).collect();
+        let warm: Vec<&str> = warm.iter().map(|a| &**a).collect();
+        let uncached: Vec<&str> = uncached.iter().map(String::as_str).collect();
         prop_assert_eq!(&cold, &uncached, "cold cached pass diverged from uncached");
         prop_assert_eq!(&warm, &uncached, "warm cached pass diverged from uncached");
     }

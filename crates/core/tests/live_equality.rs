@@ -145,8 +145,10 @@ impl Harness {
         let hits_before = self.cache.stats().hits;
         for &i in indices {
             let (db, q) = &self.slate[i];
+            let answer =
+                self.live.as_ref().expect("engine parked").answer_cached(&self.cache, *db, q, None);
             assert_eq!(
-                self.live.as_ref().expect("engine parked").answer_cached(&self.cache, *db, q, None),
+                &*answer,
                 self.reference(i),
                 "cached serve diverged from cold rebuild ({db}: {q})"
             );
@@ -200,7 +202,8 @@ impl Harness {
                     queue_cap: 64,
                 },
             );
-            let answers: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; slate.len()]);
+            let answers: Mutex<Vec<Option<std::sync::Arc<str>>>> =
+                Mutex::new(vec![None; slate.len()]);
             let next = std::sync::atomic::AtomicUsize::new(0);
             crossbeam::scope(|scope| {
                 for _ in 0..workers.max(1) {
@@ -219,7 +222,7 @@ impl Harness {
             let answers = answers.into_inner().expect("lock");
             for (i, answer) in answers.into_iter().enumerate() {
                 assert_eq!(
-                    answer.expect("scheduler answered"),
+                    &*answer.expect("scheduler answered"),
                     refs[i],
                     "scheduler serve ({workers} workers, batch {batch}) diverged ({}: {})",
                     slate[i].0,

@@ -43,7 +43,7 @@ fn reference(engine: &FinSql, db: DbId, question: &str) -> String {
 /// deadline (armed while idling) would have already expired.
 fn idle_past_one_window(scheduler: &BatchScheduler, engine: &FinSql, flush: Duration) {
     let warmup = "list all fund names";
-    assert_eq!(scheduler.answer(DbId::Fund, warmup), reference(engine, DbId::Fund, warmup));
+    assert_eq!(&*scheduler.answer(DbId::Fund, warmup), reference(engine, DbId::Fund, warmup));
     std::thread::sleep(flush + flush / 2);
 }
 
@@ -63,7 +63,7 @@ fn solo_request_waits_the_full_flush_window() {
     let start = Instant::now();
     let answer = scheduler.answer(DbId::Fund, question);
     let elapsed = start.elapsed();
-    assert_eq!(answer, reference(&engine, DbId::Fund, question));
+    assert_eq!(&*answer, reference(&engine, DbId::Fund, question));
     // The batch stayed open for the whole window before the solo flush —
     // an inherited stale deadline would have flushed almost immediately.
     assert!(
@@ -102,8 +102,8 @@ fn slow_second_submitter_joins_the_first_request_batch() {
     let second_answer = scheduler.answer(DbId::Fund, second_q);
     let (first_answer, first_elapsed) = first.join().expect("first submitter panicked");
 
-    assert_eq!(first_answer, reference(&engine, DbId::Fund, first_q));
-    assert_eq!(second_answer, reference(&engine, DbId::Fund, second_q));
+    assert_eq!(&*first_answer, reference(&engine, DbId::Fund, first_q));
+    assert_eq!(&*second_answer, reference(&engine, DbId::Fund, second_q));
     assert!(
         first_elapsed >= Duration::from_millis(150),
         "first request answered after {first_elapsed:?} — it cannot have waited for the second"

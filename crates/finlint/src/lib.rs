@@ -39,13 +39,17 @@ const ANSWER_AFFECTING_CRATES: &[&str] = &["crossenc", "simllm", "sqlkit", "sqle
 
 /// `finsql-core` answer-affecting files (the rest of the crate is
 /// harness/metrics code where e.g. metric folds are not answer-bearing).
-const ANSWER_AFFECTING_CORE_FILES: &[&str] =
-    &["crates/core/src/batch.rs", "crates/core/src/pipeline.rs", "crates/core/src/cache.rs"];
+const ANSWER_AFFECTING_CORE_FILES: &[&str] = &[
+    "crates/core/src/batch.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/cache.rs",
+    "crates/core/src/tinylfu.rs",
+];
 
 /// Files holding the shard-locked serving structures the lock-discipline
 /// family guards.
 const LOCK_DISCIPLINE_FILES: &[&str] =
-    &["crates/core/src/cache.rs", "crates/core/src/batch.rs"];
+    &["crates/core/src/cache.rs", "crates/core/src/batch.rs", "crates/core/src/tinylfu.rs"];
 
 /// The file defining `FinSqlConfig` + `fingerprint_config` (and
 /// `DbRuntime` + `config_fingerprint`, the data-state half of the key).
@@ -190,6 +194,7 @@ mod tests {
         let mk = |rel: &str, krate: &str| SourceFile::parse(rel, krate, "");
         assert!(determinism_scope(&mk("crates/simllm/src/embed.rs", "simllm")));
         assert!(determinism_scope(&mk("crates/core/src/cache.rs", "core")));
+        assert!(determinism_scope(&mk("crates/core/src/tinylfu.rs", "core")));
         assert!(!determinism_scope(&mk("crates/core/src/metrics.rs", "core")));
         assert!(!determinism_scope(&mk("crates/bull/src/datagen.rs", "bull")));
     }

@@ -20,8 +20,16 @@ use crate::source::SourceFile;
 
 /// Fields that are *proven* not to affect answers and therefore legally
 /// absent from the fingerprint. Each entry needs a property test pinning
-/// the claim down (see `crates/core/tests/fingerprint_prop.rs`).
-pub const NOT_FINGERPRINTED: &[&str] = &["link_mode"];
+/// the claim down (see `crates/core/tests/fingerprint_prop.rs`):
+///
+/// - `link_mode`: serial and parallel schema linking produce
+///   bit-identical rankings (`link_mode_does_not_move_the_fingerprint`).
+/// - `cache_policy`: the eviction/admission policy decides which entries
+///   stay resident — it can turn a hit into a miss, never change an
+///   answer's bytes (`cache_policy_does_not_move_the_fingerprint`, plus
+///   the cross-policy differential suite in
+///   `crates/core/tests/cache_policy_prop.rs`).
+pub const NOT_FINGERPRINTED: &[&str] = &["link_mode", "cache_policy"];
 
 /// `DbRuntime` fields legally absent from `config_fingerprint` because
 /// they are pure functions of state that *is* fingerprinted — rebuild
@@ -216,6 +224,7 @@ mod tests {
 pub struct FinSqlConfig {
     pub k_tables: usize,
     pub link_mode: InferenceMode,
+    pub cache_policy: CachePolicy,
 }
 pub fn fingerprint_config(b: FingerprintBuilder, config: &FinSqlConfig) -> FingerprintBuilder {
     b.push_usize(config.k_tables)

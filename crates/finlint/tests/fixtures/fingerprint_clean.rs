@@ -1,9 +1,10 @@
 //! Fixture: every FinSqlConfig field fingerprinted except the
-//! allowlisted `link_mode`. Not compiled — parsed by `tests/fixtures.rs`.
+//! allowlisted `link_mode` and `cache_policy`. Not compiled — parsed by `tests/fixtures.rs`.
 pub struct FinSqlConfig {
     pub k_tables: usize,
     pub seed: u64,
     pub link_mode: InferenceMode,
+    pub cache_policy: CachePolicy,
 }
 
 pub fn fingerprint_config(b: FingerprintBuilder, config: &FinSqlConfig) -> FingerprintBuilder {

@@ -5,6 +5,7 @@ pub struct FinSqlConfig {
     pub k_tables: usize,
     pub synthetic_knob: usize,
     pub link_mode: InferenceMode,
+    pub cache_policy: CachePolicy,
 }
 
 pub fn fingerprint_config(b: FingerprintBuilder, config: &FinSqlConfig) -> FingerprintBuilder {

@@ -75,7 +75,8 @@ proptest! {
         let got = system().answer_batch_mixed(cache.as_ref(), &requests, None);
         prop_assert_eq!(got.len(), requests.len());
         for ((db, q), a) in requests.iter().zip(&got) {
-            prop_assert_eq!(&serial_answer(*db, q), a, "diverged on {:?} {:?}", db, q);
+            let want = serial_answer(*db, q);
+            prop_assert_eq!(want.as_str(), &**a, "diverged on {:?} {:?}", db, q);
         }
     }
 }
@@ -98,11 +99,13 @@ fn every_batch_size_and_the_cached_path_are_exact() {
     }
     let cache = AnswerCache::unbounded();
     for pass in ["cold", "warm"] {
-        let mut got = Vec::with_capacity(questions.len());
+        let mut got: Vec<std::sync::Arc<str>> = Vec::with_capacity(questions.len());
         for chunk in questions.chunks(7) {
             got.extend(system().answer_batch_cached(&cache, db, chunk, None));
         }
-        assert_eq!(got, reference, "{pass} cached batches diverged");
+        let got: Vec<&str> = got.iter().map(|a| &**a).collect();
+        let want: Vec<&str> = reference.iter().map(String::as_str).collect();
+        assert_eq!(got, want, "{pass} cached batches diverged");
     }
     assert!(cache.stats().hits >= questions.len() as u64, "warm pass must hit the cache");
 }
@@ -127,14 +130,16 @@ fn scheduler_coalescing_is_invisible_to_callers() {
         for pass in ["cold", "warm"] {
             // Submit from several threads at once so the workers actually
             // get concurrent requests to coalesce.
-            let got: Vec<String> = std::thread::scope(|scope| {
+            let got: Vec<Arc<str>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = questions
                     .iter()
                     .map(|q| scope.spawn(|| scheduler.answer(db, q)))
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("submitter panicked")).collect()
             });
-            assert_eq!(got, reference, "{workers}-worker scheduler diverged on {pass} pass");
+            let got: Vec<&str> = got.iter().map(|a| &**a).collect();
+            let want: Vec<&str> = reference.iter().map(String::as_str).collect();
+            assert_eq!(got, want, "{workers}-worker scheduler diverged on {pass} pass");
         }
         assert!(
             cache.stats().hits >= questions.len() as u64,
@@ -168,14 +173,16 @@ fn mixed_db_scheduler_traffic_is_exact() {
         BatchConfig { max_batch: 8, workers: 2, ..BatchConfig::default() },
     );
     for pass in ["cold", "warm"] {
-        let got: Vec<String> = std::thread::scope(|scope| {
+        let got: Vec<Arc<str>> = std::thread::scope(|scope| {
             let handles: Vec<_> = requests
                 .iter()
                 .map(|(db, q)| scope.spawn(|| scheduler.answer(*db, q)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("submitter panicked")).collect()
         });
-        assert_eq!(got, reference, "mixed-db scheduler diverged on {pass} pass");
+        let got: Vec<&str> = got.iter().map(|a| &**a).collect();
+        let want: Vec<&str> = reference.iter().map(String::as_str).collect();
+        assert_eq!(got, want, "mixed-db scheduler diverged on {pass} pass");
     }
     assert!(
         cache.stats().hits >= requests.len() as u64,
