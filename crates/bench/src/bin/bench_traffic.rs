@@ -150,6 +150,12 @@ fn main() {
         }
     }
 
+    assert!(
+        bench::traffic::key_interning_probe(&engine),
+        "a question submitted as Arc<str> must become the cache key allocation itself \
+         (no byte copy on the insert path)"
+    );
+
     let json = format!(
         "{{\n  \"spec\": {{\"requests\": {}, \"population\": {}, \"capacity\": {}, \
          \"submitters\": {}, \"batch\": {}, \"user_space\": {}, \"seed\": {}}},\n  \

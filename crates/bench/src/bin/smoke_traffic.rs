@@ -72,6 +72,11 @@ fn main() {
         "the hottest key must be served as a shared allocation, not a copy"
     );
     assert_eq!(lru.admission_rejected, 0, "plain LRU must never reject an insert");
+    assert!(
+        bench::traffic::key_interning_probe(&engine),
+        "a question submitted as Arc<str> must become the cache key allocation itself \
+         (no byte copy on the insert path)"
+    );
     println!(
         "SLRU+TinyLFU vs LRU hit-rate delta: {:+.2} pts",
         (slru.hit_rate() - lru.hit_rate()) * 100.0

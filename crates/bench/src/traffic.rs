@@ -279,6 +279,40 @@ pub fn run_policy(
     }
 }
 
+/// Proves the no-clone key-interning invariant end to end: a question
+/// submitted to the scheduler as an `Arc<str>` must reach the cache key
+/// as *that same allocation* (`Arc::ptr_eq`), not a byte copy — the
+/// submit-time allocation rides the queue, the mixed-batch path and the
+/// cache fill untouched. Runs against a fresh unbounded cache so TinyLFU
+/// admission (which only engages at a capacity cap) cannot decline the
+/// insert. Returns whether the invariant held.
+pub fn key_interning_probe(engine: &Arc<FinSql>) -> bool {
+    let cache = Arc::new(AnswerCache::unbounded());
+    let question: Arc<str> = Arc::from("key interning probe: list all fund names");
+    let answer = {
+        let mut scheduler = BatchScheduler::new(
+            Arc::clone(engine),
+            Some(Arc::clone(&cache)),
+            None,
+            BatchConfig::default(),
+        );
+        let Ok(ticket) = scheduler.try_submit(DbId::Fund, Arc::clone(&question)) else {
+            return false;
+        };
+        let answer = ticket.wait();
+        scheduler.shutdown();
+        answer
+    };
+    if *answer != engine.answer_fresh(DbId::Fund, &question, None) {
+        return false; // never trade correctness for allocation savings
+    }
+    let fingerprint = engine.config_fingerprint();
+    match cache.interned_key(DbId::Fund, &question, fingerprint) {
+        Some(key) => Arc::ptr_eq(&key, &question),
+        None => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,7 +36,7 @@
 //! [`FinSql::answer_batch_mixed`], so a worker never stalls waiting for
 //! same-database traffic to accumulate.
 
-use crate::cache::{Answerer, AnswerCache, ConfigFingerprint};
+use crate::cache::{Answerer, AnswerCache, ConfigFingerprint, QuestionKey};
 use crate::calibrate::calibrate_with_stats;
 use crate::metrics::EvalMetrics;
 use crate::pipeline::FinSql;
@@ -165,18 +165,22 @@ impl FinSql {
     /// Cache-first batched answering: questions already cached are served
     /// without touching the engine, the misses are answered in one
     /// [`FinSql::answer_batch_with_metrics`] call and fill the cache.
-    pub fn answer_batch_cached(
+    ///
+    /// Questions are any [`QuestionKey`]: the scheduler path passes the
+    /// queue's `Arc<str>` requests so a cache fill shares the submitted
+    /// allocation instead of copying the question bytes.
+    pub fn answer_batch_cached<Q: QuestionKey>(
         &self,
         cache: &AnswerCache,
         db: DbId,
-        questions: &[&str],
+        questions: &[Q],
         metrics: Option<&EvalMetrics>,
     ) -> Vec<Arc<str>> {
         let fingerprint = self.config_fingerprint();
         let mut out: Vec<Option<Arc<str>>> = vec![None; questions.len()];
         let mut misses: Vec<usize> = Vec::new();
         for (i, q) in questions.iter().enumerate() {
-            match cache.get(db, q, fingerprint) {
+            match cache.get(db, q.as_str(), fingerprint) {
                 Some(hit) => {
                     if let Some(m) = metrics {
                         m.record_cache_hit();
@@ -187,11 +191,12 @@ impl FinSql {
             }
         }
         if !misses.is_empty() {
-            let miss_questions: Vec<&str> = misses.iter().map(|&i| questions[i]).collect();
+            let miss_questions: Vec<&str> =
+                misses.iter().map(|&i| questions[i].as_str()).collect();
             let computed = self.answer_batch_with_metrics(db, &miss_questions, metrics);
             for (&i, answer) in misses.iter().zip(computed) {
                 let answer: Arc<str> = Arc::from(answer);
-                let outcome = cache.insert(db, questions[i], fingerprint, Arc::clone(&answer));
+                let outcome = cache.insert(db, &questions[i], fingerprint, Arc::clone(&answer));
                 if let Some(m) = metrics {
                     m.record_cache_miss(outcome.evicted);
                     if !outcome.admitted {
@@ -209,20 +214,22 @@ impl FinSql {
 
     /// [`FinSql::answer_batch_cached`] with an optional cache — the shape
     /// the bench harness uses under its `--no-cache` flag.
-    pub fn answer_batch_maybe_cached(
+    pub fn answer_batch_maybe_cached<Q: QuestionKey>(
         &self,
         cache: Option<&AnswerCache>,
         db: DbId,
-        questions: &[&str],
+        questions: &[Q],
         metrics: Option<&EvalMetrics>,
     ) -> Vec<Arc<str>> {
         match cache {
             Some(c) => self.answer_batch_cached(c, db, questions, metrics),
-            None => self
-                .answer_batch_with_metrics(db, questions, metrics)
-                .into_iter()
-                .map(Arc::from)
-                .collect(),
+            None => {
+                let borrowed: Vec<&str> = questions.iter().map(|q| q.as_str()).collect();
+                self.answer_batch_with_metrics(db, &borrowed, metrics)
+                    .into_iter()
+                    .map(Arc::from)
+                    .collect()
+            }
         }
     }
 
@@ -236,10 +243,10 @@ impl FinSql {
     /// is just batching, and batching cannot change an answer — which is
     /// what lets the [`BatchScheduler`] coalesce mixed traffic without
     /// waiting for same-database requests to accumulate.
-    pub fn answer_batch_mixed(
+    pub fn answer_batch_mixed<Q: QuestionKey>(
         &self,
         cache: Option<&AnswerCache>,
-        requests: &[(DbId, &str)],
+        requests: &[(DbId, Q)],
         metrics: Option<&EvalMetrics>,
     ) -> Vec<Arc<str>> {
         let mut out: Vec<Option<Arc<str>>> = vec![None; requests.len()];
@@ -255,7 +262,7 @@ impl FinSql {
                 continue;
             }
             dbs_spanned += 1;
-            let questions: Vec<&str> = indices.iter().map(|&i| requests[i].1).collect();
+            let questions: Vec<&Q> = indices.iter().map(|&i| &requests[i].1).collect();
             let answers = self.answer_batch_maybe_cached(cache, db, &questions, metrics);
             for (&i, answer) in indices.iter().zip(answers) {
                 out[i] = Some(answer);
@@ -325,12 +332,70 @@ impl ResponseSlot {
             guard = self.ready.wait(guard).expect("slot lock poisoned");
         }
     }
+
+    /// Takes the answer if a worker already delivered it; never blocks.
+    fn try_take(&self) -> Option<Arc<str>> {
+        // INVARIANT: a poisoned slot lock means a peer thread panicked
+        // holding it; the slot state is unrecoverable, so propagate.
+        self.answer.lock().expect("slot lock poisoned").take()
+    }
+}
+
+/// Why a submission was refused. Both cases are backpressure, not
+/// failure: no request was enqueued and no answer was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity. The caller decides the policy:
+    /// the serving front-end sheds load with a `Busy` response, a batch
+    /// caller may retry or fall back to the blocking
+    /// [`BatchScheduler::submit`].
+    QueueFull,
+    /// The scheduler is shutting down and accepts no new work. Requests
+    /// already queued are still drained and answered.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SubmitError::QueueFull => "scheduler queue is full",
+            SubmitError::ShuttingDown => "scheduler is shutting down",
+        })
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A claim on one submitted request's future answer.
+///
+/// Obtained from [`BatchScheduler::submit`]/[`BatchScheduler::try_submit`];
+/// redeem it either by blocking ([`Ticket::wait`]) or by polling
+/// ([`Ticket::try_answer`]) — the shape the non-blocking serving loop
+/// needs, where a connection driver polls tickets between socket events
+/// instead of parking a thread per request.
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// The answer, if a worker has already delivered it. Returns
+    /// `Some` exactly once; never blocks.
+    pub fn try_answer(&self) -> Option<Arc<str>> {
+        self.slot.try_take()
+    }
+
+    /// Blocks until the answer is ready. Always terminates: a submitted
+    /// request is answered even during shutdown (the workers drain the
+    /// queue before exiting).
+    pub fn wait(self) -> Arc<str> {
+        self.slot.wait()
+    }
 }
 
 /// One queued question.
 struct Request {
     db: DbId,
-    question: String,
+    question: Arc<str>,
     slot: Arc<ResponseSlot>,
     /// When the request entered the queue. The flush deadline of the
     /// batch this request opens is anchored here, not at worker pop —
@@ -410,28 +475,108 @@ impl BatchScheduler {
         BatchScheduler { shared, workers }
     }
 
-    /// Submits one question and blocks until its answer is ready. Safe to
-    /// call from many threads at once — concurrency is what gives the
-    /// workers batches to coalesce.
-    pub fn answer(&self, db: DbId, question: &str) -> Arc<str> {
+    /// Submits one question without blocking: the request is either
+    /// enqueued (returning a [`Ticket`]) or refused immediately —
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after [`BatchScheduler::shutdown`]
+    /// began. This is how the bounded queue exerts backpressure to the
+    /// wire: the serving front-end calls this from its event loop and
+    /// turns `QueueFull` into a `Busy` response instead of parking a
+    /// driver thread.
+    ///
+    /// Pass an `Arc<str>` question to intern it end to end: the queue,
+    /// the cache key and the response all share that one allocation.
+    pub fn try_submit(
+        &self,
+        db: DbId,
+        question: impl Into<Arc<str>>,
+    ) -> Result<Ticket, SubmitError> {
         let slot = Arc::new(ResponseSlot::default());
         {
             // INVARIANT: a poisoned queue lock means a worker panicked
             // holding it; the queue state is unrecoverable, so propagate.
             let mut state = self.shared.queue.state.lock().expect("queue lock poisoned");
-            while state.items.len() >= self.shared.config.queue_cap {
-                // INVARIANT: poisoning, as above — propagate the panic.
-                state = self.shared.queue.not_full.wait(state).expect("queue lock poisoned");
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.items.len() >= self.shared.config.queue_cap {
+                return Err(SubmitError::QueueFull);
             }
             state.items.push_back(Request {
                 db,
-                question: question.to_string(),
+                question: question.into(),
                 slot: Arc::clone(&slot),
                 enqueued: Instant::now(),
             });
         }
         self.shared.queue.not_empty.notify_one();
-        slot.wait()
+        Ok(Ticket { slot })
+    }
+
+    /// Submits one question, blocking while the queue is full. Fails only
+    /// with [`SubmitError::ShuttingDown`] once shutdown has begun (a
+    /// full queue blocks; it never errors here).
+    pub fn submit(
+        &self,
+        db: DbId,
+        question: impl Into<Arc<str>>,
+    ) -> Result<Ticket, SubmitError> {
+        let slot = Arc::new(ResponseSlot::default());
+        {
+            // INVARIANT: a poisoned queue lock means a worker panicked
+            // holding it; the queue state is unrecoverable, so propagate.
+            let mut state = self.shared.queue.state.lock().expect("queue lock poisoned");
+            loop {
+                if state.shutdown {
+                    return Err(SubmitError::ShuttingDown);
+                }
+                if state.items.len() < self.shared.config.queue_cap {
+                    break;
+                }
+                // INVARIANT: poisoning, as above — propagate the panic.
+                state = self.shared.queue.not_full.wait(state).expect("queue lock poisoned");
+            }
+            state.items.push_back(Request {
+                db,
+                question: question.into(),
+                slot: Arc::clone(&slot),
+                enqueued: Instant::now(),
+            });
+        }
+        self.shared.queue.not_empty.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Submits one question and blocks until its answer is ready. Safe to
+    /// call from many threads at once — concurrency is what gives the
+    /// workers batches to coalesce.
+    pub fn answer(&self, db: DbId, question: &str) -> Arc<str> {
+        // INVARIANT: library-path callers join their submitter threads
+        // before the scheduler shuts down, so `submit` cannot observe
+        // `ShuttingDown` here; a non-blocking front-end must use
+        // `try_submit` and handle the error instead.
+        self.submit(db, question).expect("submit raced scheduler shutdown").wait()
+    }
+
+    /// Begins shutdown and joins the worker pool: no new submissions are
+    /// accepted (submitters get [`SubmitError::ShuttingDown`]), every
+    /// request already queued is drained and answered, and the method
+    /// returns once all workers have exited. Idempotent — `Drop`
+    /// delegates here.
+    pub fn shutdown(&mut self) {
+        {
+            // INVARIANT: a poisoned queue lock means a worker panicked
+            // holding it; the queue state is unrecoverable, so propagate.
+            let mut state = self.shared.queue.state.lock().expect("queue lock poisoned");
+            state.shutdown = true;
+        }
+        // Wake both sides: workers parked on not_empty must re-check the
+        // flag and drain; submitters parked on not_full must bail out.
+        self.shared.queue.not_empty.notify_all();
+        self.shared.queue.not_full.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -451,16 +596,7 @@ impl Answerer for BatchScheduler {
 
 impl Drop for BatchScheduler {
     fn drop(&mut self) {
-        {
-            // INVARIANT: a poisoned queue lock means a worker panicked
-            // holding it; the queue state is unrecoverable, so propagate.
-            let mut state = self.shared.queue.state.lock().expect("queue lock poisoned");
-            state.shutdown = true;
-        }
-        self.shared.queue.not_empty.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -520,8 +656,11 @@ fn worker_loop(shared: &Shared) {
                 state = guard;
             }
         }
-        let requests: Vec<(DbId, &str)> =
-            batch.iter().map(|r| (r.db, r.question.as_str())).collect();
+        // Clone the interned question Arcs (refcount bumps): passing the
+        // `Arc<str>` keys through the cache-first path lets a cache fill
+        // share the submitted allocation instead of copying the bytes.
+        let requests: Vec<(DbId, Arc<str>)> =
+            batch.iter().map(|r| (r.db, Arc::clone(&r.question))).collect();
         let metrics = shared.metrics.as_deref();
         let answers =
             shared.engine.answer_batch_mixed(shared.cache.as_deref(), &requests, metrics);

@@ -179,6 +179,61 @@ fn key_hash(db: DbId, question: &str, fingerprint: ConfigFingerprint) -> u64 {
         .0
 }
 
+/// A cache-key question as the caller holds it: anything string-shaped,
+/// optionally carrying an already-interned `Arc<str>` allocation the
+/// cache can share on insert instead of copying the question bytes.
+///
+/// The scheduler's request path interns each question once at submit
+/// time and threads that `Arc<str>` all the way to the cache fill, so an
+/// admitted insert is a refcount bump of the caller's allocation — the
+/// no-clone invariant `bench::traffic::key_interning_probe` asserts with
+/// `Arc::ptr_eq`. Plain `&str`/`String` callers fall back to one copy at
+/// admission time (and only then — a rejected or resident insert never
+/// copies).
+pub trait QuestionKey {
+    /// The question text, borrowed.
+    fn as_str(&self) -> &str;
+
+    /// The interned allocation, when the caller already has one; `None`
+    /// means the cache copies the bytes if (and only if) it admits the
+    /// key.
+    fn shared(&self) -> Option<&Arc<str>> {
+        None
+    }
+}
+
+impl QuestionKey for str {
+    fn as_str(&self) -> &str {
+        self
+    }
+}
+
+impl QuestionKey for String {
+    fn as_str(&self) -> &str {
+        self
+    }
+}
+
+impl QuestionKey for Arc<str> {
+    fn as_str(&self) -> &str {
+        self
+    }
+
+    fn shared(&self) -> Option<&Arc<str>> {
+        Some(self)
+    }
+}
+
+impl<Q: QuestionKey + ?Sized> QuestionKey for &Q {
+    fn as_str(&self) -> &str {
+        (**self).as_str()
+    }
+
+    fn shared(&self) -> Option<&Arc<str>> {
+        (**self).shared()
+    }
+}
+
 /// One cache key: the question pinned to its database and the full
 /// configuration fingerprint of the system that answers it. The
 /// question is interned as `Arc<str>` — cloning a key for a recency
@@ -508,11 +563,16 @@ impl Shard {
 
     /// Inserts a key, refreshing it when already resident and running
     /// the TinyLFU admission duel at capacity under `SlruTinyLfu`.
+    /// `shared` is the caller's already-interned question allocation;
+    /// when present an admitted key is a refcount bump of it, otherwise
+    /// the bytes are copied once at admission.
+    #[allow(clippy::too_many_arguments)]
     fn insert(
         &mut self,
         h: u64,
         db: DbId,
         question: &str,
+        shared: Option<&Arc<str>>,
         fingerprint: ConfigFingerprint,
         answer: Arc<str>,
         ctx: PolicyCtx,
@@ -551,7 +611,13 @@ impl Shard {
             }
         }
         let stamp = self.stamp();
-        let key = CacheKey { h, db, question: Arc::from(question), fingerprint };
+        // The only byte copy on the insert path — skipped entirely when
+        // the caller supplied its interned allocation.
+        let question = match shared {
+            Some(interned) => Arc::clone(interned),
+            None => Arc::from(question),
+        };
+        let key = CacheKey { h, db, question, fingerprint };
         self.buckets
             .entry(h)
             .or_default()
@@ -761,18 +827,24 @@ impl AnswerCache {
     /// rejects the insert outright when it does not (`admitted: false`
     /// in the outcome — the caller still has its answer, the cache just
     /// kept the statistically hotter entry).
-    pub fn insert(
+    ///
+    /// The question is any [`QuestionKey`]: pass an `&Arc<str>` and an
+    /// admitted key shares that allocation instead of copying the bytes.
+    pub fn insert<Q: QuestionKey + ?Sized>(
         &self,
         db: DbId,
-        question: &str,
+        question: &Q,
         fingerprint: ConfigFingerprint,
         answer: impl Into<Arc<str>>,
     ) -> InsertOutcome {
+        let shared = question.shared();
+        let question = question.as_str();
         let h = key_hash(db, question, fingerprint);
         let idx = (h % self.shards.len() as u64) as usize;
         let ctx = self.ctx();
-        let result =
-            self.shards[idx].lock().insert(h, db, question, fingerprint, answer.into(), ctx);
+        let result = self.shards[idx]
+            .lock()
+            .insert(h, db, question, shared, fingerprint, answer.into(), ctx);
         match result {
             ShardInsert::Fresh { evicted } => {
                 self.inserts.fetch_add(1, Ordering::Relaxed);
@@ -791,6 +863,29 @@ impl AnswerCache {
                 InsertOutcome { admitted: false, evicted: 0 }
             }
         }
+    }
+
+    /// The interned key allocation of a resident entry, if any — a
+    /// read-only probe for the no-clone invariant: a caller that
+    /// submitted an `Arc<str>` question can `Arc::ptr_eq` the returned
+    /// key against its own allocation to prove the insert shared rather
+    /// than copied. Unlike [`AnswerCache::get`] this touches neither
+    /// recency nor the frequency sketch and counts no hit/miss.
+    pub fn interned_key(
+        &self,
+        db: DbId,
+        question: &str,
+        fingerprint: ConfigFingerprint,
+    ) -> Option<Arc<str>> {
+        let h = key_hash(db, question, fingerprint);
+        let idx = (h % self.shards.len() as u64) as usize;
+        let shard = self.shards[idx].lock();
+        shard
+            .buckets
+            .get(&h)?
+            .iter()
+            .find(|(k, _)| k.matches(db, question, fingerprint))
+            .map(|(k, _)| Arc::clone(&k.question))
     }
 
     /// Entries currently resident across all shards.
@@ -919,6 +1014,38 @@ mod tests {
         let a = cache.get(DbId::Fund, "q", fp(1)).expect("resident");
         let b = cache.get(DbId::Fund, "q", fp(1)).expect("resident");
         assert!(Arc::ptr_eq(&a, &b), "hits must share the stored allocation");
+    }
+
+    #[test]
+    fn arc_question_insert_shares_the_callers_allocation() {
+        // The interning contract: inserting an `Arc<str>` question must
+        // make the admitted key a refcount bump of that allocation, not
+        // a byte copy.
+        let cache = AnswerCache::unbounded();
+        let question: Arc<str> = Arc::from("how did the fund perform");
+        cache.insert(DbId::Fund, &question, fp(1), "SELECT 1");
+        let key = cache
+            .interned_key(DbId::Fund, &question, fp(1))
+            .expect("entry must be resident");
+        assert!(
+            Arc::ptr_eq(&key, &question),
+            "admitted key must share the caller's allocation"
+        );
+        // And the entry behaves like any other: borrowed lookups hit.
+        assert_eq!(cache.get(DbId::Fund, "how did the fund perform", fp(1)).as_deref(), Some("SELECT 1"));
+    }
+
+    #[test]
+    fn str_insert_still_interns_by_copy() {
+        let cache = AnswerCache::unbounded();
+        cache.insert(DbId::Fund, "plain str question", fp(1), "a");
+        let key = cache
+            .interned_key(DbId::Fund, "plain str question", fp(1))
+            .expect("entry must be resident");
+        assert_eq!(&*key, "plain str question");
+        // The probe is inert: no hit/miss counted, no recency touched.
+        assert_eq!(cache.stats().hits + cache.stats().misses, 0);
+        assert_eq!(cache.interned_key(DbId::Fund, "absent", fp(1)), None);
     }
 
     #[test]

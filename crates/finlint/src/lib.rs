@@ -51,6 +51,12 @@ const ANSWER_AFFECTING_CORE_FILES: &[&str] = &[
 const LOCK_DISCIPLINE_FILES: &[&str] =
     &["crates/core/src/cache.rs", "crates/core/src/batch.rs", "crates/core/src/tinylfu.rs"];
 
+/// Directory prefixes whose every source the lock-discipline family
+/// guards: the serving front-end drives the shard-locked structures from
+/// a single-threaded readiness loop and must never grow nested locking
+/// or an unlooped `Condvar::wait`.
+const LOCK_DISCIPLINE_DIRS: &[&str] = &["crates/serve/src/"];
+
 /// The file defining `FinSqlConfig` + `fingerprint_config` (and
 /// `DbRuntime` + `config_fingerprint`, the data-state half of the key).
 const FINGERPRINT_FILE: &str = "crates/core/src/pipeline.rs";
@@ -103,7 +109,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
         out.extend(lints::fingerprint::check_runtime(file));
     }
     out.extend(lints::panics::check(file));
-    if LOCK_DISCIPLINE_FILES.contains(&file.rel_path.as_str()) {
+    if lock_discipline_scope(file) {
         out.extend(lints::locks::check(file));
     }
     out
@@ -113,6 +119,12 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
 fn determinism_scope(file: &SourceFile) -> bool {
     ANSWER_AFFECTING_CRATES.contains(&file.krate.as_str())
         || ANSWER_AFFECTING_CORE_FILES.contains(&file.rel_path.as_str())
+}
+
+/// True when the lock-discipline family applies to this file.
+fn lock_discipline_scope(file: &SourceFile) -> bool {
+    LOCK_DISCIPLINE_FILES.contains(&file.rel_path.as_str())
+        || LOCK_DISCIPLINE_DIRS.iter().any(|d| file.rel_path.starts_with(d))
 }
 
 /// Every library `.rs` source in the workspace: `crates/*/src/**` (minus
@@ -197,5 +209,34 @@ mod tests {
         assert!(determinism_scope(&mk("crates/core/src/tinylfu.rs", "core")));
         assert!(!determinism_scope(&mk("crates/core/src/metrics.rs", "core")));
         assert!(!determinism_scope(&mk("crates/bull/src/datagen.rs", "bull")));
+    }
+
+    #[test]
+    fn lock_scope_covers_the_serving_front_end() {
+        let mk = |rel: &str, krate: &str| SourceFile::parse(rel, krate, "");
+        assert!(lock_discipline_scope(&mk("crates/core/src/cache.rs", "core")));
+        assert!(lock_discipline_scope(&mk("crates/serve/src/server.rs", "serve")));
+        assert!(lock_discipline_scope(&mk("crates/serve/src/bin/finsqld.rs", "serve")));
+        assert!(!lock_discipline_scope(&mk("crates/core/src/metrics.rs", "core")));
+    }
+
+    #[test]
+    fn serve_sources_are_scanned_for_panic_hygiene() {
+        // `serve` is a library crate (plus the `finsqld` binary): it is
+        // NOT in NON_LIBRARY_CRATES, so every panic site there needs an
+        // INVARIANT justification like the rest of the library surface.
+        assert!(!NON_LIBRARY_CRATES.contains(&"serve"));
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let sources = workspace_sources(&root).expect("scan sources");
+        let serve: Vec<String> = sources
+            .iter()
+            .map(|p| rel_path(&root, p))
+            .filter(|r| r.starts_with("crates/serve/src/"))
+            .collect();
+        assert!(
+            serve.iter().any(|r| r == "crates/serve/src/server.rs")
+                && serve.iter().any(|r| r == "crates/serve/src/bin/finsqld.rs"),
+            "serve sources missing from the scan: {serve:?}"
+        );
     }
 }

@@ -1,0 +1,142 @@
+//! A minimal blocking `finsqld` client: one TCP connection, synchronous
+//! request/response. This is the harness-side counterpart of the server
+//! — the smokes and `bench_serve` build on it (the bench's load
+//! generator pipelines writes and reads on separate threads instead, but
+//! reuses the same framing).
+
+use crate::wire::{Frame, FrameDecoder, Kind, Status, WireError};
+use bull::DbId;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure talking to a server.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// The server's byte stream violated the protocol.
+    Wire(WireError),
+    /// The connection closed before a full response arrived.
+    Disconnected,
+    /// A response arrived for a different request id.
+    WrongRequest { expected: u64, got: u64 },
+    /// A response frame of an unexpected kind.
+    WrongKind(Kind),
+    /// A response carried an unknown status byte.
+    BadStatus(u8),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::WrongRequest { expected, got } => {
+                write!(f, "response for request {got}, expected {expected}")
+            }
+            ClientError::WrongKind(k) => write!(f, "unexpected response kind {k:?}"),
+            ClientError::BadStatus(b) => write!(f, "unknown response status byte {b}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One synchronous connection to a `finsqld`.
+pub struct BlockingClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_id: u64,
+}
+
+impl BlockingClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<BlockingClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(BlockingClient { stream, decoder: FrameDecoder::new(), next_id: 1 })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        self.stream.write_all(&frame.encode())?;
+        Ok(())
+    }
+
+    /// Blocks until the next complete frame arrives.
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Ok(frame);
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(n) => self.decoder.push(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// The next frame answering `request_id`, checking correlation.
+    fn recv_for(&mut self, request_id: u64) -> Result<Frame, ClientError> {
+        let frame = self.recv()?;
+        if frame.request_id != request_id {
+            return Err(ClientError::WrongRequest { expected: request_id, got: frame.request_id });
+        }
+        Ok(frame)
+    }
+
+    /// Asks one question; returns the status and the answer payload
+    /// (empty for non-`Ok` statuses).
+    pub fn ask(&mut self, db: DbId, question: &str) -> Result<(Status, String), ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::request(id, db.index() as u8, question))?;
+        let frame = self.recv_for(id)?;
+        if frame.kind != Kind::Response {
+            return Err(ClientError::WrongKind(frame.kind));
+        }
+        let status = Status::from_byte(frame.code).ok_or(ClientError::BadStatus(frame.code))?;
+        Ok((status, String::from_utf8_lossy(&frame.payload).into_owned()))
+    }
+
+    /// Fetches the server's `STATS` JSON.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::stats(id))?;
+        let frame = self.recv_for(id)?;
+        if frame.kind != Kind::StatsResponse {
+            return Err(ClientError::WrongKind(frame.kind));
+        }
+        Ok(String::from_utf8_lossy(&frame.payload).into_owned())
+    }
+
+    /// Asks the server to shut down; returns once the ack arrives.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::shutdown(id))?;
+        let frame = self.recv_for(id)?;
+        match frame.status() {
+            Some(Status::Shutdown) => Ok(()),
+            _ => Err(ClientError::WrongKind(frame.kind)),
+        }
+    }
+}

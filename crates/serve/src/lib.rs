@@ -1,0 +1,23 @@
+//! `finsql-serve`: the network serving layer of the FinSQL reproduction.
+//!
+//! Three pieces, each usable on its own:
+//!
+//! * [`wire`] — the length-prefixed binary frame protocol and an
+//!   incremental decoder tolerant of arbitrarily torn TCP reads.
+//! * [`server`] — the `finsqld` driver: a non-blocking readiness loop
+//!   over `std::net` sockets with per-request admission control, feeding
+//!   the existing [`finsql_core::batch::BatchScheduler`] unchanged, so
+//!   every served answer is byte-identical to the library path.
+//! * [`client`] — a small blocking client used by the smoke/bench
+//!   harnesses and anyone scripting against a running `finsqld`.
+//!
+//! The `finsqld` binary (`src/bin/finsqld.rs`) wraps [`server`] with CLI
+//! flag parsing and engine construction.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::BlockingClient;
+pub use server::{ServeConfig, ServeHandle, ServeReport, Server};
+pub use wire::{Frame, FrameDecoder, Kind, Status, WireError};

@@ -1,0 +1,390 @@
+//! The `finsqld` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message — in either direction — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        b"FSQL"
+//! 4       1     version      0x01
+//! 5       1     kind         Request | Response | Stats | StatsResponse | Shutdown
+//! 6       1     code         request: database index; response: Status
+//! 7       1     flags        reserved, echoed back verbatim
+//! 8       8     request_id   u64 little-endian, chosen by the client, echoed back
+//! 16      4     payload_len  u32 little-endian, at most MAX_PAYLOAD
+//! 20      n     payload      request: UTF-8 question; response: UTF-8 answer
+//! ```
+//!
+//! The header is fixed-size so a decoder never has to scan: with 20
+//! bytes buffered it knows the frame's full length, validates the magic,
+//! version, kind and payload bound *before* buffering the body, and a
+//! torn TCP stream simply leaves the decoder waiting for more bytes.
+//! Anything that violates the header contract is a [`WireError`] — the
+//! server answers [`Status::BadFrame`] and closes the connection, since
+//! a stream that has lost framing cannot be re-synchronised.
+//!
+//! The protocol is deliberately dependency-free (the workspace vendors
+//! everything and forbids `unsafe`): plain byte shuffling, no serde.
+
+/// Frame preamble — rejects cross-protocol traffic immediately.
+pub const MAGIC: [u8; 4] = *b"FSQL";
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Upper bound on a frame payload. Questions and answers are far below
+/// this; the bound is what turns a corrupted or hostile length prefix
+/// into an immediate [`WireError::Oversized`] instead of an attempted
+/// multi-gigabyte buffer.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// What a frame is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Client → server: answer this question (code = database index,
+    /// payload = question).
+    Request = 1,
+    /// Server → client: the outcome of one request (code = [`Status`],
+    /// payload = answer or empty).
+    Response = 2,
+    /// Client → server: report serving statistics (no payload).
+    Stats = 3,
+    /// Server → client: statistics as a JSON payload.
+    StatsResponse = 4,
+    /// Client → server: stop serving. Acknowledged with a
+    /// [`Status::Shutdown`] response, then the server drains and exits.
+    Shutdown = 5,
+}
+
+impl Kind {
+    pub fn from_byte(b: u8) -> Option<Kind> {
+        match b {
+            1 => Some(Kind::Request),
+            2 => Some(Kind::Response),
+            3 => Some(Kind::Stats),
+            4 => Some(Kind::StatsResponse),
+            5 => Some(Kind::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome code carried in a [`Kind::Response`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The payload is the answer — byte-identical to the library path.
+    Ok = 0,
+    /// Load shed by admission control: the in-flight budget or the
+    /// scheduler queue was full. Never a wrong answer — the client may
+    /// simply retry.
+    Busy = 1,
+    /// The request frame violated the protocol (bad magic/version/kind,
+    /// oversized or non-UTF-8 payload, unknown database). The server
+    /// closes the connection after sending this.
+    BadFrame = 2,
+    /// The server is shutting down and did not accept the request.
+    Shutdown = 3,
+}
+
+impl Status {
+    pub fn from_byte(b: u8) -> Option<Status> {
+        match b {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Busy),
+            2 => Some(Status::BadFrame),
+            3 => Some(Status::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Why a byte stream was rejected by the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic (expected FSQL)"),
+            WireError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds the {MAX_PAYLOAD}-byte bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: Kind,
+    /// Request: database index (see [`bull::DbId::index`]); response:
+    /// the [`Status`] byte. Raw so the codec round-trips unknown codes
+    /// verbatim — interpretation belongs to the endpoint.
+    pub code: u8,
+    /// Reserved; echoed back verbatim in responses.
+    pub flags: u8,
+    /// Client-chosen correlation id, echoed back in the response.
+    pub request_id: u64,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A question request against database index `db_index`.
+    pub fn request(request_id: u64, db_index: u8, question: &str) -> Frame {
+        Frame {
+            kind: Kind::Request,
+            code: db_index,
+            flags: 0,
+            request_id,
+            payload: question.as_bytes().to_vec(),
+        }
+    }
+
+    /// A response carrying `status` and an answer (empty for non-`Ok`).
+    pub fn response(request_id: u64, status: Status, answer: &str) -> Frame {
+        Frame {
+            kind: Kind::Response,
+            code: status as u8,
+            flags: 0,
+            request_id,
+            payload: answer.as_bytes().to_vec(),
+        }
+    }
+
+    /// A statistics request.
+    pub fn stats(request_id: u64) -> Frame {
+        Frame { kind: Kind::Stats, code: 0, flags: 0, request_id, payload: Vec::new() }
+    }
+
+    /// A statistics response carrying a JSON payload.
+    pub fn stats_response(request_id: u64, json: &str) -> Frame {
+        Frame {
+            kind: Kind::StatsResponse,
+            code: 0,
+            flags: 0,
+            request_id,
+            payload: json.as_bytes().to_vec(),
+        }
+    }
+
+    /// A shutdown request.
+    pub fn shutdown(request_id: u64) -> Frame {
+        Frame { kind: Kind::Shutdown, code: 0, flags: 0, request_id, payload: Vec::new() }
+    }
+
+    /// The response status, when this is a response frame with a known
+    /// status byte.
+    pub fn status(&self) -> Option<Status> {
+        match self.kind {
+            Kind::Response => Status::from_byte(self.code),
+            _ => None,
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Appends the encoded frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.kind as u8);
+        out.push(self.code);
+        out.push(self.flags);
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// The encoded frame as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Incremental frame decoder: feed it whatever bytes the socket
+/// produced — any split, including mid-header — and pull complete frames
+/// out. Invalid headers surface as [`WireError`] the moment the header
+/// is complete, before any payload is awaited.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames; compacted
+    /// lazily so decoding is amortised O(bytes).
+    consumed: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Drops consumed bytes once they dominate the buffer, keeping the
+    /// cursor cheap for streams of many small frames.
+    fn compact(&mut self) {
+        if self.consumed > 0 && self.consumed * 2 >= self.buf.len() {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
+
+    /// Decodes the next complete frame. `Ok(None)` means the buffered
+    /// bytes are a valid prefix (a torn frame) — push more and retry.
+    /// An `Err` is unrecoverable for the stream: framing is lost.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let bytes = &self.buf[self.consumed..];
+        if bytes.len() < HEADER_LEN {
+            // Validate the magic as early as it can be told apart, so
+            // garbage is rejected without waiting for a full header.
+            let probe = bytes.len().min(MAGIC.len());
+            if bytes[..probe] != MAGIC[..probe] {
+                return Err(WireError::BadMagic);
+            }
+            return Ok(None);
+        }
+        if bytes[..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        if bytes[4] != VERSION {
+            return Err(WireError::BadVersion(bytes[4]));
+        }
+        let kind = Kind::from_byte(bytes[5]).ok_or(WireError::BadKind(bytes[5]))?;
+        let code = bytes[6];
+        let flags = bytes[7];
+        // INVARIANT: the slice bounds are constants inside HEADER_LEN,
+        // which the length check above guarantees.
+        let request_id = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+        // INVARIANT: constant 4-byte slice inside HEADER_LEN, as above.
+        let payload_len = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice"));
+        if payload_len as usize > MAX_PAYLOAD {
+            return Err(WireError::Oversized(payload_len));
+        }
+        let total = HEADER_LEN + payload_len as usize;
+        if bytes.len() < total {
+            return Ok(None);
+        }
+        let payload = bytes[HEADER_LEN..total].to_vec();
+        self.consumed += total;
+        self.compact();
+        Ok(Some(Frame { kind, code, flags, request_id, payload }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips_one_frame() {
+        let frame = Frame::request(42, 1, "how many funds are open");
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&frame.encode());
+        assert_eq!(decoder.next_frame(), Ok(Some(frame)));
+        assert_eq!(decoder.next_frame(), Ok(None));
+        assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn torn_frame_waits_for_more_bytes() {
+        let frame = Frame::response(7, Status::Ok, "SELECT 1");
+        let bytes = frame.encode();
+        let mut decoder = FrameDecoder::new();
+        for split in 0..bytes.len() {
+            // Every proper prefix is "not yet a frame", never an error.
+            decoder.push(&bytes[split..split + 1]);
+            if split + 1 < bytes.len() {
+                assert_eq!(decoder.next_frame(), Ok(None), "split at {split}");
+            }
+        }
+        assert_eq!(decoder.next_frame(), Ok(Some(frame)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        let mut frame = Frame::request(1, 0, "q");
+        frame.payload = Vec::new();
+        let mut bytes = frame.encode();
+        bytes[16..20].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes);
+        assert_eq!(decoder.next_frame(), Err(WireError::Oversized(MAX_PAYLOAD as u32 + 1)));
+    }
+
+    #[test]
+    fn garbage_magic_fails_fast_even_on_a_partial_header() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(b"GET ");
+        assert_eq!(decoder.next_frame(), Err(WireError::BadMagic));
+        // Even a single wrong byte is enough to tell.
+        let mut decoder = FrameDecoder::new();
+        decoder.push(b"X");
+        assert_eq!(decoder.next_frame(), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn unknown_version_and_kind_are_rejected() {
+        let frame = Frame::stats(3);
+        let mut bytes = frame.encode();
+        bytes[4] = 9;
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes);
+        assert_eq!(decoder.next_frame(), Err(WireError::BadVersion(9)));
+
+        let mut bytes = frame.encode();
+        bytes[5] = 200;
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes);
+        assert_eq!(decoder.next_frame(), Err(WireError::BadKind(200)));
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_order() {
+        let frames = [
+            Frame::request(1, 0, "a"),
+            Frame::stats(2),
+            Frame::response(1, Status::Busy, ""),
+            Frame::shutdown(9),
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut bytes);
+        }
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes);
+        for f in &frames {
+            assert_eq!(decoder.next_frame(), Ok(Some(f.clone())));
+        }
+        assert_eq!(decoder.next_frame(), Ok(None));
+    }
+}

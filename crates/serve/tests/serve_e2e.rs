@@ -1,0 +1,204 @@
+//! End-to-end tests for `finsqld`'s serving loop over real loopback TCP:
+//! byte-identity with the library path, protocol-level error handling,
+//! admission control under a tiny budget, and graceful shutdown.
+
+use bull::{DbId, Lang};
+use finsql_core::batch::BatchConfig;
+use finsql_core::cache::AnswerCache;
+use finsql_core::pipeline::{FinSql, FinSqlConfig};
+use finsql_serve::client::ClientError;
+use finsql_serve::wire::{Frame, FrameDecoder, Kind, Status};
+use finsql_serve::{BlockingClient, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One engine for every test in this file — building it trains the full
+/// pipeline, so share it instead of paying that per test.
+fn engine() -> Arc<FinSql> {
+    static ENGINE: OnceLock<Arc<FinSql>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        let ds = bull::build(bull::DEFAULT_SEED);
+        Arc::new(FinSql::build(
+            &ds,
+            &simllm::profiles::LLAMA2_13B,
+            FinSqlConfig::standard(Lang::En),
+        ))
+    }))
+}
+
+/// The per-question reference answer the served path must reproduce.
+fn reference(engine: &FinSql, db: DbId, question: &str) -> String {
+    let mut rng = engine.question_rng(db, question);
+    engine.answer(db, question, &mut rng)
+}
+
+fn spawn_server(config: ServeConfig) -> finsql_serve::ServeHandle {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        engine(),
+        Some(Arc::new(AnswerCache::unbounded())),
+        None,
+        config,
+    )
+    .expect("bind loopback");
+    server.spawn()
+}
+
+#[test]
+fn served_answers_match_the_library_path_across_databases() {
+    let handle = spawn_server(ServeConfig::default());
+    let mut client = BlockingClient::connect(handle.addr()).expect("connect");
+    let engine = engine();
+    let questions = [
+        (DbId::Fund, "list all fund names"),
+        (DbId::Stock, "which stock closed highest yesterday"),
+        (DbId::Macro, "what was the latest inflation reading"),
+        (DbId::Fund, "how many funds have an open redemption status"),
+    ];
+    for (db, question) in questions {
+        let (status, answer) = client.ask(db, question).expect("ask");
+        assert_eq!(status, Status::Ok);
+        assert_eq!(answer, reference(&engine, db, question), "{db:?}: {question}");
+    }
+    // Repeat one question: the cache serves it, bytes must not change.
+    let (status, answer) = client.ask(DbId::Fund, "list all fund names").expect("re-ask");
+    assert_eq!(status, Status::Ok);
+    assert_eq!(answer, reference(&engine, DbId::Fund, "list all fund names"));
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"served\":5"), "unexpected stats payload: {stats}");
+    assert!(stats.contains("\"p99_ns\":"), "stats must expose quantiles: {stats}");
+
+    client.shutdown_server().expect("shutdown handshake");
+    let report = handle.join().expect("server thread must exit cleanly");
+    assert_eq!(report.served, 5);
+    assert_eq!(report.bad_frames, 0);
+}
+
+#[test]
+fn garbage_bytes_get_bad_frame_and_the_connection_is_closed() {
+    let handle = spawn_server(ServeConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write garbage");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    // The server must answer BadFrame, then close. Read to EOF.
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read response until close");
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&bytes);
+    let frame = decoder
+        .next_frame()
+        .expect("response is well-formed")
+        .expect("a BadFrame response must arrive before close");
+    assert_eq!(frame.status(), Some(Status::BadFrame));
+
+    // An unknown database index is also a BadFrame (on a fresh
+    // connection — the previous one is gone).
+    let mut client = BlockingClient::connect(handle.addr()).expect("connect");
+    client
+        .send(&Frame::request(7, 250, "which db is this"))
+        .expect("send bad-db request");
+    let frame = client.recv().expect("recv");
+    assert_eq!(frame.status(), Some(Status::BadFrame));
+    assert_eq!(frame.request_id, 7, "correlation id echoed even on errors");
+
+    let mut client = BlockingClient::connect(handle.addr()).expect("connect");
+    client.shutdown_server().expect("shutdown");
+    let report = handle.join().expect("clean exit");
+    assert!(report.bad_frames >= 2, "both violations counted: {report:?}");
+    assert_eq!(report.served, 0);
+}
+
+#[test]
+fn over_budget_requests_are_shed_with_busy_not_queued() {
+    // Budget of one in-flight request, single slow worker: a pipelined
+    // burst must shed everything beyond the slot immediately.
+    let handle = spawn_server(ServeConfig {
+        max_in_flight: 1,
+        batch: BatchConfig {
+            max_batch: 1,
+            flush: Duration::from_micros(1),
+            workers: 1,
+            queue_cap: 1,
+        },
+        ..ServeConfig::default()
+    });
+    let engine = engine();
+    let mut client = BlockingClient::connect(handle.addr()).expect("connect");
+    let burst = 16u64;
+    for i in 0..burst {
+        let question = format!("how many funds exist (burst {i})");
+        client
+            .send(&Frame::request(i, DbId::Fund.index() as u8, &question))
+            .expect("pipelined send");
+    }
+    let mut ok = 0u64;
+    let mut busy = 0u64;
+    for _ in 0..burst {
+        let frame = client.recv().expect("one response per request");
+        assert_eq!(frame.kind, Kind::Response);
+        match frame.status().expect("known status") {
+            Status::Ok => {
+                ok += 1;
+                let question = format!("how many funds exist (burst {})", frame.request_id);
+                let answer = String::from_utf8(frame.payload.clone()).expect("utf-8 answer");
+                assert_eq!(
+                    answer,
+                    reference(&engine, DbId::Fund, &question),
+                    "an admitted answer is never wrong, even under load"
+                );
+            }
+            Status::Busy => busy += 1,
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+    assert!(ok >= 1, "at least the slot-holder is served");
+    assert!(busy >= 1, "a 16-deep burst against budget 1 must shed");
+    assert_eq!(ok + busy, burst);
+
+    client.shutdown_server().expect("shutdown");
+    let report = handle.join().expect("clean exit");
+    assert_eq!(report.served, ok);
+    assert_eq!(report.busy_rejected, busy);
+}
+
+#[test]
+fn stop_flag_drains_in_flight_requests_before_exit() {
+    let handle = spawn_server(ServeConfig::default());
+    let engine = engine();
+    let mut client = BlockingClient::connect(handle.addr()).expect("connect");
+    // Warm round-trip so the connection is definitely accepted.
+    let (status, _) = client.ask(DbId::Fund, "list all fund names").expect("warmup");
+    assert_eq!(status, Status::Ok);
+    // Get a request admitted (the driver reads it well within 50ms),
+    // then raise the stop flag before reading the response: the drain
+    // must still deliver the real answer.
+    let question = "what is the average management fee across funds";
+    client
+        .send(&Frame::request(99, DbId::Fund.index() as u8, question))
+        .expect("send");
+    std::thread::sleep(Duration::from_millis(50));
+    handle.stop();
+    let frame = client.recv().expect("drain must deliver the answer");
+    assert_eq!(frame.status(), Some(Status::Ok));
+    assert_eq!(frame.request_id, 99);
+    assert_eq!(
+        String::from_utf8(frame.payload).expect("utf-8"),
+        reference(&engine, DbId::Fund, question)
+    );
+    let report = handle.join().expect("clean exit");
+    assert_eq!(report.served, 2);
+
+    // Requests racing the stop flag are answered Shutdown or the
+    // connection is simply gone once the server exits — never a hang,
+    // never a wrong answer.
+    match client.ask(DbId::Fund, "straggler") {
+        Ok((status, _)) => assert_eq!(status, Status::Shutdown),
+        Err(ClientError::Io(_)) | Err(ClientError::Disconnected) => {}
+        Err(other) => panic!("unexpected straggler outcome: {other}"),
+    }
+}

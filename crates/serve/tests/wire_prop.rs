@@ -1,0 +1,160 @@
+//! Property tests for the wire codec (crates/serve/src/wire.rs): encode →
+//! incremental decode must be the identity on arbitrary frames no matter
+//! how the byte stream is torn, and every header-contract violation must
+//! be rejected deterministically.
+
+use finsql_serve::wire::{
+    Frame, FrameDecoder, Kind, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn kind() -> impl Strategy<Value = Kind> {
+    prop_oneof![
+        Just(Kind::Request),
+        Just(Kind::Response),
+        Just(Kind::Stats),
+        Just(Kind::StatsResponse),
+        Just(Kind::Shutdown),
+    ]
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    (kind(), any::<u8>(), any::<u8>(), any::<u64>(), vec(any::<u8>(), 0..300)).prop_map(
+        |(kind, code, flags, request_id, payload)| Frame {
+            kind,
+            code,
+            flags,
+            request_id,
+            payload,
+        },
+    )
+}
+
+proptest! {
+    /// Feeding the encoded bytes one at a time exercises a split at
+    /// *every* byte boundary: each proper prefix must decode to "not
+    /// yet" (never an error, never a phantom frame) and the final byte
+    /// must complete the original frame exactly.
+    #[test]
+    fn round_trip_survives_every_split_point(frame in frame()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), frame.encoded_len());
+        let mut decoder = FrameDecoder::new();
+        for (i, b) in bytes.iter().enumerate() {
+            decoder.push(std::slice::from_ref(b));
+            let decoded = decoder.next_frame();
+            if i + 1 < bytes.len() {
+                prop_assert_eq!(decoded, Ok(None), "byte {} of {}", i, bytes.len());
+            } else {
+                prop_assert_eq!(decoded, Ok(Some(frame.clone())));
+            }
+        }
+        prop_assert_eq!(decoder.next_frame(), Ok(None));
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+
+    /// A stream of frames chunked at arbitrary sizes decodes to exactly
+    /// the original sequence, in order.
+    #[test]
+    fn chunked_stream_decodes_in_order(
+        frames in vec(frame(), 1..8),
+        chunks in vec(1usize..23, 1..64),
+    ) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut bytes);
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0;
+        let mut chunk_iter = chunks.iter().cycle();
+        while offset < bytes.len() {
+            // INVARIANT: `chunks` is non-empty (vec(_, 1..64)), so the
+            // cycled iterator always yields.
+            let step = (*chunk_iter.next().expect("cycle of non-empty vec")).min(bytes.len() - offset);
+            decoder.push(&bytes[offset..offset + step]);
+            offset += step;
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(f)) => decoded.push(f),
+                    Ok(None) => break,
+                    Err(e) => return Err(format!("valid stream rejected: {e}")),
+                }
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// A truncated frame never produces output: any proper prefix parks
+    /// the decoder at `Ok(None)` indefinitely.
+    #[test]
+    fn torn_frame_never_yields(frame in frame(), cut in any::<u16>()) {
+        let bytes = frame.encode();
+        let cut = (cut as usize) % bytes.len().max(1);
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes[..cut]);
+        prop_assert_eq!(decoder.next_frame(), Ok(None));
+        // Still parked after a re-poll — no phantom frames.
+        prop_assert_eq!(decoder.next_frame(), Ok(None));
+    }
+
+    /// Corrupting the magic is caught as soon as the corrupt byte is
+    /// visible, even before a full header has arrived.
+    #[test]
+    fn corrupt_magic_is_rejected(frame in frame(), pos in 0usize..4, bad in any::<u8>()) {
+        let mut bytes = frame.encode();
+        if bytes[pos] == bad {
+            return Ok(()); // not corrupt after all
+        }
+        bytes[pos] = bad;
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes[..pos + 1]);
+        prop_assert_eq!(decoder.next_frame(), Err(WireError::BadMagic));
+    }
+
+    /// An oversized length prefix is rejected from the header alone —
+    /// the decoder must not wait for (or try to buffer) the payload.
+    #[test]
+    fn oversized_prefix_is_rejected_from_the_header(frame in frame(), extra in 1u32..1000) {
+        let mut bytes = frame.encode();
+        let huge = MAX_PAYLOAD as u32 + extra;
+        bytes[16..20].copy_from_slice(&huge.to_le_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes[..HEADER_LEN]);
+        prop_assert_eq!(decoder.next_frame(), Err(WireError::Oversized(huge)));
+    }
+}
+
+#[test]
+fn header_layout_is_pinned() {
+    // The exact byte layout is protocol ABI: a client built from these
+    // constants must interoperate with any server version speaking
+    // VERSION. Pin it byte for byte.
+    let frame = Frame::request(0x0102_0304_0506_0708, 2, "q!");
+    let bytes = frame.encode();
+    assert_eq!(&bytes[0..4], &MAGIC);
+    assert_eq!(bytes[4], VERSION);
+    assert_eq!(bytes[5], 1, "Kind::Request");
+    assert_eq!(bytes[6], 2, "db index");
+    assert_eq!(bytes[7], 0, "flags");
+    assert_eq!(&bytes[8..16], &0x0102_0304_0506_0708u64.to_le_bytes());
+    assert_eq!(&bytes[16..20], &2u32.to_le_bytes());
+    assert_eq!(&bytes[20..], b"q!");
+    assert_eq!(bytes.len(), HEADER_LEN + 2);
+}
+
+#[test]
+fn garbage_version_and_kind_are_rejected() {
+    let good = Frame::stats(1).encode();
+    for (byte, expect) in [
+        (4usize, WireError::BadVersion(0xFE)),
+        (5usize, WireError::BadKind(0xFE)),
+    ] {
+        let mut bytes = good.clone();
+        bytes[byte] = 0xFE;
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes);
+        assert_eq!(decoder.next_frame(), Err(expect));
+    }
+}
